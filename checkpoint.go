@@ -1,0 +1,120 @@
+package ooh
+
+import (
+	"io"
+	"time"
+
+	"repro/internal/criu"
+)
+
+// CheckpointOptions tunes the pre-copy checkpoint loop.
+type CheckpointOptions struct {
+	// MaxRounds bounds the dirty-only pre-copy rounds (default 2).
+	MaxRounds int
+	// Threshold stops pre-copy early once a round dumps at most this many
+	// pages (default 64).
+	Threshold int
+	// KeepRunning resumes the process after the final stop-and-copy.
+	KeepRunning bool
+}
+
+// CheckpointStats reports the phase times of one checkpoint, using the
+// paper's MD (memory dump) / MW (memory write) decomposition.
+type CheckpointStats struct {
+	Init   time.Duration
+	MD     time.Duration
+	MW     time.Duration
+	Total  time.Duration
+	Rounds int
+	Dumped int
+	Pages  int
+}
+
+// Image is a process checkpoint image.
+type Image struct {
+	img *criu.Image
+}
+
+// PageCount returns the number of pages in the image.
+func (i *Image) PageCount() int { return len(i.img.Pages) }
+
+// WriteTo serializes the image.
+func (i *Image) WriteTo(w io.Writer) (int64, error) { return i.img.WriteTo(w) }
+
+// ReadImage deserializes an image produced by WriteTo.
+func ReadImage(r io.Reader) (*Image, error) {
+	img, err := criu.ReadImage(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Image{img: img}, nil
+}
+
+// Checkpoint performs a CRIU-style iterative pre-copy checkpoint of proc
+// using the given tracking technique: a full first dump, dirty-only rounds
+// with runBetween (may be nil) executing the workload in between, then a
+// final stop-and-copy with the process paused.
+func (m *Machine) Checkpoint(proc *Process, tech Technique, opts CheckpointOptions,
+	runBetween func(round int) error) (*Image, CheckpointStats, error) {
+
+	t, err := m.g.NewTechnique(tech.internal(), proc.p)
+	if err != nil {
+		return nil, CheckpointStats{}, err
+	}
+	ck := criu.New(proc.p, t, criu.Options{
+		MaxRounds:   opts.MaxRounds,
+		Threshold:   opts.Threshold,
+		KeepRunning: opts.KeepRunning,
+	})
+	img, stats, err := ck.Run(runBetween)
+	if err != nil {
+		return nil, CheckpointStats{}, err
+	}
+	return &Image{img: img}, CheckpointStats{
+		Init:   stats.Init,
+		MD:     stats.MD,
+		MW:     stats.MW,
+		Total:  stats.Total,
+		Rounds: stats.Rounds,
+		Dumped: stats.Dumped,
+		Pages:  stats.Final,
+	}, nil
+}
+
+// Restore recreates a process from an image in this machine's guest.
+func (m *Machine) Restore(img *Image) (*Process, error) {
+	p, err := criu.Restore(m.g.Kernel, img.img)
+	if err != nil {
+		return nil, err
+	}
+	return &Process{mach: m, p: p}, nil
+}
+
+// LazyProcess is a post-copy-restored process: immediately runnable, its
+// pages are pulled from the image on first touch through userfaultfd.
+type LazyProcess struct {
+	*Process
+	lr *criu.LazyRestorer
+}
+
+// LazyRestore restores img in post-copy mode (CRIU's lazy-pages): the
+// process resumes instantly and untouched pages are never copied.
+func (m *Machine) LazyRestore(img *Image) (*LazyProcess, error) {
+	lr, err := criu.LazyRestore(m.g.Kernel, img.img)
+	if err != nil {
+		return nil, err
+	}
+	return &LazyProcess{Process: &Process{mach: m, p: lr.Proc}, lr: lr}, nil
+}
+
+// Served reports how many pages were demand-loaded so far.
+func (l *LazyProcess) Served() int { return l.lr.Stats().Served }
+
+// Complete materializes every remaining page and detaches the fault
+// handler (the end of a post-copy migration).
+func (l *LazyProcess) Complete() error { return l.lr.Complete() }
+
+// VerifyRestore compares a restored process's memory with the original's.
+func VerifyRestore(orig, restored *Process) error {
+	return criu.Verify(orig.p, restored.p)
+}

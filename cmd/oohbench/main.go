@@ -1,0 +1,95 @@
+// Command oohbench regenerates the paper's evaluation: every table and
+// figure of §VI, printed as ASCII tables with the paper's reference values
+// noted underneath.
+//
+// Usage:
+//
+//	oohbench                 # run everything at the default scale
+//	oohbench -exp fig4       # one experiment
+//	oohbench -exp table1 -full -scale 4
+//	oohbench -list           # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id (empty = all)")
+		scale   = flag.Int("scale", 1, "workload scale factor")
+		full    = flag.Bool("full", false, "include the most expensive points (500MB/1GB, all apps, 5 VMs)")
+		workers = flag.Int("workers", 0, "parallel experiment workers (0 = GOMAXPROCS)")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		seed    = flag.Uint64("seed", 42, "workload data seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	opt := experiments.Options{Scale: *scale, Full: *full, Workers: *workers, Seed: *seed}
+	ids := experiments.IDs()
+	if *exp != "" {
+		ids = []string{*exp}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		var (
+			res *experiments.Result
+			err error
+		)
+		if id == "table2" {
+			res, err = experiments.Table2(countRepoLOC())
+		} else {
+			res, err = experiments.Run(id, opt)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oohbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s (%s, took %v) ===\n\n", res.ID, res.Title, time.Since(start).Round(time.Millisecond))
+		fmt.Print(res.Render())
+	}
+}
+
+// countRepoLOC counts Go source lines per package directory when oohbench
+// runs from a source checkout; it degrades to nil elsewhere.
+func countRepoLOC() map[string]int {
+	root := "."
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		return nil
+	}
+	loc := make(map[string]int)
+	fset := token.NewFileSet()
+	_ = filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return nil
+		}
+		tf := fset.File(f.Pos())
+		pkg := filepath.Dir(path)
+		loc[pkg] += tf.LineCount()
+		return nil
+	})
+	if len(loc) == 0 {
+		return nil
+	}
+	return loc
+}

@@ -1,0 +1,122 @@
+// Command oohtrack runs one workload under one dirty page tracking
+// technique and prints the dirty set sizes and phase times - a CLI view of
+// the Tracker/Tracked interaction of Fig. 1.
+//
+// Usage:
+//
+//	oohtrack -workload histogram -tech epml -passes 3
+//	oohtrack -workload micro -tech spml -size large
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/costmodel"
+	"repro/internal/machine"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		name   = flag.String("workload", "micro", "workload: "+strings.Join(workloads.Names(), ", "))
+		tech   = flag.String("tech", "epml", "technique: proc, ufd, spml, epml, oracle")
+		size   = flag.String("size", "small", "config size: small, medium, large")
+		scale  = flag.Int("scale", 1, "workload scale factor")
+		passes = flag.Int("passes", 3, "workload passes (collection after each)")
+		seed   = flag.Uint64("seed", 42, "workload data seed")
+	)
+	flag.Parse()
+
+	kind, err := parseTech(*tech)
+	if err != nil {
+		fail(err)
+	}
+	sz, err := parseSize(*size)
+	if err != nil {
+		fail(err)
+	}
+
+	m, err := machine.New(machine.Config{})
+	if err != nil {
+		fail(err)
+	}
+	g := m.Guest(0)
+	proc := g.Kernel.Spawn(*name)
+	w, err := workloads.New(*name, sz, *scale)
+	if err != nil {
+		fail(err)
+	}
+	if err := w.Setup(workloads.NewRegionAlloc(proc, false), sim.NewRNG(*seed)); err != nil {
+		fail(err)
+	}
+	t, err := g.NewTechnique(kind, proc)
+	if err != nil {
+		fail(err)
+	}
+	if err := t.Init(); err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("tracking %s (%s, scale %d) with %s; working set %s\n\n",
+		*name, sz, *scale, t.Name(), report.FormatBytes(w.WorkingSet()))
+	for pass := 1; pass <= *passes; pass++ {
+		before := g.Kernel.Clock.Nanos()
+		if err := w.Run(); err != nil {
+			fail(err)
+		}
+		runTime := g.Kernel.Clock.Nanos() - before
+		dirty, err := t.Collect()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("pass %d: run %-12s dirty pages %d\n",
+			pass, report.FormatDuration(time.Duration(runTime)), len(dirty))
+	}
+	if err := t.Close(); err != nil {
+		fail(err)
+	}
+	s := t.Stats()
+	fmt.Printf("\ntracker: init %s, collect %s over %d collections, %d pages reported\n",
+		report.FormatDuration(s.InitTime), report.FormatDuration(s.CollectTime),
+		s.Collections, s.Reported)
+	fmt.Printf("guest events: %s\n", g.Kernel.VCPU.Counters.String())
+}
+
+func parseTech(s string) (costmodel.Technique, error) {
+	switch strings.ToLower(s) {
+	case "proc", "/proc":
+		return costmodel.Proc, nil
+	case "ufd":
+		return costmodel.Ufd, nil
+	case "spml":
+		return costmodel.SPML, nil
+	case "epml":
+		return costmodel.EPML, nil
+	case "oracle":
+		return costmodel.Oracle, nil
+	}
+	return 0, fmt.Errorf("unknown technique %q", s)
+}
+
+func parseSize(s string) (workloads.Size, error) {
+	switch strings.ToLower(s) {
+	case "small":
+		return workloads.Small, nil
+	case "medium":
+		return workloads.Medium, nil
+	case "large":
+		return workloads.Large, nil
+	}
+	return 0, fmt.Errorf("unknown size %q", s)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "oohtrack: %v\n", err)
+	os.Exit(1)
+}

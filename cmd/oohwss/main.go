@@ -1,0 +1,84 @@
+// Command oohwss estimates a VM's working set size with PML-R (the
+// read-logging PML extension of the related work): intervals of guest
+// execution are sampled and the distinct touched frames reported.
+//
+// Usage:
+//
+//	oohwss -workload histogram -intervals 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/machine"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+	"repro/internal/wss"
+)
+
+func main() {
+	var (
+		name      = flag.String("workload", "histogram", "workload: "+strings.Join(workloads.Names(), ", "))
+		size      = flag.String("size", "small", "config size: small, medium, large")
+		scale     = flag.Int("scale", 1, "workload scale factor")
+		intervals = flag.Int("intervals", 4, "sampling intervals (one workload pass each)")
+		seed      = flag.Uint64("seed", 42, "workload data seed")
+	)
+	flag.Parse()
+
+	sz, err := parseSize(*size)
+	if err != nil {
+		fail(err)
+	}
+	m, err := machine.New(machine.Config{})
+	if err != nil {
+		fail(err)
+	}
+	g := m.Guest(0)
+	proc := g.Kernel.Spawn(*name)
+	w, err := workloads.New(*name, sz, *scale)
+	if err != nil {
+		fail(err)
+	}
+	if err := w.Setup(workloads.NewRegionAlloc(proc, false), sim.NewRNG(*seed)); err != nil {
+		fail(err)
+	}
+
+	est := wss.New(g.VM)
+	fmt.Printf("sampling WSS of %s (%s) over %d intervals via PML-R\n\n", *name, sz, *intervals)
+	for i := 1; i <= *intervals; i++ {
+		est.BeginInterval()
+		if err := w.Run(); err != nil {
+			fail(err)
+		}
+		s, err := est.EndInterval()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("interval %d: %6d pages (%s)\n", i, s.Pages, report.FormatBytes(s.Bytes))
+	}
+	fmt.Printf("\npeak working set: %d pages (%s); reserved address space: %s\n",
+		est.Peak(), report.FormatBytes(uint64(est.Peak())*4096),
+		report.FormatBytes(proc.ReservedBytes()))
+}
+
+func parseSize(s string) (workloads.Size, error) {
+	switch strings.ToLower(s) {
+	case "small":
+		return workloads.Small, nil
+	case "medium":
+		return workloads.Medium, nil
+	case "large":
+		return workloads.Large, nil
+	}
+	return 0, fmt.Errorf("unknown size %q", s)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "oohwss: %v\n", err)
+	os.Exit(1)
+}

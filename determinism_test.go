@@ -1,0 +1,106 @@
+package ooh_test
+
+// Determinism is a core promise of this reproduction: identical inputs
+// produce bit-identical virtual times and results on any host, any run.
+// These tests run whole scenarios twice and demand exact equality - they
+// catch map-iteration order or host-time leakage into the simulation.
+
+import (
+	"testing"
+
+	ooh "repro"
+)
+
+// runScenario executes a representative mixed scenario and returns the
+// final virtual clock plus a content fingerprint.
+func runScenario(t *testing.T, tech ooh.Technique) (int64, uint64) {
+	t.Helper()
+	m, err := ooh.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.Spawn("det")
+	buf, err := p.Mmap(64*ooh.PageSize, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := m.StartTracking(p, tech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fp uint64
+	state := uint64(0x9E3779B97F4A7C15)
+	for i := 0; i < 500; i++ {
+		state = state*6364136223846793005 + 1442695040888963407
+		page := state % 64
+		addr := buf + page*ooh.PageSize + (state>>32%500)*8
+		if err := p.WriteU64(addr, state); err != nil {
+			t.Fatal(err)
+		}
+		if i%97 == 0 {
+			dirty, err := tr.Collect()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range dirty {
+				fp = fp*31 + d
+			}
+		}
+	}
+	// GC on top, in a second process (one OoH session per pid).
+	p2 := m.Spawn("det-gc")
+	gc, err := m.NewGC(p2, 1<<20, tech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := gc.Alloc(24, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gc.AddRoot(root)
+	for i := 0; i < 200; i++ {
+		obj, err := gc.Alloc(64, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%2 == 0 {
+			if err := gc.SetPtr(root, 0, obj); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i%50 == 49 {
+			if _, err := gc.Collect(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Checkpoint/restore round trip (the tracking session must close
+	// first: one OoH session per pid).
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	img, stats, err := m.Checkpoint(p, tech, ooh.CheckpointOptions{KeepRunning: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp = fp*31 + uint64(img.PageCount()) + uint64(stats.Dumped)
+	return int64(m.VirtualTime()), fp
+}
+
+// TestDeterministicVirtualTime: two identical runs agree to the nanosecond
+// for every technique.
+func TestDeterministicVirtualTime(t *testing.T) {
+	for _, tech := range ooh.Techniques() {
+		tech := tech
+		t.Run(tech.String(), func(t *testing.T) {
+			t1, fp1 := runScenario(t, tech)
+			t2, fp2 := runScenario(t, tech)
+			if t1 != t2 {
+				t.Errorf("virtual time diverged: %d vs %d ns", t1, t2)
+			}
+			if fp1 != fp2 {
+				t.Errorf("result fingerprint diverged: %#x vs %#x", fp1, fp2)
+			}
+		})
+	}
+}

@@ -1,0 +1,92 @@
+// GC example: an incremental Boehm-style collector whose mark phase reads
+// dirty pages through OoH's EPML instead of /proc - the paper's garbage
+// collection use case (§IV-E, Fig. 5-6).
+//
+// The program builds a large stable object graph plus a churning working
+// set; the incremental cycles re-scan only the churned pages.
+//
+// Run with: go run ./examples/gc
+package main
+
+import (
+	"fmt"
+	"log"
+
+	ooh "repro"
+)
+
+func main() {
+	m, err := ooh.NewMachine()
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := m.Spawn("gc-demo")
+	gc, err := m.NewGC(p, 8<<20, ooh.EPML)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Stable graph: a wide tree that never changes after construction.
+	root, err := gc.Alloc(8*8, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gc.AddRoot(root)
+	var leaves []ooh.Object
+	for i := 0; i < 8; i++ {
+		mid, err := gc.Alloc(32*8, 32)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := gc.SetPtr(root, i, mid); err != nil {
+			log.Fatal(err)
+		}
+		for j := 0; j < 32; j++ {
+			leaf, err := gc.Alloc(64, 0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := gc.SetPtr(mid, j, leaf); err != nil {
+				log.Fatal(err)
+			}
+			leaves = append(leaves, leaf)
+		}
+	}
+
+	// Churn: a register that repeatedly swaps which temporary object it
+	// points to, making old temporaries garbage.
+	reg, err := gc.Alloc(16, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gc.AddRoot(reg)
+
+	for cycle := 1; cycle <= 5; cycle++ {
+		// Mutate a handful of leaves (dirtying their pages) and churn
+		// temporaries.
+		for i := 0; i < 4; i++ {
+			if err := gc.SetData(leaves[(cycle*37+i*11)%len(leaves)], 0, uint64(cycle)); err != nil {
+				log.Fatal(err)
+			}
+		}
+		for i := 0; i < 50; i++ {
+			tmp, err := gc.Alloc(256, 0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := gc.SetPtr(reg, 0, tmp); err != nil {
+				log.Fatal(err)
+			}
+		}
+
+		c, err := gc.Collect()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("cycle %d: incremental=%-5v dirty=%-3d scanned=%-4d skipped=%-4d freed=%-3d live=%d (%v)\n",
+			cycle, c.Incremental, c.DirtyPages, c.Scanned, c.Skipped, c.Freed, c.Live, c.Total)
+	}
+	fmt.Printf("\ntotal GC time: %v; live objects: %d\n", gc.TotalGCTime(), gc.Live())
+	fmt.Println("after the first full cycle, 'skipped' dominates 'scanned': the")
+	fmt.Println("collector only re-reads objects on pages EPML reported dirty.")
+}

@@ -1,0 +1,62 @@
+// Guard-allocator example: the paper's proposed second OoH instance
+// (§III-D) - Intel SPP exposed to guest userspace - powering a secure heap
+// allocator that detects buffer overflows synchronously with 128-byte
+// guard sub-pages instead of 4 KiB guard pages (32x less waste).
+//
+// Run with: go run ./examples/guardalloc
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	ooh "repro"
+)
+
+func main() {
+	m, err := ooh.NewMachine()
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := m.Spawn("secure-app")
+
+	mon := m.NewSubPageMonitor(p, func(addr ooh.Addr) {
+		fmt.Printf("  !! overflow detected synchronously at %#x\n", addr)
+	})
+	defer mon.Close()
+
+	for _, usePages := range []bool{true, false} {
+		heap, err := mon.NewGuardHeap(4<<20, usePages)
+		if err != nil {
+			log.Fatal(err)
+		}
+		kind := "guard PAGES (4096 B each)"
+		if !usePages {
+			kind = "guard SUB-PAGES (128 B each, via OoH-SPP)"
+		}
+		fmt.Printf("allocator with %s\n", kind)
+
+		// 32 allocations of 96 bytes each.
+		var blocks []ooh.Addr
+		for i := 0; i < 32; i++ {
+			b, err := heap.Alloc(96)
+			if err != nil {
+				log.Fatal(err)
+			}
+			blocks = append(blocks, b)
+		}
+		// In-bounds writes are free of interference.
+		for i, b := range blocks {
+			if err := p.WriteU64(b, uint64(i)); err != nil {
+				log.Fatal(err)
+			}
+		}
+		// An off-by-one overflow on block 7 hits its guard immediately.
+		if err := p.WriteU64(blocks[7]+128, 0xBAD); !errors.Is(err, ooh.ErrOverflow) {
+			log.Fatalf("overflow not caught: %v", err)
+		}
+		fmt.Printf("  32 allocations protected, guard waste: %6d bytes\n\n", heap.Waste())
+	}
+	fmt.Println("same protection, 32x less memory spent on guards - the §III-D claim.")
+}

@@ -1,0 +1,99 @@
+package ooh
+
+import (
+	"time"
+
+	"repro/internal/boehmgc"
+	"repro/internal/tracking"
+)
+
+// GC is a Boehm-style incremental mark-sweep garbage collector over a
+// page-backed heap in a guest process. Its incremental cycles obtain the
+// dirty page set from any tracking technique - the paper's Boehm patch
+// point.
+type GC struct {
+	gc *boehmgc.GC
+}
+
+// Object is a handle to a GC-managed object.
+type Object = boehmgc.Object
+
+// GCCycle reports one collection cycle.
+type GCCycle struct {
+	Incremental bool
+	Total       time.Duration
+	DirtyPages  int
+	Scanned     int
+	Skipped     int
+	Freed       int
+	Live        int
+}
+
+// NewGC creates a collector with a heap of heapBytes in proc. With a
+// technique other than Oracle, cycles after the first are incremental,
+// re-scanning only objects on dirty pages.
+func (m *Machine) NewGC(proc *Process, heapBytes uint64, tech Technique) (*GC, error) {
+	gc, err := boehmgc.New(proc.p, heapBytes, nil)
+	if err != nil {
+		return nil, err
+	}
+	if tech != Oracle {
+		t, err := m.g.NewTechnique(tech.internal(), proc.p)
+		if err != nil {
+			return nil, err
+		}
+		if pml, ok := t.(*tracking.PMLTechnique); ok {
+			pml.ReuseReverseIndex = true // the paper's Boehm integration
+		}
+		gc.Tech = t
+		if err := gc.StartIncremental(); err != nil {
+			return nil, err
+		}
+	}
+	return &GC{gc: gc}, nil
+}
+
+// Alloc creates an object with size payload bytes whose first nptrs words
+// are traced pointer slots.
+func (g *GC) Alloc(size uint64, nptrs int) (Object, error) { return g.gc.Alloc(size, nptrs) }
+
+// AddRoot pins an object as a GC root.
+func (g *GC) AddRoot(o Object) { g.gc.AddRoot(o) }
+
+// RemoveRoot unpins an object.
+func (g *GC) RemoveRoot(o Object) { g.gc.RemoveRoot(o) }
+
+// SetPtr stores a pointer into slot i of obj.
+func (g *GC) SetPtr(obj Object, slot int, target Object) error { return g.gc.SetPtr(obj, slot, target) }
+
+// GetPtr loads pointer slot i of obj.
+func (g *GC) GetPtr(obj Object, slot int) (Object, error) { return g.gc.GetPtr(obj, slot) }
+
+// SetData stores a non-pointer word at payload offset off.
+func (g *GC) SetData(obj Object, off, v uint64) error { return g.gc.SetData(obj, off, v) }
+
+// GetData loads a non-pointer word.
+func (g *GC) GetData(obj Object, off uint64) (uint64, error) { return g.gc.GetData(obj, off) }
+
+// Collect runs one garbage collection cycle.
+func (g *GC) Collect() (GCCycle, error) {
+	s, err := g.gc.Collect()
+	if err != nil {
+		return GCCycle{}, err
+	}
+	return GCCycle{
+		Incremental: s.Incremental,
+		Total:       s.Total,
+		DirtyPages:  s.DirtyPages,
+		Scanned:     s.Scanned,
+		Skipped:     s.SkippedScan,
+		Freed:       s.Freed,
+		Live:        s.Live,
+	}, nil
+}
+
+// Live returns the number of live objects.
+func (g *GC) Live() int { return g.gc.LiveObjects() }
+
+// TotalGCTime returns the cumulative collection time.
+func (g *GC) TotalGCTime() time.Duration { return g.gc.TotalGCTime() }

@@ -1,0 +1,126 @@
+package costmodel
+
+import "time"
+
+// EventCounts carries the raw event counts a run of Tracker+Tracked
+// produced. The formula engine turns these into the paper's estimated
+// execution times (Formulas 1-4), which Table IV compares against the
+// simulator's measured virtual times.
+type EventCounts struct {
+	MemBytes uint64 // Tracked memory size (selects the cost curves)
+
+	ContextSwitches int64 // N in Formula 4
+	KernelFaults    int64 // #PF handled in kernel space (/proc, ufd, demand paging)
+	UserFaults      int64 // #PF handled in userspace (ufd)
+	VMExits         int64 // SPML: world switches on the critical path
+	VMReads         int64 // EPML: vmread instructions
+	VMWrites        int64 // EPML: vmwrite instructions
+
+	ClearRefsCalls   int64 // /proc: echo 4 > clear_refs invocations
+	PagemapWalks     int64 // /proc & SPML: full userspace PT walks
+	PagesWalked      int64 // pages visited across all pagemap walks
+	ReverseMapLookup int64 // SPML: GPA->GVA lookups performed
+	RBEntriesCopied  int64 // SPML & EPML: ring buffer entries copied
+	EnableLogCalls   int64 // SPML: enable_logging hypercalls (schedule-in)
+	DisableLogCalls  int64 // SPML: disable_logging hypercalls (schedule-out)
+	InitCalls        int64 // technique initializations (PML init, ufd register, ...)
+	DeactCalls       int64 // technique deactivations
+	WPIoctls         int64 // ufd: write_protect/write_unprotect ioctls
+}
+
+// Estimate is the output of the formula engine for one run.
+type Estimate struct {
+	Technique Technique
+	// ECx is E(C_x): the tracking technique's own execution time
+	// (Formula 2). Per Formula 1, E(C_tker) = E(C_x) + E(C_p), with the
+	// interaction term I(C_x, C_p) experimentally negligible.
+	ECx time.Duration
+	// Interaction is I(C_x, C_tked): page faults, vmexits etc. that the
+	// technique inflicts on Tracked (Formula 4).
+	Interaction time.Duration
+}
+
+// Tracker returns E(C_tker) given the tracking-routine time E(C_p)
+// (Formula 1 with I(C_x,C_p) ~= 0).
+func (e Estimate) Tracker(ecp time.Duration) time.Duration { return e.ECx + ecp }
+
+// Tracked returns E(C_tked_tker) given the unmonitored execution time of
+// Tracked and the tracking-routine time (Formula 3).
+func (e Estimate) Tracked(ideal, ecp time.Duration) time.Duration {
+	return ideal + e.Tracker(ecp) + e.Interaction
+}
+
+// Estimate applies Formulas 2 and 4 for the given technique to the counts.
+func (m *Model) Estimate(t Technique, c EventCounts) Estimate {
+	est := Estimate{Technique: t}
+	perFaultK := m.PFHKernel.PerPage(c.MemBytes)
+	perFaultU := m.PFHUser.PerPage(c.MemBytes)
+	perWalk := m.PTWalkUser.PerPage(c.MemBytes)
+	perRev := m.ReverseMap.PerPage(c.MemBytes)
+	perRB := m.RBCopy.PerPage(c.MemBytes)
+	perDisable := m.DisablePMLLog.Total(c.MemBytes) // per-call cost
+
+	switch t {
+	case Oracle:
+		// E(C_oracle) = 0 by definition.
+	case Proc:
+		// E(C_/proc) = E(clear_refs) + E(PT walk in userspace).
+		est.ECx = time.Duration(c.ClearRefsCalls)*m.ClearRefs.Total(c.MemBytes) +
+			time.Duration(c.PagesWalked)*perWalk
+		// I(C_/proc, C_tked) = E(PFH kernel) + E(context switch).
+		est.Interaction = time.Duration(c.KernelFaults)*perFaultK +
+			time.Duration(c.ContextSwitches)*m.ContextSwitch
+	case Ufd:
+		// E(C_ufd) = E(ioctl wp) + E(ioctl register) + E(ioctl unprotect).
+		est.ECx = time.Duration(c.WPIoctls)*m.IoctlWriteProtectPerPage +
+			time.Duration(c.InitCalls)*m.IoctlInitPML/8 // register is a light ioctl
+		// I(C_ufd, C_tked) = E(PFH userspace) + E(context switch).
+		est.Interaction = time.Duration(c.UserFaults)*perFaultU +
+			time.Duration(c.KernelFaults)*perFaultK +
+			time.Duration(c.ContextSwitches)*m.ContextSwitch
+	case SPML:
+		// E(C_SPML) = E(RB copy) + E(reverse mapping) + E(enable/disable).
+		est.ECx = time.Duration(c.RBEntriesCopied)*perRB +
+			time.Duration(c.ReverseMapLookup)*perRev +
+			time.Duration(c.PagesWalked)*perWalk +
+			time.Duration(c.EnableLogCalls)*m.EnablePMLLog +
+			time.Duration(c.DisableLogCalls)*perDisable +
+			time.Duration(c.InitCalls)*(m.HypInitPML+m.IoctlInitPML) +
+			time.Duration(c.DeactCalls)*(m.HypDeactPML+m.IoctlDeactPML)
+		// I(C_SPML, C_tked) = E(vmexits) + N x E(vmread/vmwrite).
+		est.Interaction = time.Duration(c.VMExits)*(m.VMExit+m.VMEntry) +
+			time.Duration(c.ContextSwitches)*(m.VMRead+m.VMWrite) +
+			time.Duration(c.ContextSwitches)*m.ContextSwitch
+	case EPML:
+		// E(C_EPML) = E(RB copy) + E(enable/disable).
+		est.ECx = time.Duration(c.RBEntriesCopied)*perRB +
+			time.Duration(c.VMReads)*m.VMRead +
+			time.Duration(c.VMWrites)*m.VMWrite +
+			time.Duration(c.InitCalls)*(m.HypInitShadow+m.IoctlInitPML) +
+			time.Duration(c.DeactCalls)*(m.HypDeactShadow+m.IoctlDeactPML)
+		// I(C_EPML, C_tked) = N x E(vmread/vmwrite).
+		est.Interaction = time.Duration(c.ContextSwitches)*(m.VMRead+m.VMWrite) +
+			time.Duration(c.ContextSwitches)*m.ContextSwitch
+	}
+	return est
+}
+
+// Accuracy returns the paper's accuracy measure between an estimated and a
+// measured duration: 1 - |est-meas|/meas, as a percentage in [0, 100].
+func Accuracy(estimated, measured time.Duration) float64 {
+	if measured == 0 {
+		if estimated == 0 {
+			return 100
+		}
+		return 0
+	}
+	diff := float64(estimated - measured)
+	if diff < 0 {
+		diff = -diff
+	}
+	acc := (1 - diff/float64(measured)) * 100
+	if acc < 0 {
+		acc = 0
+	}
+	return acc
+}

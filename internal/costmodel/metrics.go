@@ -1,0 +1,166 @@
+// Package costmodel encodes the paper's measured micro-metrics (Table V)
+// and its analytical overhead formulas (§VI-B, Formulas 1-4).
+//
+// The paper validates, on real hardware, that the execution time of a
+// Tracker and of a Tracked application can be decomposed into per-event
+// costs (context switches, page faults, hypercalls, vmread/vmwrite, ring
+// buffer copies, page-table walks, reverse mapping) with 96-99 % accuracy,
+// and then uses the validated formulas to estimate EPML, which exists only
+// in an emulator. Our simulator adopts exactly that decomposition: each
+// simulated event advances the virtual clock by a cost drawn from this
+// package, so the simulation's totals equal the formulas' predictions by
+// construction, and the formula engine (formulas.go) recomputes them
+// independently from raw event counts as a cross-check (Table IV).
+package costmodel
+
+import "time"
+
+// Metric identifies one of the paper's internal metrics M1..M18 (Table Va).
+type Metric int
+
+// The metrics of Table Va, keeping the paper's numbering.
+const (
+	M1ContextSwitch      Metric = 1  // user<->kernel context switch
+	M2IoctlWriteProtect  Metric = 2  // ufd write_protect ioctl (mem-dependent)
+	M3IoctlInitPML       Metric = 3  // OoH module ioctl: init PML
+	M4IoctlDeactPML      Metric = 4  // OoH module ioctl: deactivate PML
+	M5PFHKernel          Metric = 5  // page fault handling in kernel space (mem-dependent)
+	M6PFHUser            Metric = 6  // page fault handling in userspace (mem-dependent)
+	M7VMRead             Metric = 7  // vmread on shadow VMCS
+	M8VMWrite            Metric = 8  // vmwrite on shadow VMCS
+	M9HypInitPML         Metric = 9  // hypercall: init PML (SPML)
+	M10HypInitPMLShadow  Metric = 10 // hypercall: init PML + VMCS shadowing (EPML)
+	M11HypDeactPML       Metric = 11 // hypercall: deactivate PML (SPML)
+	M12HypDeactPMLShadow Metric = 12 // hypercall: deactivate PML + shadowing (EPML)
+	M13EnablePMLLogging  Metric = 13 // hypercall: enable logging at schedule-in (SPML)
+	M14DisablePMLLogging Metric = 14 // hypercall: disable logging at schedule-out (mem-dependent)
+	M15ClearRefs         Metric = 15 // echo 4 > /proc/PID/clear_refs (mem-dependent)
+	M16PTWalkUser        Metric = 16 // page table walk in userspace via pagemap (mem-dependent)
+	M17ReverseMapping    Metric = 17 // GPA->GVA reverse mapping (SPML, mem-dependent)
+	M18RingBufferCopy    Metric = 18 // ring buffer copy (mem-dependent)
+)
+
+var metricNames = map[Metric]string{
+	M1ContextSwitch:      "M1 context switch",
+	M2IoctlWriteProtect:  "M2 ioctl write_protect",
+	M3IoctlInitPML:       "M3 ioctl init PML",
+	M4IoctlDeactPML:      "M4 ioctl deactivate PML",
+	M5PFHKernel:          "M5 PFH kernel space",
+	M6PFHUser:            "M6 PFH userspace",
+	M7VMRead:             "M7 vmread",
+	M8VMWrite:            "M8 vmwrite",
+	M9HypInitPML:         "M9 hypercall init PML",
+	M10HypInitPMLShadow:  "M10 hypercall init PML+shadowing",
+	M11HypDeactPML:       "M11 hypercall deact PML",
+	M12HypDeactPMLShadow: "M12 hypercall deact PML+shadowing",
+	M13EnablePMLLogging:  "M13 enable PML logging",
+	M14DisablePMLLogging: "M14 disable PML logging",
+	M15ClearRefs:         "M15 clear_refs",
+	M16PTWalkUser:        "M16 PT walk userspace",
+	M17ReverseMapping:    "M17 reverse mapping",
+	M18RingBufferCopy:    "M18 ring buffer copy",
+}
+
+// String returns the paper's name for the metric.
+func (m Metric) String() string {
+	if s, ok := metricNames[m]; ok {
+		return s
+	}
+	return "M? unknown"
+}
+
+// DependsOnMemory reports whether the metric's cost varies with the Tracked
+// process's memory size (second column of Table Va).
+func (m Metric) DependsOnMemory() bool {
+	switch m {
+	case M2IoctlWriteProtect, M5PFHKernel, M6PFHUser, M14DisablePMLLogging,
+		M15ClearRefs, M16PTWalkUser, M17ReverseMapping, M18RingBufferCopy:
+		return true
+	}
+	return false
+}
+
+// Technique identifies one of the four dirty page tracking techniques the
+// paper compares, plus the hypothetical zero-cost oracle.
+type Technique int
+
+// Techniques in the paper's cost order (§I): SPML > ufd > /proc > EPML.
+const (
+	Oracle Technique = iota
+	Proc             // /proc/PID/pagemap soft-dirty bits
+	Ufd              // userfaultfd write-protect mode
+	SPML             // Shadow PML (hypervisor-emulated, no hw change)
+	EPML             // Extended PML (paper's hardware extension)
+)
+
+func (t Technique) String() string {
+	switch t {
+	case Oracle:
+		return "oracle"
+	case Proc:
+		return "/proc"
+	case Ufd:
+		return "ufd"
+	case SPML:
+		return "SPML"
+	case EPML:
+		return "EPML"
+	}
+	return "unknown"
+}
+
+// Metrics returns the metrics associated with a technique (Table VI row 1).
+func (t Technique) Metrics() []Metric {
+	switch t {
+	case Proc:
+		return []Metric{M1ContextSwitch, M5PFHKernel, M15ClearRefs, M16PTWalkUser}
+	case Ufd:
+		return []Metric{M1ContextSwitch, M2IoctlWriteProtect, M5PFHKernel, M6PFHUser}
+	case SPML:
+		return []Metric{M1ContextSwitch, M3IoctlInitPML, M4IoctlDeactPML, M9HypInitPML,
+			M11HypDeactPML, M13EnablePMLLogging, M14DisablePMLLogging,
+			M16PTWalkUser, M17ReverseMapping, M18RingBufferCopy}
+	case EPML:
+		return []Metric{M1ContextSwitch, M3IoctlInitPML, M4IoctlDeactPML, M7VMRead,
+			M8VMWrite, M10HypInitPMLShadow, M12HypDeactPMLShadow, M18RingBufferCopy}
+	}
+	return nil
+}
+
+// MemDependentMetrics returns the technique's metrics whose cost scales with
+// Tracked memory (Table VI row 2).
+func (t Technique) MemDependentMetrics() []Metric {
+	var out []Metric
+	for _, m := range t.Metrics() {
+		if m.DependsOnMemory() {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// MonitoringPhaseMetrics returns the metrics a technique exercises during
+// the monitoring phase, i.e. while Tracked runs (Table VI row 3).
+func (t Technique) MonitoringPhaseMetrics() []Metric {
+	switch t {
+	case Proc:
+		return []Metric{M5PFHKernel}
+	case Ufd:
+		return []Metric{M5PFHKernel, M6PFHUser}
+	case SPML:
+		return []Metric{M13EnablePMLLogging, M14DisablePMLLogging}
+	case EPML:
+		return []Metric{M7VMRead, M8VMWrite}
+	}
+	return nil
+}
+
+// microseconds converts a µs count to a duration.
+func microseconds(us float64) time.Duration {
+	return time.Duration(us * float64(time.Microsecond))
+}
+
+// milliseconds converts a ms count to a duration.
+func milliseconds(ms float64) time.Duration {
+	return time.Duration(ms * float64(time.Millisecond))
+}

@@ -1,0 +1,502 @@
+// Package cpu simulates a VT-x vCPU: the two-level MMU walk (guest page
+// table then EPT) performed on every guest memory access, the PML logging
+// micro-ops hooked into the EPT dirty-flag logic, the paper's EPML
+// extension (dual GVA/GPA logging plus posted self-IPI), hypercalls, and
+// guest-mode vmread/vmwrite with VMCS shadowing.
+package cpu
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/ept"
+	"repro/internal/mem"
+	"repro/internal/pgtable"
+	"repro/internal/sim"
+	"repro/internal/vmcs"
+)
+
+// Mode is the VMX CPU mode.
+type Mode int
+
+// VMX modes.
+const (
+	VMXRoot    Mode = iota // hypervisor
+	VMXNonRoot             // guest
+)
+
+// Costs are the raw machine costs the vCPU charges to the virtual clock.
+// Higher-level costs (fault handling, hypercall service time) are charged
+// by the kernel and hypervisor from the cost model.
+type Costs struct {
+	WriteOp    time.Duration // one write access (TLB-hit path)
+	ReadOp     time.Duration // one read access
+	VMExit     time.Duration // world switch guest -> hypervisor
+	VMEntry    time.Duration // world switch hypervisor -> guest
+	PMLLog     time.Duration // CPU appends one PML buffer entry
+	IRQDeliver time.Duration // posted interrupt delivery
+	VMRead     time.Duration // guest vmread on shadow VMCS
+	VMWrite    time.Duration // guest vmwrite on shadow VMCS
+}
+
+// Counter names exported by the vCPU.
+const (
+	CtrVMExits       = "vmexits"
+	CtrHypercalls    = "hypercalls"
+	CtrGuestFaults   = "guest_faults"
+	CtrEPTViolations = "ept_violations"
+	CtrPMLLogs       = "pml_logs"
+	CtrPMLFullExits  = "pml_full_exits"
+	CtrEPMLLogs      = "epml_logs"
+	CtrEPMLFullIRQs  = "epml_full_irqs"
+	CtrVMReads       = "vmreads"
+	CtrVMWrites      = "vmwrites"
+	CtrWriteOps      = "write_ops"
+	CtrReadOps       = "read_ops"
+	CtrSPPViolations = "spp_violations"
+)
+
+// ErrNoAddressSpace is returned for accesses issued with no page table set.
+var ErrNoAddressSpace = errors.New("cpu: no guest address space installed")
+
+// maxFaultRetries bounds the fault->retry loop of a single access so a
+// broken fault handler cannot hang the simulation.
+const maxFaultRetries = 8
+
+// VCPU is one simulated virtual CPU. The paper's setups use one vCPU per
+// VM; VCPU is accordingly not safe for concurrent use.
+type VCPU struct {
+	ID    int
+	Clock *sim.Clock
+	Phys  *mem.PhysMem
+	VMCS  *vmcs.VMCS
+	EPT   *ept.Table
+
+	// GuestPT is the currently installed guest address space (CR3); the
+	// guest kernel switches it on context switches.
+	GuestPT *pgtable.Table
+
+	Exits ExitHandler
+	Fault FaultHandler
+	IRQ   IRQSink
+
+	Costs    Costs
+	Counters sim.Counters
+
+	// EPMLVector is the self-IPI vector raised when the guest-level PML
+	// buffer fills (EPML only).
+	EPMLVector int
+
+	// WriteHook, when non-nil, observes every successful guest write (the
+	// page base written). It models perfect instrumentation: the oracle
+	// technique and the completeness verifier use it; it charges no cost.
+	WriteHook func(gva mem.GVA)
+
+	// SPPCheck, when non-nil, implements Intel SPP (Sub-Page write
+	// Permission): it is consulted with the target GPA of every guest
+	// write, and returning false blocks the write. The paper's §III-D
+	// proposes exposing SPP through OoH for secure heap allocators.
+	SPPCheck func(gpa mem.GPA) bool
+	// SPPViolation is invoked when SPPCheck denies a write. Returning nil
+	// retries the access (the handler lifted the protection); returning
+	// an error aborts the faulting write with that error.
+	SPPViolation func(gva mem.GVA, gpa mem.GPA) error
+
+	// PMLLogReads extends PML to also log pages on EPT accessed-flag 0->1
+	// transitions during reads (the PML-R extension of Bitchebe et al.,
+	// §VII: efficient VM working-set-size estimation).
+	PMLLogReads bool
+
+	mode Mode
+
+	// kernelMode suppresses PML logging and guest-PT translation for
+	// guest-kernel accesses to its own physical pages (ring buffers, PML
+	// buffers); see KernelWriteGPA.
+	kernelMode bool
+}
+
+// Mode returns the current VMX mode.
+func (v *VCPU) Mode() Mode { return v.mode }
+
+// SetAddressSpace installs a guest page table as the active address space.
+func (v *VCPU) SetAddressSpace(pt *pgtable.Table) { v.GuestPT = pt }
+
+// --- vmexit plumbing -------------------------------------------------------
+
+// exit performs a world switch to the hypervisor, runs the exit handler and
+// resumes the guest.
+func (v *VCPU) exit(e *Exit) (uint64, error) {
+	if v.Exits == nil {
+		return 0, fmt.Errorf("cpu: unhandled vmexit %v", e.Reason)
+	}
+	v.Counters.Inc(CtrVMExits)
+	v.Clock.Advance(v.Costs.VMExit)
+	prev := v.mode
+	v.mode = VMXRoot
+	ret, err := v.Exits.HandleExit(v, e)
+	v.mode = prev
+	v.Clock.Advance(v.Costs.VMEntry)
+	return ret, err
+}
+
+// Hypercall issues a hypercall from the guest (a vmexit with ExitHypercall).
+func (v *VCPU) Hypercall(nr int, args ...uint64) (uint64, error) {
+	v.Counters.Inc(CtrHypercalls)
+	return v.exit(&Exit{Reason: ExitHypercall, Nr: nr, Args: args})
+}
+
+// --- guest-mode VMCS access -------------------------------------------------
+
+// GuestVMRead executes vmread in vmx non-root mode. Shadowed fields return
+// without a vmexit; others trap to the hypervisor.
+func (v *VCPU) GuestVMRead(f vmcs.Field) (uint64, error) {
+	v.Counters.Inc(CtrVMReads)
+	v.Clock.Advance(v.Costs.VMRead)
+	val, err := v.VMCS.GuestRead(f)
+	if errors.Is(err, vmcs.ErrExitRequired) {
+		return v.exit(&Exit{Reason: ExitVMAccess})
+	}
+	return val, err
+}
+
+// GuestVMWrite executes vmwrite in vmx non-root mode. For the EPML field
+// GUEST_PML_ADDRESS the extended micro-op first translates the guest's GPA
+// to an HPA through the EPT (the paper's VMX ISA extension, §IV-D), so the
+// logging circuit can write directly to RAM.
+func (v *VCPU) GuestVMWrite(f vmcs.Field, val uint64) error {
+	v.Counters.Inc(CtrVMWrites)
+	v.Clock.Advance(v.Costs.VMWrite)
+	if f == vmcs.FieldGuestPMLAddress {
+		hpa, err := v.translateGPA(mem.GPA(val), true)
+		if err != nil {
+			return fmt.Errorf("cpu: EPML buffer translation: %w", err)
+		}
+		val = uint64(hpa)
+	}
+	err := v.VMCS.GuestWrite(f, val)
+	if errors.Is(err, vmcs.ErrExitRequired) {
+		_, err = v.exit(&Exit{Reason: ExitVMAccess})
+	}
+	return err
+}
+
+// translateGPA resolves gpa through the EPT, raising an EPT-violation exit
+// (demand allocation by the hypervisor) when unmapped.
+func (v *VCPU) translateGPA(gpa mem.GPA, write bool) (mem.HPA, error) {
+	for try := 0; try < maxFaultRetries; try++ {
+		hpa, err := v.EPT.Translate(gpa)
+		if err == nil {
+			return hpa, nil
+		}
+		v.Counters.Inc(CtrEPTViolations)
+		if _, err := v.exit(&Exit{Reason: ExitEPTViolation, GPA: gpa, Write: write}); err != nil {
+			return 0, err
+		}
+	}
+	return 0, fmt.Errorf("cpu: EPT violation loop at %v", gpa)
+}
+
+// --- PML logging micro-ops ---------------------------------------------------
+
+// pmlLog appends gpa (page base) to the hypervisor-level PML buffer,
+// triggering a PML-full vmexit when the index underflows, exactly per the
+// SDM: an invalid index exits first, then the entry is logged and the index
+// decremented.
+func (v *VCPU) pmlLog(gpa mem.GPA) error {
+	for {
+		idx := v.VMCS.MustRead(vmcs.FieldPMLIndex)
+		if idx > vmcs.PMLResetIndex { // 0xFFFF after decrementing past 0
+			v.Counters.Inc(CtrPMLFullExits)
+			if _, err := v.exit(&Exit{Reason: ExitPMLFull}); err != nil {
+				return err
+			}
+			continue
+		}
+		buf := mem.HPA(v.VMCS.MustRead(vmcs.FieldPMLAddress))
+		if err := v.Phys.WriteU64(buf+mem.HPA(idx*8), uint64(gpa)); err != nil {
+			return fmt.Errorf("cpu: PML buffer write: %w", err)
+		}
+		v.VMCS.MustWrite(vmcs.FieldPMLIndex, (idx-1)&0xFFFF)
+		v.Counters.Inc(CtrPMLLogs)
+		v.Clock.Advance(v.Costs.PMLLog)
+		return nil
+	}
+}
+
+// epmlFields returns the VMCS that holds the EPML guest-state fields: the
+// shadow VMCS when shadowing is linked (the guest armed logging through
+// exit-free vmwrites), otherwise the ordinary VMCS.
+func (v *VCPU) epmlFields() *vmcs.VMCS {
+	if s := v.VMCS.Shadow(); s != nil {
+		return s
+	}
+	return v.VMCS
+}
+
+// epmlLog appends gva (page base) to the guest-level PML buffer. On buffer
+// full the CPU raises a posted self-IPI into the guest - no vmexit - which
+// the OoH module handles by draining the buffer into the per-process ring.
+func (v *VCPU) epmlLog(gva mem.GVA) error {
+	fields := v.epmlFields()
+	for try := 0; ; try++ {
+		idx := fields.MustRead(vmcs.FieldGuestPMLIndex)
+		if idx > vmcs.PMLResetIndex {
+			if try >= maxFaultRetries {
+				return errors.New("cpu: EPML buffer-full IRQ handler made no progress")
+			}
+			v.Counters.Inc(CtrEPMLFullIRQs)
+			v.Clock.Advance(v.Costs.IRQDeliver)
+			if v.IRQ == nil {
+				return errors.New("cpu: EPML buffer full with no IRQ sink")
+			}
+			v.IRQ.DeliverIRQ(v.EPMLVector)
+			continue
+		}
+		buf := mem.HPA(fields.MustRead(vmcs.FieldGuestPMLAddress))
+		if err := v.Phys.WriteU64(buf+mem.HPA(idx*8), uint64(gva)); err != nil {
+			return fmt.Errorf("cpu: EPML buffer write: %w", err)
+		}
+		fields.MustWrite(vmcs.FieldGuestPMLIndex, (idx-1)&0xFFFF)
+		v.Counters.Inc(CtrEPMLLogs)
+		v.Clock.Advance(v.Costs.PMLLog)
+		return nil
+	}
+}
+
+// epmlArmed reports whether guest-level logging is currently enabled.
+func (v *VCPU) epmlArmed() bool {
+	return v.VMCS.EPMLEnabled() && v.epmlFields().MustRead(vmcs.FieldGuestPMLEnable) != 0
+}
+
+// --- guest memory accesses ----------------------------------------------------
+
+// walkForWrite resolves gva for a write access, raising guest #PF and EPT
+// violations as needed, setting guest A/D flags and EPT A/D flags, and
+// firing the PML/EPML logging micro-ops on dirty transitions.
+func (v *VCPU) walkForWrite(gva mem.GVA) (mem.HPA, error) {
+	if v.GuestPT == nil {
+		return 0, ErrNoAddressSpace
+	}
+	for try := 0; try < maxFaultRetries; try++ {
+		pte, ok := v.GuestPT.Lookup(gva)
+		if !ok || !pte.Writable() {
+			v.Counters.Inc(CtrGuestFaults)
+			if v.Fault == nil {
+				return 0, fmt.Errorf("cpu: unhandled #PF (write) at %v", gva)
+			}
+			if err := v.Fault.HandlePageFault(v, gva, true); err != nil {
+				return 0, err
+			}
+			continue
+		}
+		gpa := pte.GPA() + mem.GPA(gva.PageOffset())
+		// Sub-page permission check precedes the dirty-flag protocol: a
+		// blocked write must not dirty the page.
+		if v.SPPCheck != nil && !v.SPPCheck(gpa) {
+			v.Counters.Inc(CtrSPPViolations)
+			if v.SPPViolation == nil {
+				return 0, fmt.Errorf("cpu: unhandled SPP violation at %v", gva)
+			}
+			if err := v.SPPViolation(gva, gpa); err != nil {
+				return 0, err
+			}
+			continue
+		}
+		hpa, eptDirtied, err := v.EPT.WalkWrite(gpa)
+		if err != nil {
+			v.Counters.Inc(CtrEPTViolations)
+			if _, err := v.exit(&Exit{Reason: ExitEPTViolation, GPA: gpa, Write: true}); err != nil {
+				return 0, err
+			}
+			continue
+		}
+		// A/D flags commit only once the full two-level walk succeeds, as
+		// on real hardware; setting them earlier would lose the dirty 0->1
+		// transition across an EPT-violation retry. The paper's EPML
+		// extension logs the GVA on the guest-PTE dirty transition ("we
+		// modify the page walk circuit to make the processor log the GVA").
+		guestDirtied := !pte.Dirty()
+		if err := v.GuestPT.SetFlags(gva, pgtable.FlagAccessed|pgtable.FlagDirty); err != nil {
+			return 0, err
+		}
+		if eptDirtied && v.VMCS.PMLEnabled() {
+			if err := v.pmlLog(gpa.PageFloor()); err != nil {
+				return 0, err
+			}
+		}
+		if guestDirtied && v.epmlArmed() {
+			if err := v.epmlLog(gva.PageFloor()); err != nil {
+				return 0, err
+			}
+		}
+		if v.WriteHook != nil {
+			v.WriteHook(gva.PageFloor())
+		}
+		return hpa, nil
+	}
+	return 0, fmt.Errorf("cpu: fault loop on write at %v", gva)
+}
+
+// walkForRead resolves gva for a read access.
+func (v *VCPU) walkForRead(gva mem.GVA) (mem.HPA, error) {
+	if v.GuestPT == nil {
+		return 0, ErrNoAddressSpace
+	}
+	for try := 0; try < maxFaultRetries; try++ {
+		pte, ok := v.GuestPT.Lookup(gva)
+		if !ok {
+			v.Counters.Inc(CtrGuestFaults)
+			if v.Fault == nil {
+				return 0, fmt.Errorf("cpu: unhandled #PF (read) at %v", gva)
+			}
+			if err := v.Fault.HandlePageFault(v, gva, false); err != nil {
+				return 0, err
+			}
+			continue
+		}
+		if err := v.GuestPT.SetFlags(gva, pgtable.FlagAccessed); err != nil {
+			return 0, err
+		}
+		gpa := pte.GPA() + mem.GPA(gva.PageOffset())
+		hpa, accessed, err := v.EPT.WalkRead(gpa)
+		if err != nil {
+			v.Counters.Inc(CtrEPTViolations)
+			if _, err := v.exit(&Exit{Reason: ExitEPTViolation, GPA: gpa, Write: false}); err != nil {
+				return 0, err
+			}
+			continue
+		}
+		if accessed && v.PMLLogReads && v.VMCS.PMLEnabled() {
+			if err := v.pmlLog(gpa.PageFloor()); err != nil {
+				return 0, err
+			}
+		}
+		return hpa, nil
+	}
+	return 0, fmt.Errorf("cpu: fault loop on read at %v", gva)
+}
+
+// Write stores b at gva in the current guest address space, splitting the
+// access at page boundaries like real hardware does for the A/D protocol.
+func (v *VCPU) Write(gva mem.GVA, b []byte) error {
+	for len(b) > 0 {
+		n := int(mem.PageSize - gva.PageOffset())
+		if n > len(b) {
+			n = len(b)
+		}
+		v.Counters.Inc(CtrWriteOps)
+		v.Clock.Advance(v.Costs.WriteOp)
+		hpa, err := v.walkForWrite(gva)
+		if err != nil {
+			return err
+		}
+		if err := v.Phys.Write(hpa, b[:n]); err != nil {
+			return err
+		}
+		gva = gva.Add(uint64(n))
+		b = b[n:]
+	}
+	return nil
+}
+
+// Read loads len(b) bytes from gva into b.
+func (v *VCPU) Read(gva mem.GVA, b []byte) error {
+	for len(b) > 0 {
+		n := int(mem.PageSize - gva.PageOffset())
+		if n > len(b) {
+			n = len(b)
+		}
+		v.Counters.Inc(CtrReadOps)
+		v.Clock.Advance(v.Costs.ReadOp)
+		hpa, err := v.walkForRead(gva)
+		if err != nil {
+			return err
+		}
+		if err := v.Phys.Read(hpa, b[:n]); err != nil {
+			return err
+		}
+		gva = gva.Add(uint64(n))
+		b = b[n:]
+	}
+	return nil
+}
+
+// WriteU64 stores a 64-bit value at gva (must not cross a page boundary).
+func (v *VCPU) WriteU64(gva mem.GVA, val uint64) error {
+	var b [8]byte
+	b[0] = byte(val)
+	b[1] = byte(val >> 8)
+	b[2] = byte(val >> 16)
+	b[3] = byte(val >> 24)
+	b[4] = byte(val >> 32)
+	b[5] = byte(val >> 40)
+	b[6] = byte(val >> 48)
+	b[7] = byte(val >> 56)
+	return v.Write(gva, b[:])
+}
+
+// ReadU64 loads a 64-bit value from gva.
+func (v *VCPU) ReadU64(gva mem.GVA) (uint64, error) {
+	var b [8]byte
+	if err := v.Read(gva, b[:]); err != nil {
+		return 0, err
+	}
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56, nil
+}
+
+// --- guest-kernel physical accesses -------------------------------------------
+
+// KernelWriteGPA writes guest-kernel data at a guest physical address,
+// bypassing the user page table and, deliberately, the PML logging hooks:
+// the kernel's own bookkeeping writes (ring drains, buffer resets) must not
+// pollute the tracked dirty set.
+func (v *VCPU) KernelWriteGPA(gpa mem.GPA, b []byte) error {
+	for len(b) > 0 {
+		n := int(mem.PageSize - gpa.PageOffset())
+		if n > len(b) {
+			n = len(b)
+		}
+		hpa, err := v.translateGPA(gpa, true)
+		if err != nil {
+			return err
+		}
+		if err := v.Phys.Write(hpa, b[:n]); err != nil {
+			return err
+		}
+		gpa += mem.GPA(n)
+		b = b[n:]
+	}
+	return nil
+}
+
+// KernelReadGPA reads guest-kernel data at a guest physical address.
+func (v *VCPU) KernelReadGPA(gpa mem.GPA, b []byte) error {
+	for len(b) > 0 {
+		n := int(mem.PageSize - gpa.PageOffset())
+		if n > len(b) {
+			n = len(b)
+		}
+		hpa, err := v.translateGPA(gpa, false)
+		if err != nil {
+			return err
+		}
+		if err := v.Phys.Read(hpa, b[:n]); err != nil {
+			return err
+		}
+		gpa += mem.GPA(n)
+		b = b[n:]
+	}
+	return nil
+}
+
+// KernelReadU64GPA reads one 64-bit word at a guest physical address.
+func (v *VCPU) KernelReadU64GPA(gpa mem.GPA) (uint64, error) {
+	var b [8]byte
+	if err := v.KernelReadGPA(gpa, b[:]); err != nil {
+		return 0, err
+	}
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56, nil
+}

@@ -1,0 +1,254 @@
+package criu
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/costmodel"
+	"repro/internal/guestos"
+	"repro/internal/mem"
+	"repro/internal/pgtable"
+	"repro/internal/sim"
+	"repro/internal/tracking"
+)
+
+// Options tunes the pre-copy checkpoint loop.
+type Options struct {
+	// MaxRounds bounds the dirty-only pre-copy rounds before the final
+	// stop-and-copy (default 2).
+	MaxRounds int
+	// Threshold stops pre-copy early once a round dumps at most this many
+	// pages (default 64).
+	Threshold int
+	// KeepRunning resumes the process after the final round instead of
+	// leaving it stopped (CRIU's --leave-running).
+	KeepRunning bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxRounds == 0 {
+		o.MaxRounds = 2
+	}
+	if o.Threshold == 0 {
+		o.Threshold = 64
+	}
+	return o
+}
+
+// Stats reports the phase times of one checkpoint, matching the paper's
+// decomposition: MD (memory dump: dirty address collection) and MW (memory
+// write: page content written to the image/disk). With /proc, CRIU walks
+// pagemap and writes pages as it finds them, so the walk is charged to MW
+// and MD is empty; with SPML/EPML all addresses are collected first (MD -
+// where SPML's reverse mapping lives) and MW is a pure sequential write
+// (§VI-F).
+type Stats struct {
+	Technique costmodel.Technique
+	Init      time.Duration
+	MD        time.Duration
+	MW        time.Duration
+	// Total is the checkpointer's own execution time (Init + MD + MW),
+	// excluding the tracked workload's execution between pre-copy rounds.
+	Total time.Duration
+	// Wall is the full virtual time from start to finish, including the
+	// workload passes between rounds.
+	Wall     time.Duration
+	Rounds   int
+	PagesPer []int // pages dumped per round
+	Dumped   int   // total page dumps (pre-copy amplification)
+	Final    int   // pages in the final image
+}
+
+// Checkpointer performs iterative pre-copy checkpoints of one process
+// using a pluggable dirty page tracking technique.
+type Checkpointer struct {
+	Proc *guestos.Process
+	Tech tracking.Technique
+	Opts Options
+
+	clock *sim.Clock
+}
+
+// New returns a checkpointer for proc using tech.
+func New(proc *guestos.Process, tech tracking.Technique, opts Options) *Checkpointer {
+	return &Checkpointer{
+		Proc:  proc,
+		Tech:  tech,
+		Opts:  opts.withDefaults(),
+		clock: proc.Kernel().Clock,
+	}
+}
+
+// ErrNotConverging reports a workload dirtying memory faster than pre-copy
+// can drain it within MaxRounds; the final stop-and-copy still succeeds, so
+// this is informational and never returned by Run.
+var ErrNotConverging = errors.New("criu: pre-copy did not converge")
+
+// Run performs a complete checkpoint: full first dump, dirty-only pre-copy
+// rounds with the workload running between rounds (runBetween, may be nil),
+// and a final stop-and-copy round with the process paused.
+func (c *Checkpointer) Run(runBetween func(round int) error) (*Image, Stats, error) {
+	stats := Stats{Technique: c.Tech.Kind()}
+	img := NewImage(c.Proc)
+	total := sim.StartWatch(c.clock)
+
+	// Initialization phase. The paper's CRIU patch point 1: with OoH the
+	// tracked process is not paused for clear_refs; the technique's Init
+	// carries whatever cost its mechanism has.
+	w := sim.StartWatch(c.clock)
+	if err := c.Tech.Init(); err != nil {
+		return nil, stats, fmt.Errorf("criu: tracker init: %w", err)
+	}
+	stats.Init = w.Elapsed()
+
+	// Round 0: full dump of every present page.
+	pages := c.presentPages()
+	if err := c.dumpRound(img, &stats, pages); err != nil {
+		return nil, stats, err
+	}
+
+	// Pre-copy rounds: let the workload run, then dump what it dirtied.
+	for round := 1; round <= c.Opts.MaxRounds; round++ {
+		if runBetween != nil {
+			if err := runBetween(round); err != nil {
+				return nil, stats, fmt.Errorf("criu: workload (round %d): %w", round, err)
+			}
+		}
+		dirty, err := c.collect(&stats)
+		if err != nil {
+			return nil, stats, err
+		}
+		if err := c.dumpRound(img, &stats, dirty); err != nil {
+			return nil, stats, err
+		}
+		if len(dirty) <= c.Opts.Threshold {
+			break
+		}
+	}
+
+	// Final stop-and-copy: pause the process, drain the last dirty set.
+	c.Proc.Pause()
+	dirty, err := c.collect(&stats)
+	if err != nil {
+		c.Proc.Resume()
+		return nil, stats, err
+	}
+	if err := c.dumpRound(img, &stats, dirty); err != nil {
+		c.Proc.Resume()
+		return nil, stats, err
+	}
+	if err := c.Tech.Close(); err != nil {
+		c.Proc.Resume()
+		return nil, stats, fmt.Errorf("criu: tracker close: %w", err)
+	}
+	if c.Opts.KeepRunning {
+		c.Proc.Resume()
+	}
+
+	img.Rounds = stats.Rounds
+	stats.Wall = total.Elapsed()
+	stats.Total = stats.Init + stats.MD + stats.MW
+	stats.Final = len(img.Pages)
+	return img, stats, nil
+}
+
+// collect runs the technique's collection, attributing its time to MD for
+// the collect-then-write techniques and to MW for /proc's interleaved walk
+// (paper §VI-F: "with SPML and EPML it first collects all dirty pages from
+// the ring buffer and then writes them").
+func (c *Checkpointer) collect(stats *Stats) ([]mem.GVA, error) {
+	w := sim.StartWatch(c.clock)
+	dirty, err := c.Tech.Collect()
+	if err != nil {
+		return nil, fmt.Errorf("criu: collect: %w", err)
+	}
+	if c.Tech.Kind() == costmodel.Proc {
+		stats.MW += w.Elapsed()
+	} else {
+		stats.MD += w.Elapsed()
+	}
+	return dirty, nil
+}
+
+// dumpRound reads and writes one round's pages into the image.
+func (c *Checkpointer) dumpRound(img *Image, stats *Stats, pages []mem.GVA) error {
+	w := sim.StartWatch(c.clock)
+	model := c.Proc.Kernel().Model
+	n := 0
+	for _, gva := range pages {
+		gva = gva.PageFloor()
+		content, err := c.Proc.ReadPage(gva)
+		if err != nil {
+			if errors.Is(err, pgtable.ErrNotMapped) {
+				continue // page unmapped since it was collected
+			}
+			return fmt.Errorf("criu: reading %v: %w", gva, err)
+		}
+		if err := img.AddPage(gva, content); err != nil {
+			return err
+		}
+		c.clock.Advance(model.DiskWritePage)
+		n++
+	}
+	stats.MW += w.Elapsed()
+	stats.Rounds++
+	stats.PagesPer = append(stats.PagesPer, n)
+	stats.Dumped += n
+	return nil
+}
+
+// presentPages enumerates every present page of the process (round 0).
+func (c *Checkpointer) presentPages() []mem.GVA {
+	var pages []mem.GVA
+	model := c.Proc.Kernel().Model
+	c.Proc.PT.Range(func(gva mem.GVA, pte pgtable.PTE) bool {
+		pages = append(pages, gva)
+		return true
+	})
+	c.clock.Advance(model.KernelPageOp * time.Duration(len(pages)))
+	return pages
+}
+
+// Restore recreates a process from an image inside kernel k. The new
+// process has the same name, regions and page contents.
+func Restore(k *guestos.Kernel, img *Image) (*guestos.Process, error) {
+	p := k.Spawn(img.Name + ":restored")
+	for _, r := range img.Regions {
+		if err := p.MmapAt(r); err != nil {
+			return nil, fmt.Errorf("criu: restore mapping: %w", err)
+		}
+	}
+	for _, gva := range img.SortedPages() {
+		if err := p.WritePageKernel(gva, img.Pages[gva]); err != nil {
+			return nil, fmt.Errorf("criu: restore page %v: %w", gva, err)
+		}
+	}
+	return p, nil
+}
+
+// Verify compares the restored process's memory against the original's,
+// returning the first mismatching page (checkpoint correctness test).
+func Verify(orig, restored *guestos.Process) error {
+	var firstErr error
+	orig.PT.Range(func(gva mem.GVA, pte pgtable.PTE) bool {
+		want, err := orig.ReadPage(gva)
+		if err != nil {
+			firstErr = err
+			return false
+		}
+		got, err := restored.ReadPage(gva)
+		if err != nil {
+			firstErr = fmt.Errorf("criu: page %v missing in restored process: %w", gva, err)
+			return false
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				firstErr = fmt.Errorf("criu: page %v differs at byte %d", gva, i)
+				return false
+			}
+		}
+		return true
+	})
+	return firstErr
+}

@@ -1,0 +1,132 @@
+package criu
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/guestos"
+	"repro/internal/sim"
+	"repro/internal/tracking"
+)
+
+// Container checkpointing: CRIU's flagship use case (the paper cites
+// OpenVZ/Podman/Docker integrations) checkpoints a *group* of processes.
+// Correctness requires a consistent cut: every member is paused before the
+// final dirty collection of any member, so no member's final image can
+// reflect state that causally depends on another member's post-checkpoint
+// execution.
+
+// ContainerImage is a checkpoint of a process group.
+type ContainerImage struct {
+	Images []*Image
+}
+
+// ContainerStats aggregates the member checkpoints.
+type ContainerStats struct {
+	Members  []Stats
+	Total    time.Duration
+	StopTime time.Duration // the consistent-cut window (all members paused)
+}
+
+// ErrEmptyContainer reports a checkpoint of no processes.
+var ErrEmptyContainer = errors.New("criu: empty container")
+
+// CheckpointContainer checkpoints the given processes as one group, using
+// one tracking technique per process (same index). runBetween executes the
+// container's workload between pre-copy rounds.
+func CheckpointContainer(procs []*guestos.Process, techs []tracking.Technique,
+	opts Options, runBetween func(round int) error) (*ContainerImage, ContainerStats, error) {
+
+	if len(procs) == 0 {
+		return nil, ContainerStats{}, ErrEmptyContainer
+	}
+	if len(procs) != len(techs) {
+		return nil, ContainerStats{}, fmt.Errorf("criu: %d processes but %d techniques", len(procs), len(techs))
+	}
+	opts = opts.withDefaults()
+	clock := procs[0].Kernel().Clock
+	total := sim.StartWatch(clock)
+
+	stats := ContainerStats{Members: make([]Stats, len(procs))}
+	images := make([]*Image, len(procs))
+	cks := make([]*Checkpointer, len(procs))
+
+	// Initialization + full first dump, member by member.
+	for i, p := range procs {
+		cks[i] = New(p, techs[i], opts)
+		stats.Members[i].Technique = techs[i].Kind()
+		images[i] = NewImage(p)
+		w := sim.StartWatch(clock)
+		if err := techs[i].Init(); err != nil {
+			return nil, stats, fmt.Errorf("criu: member %d init: %w", i, err)
+		}
+		stats.Members[i].Init = w.Elapsed()
+		if err := cks[i].dumpRound(images[i], &stats.Members[i], cks[i].presentPages()); err != nil {
+			return nil, stats, err
+		}
+	}
+
+	// Pre-copy rounds over the whole group.
+	for round := 1; round <= opts.MaxRounds; round++ {
+		if runBetween != nil {
+			if err := runBetween(round); err != nil {
+				return nil, stats, fmt.Errorf("criu: container workload (round %d): %w", round, err)
+			}
+		}
+		for i := range procs {
+			dirty, err := cks[i].collect(&stats.Members[i])
+			if err != nil {
+				return nil, stats, err
+			}
+			if err := cks[i].dumpRound(images[i], &stats.Members[i], dirty); err != nil {
+				return nil, stats, err
+			}
+		}
+	}
+
+	// Consistent cut: pause EVERY member, then take the final round.
+	stop := sim.StartWatch(clock)
+	for _, p := range procs {
+		p.Pause()
+	}
+	for i := range procs {
+		dirty, err := cks[i].collect(&stats.Members[i])
+		if err != nil {
+			return nil, stats, err
+		}
+		if err := cks[i].dumpRound(images[i], &stats.Members[i], dirty); err != nil {
+			return nil, stats, err
+		}
+		if err := techs[i].Close(); err != nil {
+			return nil, stats, fmt.Errorf("criu: member %d close: %w", i, err)
+		}
+	}
+	stats.StopTime = stop.Elapsed()
+	if opts.KeepRunning {
+		for _, p := range procs {
+			p.Resume()
+		}
+	}
+
+	for i := range images {
+		images[i].Rounds = stats.Members[i].Rounds
+		stats.Members[i].Total = stats.Members[i].Init + stats.Members[i].MD + stats.Members[i].MW
+		stats.Members[i].Final = len(images[i].Pages)
+	}
+	stats.Total = total.Elapsed()
+	return &ContainerImage{Images: images}, stats, nil
+}
+
+// RestoreContainer recreates every member in kernel k, in image order.
+func RestoreContainer(k *guestos.Kernel, img *ContainerImage) ([]*guestos.Process, error) {
+	out := make([]*guestos.Process, len(img.Images))
+	for i, im := range img.Images {
+		p, err := Restore(k, im)
+		if err != nil {
+			return nil, fmt.Errorf("criu: restoring member %d: %w", i, err)
+		}
+		out[i] = p
+	}
+	return out, nil
+}

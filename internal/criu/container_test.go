@@ -1,0 +1,93 @@
+package criu
+
+import (
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/guestos"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/tracking"
+)
+
+// TestContainerCheckpointConsistentCut checkpoints a two-process group
+// whose members exchange data through a shared counter protocol: member A
+// writes sequence numbers into its memory, member B mirrors them. The
+// consistent cut requires restored-B's mirror never to be AHEAD of
+// restored-A's sequence.
+func TestContainerCheckpointConsistentCut(t *testing.T) {
+	for _, kind := range []costmodel.Technique{costmodel.Proc, costmodel.SPML, costmodel.EPML} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			m, err := machine.New(machine.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := m.Guest(0)
+			pa := g.Kernel.Spawn("member-a")
+			pb := g.Kernel.Spawn("member-b")
+			ra, err := pa.Mmap(8*mem.PageSize, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rb, err := pb.Mmap(8*mem.PageSize, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			ta, err := g.NewTechnique(kind, pa)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tb, err := g.NewTechnique(kind, pb)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			seq := uint64(0)
+			step := func() error {
+				seq++
+				if err := pa.WriteU64(ra.Start, seq); err != nil {
+					return err
+				}
+				return pb.WriteU64(rb.Start, seq) // mirror
+			}
+			if err := step(); err != nil {
+				t.Fatal(err)
+			}
+
+			img, stats, err := CheckpointContainer(
+				[]*guestos.Process{pa, pb},
+				[]tracking.Technique{ta, tb},
+				Options{MaxRounds: 2, KeepRunning: true},
+				func(round int) error { return step() },
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(img.Images) != 2 || stats.Members[0].Rounds < 2 {
+				t.Fatalf("stats = %+v", stats)
+			}
+
+			restored, err := RestoreContainer(g.Kernel, img)
+			if err != nil {
+				t.Fatal(err)
+			}
+			readSeq := func(p *guestos.Process, base mem.GVA) uint64 {
+				v, err := p.ReadU64(base)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return v
+			}
+			a := readSeq(restored[0], ra.Start)
+			b := readSeq(restored[1], rb.Start)
+			if a != b {
+				t.Errorf("inconsistent cut: A at seq %d, B mirrors %d", a, b)
+			}
+			if a != seq {
+				t.Errorf("restored seq %d, want the final %d", a, seq)
+			}
+		})
+	}
+}

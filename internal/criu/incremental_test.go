@@ -1,0 +1,122 @@
+package criu
+
+import (
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// TestIncrementalChainRestores: full checkpoint + two deltas materialize
+// into the live memory state under every technique.
+func TestIncrementalChainRestores(t *testing.T) {
+	for _, kind := range machine.RealTechniques() {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			m, err := machine.New(machine.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := m.Guest(0)
+			proc := g.Kernel.Spawn("inc")
+			region, err := proc.Mmap(32*mem.PageSize, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := sim.NewRNG(5)
+			for p := 0; p < 32; p++ {
+				if err := proc.WriteU64(region.Start.Add(uint64(p)*mem.PageSize), rng.Uint64()); err != nil {
+					t.Fatal(err)
+				}
+			}
+			tech, err := g.NewTechnique(kind, proc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ck := New(proc, tech, Options{KeepRunning: true})
+			chain, _, err := ck.CheckpointFull()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Mutate a few pages, take a delta; twice.
+			for round := 0; round < 2; round++ {
+				for p := round * 3; p < round*3+5; p++ {
+					if err := proc.WriteU64(region.Start.Add(uint64(p)*mem.PageSize+64), uint64(round)+100); err != nil {
+						t.Fatal(err)
+					}
+				}
+				n, err := chain.Increment(ck)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if n < 5 || n > 8 {
+					t.Errorf("round %d delta has %d pages, want ~5", round, n)
+				}
+			}
+
+			restored, err := Restore(g.Kernel, chain.Materialize())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := Verify(proc, restored); err != nil {
+				t.Fatalf("incremental restore differs: %v", err)
+			}
+			if len(chain.DeltaPages()) != 2 {
+				t.Errorf("DeltaPages = %v", chain.DeltaPages())
+			}
+		})
+	}
+}
+
+// TestIncrementalDeltaIsSmall: the delta stores only dirty pages, not the
+// full address space - the saving incremental checkpointing exists for.
+func TestIncrementalDeltaIsSmall(t *testing.T) {
+	m, err := machine.New(machine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := m.Guest(0)
+	proc := g.Kernel.Spawn("inc")
+	region, err := proc.Mmap(256*mem.PageSize, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 256; p++ {
+		if err := proc.WriteU64(region.Start.Add(uint64(p)*mem.PageSize), uint64(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tech, _ := g.NewTechnique(costmodel.EPML, proc)
+	ck := New(proc, tech, Options{KeepRunning: true})
+	chain, stats, err := ck.CheckpointFull()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Final != 256 {
+		t.Fatalf("full image has %d pages", stats.Final)
+	}
+	// Touch exactly one page.
+	if err := proc.WriteU64(region.Start, 999); err != nil {
+		t.Fatal(err)
+	}
+	n, err := chain.Increment(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("delta has %d pages, want 1", n)
+	}
+	if got := len(chain.Materialize().Pages); got != 256 {
+		t.Errorf("materialized image has %d pages", got)
+	}
+}
+
+func TestIncrementWithoutParent(t *testing.T) {
+	inc := &IncrementalImage{}
+	if _, err := inc.Increment(nil); err == nil {
+		t.Error("Increment without parent succeeded")
+	}
+}

@@ -1,0 +1,95 @@
+package criu
+
+import (
+	"fmt"
+
+	"repro/internal/guestos"
+	"repro/internal/mem"
+)
+
+// Lazy (post-copy) restore: CRIU's userfaultfd-based restore mode. The
+// process resumes immediately with an empty address space; its pages are
+// populated on first touch from the checkpoint image, through exactly the
+// userfaultfd missing-page machinery the paper benchmarks as a tracking
+// interface (§III-A). Untouched pages are never copied - restore latency
+// becomes proportional to the working set, not the image.
+
+// LazyRestoreStats reports a lazy restore session.
+type LazyRestoreStats struct {
+	// Served counts pages faulted in from the image.
+	Served int
+	// Zero counts faults on pages absent from the image (fresh zeroes).
+	Zero int
+}
+
+// LazyRestorer owns a lazily-restored process.
+type LazyRestorer struct {
+	Proc  *guestos.Process
+	img   *Image
+	stats LazyRestoreStats
+}
+
+// LazyRestore creates a process whose memory is demand-loaded from img.
+// The returned process is immediately runnable.
+func LazyRestore(k *guestos.Kernel, img *Image) (*LazyRestorer, error) {
+	p := k.Spawn(img.Name + ":lazy")
+	lr := &LazyRestorer{Proc: p, img: img}
+	for _, r := range img.Regions {
+		if err := p.MmapAt(r); err != nil {
+			return nil, fmt.Errorf("criu: lazy mapping: %w", err)
+		}
+		if err := p.UfdRegister(r, guestos.UfdMissing, lr.handle); err != nil {
+			return nil, fmt.Errorf("criu: lazy ufd register: %w", err)
+		}
+	}
+	return lr, nil
+}
+
+// handle services a missing-page fault: install the image's content, or a
+// zero page when the image has none.
+func (lr *LazyRestorer) handle(ev guestos.UfdEvent) error {
+	page := ev.GVA.PageFloor()
+	if err := ev.Proc.UfdCopyZero(page); err != nil {
+		return err
+	}
+	if content, ok := lr.img.Pages[page]; ok {
+		lr.stats.Served++
+		return ev.Proc.WritePageKernel(page, content)
+	}
+	lr.stats.Zero++
+	return nil
+}
+
+// Stats returns the pages served so far.
+func (lr *LazyRestorer) Stats() LazyRestoreStats { return lr.stats }
+
+// Prefetch eagerly installs the given pages (background push of the
+// remaining image, as post-copy migration daemons do).
+func (lr *LazyRestorer) Prefetch(pages []mem.GVA) error {
+	for _, gva := range pages {
+		gva = gva.PageFloor()
+		if _, present := lr.Proc.PT.Lookup(gva); present {
+			continue
+		}
+		content, ok := lr.img.Pages[gva]
+		if !ok {
+			continue
+		}
+		if err := lr.Proc.WritePageKernel(gva, content); err != nil {
+			return err
+		}
+		lr.stats.Served++
+	}
+	return nil
+}
+
+// Complete installs every remaining image page and detaches userfaultfd.
+func (lr *LazyRestorer) Complete() error {
+	if err := lr.Prefetch(lr.img.SortedPages()); err != nil {
+		return err
+	}
+	for _, r := range lr.img.Regions {
+		lr.Proc.UfdUnregister(r)
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+package criu
+
+import (
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// checkpointFixture builds a checkpointed process with known content.
+func checkpointFixture(t *testing.T, pages int) (*machine.Guest, *Image, mem.GVA) {
+	t.Helper()
+	m, err := machine.New(machine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := m.Guest(0)
+	proc := g.Kernel.Spawn("src")
+	region, err := proc.Mmap(uint64(pages)*mem.PageSize, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(11)
+	for p := 0; p < pages; p++ {
+		if err := proc.WriteU64(region.Start.Add(uint64(p)*mem.PageSize), rng.Uint64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tech, _ := g.NewTechnique(costmodel.EPML, proc)
+	img, _, err := New(proc, tech, Options{}).Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, img, region.Start
+}
+
+// TestLazyRestoreOnDemand: only touched pages are pulled from the image.
+func TestLazyRestoreOnDemand(t *testing.T) {
+	g, img, base := checkpointFixture(t, 64)
+	lr, err := LazyRestore(g.Kernel, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Touch 5 pages: values must match the image exactly.
+	for p := 0; p < 5; p++ {
+		gva := base.Add(uint64(p) * mem.PageSize)
+		got, err := lr.Proc.ReadU64(gva)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := img.Pages[gva]
+		wantV := uint64(want[0]) | uint64(want[1])<<8 | uint64(want[2])<<16 | uint64(want[3])<<24 |
+			uint64(want[4])<<32 | uint64(want[5])<<40 | uint64(want[6])<<48 | uint64(want[7])<<56
+		if got != wantV {
+			t.Fatalf("page %d: got %#x want %#x", p, got, wantV)
+		}
+	}
+	if s := lr.Stats(); s.Served != 5 {
+		t.Errorf("Served = %d, want 5 (on-demand only)", s.Served)
+	}
+	if lr.Proc.PT.Present() != 5 {
+		t.Errorf("present pages = %d, want 5", lr.Proc.PT.Present())
+	}
+}
+
+// TestLazyRestoreWriteFirst: a write to a never-read page must still see
+// the image content underneath (fault first, then apply the write).
+func TestLazyRestoreWriteFirst(t *testing.T) {
+	g, img, base := checkpointFixture(t, 8)
+	lr, err := LazyRestore(g.Kernel, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gva := base.Add(3 * mem.PageSize)
+	if err := lr.Proc.WriteU64(gva.Add(8), 0xABCDEF); err != nil {
+		t.Fatal(err)
+	}
+	// Word 0 keeps the image's value; word 1 holds the new write.
+	want := img.Pages[gva]
+	w0 := uint64(want[0]) | uint64(want[1])<<8 | uint64(want[2])<<16 | uint64(want[3])<<24
+	got0, err := lr.Proc.ReadU64(gva)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint32(got0) != uint32(w0) {
+		t.Errorf("word 0 = %#x, want image's %#x", got0, w0)
+	}
+	got1, _ := lr.Proc.ReadU64(gva.Add(8))
+	if got1 != 0xABCDEF {
+		t.Errorf("word 1 = %#x", got1)
+	}
+}
+
+// TestLazyRestoreComplete: Complete() materializes everything and the
+// result is byte-identical to an eager restore.
+func TestLazyRestoreComplete(t *testing.T) {
+	g, img, base := checkpointFixture(t, 32)
+	lr, err := LazyRestore(g.Kernel, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Touch a few first.
+	if _, err := lr.Proc.ReadU64(base); err != nil {
+		t.Fatal(err)
+	}
+	if err := lr.Complete(); err != nil {
+		t.Fatal(err)
+	}
+	if lr.Proc.PT.Present() != 32 {
+		t.Errorf("present = %d, want 32", lr.Proc.PT.Present())
+	}
+	eager, err := Restore(g.Kernel, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(eager, lr.Proc); err != nil {
+		t.Fatalf("lazy vs eager differ: %v", err)
+	}
+	// After Complete, faults are gone: writes hit memory directly.
+	if err := lr.Proc.WriteU64(base, 1); err != nil {
+		t.Fatal(err)
+	}
+	if s := lr.Stats(); s.Zero != 0 {
+		t.Errorf("Zero = %d for a fully-populated image", s.Zero)
+	}
+}
+
+// TestLazyRestoreZeroFill: pages missing from the image read as zeroes.
+func TestLazyRestoreZeroFill(t *testing.T) {
+	m, err := machine.New(machine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := m.Guest(0)
+	proc := g.Kernel.Spawn("sparse")
+	region, err := proc.Mmap(8*mem.PageSize, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Populate only page 0, checkpoint, lazily restore.
+	if err := proc.WriteU64(region.Start, 42); err != nil {
+		t.Fatal(err)
+	}
+	tech, _ := g.NewTechnique(costmodel.Proc, proc)
+	img, _, err := New(proc, tech, Options{}).Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr, err := LazyRestore(g.Kernel, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := lr.Proc.ReadU64(region.Start.Add(5 * mem.PageSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0 {
+		t.Errorf("unpopulated page reads %d, want 0", v)
+	}
+	if s := lr.Stats(); s.Zero != 1 || s.Served != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}

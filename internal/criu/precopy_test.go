@@ -1,0 +1,118 @@
+package criu
+
+import (
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// TestPrecopyConvergence: a workload that stops dirtying lets pre-copy
+// terminate before MaxRounds via the threshold.
+func TestPrecopyConvergence(t *testing.T) {
+	m, err := machine.New(machine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := m.Guest(0)
+	proc := g.Kernel.Spawn("calm")
+	region, err := proc.Mmap(64*mem.PageSize, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(3)
+	for p := 0; p < 64; p++ {
+		if err := proc.WriteU64(region.Start.Add(uint64(p)*mem.PageSize), rng.Uint64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tech, _ := g.NewTechnique(costmodel.EPML, proc)
+	ck := New(proc, tech, Options{MaxRounds: 10, Threshold: 8})
+	// Workload dirties a shrinking set each round: 16, 4, 1, 0 ...
+	pagesPerRound := []int{16, 4, 1}
+	img, stats, err := ck.Run(func(round int) error {
+		if round-1 < len(pagesPerRound) {
+			for p := 0; p < pagesPerRound[round-1]; p++ {
+				if err := proc.WriteU64(region.Start.Add(uint64(p)*mem.PageSize), 1); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round 0 (full) + round hitting <= 8 dirty + final stop-and-copy:
+	// must converge well before 10 rounds.
+	if stats.Rounds > 5 {
+		t.Errorf("pre-copy used %d rounds, expected early convergence", stats.Rounds)
+	}
+	if len(img.Pages) != 64 {
+		t.Errorf("image has %d pages, want 64", len(img.Pages))
+	}
+	// Write amplification: 64 + 16 + 4 (+ final <=1) within tight bounds.
+	if stats.Dumped < 64+16 || stats.Dumped > 64+16+4+2 {
+		t.Errorf("Dumped = %d", stats.Dumped)
+	}
+}
+
+// TestFinalRoundIsStopAndCopy: pages written after the last pre-copy
+// round land in the image via the paused final collection.
+func TestFinalRoundIsStopAndCopy(t *testing.T) {
+	m, err := machine.New(machine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := m.Guest(0)
+	proc := g.Kernel.Spawn("racer")
+	region, err := proc.Mmap(8*mem.PageSize, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tech, _ := g.NewTechnique(costmodel.EPML, proc)
+	ck := New(proc, tech, Options{MaxRounds: 1, KeepRunning: true})
+	marker := uint64(0xFEED0000)
+	img, _, err := ck.Run(func(round int) error {
+		// This write races the checkpoint: the final stop-and-copy must
+		// still capture its latest value.
+		return proc.WriteU64(region.Start, marker+uint64(round))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	content, ok := img.Pages[region.Start]
+	if !ok {
+		t.Fatal("first page missing from image")
+	}
+	got := uint64(content[0]) | uint64(content[1])<<8 | uint64(content[2])<<16 | uint64(content[3])<<24
+	if got != uint64(uint32(marker+1)) {
+		t.Errorf("image holds %#x, want the last written %#x", got, marker+1)
+	}
+	if proc.Paused() {
+		t.Error("KeepRunning did not resume the process")
+	}
+}
+
+// TestCheckpointLeavesProcessStopped: without KeepRunning the process
+// stays paused (CRIU's default).
+func TestCheckpointLeavesProcessStopped(t *testing.T) {
+	m, err := machine.New(machine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := m.Guest(0)
+	proc := g.Kernel.Spawn("frozen")
+	if _, err := proc.Mmap(2*mem.PageSize, true); err != nil {
+		t.Fatal(err)
+	}
+	tech, _ := g.NewTechnique(costmodel.Proc, proc)
+	if _, _, err := New(proc, tech, Options{}).Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	if !proc.Paused() {
+		t.Error("process running after checkpoint without KeepRunning")
+	}
+}

@@ -1,0 +1,192 @@
+// Package ept implements the Extended Page Table: the hypervisor-managed
+// second-level translation from guest physical addresses (GPA) to host
+// physical addresses (HPA).
+//
+// Intel PML hooks the EPT dirty-flag logic: when a guest write causes the
+// CPU to set the dirty flag of an EPT entry during the page walk (a 0->1
+// transition), the CPU logs the faulting GPA to the PML buffer (§II-B).
+// WalkWrite exposes exactly that transition to the vCPU in package cpu.
+package ept
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Errors returned by EPT operations.
+var (
+	ErrNoMapping     = errors.New("ept: EPT violation (no mapping)")
+	ErrAlreadyMapped = errors.New("ept: gpa already mapped")
+	ErrMisaligned    = errors.New("ept: address not page aligned")
+)
+
+// Entry flags (subset of the EPT leaf format relevant to PML).
+type Entry uint64
+
+const (
+	FlagRead     Entry = 1 << 0
+	FlagWrite    Entry = 1 << 1
+	FlagExec     Entry = 1 << 2
+	FlagAccessed Entry = 1 << 8
+	FlagDirty    Entry = 1 << 9
+
+	addrMask Entry = 0x000F_FFFF_FFFF_F000
+)
+
+// Present reports whether the entry grants any access.
+func (e Entry) Present() bool { return e&(FlagRead|FlagWrite|FlagExec) != 0 }
+
+// Dirty reports the EPT dirty flag.
+func (e Entry) Dirty() bool { return e&FlagDirty != 0 }
+
+// Accessed reports the EPT accessed flag.
+func (e Entry) Accessed() bool { return e&FlagAccessed != 0 }
+
+// HPA returns the host frame base the entry maps.
+func (e Entry) HPA() mem.HPA { return mem.HPA(e & addrMask) }
+
+// Table is one VM's EPT. It is not safe for concurrent use; each VM's
+// single vCPU owns it (the paper's setup uses 1 vCPU per VM).
+type Table struct {
+	entries map[uint64]Entry // guest frame number -> entry
+	// DirtySet counts dirty-flag 0->1 transitions, one per PML log event.
+	DirtySet int64
+	// Violations counts EPT violations (first touch of a guest frame).
+	Violations int64
+}
+
+// New returns an empty EPT.
+func New() *Table {
+	return &Table{entries: make(map[uint64]Entry)}
+}
+
+// Map installs gpa -> hpa with read/write/exec permissions. Both addresses
+// must be page aligned.
+func (t *Table) Map(gpa mem.GPA, hpa mem.HPA) error {
+	if gpa.PageOffset() != 0 || hpa.PageOffset() != 0 {
+		return fmt.Errorf("%w: %v -> %v", ErrMisaligned, gpa, hpa)
+	}
+	if _, ok := t.entries[gpa.Page()]; ok {
+		return fmt.Errorf("%w: %v", ErrAlreadyMapped, gpa)
+	}
+	t.entries[gpa.Page()] = (FlagRead | FlagWrite | FlagExec).WithHPA(hpa)
+	return nil
+}
+
+// WithHPA returns the entry retargeted at hpa.
+func (e Entry) WithHPA(hpa mem.HPA) Entry {
+	return (e &^ addrMask) | (Entry(hpa) & addrMask)
+}
+
+// Unmap removes the mapping for gpa and returns the removed entry.
+func (t *Table) Unmap(gpa mem.GPA) (Entry, error) {
+	e, ok := t.entries[gpa.Page()]
+	if !ok {
+		return 0, fmt.Errorf("%w: %v", ErrNoMapping, gpa)
+	}
+	delete(t.entries, gpa.Page())
+	return e, nil
+}
+
+// Lookup returns the entry covering gpa without touching A/D flags.
+func (t *Table) Lookup(gpa mem.GPA) (Entry, bool) {
+	e, ok := t.entries[gpa.Page()]
+	return e, ok
+}
+
+// Translate converts gpa to an hpa, preserving the page offset. It returns
+// ErrNoMapping (an EPT violation) when the guest frame has no host frame.
+func (t *Table) Translate(gpa mem.GPA) (mem.HPA, error) {
+	e, ok := t.entries[gpa.Page()]
+	if !ok {
+		t.Violations++
+		return 0, fmt.Errorf("%w: %v", ErrNoMapping, gpa)
+	}
+	return e.HPA() + mem.HPA(gpa.PageOffset()), nil
+}
+
+// WalkWrite performs the EPT part of a write access's page walk: it sets
+// the accessed flag, sets the dirty flag, and reports whether the dirty
+// flag transitioned 0->1 (the PML trigger condition). It returns an EPT
+// violation when the frame is unmapped; the hypervisor then allocates and
+// maps a host frame and the vCPU retries.
+func (t *Table) WalkWrite(gpa mem.GPA) (hpa mem.HPA, dirtied bool, err error) {
+	page := gpa.Page()
+	e, ok := t.entries[page]
+	if !ok {
+		t.Violations++
+		return 0, false, fmt.Errorf("%w: %v", ErrNoMapping, gpa)
+	}
+	dirtied = !e.Dirty()
+	e |= FlagAccessed | FlagDirty
+	t.entries[page] = e
+	if dirtied {
+		t.DirtySet++
+	}
+	return e.HPA() + mem.HPA(gpa.PageOffset()), dirtied, nil
+}
+
+// WalkRead performs the EPT part of a read access: sets the accessed flag
+// and reports whether it transitioned 0->1 (the trigger for PML-R, the
+// read-logging PML extension used for working-set-size estimation).
+func (t *Table) WalkRead(gpa mem.GPA) (hpa mem.HPA, accessed bool, err error) {
+	page := gpa.Page()
+	e, ok := t.entries[page]
+	if !ok {
+		t.Violations++
+		return 0, false, fmt.Errorf("%w: %v", ErrNoMapping, gpa)
+	}
+	accessed = !e.Accessed()
+	t.entries[page] = e | FlagAccessed
+	return e.HPA() + mem.HPA(gpa.PageOffset()), accessed, nil
+}
+
+// ClearAccessed clears every accessed flag and returns how many were set,
+// re-arming PML-R for a new working-set sampling interval.
+func (t *Table) ClearAccessed() int {
+	n := 0
+	for page, e := range t.entries {
+		if e.Accessed() {
+			n++
+			t.entries[page] = e &^ FlagAccessed
+		}
+	}
+	return n
+}
+
+// ClearDirty clears the dirty flag of every entry and returns how many were
+// dirty. The hypervisor does this when it re-arms dirty logging for a new
+// live-migration round.
+func (t *Table) ClearDirty() int {
+	n := 0
+	for page, e := range t.entries {
+		if e.Dirty() {
+			n++
+			t.entries[page] = e &^ FlagDirty
+		}
+	}
+	return n
+}
+
+// ClearDirtyPage clears the dirty flag of one page, re-arming PML logging
+// for it. Used between tracking rounds so that re-writes are re-logged.
+func (t *Table) ClearDirtyPage(gpa mem.GPA) {
+	if e, ok := t.entries[gpa.Page()]; ok {
+		t.entries[gpa.Page()] = e &^ FlagDirty
+	}
+}
+
+// Mapped returns the number of mapped guest frames.
+func (t *Table) Mapped() int { return len(t.entries) }
+
+// Range calls fn for every mapping until fn returns false. Iteration order
+// is unspecified.
+func (t *Table) Range(fn func(gpa mem.GPA, e Entry) bool) {
+	for page, e := range t.entries {
+		if !fn(mem.GPA(page<<mem.PageShift), e) {
+			return
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package ept
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func TestMapTranslate(t *testing.T) {
+	tab := New()
+	if err := tab.Map(0x3000, 0x9000); err != nil {
+		t.Fatal(err)
+	}
+	hpa, err := tab.Translate(0x3456)
+	if err != nil || hpa != 0x9456 {
+		t.Errorf("Translate = %v, %v", hpa, err)
+	}
+	if _, err := tab.Translate(0x5000); !errors.Is(err, ErrNoMapping) {
+		t.Errorf("unmapped translate: %v", err)
+	}
+	if tab.Violations != 1 {
+		t.Errorf("Violations = %d", tab.Violations)
+	}
+	if err := tab.Map(0x3000, 0xA000); !errors.Is(err, ErrAlreadyMapped) {
+		t.Errorf("remap: %v", err)
+	}
+	if err := tab.Map(0x3001, 0x9000); !errors.Is(err, ErrMisaligned) {
+		t.Errorf("misaligned: %v", err)
+	}
+	if _, err := tab.Unmap(0x3000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.Unmap(0x3000); !errors.Is(err, ErrNoMapping) {
+		t.Errorf("double unmap: %v", err)
+	}
+}
+
+// TestDirtyTransitionFiresOnce is the PML trigger invariant: the dirty
+// flag transitions 0->1 exactly once per page until cleared.
+func TestDirtyTransitionFiresOnce(t *testing.T) {
+	tab := New()
+	if err := tab.Map(0x1000, 0x8000); err != nil {
+		t.Fatal(err)
+	}
+	_, dirtied, err := tab.WalkWrite(0x1008)
+	if err != nil || !dirtied {
+		t.Fatalf("first write: dirtied=%v err=%v", dirtied, err)
+	}
+	for i := 0; i < 5; i++ {
+		_, dirtied, err = tab.WalkWrite(0x1010)
+		if err != nil || dirtied {
+			t.Fatalf("repeat write %d: dirtied=%v err=%v", i, dirtied, err)
+		}
+	}
+	if tab.DirtySet != 1 {
+		t.Errorf("DirtySet = %d, want 1", tab.DirtySet)
+	}
+	// Clearing re-arms.
+	tab.ClearDirtyPage(0x1000)
+	_, dirtied, _ = tab.WalkWrite(0x1000)
+	if !dirtied {
+		t.Error("write after ClearDirtyPage not dirtied")
+	}
+}
+
+func TestClearDirtyAll(t *testing.T) {
+	tab := New()
+	for i := 0; i < 4; i++ {
+		gpa := mem.GPA(0x1000 * (i + 1))
+		if err := tab.Map(gpa, mem.HPA(0x10000*(i+1))); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := tab.WalkWrite(gpa); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := tab.ClearDirty(); n != 4 {
+		t.Errorf("ClearDirty = %d, want 4", n)
+	}
+	if n := tab.ClearDirty(); n != 0 {
+		t.Errorf("second ClearDirty = %d, want 0", n)
+	}
+}
+
+func TestWalkReadSetsAccessedOnly(t *testing.T) {
+	tab := New()
+	if err := tab.Map(0x2000, 0x4000); err != nil {
+		t.Fatal(err)
+	}
+	hpa, accessed, err := tab.WalkRead(0x2010)
+	if err != nil || hpa != 0x4010 || !accessed {
+		t.Fatalf("WalkRead = %v, %v, %v", hpa, accessed, err)
+	}
+	e, _ := tab.Lookup(0x2000)
+	if !e.Accessed() || e.Dirty() {
+		t.Errorf("after read: accessed=%v dirty=%v, want true/false", e.Accessed(), e.Dirty())
+	}
+	// Second read: no transition.
+	if _, accessed, _ := tab.WalkRead(0x2010); accessed {
+		t.Error("repeat read reported an accessed transition")
+	}
+	// ClearAccessed re-arms.
+	if n := tab.ClearAccessed(); n != 1 {
+		t.Errorf("ClearAccessed = %d", n)
+	}
+	if _, accessed, _ := tab.WalkRead(0x2010); !accessed {
+		t.Error("read after ClearAccessed not a transition")
+	}
+	// A write then also sets dirty.
+	if _, _, err := tab.WalkWrite(0x2000); err != nil {
+		t.Fatal(err)
+	}
+	e, _ = tab.Lookup(0x2000)
+	if !e.Dirty() {
+		t.Error("dirty flag not set by write walk")
+	}
+}
+
+// TestQuickTranslationOffsets: translation preserves arbitrary offsets.
+func TestQuickTranslationOffsets(t *testing.T) {
+	tab := New()
+	if err := tab.Map(0x7000, 0xABC000); err != nil {
+		t.Fatal(err)
+	}
+	prop := func(off uint16) bool {
+		o := uint64(off) & mem.PageMask
+		hpa, err := tab.Translate(0x7000 + mem.GPA(o))
+		return err == nil && hpa == 0xABC000+mem.HPA(o)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRangeAndMapped(t *testing.T) {
+	tab := New()
+	for i := 1; i <= 3; i++ {
+		if err := tab.Map(mem.GPA(i)<<mem.PageShift, mem.HPA(i)<<mem.PageShift); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tab.Mapped() != 3 {
+		t.Errorf("Mapped = %d", tab.Mapped())
+	}
+	seen := 0
+	tab.Range(func(gpa mem.GPA, e Entry) bool {
+		seen++
+		return true
+	})
+	if seen != 3 {
+		t.Errorf("Range visited %d", seen)
+	}
+}

@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/workloads"
+)
+
+// smallOpt keeps unit-test experiment runs quick.
+func smallOpt() Options {
+	return Options{Scale: 1, Runs: 1, Workers: 0}
+}
+
+// TestMicroShapeMatchesPaper re-derives the paper's headline claims from
+// the micro scenario at 50 MB (below the ufd/SPML crossover) and 250 MB+
+// is covered by the machine tests.
+func TestMicroShapeMatchesPaper(t *testing.T) {
+	const pages = 50 << 8 // 50 MB
+	results := make(map[costmodel.Technique]MicroResult)
+	for _, kind := range []costmodel.Technique{costmodel.Proc, costmodel.Ufd, costmodel.SPML, costmodel.EPML} {
+		r, err := runMicro(kind, pages, 1)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		results[kind] = r
+	}
+	// EPML overhead must be tiny (paper: <=0.6 %; allow a few %).
+	if o := results[costmodel.EPML].TrackedOverheadPct(); o > 5 {
+		t.Errorf("EPML overhead %.2f%%, want < 5%%", o)
+	}
+	// /proc must beat ufd on Tracked (Table I shape).
+	if results[costmodel.Proc].Tracked >= results[costmodel.Ufd].Tracked {
+		t.Errorf("/proc (%v) should beat ufd (%v) on Tracked",
+			results[costmodel.Proc].Tracked, results[costmodel.Ufd].Tracked)
+	}
+	// SPML's tracker time must dwarf EPML's (reverse mapping).
+	if results[costmodel.SPML].Tracker < 10*results[costmodel.EPML].Tracker {
+		t.Errorf("SPML tracker %v not >> EPML tracker %v",
+			results[costmodel.SPML].Tracker, results[costmodel.EPML].Tracker)
+	}
+}
+
+// TestFig3ReverseMapDominates checks the Fig. 3 claim on one size.
+func TestFig3ReverseMapDominates(t *testing.T) {
+	r, err := runMicro(costmodel.SPML, 10<<8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd := r.Fetch
+	if bd.Total() == 0 {
+		t.Fatal("no fetch breakdown recorded")
+	}
+	if share := float64(bd.ReverseMap) / float64(bd.Total()); share < 0.5 {
+		t.Errorf("reverse mapping share = %.0f%%, want >= 50%% (paper: >68%%)", share*100)
+	}
+}
+
+// TestTable4FormulaAccuracy: the formula engine must estimate measured
+// times within the paper's accuracy band (we require >= 80%).
+func TestTable4FormulaAccuracy(t *testing.T) {
+	model := costmodel.Default()
+	for _, kind := range []costmodel.Technique{costmodel.Proc, costmodel.SPML, costmodel.EPML} {
+		r, err := runMicro(kind, 2048, 1)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		est := model.Estimate(kind, r.Counts)
+		accTker := costmodel.Accuracy(est.Tracker(0), r.Tracker)
+		accTked := costmodel.Accuracy(est.Tracked(r.Ideal, 0), r.TrackedWall)
+		if accTker < 80 {
+			t.Errorf("%v: E(C_tker) accuracy %.1f%%, want >= 80%%", kind, accTker)
+		}
+		if accTked < 80 {
+			t.Errorf("%v: E(C_tked_tker) accuracy %.1f%%, want >= 80%%", kind, accTked)
+		}
+	}
+}
+
+// TestCRIUShapeMatchesPaper checks the Fig. 7/8 shape on one workload.
+func TestCRIUShapeMatchesPaper(t *testing.T) {
+	res := make(map[costmodel.Technique]CRIUResult)
+	// Large working set: at paper scale EPML's constant ~11.5ms setup cost
+	// (M3+M10) is negligible against /proc's per-collect pagemap walks.
+	for _, kind := range []costmodel.Technique{costmodel.Proc, costmodel.SPML, costmodel.EPML} {
+		r, err := runCRIU("baby", workloads.Large, 4, kind, 1)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if !r.Verified {
+			t.Fatalf("%v: image not verified", kind)
+		}
+		res[kind] = r
+	}
+	// Fig. 7: MW with /proc must exceed MW with PML techniques.
+	if res[costmodel.Proc].Stats.MW <= res[costmodel.EPML].Stats.MW {
+		t.Errorf("MW(/proc)=%v should exceed MW(EPML)=%v",
+			res[costmodel.Proc].Stats.MW, res[costmodel.EPML].Stats.MW)
+	}
+	// Fig. 8: SPML total must be the slowest; EPML the fastest.
+	if res[costmodel.SPML].Stats.Total <= res[costmodel.Proc].Stats.Total {
+		t.Errorf("checkpoint SPML (%v) should be slower than /proc (%v)",
+			res[costmodel.SPML].Stats.Total, res[costmodel.Proc].Stats.Total)
+	}
+	if res[costmodel.EPML].Stats.Total >= res[costmodel.Proc].Stats.Total {
+		t.Errorf("checkpoint EPML (%v) should be faster than /proc (%v)",
+			res[costmodel.EPML].Stats.Total, res[costmodel.Proc].Stats.Total)
+	}
+}
+
+// TestBoehmShapeMatchesPaper checks the Fig. 5 structure on GCBench: the
+// first SPML cycle carries the reverse-map spike, later cycles beat /proc.
+func TestBoehmShapeMatchesPaper(t *testing.T) {
+	res := make(map[costmodel.Technique]BoehmResult)
+	for _, kind := range boehmTechniques() {
+		r, err := runBoehm("gcbench", workloads.Small, 1, kind, 1)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if len(r.Cycles) < 3 {
+			t.Fatalf("%v: only %d GC cycles", kind, len(r.Cycles))
+		}
+		res[kind] = r
+	}
+	// EPML total GC time must be the lowest.
+	if res[costmodel.EPML].GCTime >= res[costmodel.Proc].GCTime {
+		t.Errorf("GC(EPML)=%v should beat GC(/proc)=%v",
+			res[costmodel.EPML].GCTime, res[costmodel.Proc].GCTime)
+	}
+	if res[costmodel.EPML].GCTime >= res[costmodel.SPML].GCTime {
+		t.Errorf("GC(EPML)=%v should beat GC(SPML)=%v",
+			res[costmodel.EPML].GCTime, res[costmodel.SPML].GCTime)
+	}
+	// SPML's post-first cycles must beat /proc's post-first cycles
+	// (paper: "if we ignore the first cycle, SPML outperforms /proc").
+	spmlRest := res[costmodel.SPML].GCTime - res[costmodel.SPML].FirstGC
+	procRest := res[costmodel.Proc].GCTime - res[costmodel.Proc].FirstGC
+	if spmlRest >= procRest {
+		t.Errorf("SPML rest-of-cycles %v should beat /proc %v", spmlRest, procRest)
+	}
+}
+
+// TestRegistryRendersSomething smoke-tests the cheap experiments end to end.
+func TestRegistryRendersSomething(t *testing.T) {
+	for _, id := range []string{"table2", "table5", "table6"} {
+		res, err := Run(id, smallOpt())
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if out := res.Render(); !strings.Contains(out, "Table") {
+			t.Errorf("%s rendered nothing useful:\n%s", id, out)
+		}
+	}
+}
+
+// TestUnknownExperiment covers the registry error path.
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := Run("fig99", smallOpt()); err == nil {
+		t.Error("Run(fig99) succeeded, want error")
+	}
+}

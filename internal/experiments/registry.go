@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner regenerates one paper table or figure.
+type Runner func(Options) (*Result, error)
+
+// runners indexes every experiment by its paper id.
+var runners = map[string]Runner{
+	"table1": Table1,
+	"table2": func(opt Options) (*Result, error) { return Table2(nil) },
+	"table4": Table4,
+	"table5": Table5,
+	"table6": Table6,
+	"fig3":   Fig3,
+	"fig4":   Fig4,
+	"fig5":   Fig5,
+	"fig6":   Fig6,
+	"fig7":   Fig7,
+	"fig8":   Fig8,
+	"fig9":   Fig9,
+	"fig10":  Fig10,
+	"fig11":  Fig11,
+	// Ablations of the design knobs DESIGN.md §5 calls out.
+	"ablation-ring":  func(opt Options) (*Result, error) { return AblationRingCapacity() },
+	"ablation-slice": func(opt Options) (*Result, error) { return AblationTimeSlice() },
+}
+
+// Run regenerates the experiment with the given id.
+func Run(id string, opt Options) (*Result, error) {
+	r, ok := runners[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return r(opt)
+}
+
+// IDs lists the experiment ids in presentation order.
+func IDs() []string {
+	out := make([]string, 0, len(runners))
+	for id := range runners {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		// tables first, then figures, numerically.
+		ti, tj := out[i][0] == 't', out[j][0] == 't'
+		if ti != tj {
+			return ti
+		}
+		return len(out[i]) < len(out[j]) || (len(out[i]) == len(out[j]) && out[i] < out[j])
+	})
+	return out
+}

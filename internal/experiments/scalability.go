@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/costmodel"
+	"repro/internal/machine"
+	"repro/internal/par"
+	"repro/internal/report"
+	"repro/internal/workloads"
+)
+
+// maxVMs is the paper's tenant count sweep (Fig. 10/11: one to five VMs).
+const maxVMs = 5
+
+// scalabilityCell is one VM's result within an n-VM run.
+type scalabilityCell struct {
+	vms int
+	vm  int
+	res BoehmResult
+}
+
+// runScalability boots n co-located VMs on one host (shared physical
+// memory, as on the paper's testbed) and runs Boehm + histogram Large in
+// each concurrently - one goroutine per VM, each with its own virtual
+// clock - under the given technique.
+func runScalability(n int, kind costmodel.Technique, opt Options) ([]BoehmResult, error) {
+	m, err := machine.New(machine.Config{VMs: n})
+	if err != nil {
+		return nil, err
+	}
+	results := make([]BoehmResult, n)
+	err = par.ForEach(n, n, func(i int) error {
+		r, err := runBoehmOn(m.Guest(i), "histogram", scalabilitySize(opt), opt.Scale,
+			kind, opt.Seed+uint64(i))
+		results[i] = r
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+func scalabilitySize(opt Options) workloads.Size {
+	if opt.Full {
+		return workloads.Large
+	}
+	return workloads.Small
+}
+
+// Fig10 regenerates Figure 10: the tracker-side (GC time) scalability as
+// the number of tenant VMs grows; per-VM results should stay flat.
+func Fig10(opt Options) (*Result, error) {
+	return scalabilityFigure(opt, "fig10",
+		"Fig. 10: Boehm GC time per VM while varying the number of VMs",
+		func(r BoehmResult) string { return report.FormatDuration(r.GCTime) },
+		"paper: per-VM performance matches the 1-VM case and stays constant with more VMs")
+}
+
+// Fig11 regenerates Figure 11: the tracked-side (application time)
+// scalability across VM counts.
+func Fig11(opt Options) (*Result, error) {
+	return scalabilityFigure(opt, "fig11",
+		"Fig. 11: tracked application time per VM while varying the number of VMs",
+		func(r BoehmResult) string { return report.FormatDuration(r.AppTime) },
+		"paper: the impact on Tracked is the same as with one VM")
+}
+
+func scalabilityFigure(opt Options, id, title string, cell func(BoehmResult) string, note string) (*Result, error) {
+	opt = opt.withDefaults()
+	counts := []int{1, 2, 3, 4, 5}
+	if !opt.Full {
+		counts = []int{1, 2, 3}
+	}
+	result := &Result{ID: id, Title: title}
+	for _, kind := range []costmodel.Technique{costmodel.SPML, costmodel.EPML} {
+		headers := []string{"#VMs"}
+		for i := 1; i <= maxVMs; i++ {
+			headers = append(headers, fmt.Sprintf("VM%d", i))
+		}
+		out := report.NewTable(fmt.Sprintf("%s - %s", title, kind), headers...)
+		for _, n := range counts {
+			results, err := runScalability(n, kind, opt)
+			if err != nil {
+				return nil, fmt.Errorf("%s (%d VMs, %s): %w", id, n, kind, err)
+			}
+			row := []any{fmt.Sprintf("%dVMs", n)}
+			for i := 0; i < maxVMs; i++ {
+				if i < len(results) {
+					row = append(row, cell(results[i]))
+				} else {
+					row = append(row, "-")
+				}
+			}
+			out.AddRow(row...)
+		}
+		out.AddNote(note)
+		result.Tables = append(result.Tables, out)
+	}
+	return result, nil
+}

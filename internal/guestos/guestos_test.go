@@ -1,0 +1,373 @@
+package guestos
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/costmodel"
+	"repro/internal/hypervisor"
+	"repro/internal/mem"
+)
+
+func newKernel(t *testing.T) *Kernel {
+	t.Helper()
+	h := hypervisor.New(mem.NewPhysMem(0), costmodel.Default())
+	vm, err := h.CreateVM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewKernel(vm.VCPU, costmodel.Default())
+}
+
+func TestSpawnExit(t *testing.T) {
+	k := newKernel(t)
+	p := k.Spawn("a")
+	q := k.Spawn("b")
+	if p.Pid == q.Pid {
+		t.Fatal("duplicate pids")
+	}
+	if got, ok := k.Process(p.Pid); !ok || got != p {
+		t.Error("Process lookup failed")
+	}
+	k.Exit(p)
+	if _, ok := k.Process(p.Pid); ok {
+		t.Error("exited process still registered")
+	}
+}
+
+func TestDemandPagingAndMemoryOps(t *testing.T) {
+	k := newKernel(t)
+	p := k.Spawn("app")
+	r, err := p.Mmap(4*mem.PageSize, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.PT.Present() != 0 {
+		t.Error("lazy mmap populated pages")
+	}
+	if err := p.WriteU64(r.Start.Add(mem.PageSize+16), 77); err != nil {
+		t.Fatal(err)
+	}
+	v, err := p.ReadU64(r.Start.Add(mem.PageSize + 16))
+	if err != nil || v != 77 {
+		t.Fatalf("read back %d, %v", v, err)
+	}
+	if p.PT.Present() != 1 {
+		t.Errorf("present pages = %d, want 1", p.PT.Present())
+	}
+	if k.VCPU.Counters.Get(CtrDemandFaults) != 1 {
+		t.Errorf("demand faults = %d", k.VCPU.Counters.Get(CtrDemandFaults))
+	}
+	// Out-of-region access segfaults.
+	if err := p.WriteU64(r.End.Add(4*mem.PageSize), 1); !errors.Is(err, ErrSegfault) {
+		t.Errorf("stray write: %v", err)
+	}
+}
+
+func TestEagerMmapPopulates(t *testing.T) {
+	k := newKernel(t)
+	p := k.Spawn("app")
+	if _, err := p.Mmap(8*mem.PageSize, true); err != nil {
+		t.Fatal(err)
+	}
+	if p.PT.Present() != 8 {
+		t.Errorf("present = %d, want 8", p.PT.Present())
+	}
+	if ws := p.WorkingSetBytes(); ws != 8*mem.PageSize {
+		t.Errorf("WorkingSetBytes = %d", ws)
+	}
+}
+
+func TestMunmapReleasesFrames(t *testing.T) {
+	k := newKernel(t)
+	p := k.Spawn("app")
+	r, err := p.Mmap(4*mem.PageSize, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Munmap(r); err != nil {
+		t.Fatal(err)
+	}
+	if p.PT.Present() != 0 {
+		t.Error("pages survive munmap")
+	}
+	if err := p.Munmap(r); err == nil {
+		t.Error("double munmap succeeded")
+	}
+}
+
+func TestMmapAt(t *testing.T) {
+	k := newKernel(t)
+	p := k.Spawn("app")
+	r := Region{Start: 0x800000, End: 0x804000}
+	if err := p.MmapAt(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.MmapAt(Region{Start: 0x802000, End: 0x900000}); err == nil {
+		t.Error("overlapping fixed mapping succeeded")
+	}
+	if err := p.MmapAt(Region{Start: 0x1001, End: 0x2000}); err == nil {
+		t.Error("misaligned fixed mapping succeeded")
+	}
+	// Subsequent dynamic mmaps avoid the fixed region.
+	r2, err := p.Mmap(mem.PageSize, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Start < r.End {
+		t.Errorf("dynamic map %v collides with fixed %v", r2, r)
+	}
+}
+
+func TestSoftDirtyLifecycle(t *testing.T) {
+	k := newKernel(t)
+	p := k.Spawn("app")
+	r, err := p.Mmap(4*mem.PageSize, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fresh mappings are born soft-dirty (they were just created).
+	dirty, err := k.SoftDirtyPages(p.Pid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirty) != 4 {
+		t.Errorf("fresh pages soft-dirty = %d, want 4", len(dirty))
+	}
+	// clear_refs resets and write-protects.
+	if err := k.ClearRefs(p.Pid); err != nil {
+		t.Fatal(err)
+	}
+	dirty, _ = k.SoftDirtyPages(p.Pid)
+	if len(dirty) != 0 {
+		t.Errorf("after clear_refs: %d soft-dirty", len(dirty))
+	}
+	// A write faults (soft-dirty fault) and sets the bit again.
+	if err := p.WriteU64(r.Start.Add(2*mem.PageSize), 5); err != nil {
+		t.Fatal(err)
+	}
+	if k.VCPU.Counters.Get(CtrSoftDirtyFaults) != 1 {
+		t.Errorf("soft-dirty faults = %d", k.VCPU.Counters.Get(CtrSoftDirtyFaults))
+	}
+	dirty, _ = k.SoftDirtyPages(p.Pid)
+	if len(dirty) != 1 || dirty[0] != r.Start.Add(2*mem.PageSize) {
+		t.Errorf("soft-dirty pages = %v", dirty)
+	}
+}
+
+func TestPagemapEntries(t *testing.T) {
+	k := newKernel(t)
+	p := k.Spawn("app")
+	if _, err := p.Mmap(3*mem.PageSize, false); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := k.Pagemap(p.Pid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("pagemap has %d entries, want 3 (absent pages included)", len(entries))
+	}
+	for _, e := range entries {
+		if e.Present {
+			t.Errorf("lazy page %v reported present", e.GVA)
+		}
+	}
+	if _, err := k.Pagemap(Pid(999)); !errors.Is(err, ErrNoSuchProcess) {
+		t.Errorf("pagemap of missing pid: %v", err)
+	}
+	if err := k.ClearRefs(Pid(999)); !errors.Is(err, ErrNoSuchProcess) {
+		t.Errorf("clear_refs of missing pid: %v", err)
+	}
+}
+
+func TestUfdMissingMode(t *testing.T) {
+	k := newKernel(t)
+	p := k.Spawn("app")
+	r, err := p.Mmap(2*mem.PageSize, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []UfdEvent
+	err = p.UfdRegister(r, UfdMissing, func(ev UfdEvent) error {
+		events = append(events, ev)
+		return ev.Proc.UfdCopyZero(ev.GVA)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WriteU64(r.Start, 1); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || !events[0].Missing {
+		t.Fatalf("events = %+v", events)
+	}
+	// Second access: page present, no more events.
+	if err := p.WriteU64(r.Start.Add(8), 2); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 {
+		t.Errorf("events after second write = %d", len(events))
+	}
+}
+
+func TestUfdWriteProtectMode(t *testing.T) {
+	k := newKernel(t)
+	p := k.Spawn("app")
+	r, err := p.Mmap(2*mem.PageSize, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	err = p.UfdRegister(r, UfdWriteProtect, func(ev UfdEvent) error {
+		hits++
+		return ev.Proc.UfdWriteUnprotect(ev.GVA)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reads do not trigger write-protect events.
+	if _, err := p.ReadU64(r.Start); err != nil {
+		t.Fatal(err)
+	}
+	if hits != 0 {
+		t.Fatalf("read triggered %d wp events", hits)
+	}
+	if err := p.WriteU64(r.Start, 1); err != nil {
+		t.Fatal(err)
+	}
+	if hits != 1 {
+		t.Fatalf("wp events = %d, want 1", hits)
+	}
+	// Unprotected now: no more events.
+	if err := p.WriteU64(r.Start.Add(8), 2); err != nil {
+		t.Fatal(err)
+	}
+	if hits != 1 {
+		t.Errorf("events after unprotect = %d", hits)
+	}
+	// Re-protect re-arms.
+	if err := p.UfdWriteProtect(r.Start); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WriteU64(r.Start, 3); err != nil {
+		t.Fatal(err)
+	}
+	if hits != 2 {
+		t.Errorf("events after re-protect = %d, want 2", hits)
+	}
+}
+
+func TestUfdUnresolvedHandlerFails(t *testing.T) {
+	k := newKernel(t)
+	p := k.Spawn("app")
+	r, err := p.Mmap(mem.PageSize, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.UfdRegister(r, UfdWriteProtect, func(ev UfdEvent) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WriteU64(r.Start, 1); !errors.Is(err, ErrUfdUnresolved) {
+		t.Errorf("unresolved fault: %v", err)
+	}
+}
+
+func TestSchedulerPreemptionAndNotifiers(t *testing.T) {
+	k := newKernel(t)
+	p := k.Spawn("app")
+	r, err := p.Mmap(mem.PageSize, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Sched.Slice = time.Microsecond // preempt on almost every op
+	n := &countingNotifier{}
+	k.Sched.Notify(p.Pid, n)
+	for i := 0; i < 50; i++ {
+		if err := p.WriteU64(r.Start, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The very first dispatch is a schedule-in with no prior schedule-out;
+	// every preemption afterwards pairs out+in.
+	if n.in == 0 || n.out == 0 || n.in != n.out+1 {
+		t.Errorf("notifier in=%d out=%d, want in == out+1", n.in, n.out)
+	}
+	if k.Sched.Switches() == 0 {
+		t.Error("no context switches recorded")
+	}
+	k.Sched.Unnotify(p.Pid, n)
+	before := n.in
+	for i := 0; i < 50; i++ {
+		if err := p.WriteU64(r.Start, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n.in != before {
+		t.Error("notifier fired after Unnotify")
+	}
+}
+
+type countingNotifier struct{ in, out int }
+
+func (c *countingNotifier) ScheduledIn(*Process)  { c.in++ }
+func (c *countingNotifier) ScheduledOut(*Process) { c.out++ }
+
+func TestPausedProcessPanics(t *testing.T) {
+	k := newKernel(t)
+	p := k.Spawn("app")
+	r, err := p.Mmap(mem.PageSize, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Pause()
+	defer func() {
+		if recover() == nil {
+			t.Error("write by paused process did not panic")
+		}
+	}()
+	_ = p.WriteU64(r.Start, 1)
+}
+
+func TestReadPageAndKernelWrite(t *testing.T) {
+	k := newKernel(t)
+	p := k.Spawn("app")
+	r, err := p.Mmap(mem.PageSize, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WriteU64(r.Start.Add(24), 0xABCD); err != nil {
+		t.Fatal(err)
+	}
+	page, err := p.ReadPage(r.Start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page) != mem.PageSize {
+		t.Fatalf("page len %d", len(page))
+	}
+	// Restore-style write into a new process at a fixed address.
+	q := k.Spawn("restored")
+	if err := q.MmapAt(Region{Start: r.Start, End: r.End}); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.WritePageKernel(r.Start, page); err != nil {
+		t.Fatal(err)
+	}
+	v, err := q.ReadU64(r.Start.Add(24))
+	if err != nil || v != 0xABCD {
+		t.Errorf("restored word = %#x, %v", v, err)
+	}
+}
+
+func TestIRQRegistration(t *testing.T) {
+	k := newKernel(t)
+	fired := 0
+	k.RegisterIRQ(0xEC, func() { fired++ })
+	k.DeliverIRQ(0xEC)
+	k.DeliverIRQ(0x99) // unregistered: ignored
+	if fired != 1 {
+		t.Errorf("handler fired %d times", fired)
+	}
+}

@@ -1,0 +1,95 @@
+package guestos
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/mem"
+	"repro/internal/pgtable"
+)
+
+// PagemapEntry is one decoded entry of /proc/PID/pagemap: the present bit,
+// the guest frame, and bit 55 - the soft-dirty flag the /proc tracking
+// technique consumes (§III-B).
+type PagemapEntry struct {
+	GVA       mem.GVA
+	GPA       mem.GPA
+	Present   bool
+	SoftDirty bool
+}
+
+// ClearRefs implements `echo 4 > /proc/PID/clear_refs`: it walks the whole
+// address space clearing every soft-dirty bit and write-protecting each
+// writable page so the next write faults into the soft-dirty handler, then
+// flushes the TLB. The cost is the paper's M15 curve, charged per page so
+// that sparse address spaces pay proportionally.
+func (k *Kernel) ClearRefs(pid Pid) error {
+	p, ok := k.procs[pid]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoSuchProcess, pid)
+	}
+	k.VCPU.Counters.Inc(CtrClearRefs)
+	perPage := k.Model.ClearRefs.PerPage(p.curveSize())
+	pages := 0
+	p.PT.Range(func(gva mem.GVA, pte pgtable.PTE) bool {
+		pages++
+		// Clear soft-dirty and drop write permission; keep ufd's own
+		// write protection and flags intact.
+		err := p.PT.Update(gva, func(e pgtable.PTE) pgtable.PTE {
+			return e &^ (pgtable.FlagSoftDirty | pgtable.FlagWritable)
+		})
+		if err != nil {
+			return false
+		}
+		return true
+	})
+	k.Clock.Advance(perPage * time.Duration(pages))
+	return nil
+}
+
+// Pagemap implements reading /proc/PID/pagemap from userspace: a full page
+// table walk over the process's regions. The walk cost is the paper's M16
+// curve (the dominant cost of the /proc technique), charged per page
+// visited.
+func (k *Kernel) Pagemap(pid Pid) ([]PagemapEntry, error) {
+	p, ok := k.procs[pid]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoSuchProcess, pid)
+	}
+	perPage := k.Model.PTWalkUser.PerPage(p.curveSize())
+	var entries []PagemapEntry
+	pages := 0
+	// Userspace reads pagemap over each VMA; absent pages still cost a
+	// read of a zero entry.
+	for _, r := range p.regions {
+		for gva := r.Start; gva < r.End; gva = gva.Add(mem.PageSize) {
+			pages++
+			pte, present := p.PT.Lookup(gva)
+			entries = append(entries, PagemapEntry{
+				GVA:       gva,
+				GPA:       pte.GPA(),
+				Present:   present,
+				SoftDirty: present && pte.SoftDirty(),
+			})
+		}
+	}
+	k.VCPU.Counters.Add(CtrPagemapPages, int64(pages))
+	k.Clock.Advance(perPage * time.Duration(pages))
+	return entries, nil
+}
+
+// SoftDirtyPages returns just the soft-dirty page addresses of pid,
+// charging the same walk cost as Pagemap.
+func (k *Kernel) SoftDirtyPages(pid Pid) ([]mem.GVA, error) {
+	entries, err := k.Pagemap(pid)
+	if err != nil {
+		return nil, err
+	}
+	var dirty []mem.GVA
+	for _, e := range entries {
+		if e.SoftDirty {
+			dirty = append(dirty, e.GVA)
+		}
+	}
+	return dirty, nil
+}

@@ -1,0 +1,54 @@
+package hypervisor
+
+// Hypercall numbers of the OoH-extended hypervisor ABI. HCInitPML through
+// HCDisableLogging are the paper's Xen additions (§IV-C, §IV-E); HCInitShadow
+// and HCDeactShadow are the single EPML setup/teardown pair (§IV-D); and
+// HCDrainRing is the collection-time drain that also re-arms EPT dirty
+// logging for the pages the tracker consumed.
+const (
+	// HCInitPML arms SPML for the calling VM: marks enabled_by_guest,
+	// clears the EPT dirty flags so the first write to every page is
+	// logged, and enables PML in the VMCS. Arg 0: tracked working-set
+	// size in bytes (used for cost attribution only).
+	HCInitPML = iota + 0x10
+	// HCDeactPML disarms SPML: clears enabled_by_guest and disables PML
+	// unless the hypervisor itself still uses it (enabled_by_hyp).
+	HCDeactPML
+	// HCEnableLogging is issued at every schedule-in of a tracked process.
+	HCEnableLogging
+	// HCDisableLogging is issued at every schedule-out of a tracked
+	// process; it flushes the partial PML buffer into the shared ring.
+	HCDisableLogging
+	// HCDrainRing flushes the PML buffer into the shared ring and clears
+	// the EPT dirty flags of every address handed to the guest, so that
+	// subsequent writes are logged again. Returns the number of entries
+	// made available.
+	HCDrainRing
+	// HCInitShadow arms EPML: creates and links a shadow VMCS exposing
+	// the Guest PML fields, and enables the EPML execution control. This
+	// is the only hypercall EPML ever issues (§IV-D).
+	HCInitShadow
+	// HCDeactShadow disarms EPML and unlinks the shadow VMCS.
+	HCDeactShadow
+)
+
+// hypercallName maps numbers to names for diagnostics.
+func hypercallName(nr int) string {
+	switch nr {
+	case HCInitPML:
+		return "init_pml"
+	case HCDeactPML:
+		return "deact_pml"
+	case HCEnableLogging:
+		return "enable_logging"
+	case HCDisableLogging:
+		return "disable_logging"
+	case HCDrainRing:
+		return "drain_ring"
+	case HCInitShadow:
+		return "init_vmcs_shadowing"
+	case HCDeactShadow:
+		return "deact_vmcs_shadowing"
+	}
+	return "unknown"
+}

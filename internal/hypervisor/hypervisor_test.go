@@ -1,0 +1,270 @@
+package hypervisor
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/mem"
+	"repro/internal/pgtable"
+	"repro/internal/ringbuf"
+	"repro/internal/vmcs"
+)
+
+func newVM(t *testing.T) *VM {
+	t.Helper()
+	h := New(mem.NewPhysMem(0), costmodel.Default())
+	vm, err := h.CreateVM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vm
+}
+
+// installPT gives the vCPU a guest page table with n writable pages
+// starting at 0x10000, one guest frame each.
+func installPT(t *testing.T, vm *VM, n int) *pgtable.Table {
+	t.Helper()
+	pt := pgtable.New()
+	for i := 0; i < n; i++ {
+		gva := mem.GVA(0x10000 + i*mem.PageSize)
+		gpa := mem.GPA(0x10000 + i*mem.PageSize)
+		if err := pt.Map(gva, gpa, pgtable.FlagWritable|pgtable.FlagUser); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vm.VCPU.SetAddressSpace(pt)
+	return pt
+}
+
+func TestCreateVMInitializesPML(t *testing.T) {
+	vm := newVM(t)
+	if vm.VMCS.MustRead(vmcs.FieldPMLAddress) == 0 {
+		t.Error("PML buffer not allocated")
+	}
+	if vm.VMCS.MustRead(vmcs.FieldPMLIndex) != vmcs.PMLResetIndex {
+		t.Error("PML index not at reset value")
+	}
+	if vm.VMCS.PMLEnabled() {
+		t.Error("PML enabled before anyone asked")
+	}
+}
+
+func TestEPTViolationDemandAllocates(t *testing.T) {
+	vm := newVM(t)
+	installPT(t, vm, 1)
+	if err := vm.VCPU.WriteU64(0x10000, 42); err != nil {
+		t.Fatal(err)
+	}
+	if vm.EPT.Mapped() != 1 {
+		t.Errorf("EPT mappings = %d, want 1", vm.EPT.Mapped())
+	}
+	v, err := vm.VCPU.ReadU64(0x10000)
+	if err != nil || v != 42 {
+		t.Errorf("read back %d, %v", v, err)
+	}
+}
+
+func TestSPMLHypercallFlow(t *testing.T) {
+	vm := newVM(t)
+	installPT(t, vm, 600)
+	ring := ringbuf.New(4096)
+	vm.RegisterGuestRing(1, ring, 600*mem.PageSize)
+
+	if _, err := vm.VCPU.Hypercall(HCInitPML, 600*mem.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if !vm.EnabledByGuest() || !vm.VMCS.PMLEnabled() {
+		t.Fatal("init_pml did not arm logging")
+	}
+
+	// Dirty 600 pages; the PML-full exit at 512 must spill into the ring.
+	for i := 0; i < 600; i++ {
+		if err := vm.VCPU.WriteU64(mem.GVA(0x10000+i*mem.PageSize), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ring.Len() != 512 {
+		t.Errorf("ring holds %d after full exit, want 512", ring.Len())
+	}
+
+	// Drain pulls the remaining entries and re-arms dirty flags.
+	n, err := vm.VCPU.Hypercall(HCDrainRing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 600 {
+		t.Errorf("drain reported %d armed pages, want 600", n)
+	}
+	if got := ring.Len(); got != 600 {
+		t.Errorf("ring holds %d, want 600", got)
+	}
+	// Pages can be re-logged after the drain cleared their dirty flags.
+	ring.Reset()
+	if err := vm.VCPU.WriteU64(0x10000, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vm.VCPU.Hypercall(HCDrainRing); err != nil {
+		t.Fatal(err)
+	}
+	if ring.Len() != 1 {
+		t.Errorf("re-log after drain: ring holds %d, want 1", ring.Len())
+	}
+
+	if _, err := vm.VCPU.Hypercall(HCDeactPML); err != nil {
+		t.Fatal(err)
+	}
+	if vm.EnabledByGuest() || vm.VMCS.PMLEnabled() {
+		t.Error("deact_pml did not disarm")
+	}
+}
+
+func TestEnableDisableLoggingWindow(t *testing.T) {
+	vm := newVM(t)
+	installPT(t, vm, 4)
+	ring := ringbuf.New(64)
+	vm.RegisterGuestRing(1, ring, 4*mem.PageSize)
+	if _, err := vm.VCPU.Hypercall(HCInitPML, 4*mem.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	// Schedule-out: logging off, buffer flushed.
+	if _, err := vm.VCPU.Hypercall(HCDisableLogging); err != nil {
+		t.Fatal(err)
+	}
+	if vm.VMCS.PMLEnabled() {
+		t.Fatal("logging still on after disable_logging")
+	}
+	if err := vm.VCPU.WriteU64(0x10000, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vm.VCPU.Hypercall(HCDrainRing); err != nil {
+		t.Fatal(err)
+	}
+	if ring.Len() != 0 {
+		t.Errorf("write while disabled was logged (%d entries)", ring.Len())
+	}
+	// Schedule-in: logging resumes.
+	if _, err := vm.VCPU.Hypercall(HCEnableLogging); err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.VCPU.WriteU64(0x11000, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vm.VCPU.Hypercall(HCDrainRing); err != nil {
+		t.Fatal(err)
+	}
+	if ring.Len() != 1 {
+		t.Errorf("write while enabled not logged (%d entries)", ring.Len())
+	}
+}
+
+func TestDrainWithoutRingFails(t *testing.T) {
+	vm := newVM(t)
+	if _, err := vm.VCPU.Hypercall(HCDrainRing); !errors.Is(err, ErrNoGuestRing) {
+		t.Errorf("drain without ring: %v", err)
+	}
+}
+
+func TestUnknownHypercall(t *testing.T) {
+	vm := newVM(t)
+	if _, err := vm.VCPU.Hypercall(0x999); !errors.Is(err, ErrUnknownHypercall) {
+		t.Errorf("unknown hypercall: %v", err)
+	}
+}
+
+func TestShadowSetupTeardown(t *testing.T) {
+	vm := newVM(t)
+	if _, err := vm.VCPU.Hypercall(HCInitShadow); err != nil {
+		t.Fatal(err)
+	}
+	if !vm.VMCS.ShadowingEnabled() || !vm.VMCS.EPMLEnabled() {
+		t.Fatal("init_shadow did not arm shadowing+EPML")
+	}
+	// Guest can now program EPML fields exit-free.
+	if err := vm.VCPU.GuestVMWrite(vmcs.FieldGuestPMLEnable, 1); err != nil {
+		t.Fatalf("exit-free vmwrite failed: %v", err)
+	}
+	if _, err := vm.VCPU.Hypercall(HCDeactShadow); err != nil {
+		t.Fatal(err)
+	}
+	if vm.VMCS.ShadowingEnabled() || vm.VMCS.EPMLEnabled() {
+		t.Error("deact_shadow did not disarm")
+	}
+}
+
+func TestMigrationDirtyLog(t *testing.T) {
+	vm := newVM(t)
+	installPT(t, vm, 8)
+	vm.StartDirtyLogging()
+	for i := 0; i < 8; i++ {
+		if err := vm.VCPU.WriteU64(mem.GVA(0x10000+i*mem.PageSize), 7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dirty, err := vm.CollectDirty()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirty) != 8 {
+		t.Errorf("round 1: %d dirty frames, want 8", len(dirty))
+	}
+	// Round 2: only rewrites count.
+	if err := vm.VCPU.WriteU64(0x10000, 8); err != nil {
+		t.Fatal(err)
+	}
+	dirty, err = vm.CollectDirty()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirty) != 1 {
+		t.Errorf("round 2: %d dirty frames, want 1", len(dirty))
+	}
+	vm.StopDirtyLogging()
+	if vm.VMCS.PMLEnabled() {
+		t.Error("PML still on after StopDirtyLogging with no guest user")
+	}
+}
+
+func TestPerVMIsolation(t *testing.T) {
+	h := New(mem.NewPhysMem(0), costmodel.Default())
+	vm1, err := h.CreateVM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm2, err := h.CreateVM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.VMs()) != 2 {
+		t.Fatalf("VMs = %d", len(h.VMs()))
+	}
+	installPT(t, vm1, 2)
+	installPT(t, vm2, 2)
+	ring1, ring2 := ringbuf.New(64), ringbuf.New(64)
+	vm1.RegisterGuestRing(1, ring1, 2*mem.PageSize)
+	vm2.RegisterGuestRing(1, ring2, 2*mem.PageSize)
+	if _, err := vm1.VCPU.Hypercall(HCInitPML, 2*mem.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	// Only VM1 is armed: VM2's writes must not reach VM1's ring (§V: a
+	// guest only sees addresses from its own address space).
+	if err := vm2.VCPU.WriteU64(0x10000, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := vm1.VCPU.WriteU64(0x10000, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vm1.VCPU.Hypercall(HCDrainRing); err != nil {
+		t.Fatal(err)
+	}
+	if ring1.Len() != 1 {
+		t.Errorf("vm1 ring holds %d, want 1", ring1.Len())
+	}
+	if ring2.Len() != 0 {
+		t.Errorf("vm2 ring holds %d, want 0", ring2.Len())
+	}
+	// The two VMs' clocks advance independently.
+	if vm1.Clock.Nanos() == 0 || vm2.Clock.Nanos() == 0 {
+		t.Error("clocks did not advance")
+	}
+}

@@ -1,0 +1,130 @@
+// Package machine assembles the full simulated stack - physical memory,
+// hypervisor, VM, guest kernel, OoH module/lib - and hands out tracking
+// techniques bound to guest processes. It is the composition root used by
+// the experiments, the public facade and the tests.
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/guestos"
+	"repro/internal/hypervisor"
+	"repro/internal/mem"
+	"repro/internal/tracking"
+)
+
+// Config parameterizes a machine.
+type Config struct {
+	// Model is the cost model; nil selects costmodel.Default().
+	Model *costmodel.Model
+	// HostMemBytes bounds simulated DRAM (0 = unlimited).
+	HostMemBytes uint64
+	// VMs is the number of virtual machines to boot (default 1).
+	VMs int
+	// DisablePreemption turns the guests' schedulers off, for
+	// microbenchmarks needing exact event counts.
+	DisablePreemption bool
+}
+
+// Machine is a booted host: one hypervisor, n VMs each running a guest
+// kernel. Multi-VM machines are used by the Fig. 10/11 scalability
+// experiments; each VM is driven by its own goroutine there, while all VMs
+// share the host's physical memory.
+type Machine struct {
+	Phys   *mem.PhysMem
+	Model  *costmodel.Model
+	Hyp    *hypervisor.Hypervisor
+	Guests []*Guest
+}
+
+// Guest bundles one VM with its guest kernel and lazily loaded OoH modules.
+type Guest struct {
+	VM     *hypervisor.VM
+	Kernel *guestos.Kernel
+
+	spmlLib *core.Lib
+	epmlLib *core.Lib
+}
+
+// New boots a machine.
+func New(cfg Config) (*Machine, error) {
+	model := cfg.Model
+	if model == nil {
+		model = costmodel.Default()
+	}
+	n := cfg.VMs
+	if n <= 0 {
+		n = 1
+	}
+	m := &Machine{
+		Phys:  mem.NewPhysMem(cfg.HostMemBytes),
+		Model: model,
+		Hyp:   hypervisor.New(mem.NewPhysMem(cfg.HostMemBytes), model),
+	}
+	// The hypervisor owns the canonical PhysMem; keep one reference.
+	m.Phys = m.Hyp.Phys
+	for i := 0; i < n; i++ {
+		vm, err := m.Hyp.CreateVM()
+		if err != nil {
+			return nil, fmt.Errorf("machine: creating VM %d: %w", i, err)
+		}
+		k := guestos.NewKernel(vm.VCPU, model)
+		if cfg.DisablePreemption {
+			k.Sched.SetDisabled(true)
+		}
+		m.Guests = append(m.Guests, &Guest{VM: vm, Kernel: k})
+	}
+	return m, nil
+}
+
+// Guest returns the i-th guest (0-based).
+func (m *Machine) Guest(i int) *Guest { return m.Guests[i] }
+
+// SPML returns the guest's SPML OoH library, loading the module on first use.
+func (g *Guest) SPML() *core.Lib {
+	if g.spmlLib == nil {
+		g.spmlLib = core.NewLib(core.NewModule(g.Kernel, g.VM, core.ModeSPML))
+	}
+	return g.spmlLib
+}
+
+// EPML returns the guest's EPML OoH library, loading the module on first use.
+func (g *Guest) EPML() *core.Lib {
+	if g.epmlLib == nil {
+		g.epmlLib = core.NewLib(core.NewModule(g.Kernel, g.VM, core.ModeEPML))
+	}
+	return g.epmlLib
+}
+
+// NewTechnique constructs the given tracking technique bound to a process
+// of this guest.
+func (g *Guest) NewTechnique(kind costmodel.Technique, proc *guestos.Process) (tracking.Technique, error) {
+	switch kind {
+	case costmodel.Oracle:
+		return tracking.NewOracle(proc), nil
+	case costmodel.Proc:
+		return tracking.NewProc(g.Kernel, proc.Pid), nil
+	case costmodel.Ufd:
+		return tracking.NewUfd(proc), nil
+	case costmodel.SPML:
+		return tracking.NewPML(g.SPML(), proc.Pid), nil
+	case costmodel.EPML:
+		return tracking.NewPML(g.EPML(), proc.Pid), nil
+	}
+	return nil, fmt.Errorf("machine: unknown technique %v", kind)
+}
+
+// AllTechniques lists the four real techniques in the paper's comparison
+// order plus the oracle first.
+func AllTechniques() []costmodel.Technique {
+	return []costmodel.Technique{
+		costmodel.Oracle, costmodel.Proc, costmodel.Ufd, costmodel.SPML, costmodel.EPML,
+	}
+}
+
+// RealTechniques lists the four techniques the paper evaluates.
+func RealTechniques() []costmodel.Technique {
+	return []costmodel.Technique{costmodel.Proc, costmodel.Ufd, costmodel.SPML, costmodel.EPML}
+}

@@ -1,0 +1,68 @@
+// Package mem defines the address types and the simulated physical memory
+// that underpin the OoH virtualization stack.
+//
+// Three address spaces exist, exactly as in the paper:
+//
+//   - GVA: guest virtual address, what a guest process sees.
+//   - GPA: guest physical address, what the guest kernel sees; translated
+//     from GVA by the guest page table (package pgtable).
+//   - HPA: host physical address, what the hypervisor and the DRAM see;
+//     translated from GPA by the EPT (package ept).
+//
+// Intel PML logs GPAs (hypervisor view); the paper's EPML extension logs
+// GVAs into a guest-managed buffer, which is the core of its contribution.
+package mem
+
+import "fmt"
+
+// Page geometry, matching x86-64 4 KiB pages.
+const (
+	PageShift = 12
+	PageSize  = 1 << PageShift // 4096
+	PageMask  = PageSize - 1
+)
+
+// GVA is a guest virtual address.
+type GVA uint64
+
+// GPA is a guest physical address.
+type GPA uint64
+
+// HPA is a host physical address.
+type HPA uint64
+
+// PageFloor rounds v down to its page base.
+func (v GVA) PageFloor() GVA { return v &^ GVA(PageMask) }
+
+// PageOffset returns the offset of v within its page.
+func (v GVA) PageOffset() uint64 { return uint64(v) & PageMask }
+
+// Page returns the virtual page number of v.
+func (v GVA) Page() uint64 { return uint64(v) >> PageShift }
+
+// Add returns v advanced by n bytes.
+func (v GVA) Add(n uint64) GVA { return v + GVA(n) }
+
+func (v GVA) String() string { return fmt.Sprintf("gva:%#x", uint64(v)) }
+
+// PageFloor rounds p down to its page base.
+func (p GPA) PageFloor() GPA { return p &^ GPA(PageMask) }
+
+// PageOffset returns the offset of p within its page.
+func (p GPA) PageOffset() uint64 { return uint64(p) & PageMask }
+
+// Page returns the guest frame number of p.
+func (p GPA) Page() uint64 { return uint64(p) >> PageShift }
+
+func (p GPA) String() string { return fmt.Sprintf("gpa:%#x", uint64(p)) }
+
+// PageFloor rounds h down to its page base.
+func (h HPA) PageFloor() HPA { return h &^ HPA(PageMask) }
+
+// PageOffset returns the offset of h within its page.
+func (h HPA) PageOffset() uint64 { return uint64(h) & PageMask }
+
+func (h HPA) String() string { return fmt.Sprintf("hpa:%#x", uint64(h)) }
+
+// PagesFor returns the number of pages needed to hold n bytes.
+func PagesFor(n uint64) uint64 { return (n + PageMask) >> PageShift }

@@ -1,0 +1,137 @@
+package mem
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddressArithmetic(t *testing.T) {
+	v := GVA(0x12345)
+	if v.PageFloor() != 0x12000 || v.PageOffset() != 0x345 || v.Page() != 0x12 {
+		t.Errorf("GVA arithmetic wrong: %v %v %v", v.PageFloor(), v.PageOffset(), v.Page())
+	}
+	p := GPA(0xABC00 + 5)
+	if p.PageFloor() != 0xAB000 {
+		t.Errorf("GPA floor = %v", p.PageFloor())
+	}
+	h := HPA(0x7FF)
+	if h.PageFloor() != 0 || h.PageOffset() != 0x7FF {
+		t.Errorf("HPA arithmetic wrong")
+	}
+	if PagesFor(0) != 0 || PagesFor(1) != 1 || PagesFor(PageSize) != 1 || PagesFor(PageSize+1) != 2 {
+		t.Error("PagesFor wrong")
+	}
+}
+
+func TestPhysAllocFree(t *testing.T) {
+	p := NewPhysMem(0)
+	a, err := p.AllocFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.AllocFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b || a == 0 || b == 0 {
+		t.Fatalf("bad frames %v %v", a, b)
+	}
+	if p.FrameCount() != 2 {
+		t.Errorf("FrameCount = %d", p.FrameCount())
+	}
+	if err := p.FreeFrame(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.FreeFrame(a); err == nil {
+		t.Error("double free succeeded")
+	}
+	// Freed frames are recycled.
+	c, _ := p.AllocFrame()
+	if c != a {
+		t.Errorf("free frame not recycled: got %v want %v", c, a)
+	}
+}
+
+func TestPhysMemLimit(t *testing.T) {
+	p := NewPhysMem(2 * PageSize)
+	if _, err := p.AllocFrame(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.AllocFrame(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.AllocFrame(); !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("third alloc: %v, want ErrOutOfMemory", err)
+	}
+}
+
+func TestPhysReadWrite(t *testing.T) {
+	p := NewPhysMem(0)
+	f, _ := p.AllocFrame()
+	data := []byte("hello physical world")
+	if err := p.Write(f+100, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := p.Read(f+100, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(data) {
+		t.Errorf("read %q", got)
+	}
+	// Frame-crossing access rejected.
+	if err := p.Write(f+PageSize-4, make([]byte, 8)); !errors.Is(err, ErrCrossesFrame) {
+		t.Errorf("crossing write: %v", err)
+	}
+	// Unallocated frame rejected.
+	if err := p.Write(f+10*PageSize, []byte{1}); !errors.Is(err, ErrUnmappedHPA) {
+		t.Errorf("unmapped write: %v", err)
+	}
+	// U64 round trip.
+	if err := p.WriteU64(f, 0xDEADBEEFCAFEF00D); err != nil {
+		t.Fatal(err)
+	}
+	v, err := p.ReadU64(f)
+	if err != nil || v != 0xDEADBEEFCAFEF00D {
+		t.Errorf("u64 round trip: %x, %v", v, err)
+	}
+	// FrameBytes returns a copy.
+	fb, err := p.FrameBytes(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb[0] ^= 0xFF
+	v2, _ := p.ReadU64(f)
+	if v2 != 0xDEADBEEFCAFEF00D {
+		t.Error("FrameBytes aliases the frame")
+	}
+}
+
+func TestPhysU64PropertyRoundTrip(t *testing.T) {
+	p := NewPhysMem(0)
+	f, _ := p.AllocFrame()
+	prop := func(off uint16, v uint64) bool {
+		o := uint64(off) % (PageSize - 8)
+		if err := p.WriteU64(f+HPA(o), v); err != nil {
+			return false
+		}
+		got, err := p.ReadU64(f + HPA(o))
+		return err == nil && got == v
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPhysReset(t *testing.T) {
+	p := NewPhysMem(0)
+	f, _ := p.AllocFrame()
+	p.Reset()
+	if p.FrameCount() != 0 {
+		t.Error("Reset left frames")
+	}
+	if err := p.Read(f, make([]byte, 1)); err == nil {
+		t.Error("read of reset frame succeeded")
+	}
+}

@@ -1,0 +1,154 @@
+package mem
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Errors returned by PhysMem.
+var (
+	ErrOutOfMemory  = errors.New("mem: out of physical memory")
+	ErrUnmappedHPA  = errors.New("mem: access to unallocated host frame")
+	ErrCrossesFrame = errors.New("mem: access crosses a frame boundary")
+)
+
+// PhysMem is the simulated host DRAM: a set of 4 KiB frames allocated on
+// demand. Frames are identified by their HPA (always page aligned). PhysMem
+// is safe for concurrent use; in multi-VM experiments all VMs share one
+// PhysMem, exactly as all guests share the host's DRAM.
+type PhysMem struct {
+	mu       sync.Mutex
+	frames   map[HPA]*[PageSize]byte
+	next     HPA
+	free     []HPA
+	maxBytes uint64 // 0 means unlimited
+}
+
+// NewPhysMem returns an empty physical memory. If maxBytes is non-zero,
+// AllocFrame fails with ErrOutOfMemory once that many bytes of frames are
+// live, modelling a host with finite DRAM.
+func NewPhysMem(maxBytes uint64) *PhysMem {
+	return &PhysMem{
+		frames:   make(map[HPA]*[PageSize]byte),
+		next:     PageSize, // keep HPA 0 invalid, like a null frame
+		maxBytes: maxBytes,
+	}
+}
+
+// AllocFrame allocates one zeroed 4 KiB frame and returns its HPA.
+func (p *PhysMem) AllocFrame() (HPA, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.maxBytes != 0 && uint64(len(p.frames)+1)*PageSize > p.maxBytes {
+		return 0, ErrOutOfMemory
+	}
+	var hpa HPA
+	if n := len(p.free); n > 0 {
+		hpa = p.free[n-1]
+		p.free = p.free[:n-1]
+	} else {
+		hpa = p.next
+		p.next += PageSize
+	}
+	p.frames[hpa] = new([PageSize]byte)
+	return hpa, nil
+}
+
+// FreeFrame releases the frame at hpa. Freeing an unallocated frame is an
+// error: it indicates a bookkeeping bug in a caller.
+func (p *PhysMem) FreeFrame(hpa HPA) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.frames[hpa]; !ok {
+		return fmt.Errorf("%w: free of %v", ErrUnmappedHPA, hpa)
+	}
+	delete(p.frames, hpa)
+	p.free = append(p.free, hpa)
+	return nil
+}
+
+// FrameCount reports the number of live frames.
+func (p *PhysMem) FrameCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.frames)
+}
+
+// frame returns the backing array for the frame containing hpa.
+func (p *PhysMem) frame(hpa HPA) (*[PageSize]byte, error) {
+	p.mu.Lock()
+	f, ok := p.frames[hpa.PageFloor()]
+	p.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrUnmappedHPA, hpa)
+	}
+	return f, nil
+}
+
+// Write copies b into physical memory at hpa. The access must not cross a
+// frame boundary (callers split accesses per page, as the MMU does).
+func (p *PhysMem) Write(hpa HPA, b []byte) error {
+	off := hpa.PageOffset()
+	if off+uint64(len(b)) > PageSize {
+		return fmt.Errorf("%w: write of %d bytes at %v", ErrCrossesFrame, len(b), hpa)
+	}
+	f, err := p.frame(hpa)
+	if err != nil {
+		return err
+	}
+	copy(f[off:], b)
+	return nil
+}
+
+// Read copies len(b) bytes from physical memory at hpa into b. The access
+// must not cross a frame boundary.
+func (p *PhysMem) Read(hpa HPA, b []byte) error {
+	off := hpa.PageOffset()
+	if off+uint64(len(b)) > PageSize {
+		return fmt.Errorf("%w: read of %d bytes at %v", ErrCrossesFrame, len(b), hpa)
+	}
+	f, err := p.frame(hpa)
+	if err != nil {
+		return err
+	}
+	copy(b, f[off:off+uint64(len(b))])
+	return nil
+}
+
+// WriteU64 stores a little-endian 64-bit value at hpa.
+func (p *PhysMem) WriteU64(hpa HPA, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return p.Write(hpa, b[:])
+}
+
+// ReadU64 loads a little-endian 64-bit value from hpa.
+func (p *PhysMem) ReadU64(hpa HPA) (uint64, error) {
+	var b [8]byte
+	if err := p.Read(hpa, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+// FrameBytes returns a copy of the full frame containing hpa.
+func (p *PhysMem) FrameBytes(hpa HPA) ([]byte, error) {
+	f, err := p.frame(hpa)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, PageSize)
+	copy(out, f[:])
+	return out, nil
+}
+
+// Reset discards every frame, returning the memory to its initial state.
+func (p *PhysMem) Reset() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.frames = make(map[HPA]*[PageSize]byte)
+	p.free = nil
+	p.next = PageSize
+}

@@ -1,0 +1,155 @@
+// Package migration implements pre-copy live migration of a whole VM,
+// driven by the hypervisor-level PML dirty log - the feature's original
+// purpose (§II-B: "the content of the larger buffer is used to know which
+// pages should be resent during the VM live migration pre-copy phase").
+//
+// It exists in this reproduction for two reasons: it exercises the
+// hypervisor's own use of PML end to end, and it demonstrates (with tests)
+// that a guest's SPML session keeps working while its VM is being
+// live-migrated - the coordination §IV-C was designed for.
+package migration
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/ept"
+	"repro/internal/hypervisor"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Options tunes the pre-copy loop.
+type Options struct {
+	// BandwidthPagesPerMS is the transfer rate toward the destination in
+	// 4 KiB pages per virtual millisecond (default 256 ~= 1 GB/s).
+	BandwidthPagesPerMS int
+	// MaxRounds bounds the dirty-only rounds before stop-and-copy.
+	MaxRounds int
+	// DowntimeTargetPages: switch to stop-and-copy once a round's dirty
+	// set is at most this many pages.
+	DowntimeTargetPages int
+}
+
+func (o Options) withDefaults() Options {
+	if o.BandwidthPagesPerMS <= 0 {
+		o.BandwidthPagesPerMS = 256
+	}
+	if o.MaxRounds <= 0 {
+		o.MaxRounds = 8
+	}
+	if o.DowntimeTargetPages <= 0 {
+		o.DowntimeTargetPages = 32
+	}
+	return o
+}
+
+// Stats reports one migration.
+type Stats struct {
+	Rounds        int
+	PagesSent     int // total page transfers (pre-copy amplification)
+	UniquePages   int
+	TotalTime     time.Duration
+	Downtime      time.Duration // the stop-and-copy window
+	Converged     bool          // reached the downtime target before MaxRounds
+	PerRoundPages []int
+}
+
+// ErrNoMemory reports a migration attempt on a VM with no mapped memory.
+var ErrNoMemory = errors.New("migration: VM has no mapped guest memory")
+
+// Migrate pre-copies vm's guest-physical memory into a destination page
+// store while runBetween keeps the guest running between rounds; the final
+// round is a stop-and-copy (runBetween is not called after it). The
+// returned image maps GPA page bases to page contents at the moment of
+// completion.
+func Migrate(vm *hypervisor.VM, opts Options, runBetween func(round int) error) (map[mem.GPA][]byte, Stats, error) {
+	opts = opts.withDefaults()
+	stats := Stats{}
+	clock := vm.Clock
+	total := sim.StartWatch(clock)
+	image := make(map[mem.GPA][]byte)
+
+	perPage := time.Millisecond / time.Duration(opts.BandwidthPagesPerMS)
+
+	// Arm hypervisor-level dirty logging before the first full copy so
+	// writes racing the copy are caught by the next round.
+	vm.StartDirtyLogging()
+	defer vm.StopDirtyLogging()
+
+	// Round 0: full copy of every mapped guest frame.
+	all := mappedGPAs(vm)
+	if len(all) == 0 {
+		return nil, stats, ErrNoMemory
+	}
+	if err := sendPages(vm, image, all, perPage, &stats); err != nil {
+		return nil, stats, err
+	}
+
+	// Dirty-only rounds. On convergence the freshly collected (small)
+	// dirty set is carried into the stop-and-copy transfer - dropping it
+	// would ship stale pages.
+	var pending []mem.GPA
+	for round := 1; round <= opts.MaxRounds; round++ {
+		if runBetween != nil {
+			if err := runBetween(round); err != nil {
+				return nil, stats, fmt.Errorf("migration: guest (round %d): %w", round, err)
+			}
+		}
+		dirty, err := vm.CollectDirty()
+		if err != nil {
+			return nil, stats, err
+		}
+		if len(dirty) <= opts.DowntimeTargetPages {
+			stats.Converged = true
+			pending = dirty
+			break
+		}
+		if err := sendPages(vm, image, dirty, perPage, &stats); err != nil {
+			return nil, stats, err
+		}
+	}
+
+	// Stop-and-copy: the guest is paused (no runBetween), transfer the
+	// pending set plus anything dirtied since it was collected. The
+	// transfer time is the migration downtime.
+	down := sim.StartWatch(clock)
+	last, err := vm.CollectDirty()
+	if err != nil {
+		return nil, stats, err
+	}
+	if err := sendPages(vm, image, append(pending, last...), perPage, &stats); err != nil {
+		return nil, stats, err
+	}
+	stats.Downtime = down.Elapsed()
+	stats.TotalTime = total.Elapsed()
+	stats.UniquePages = len(image)
+	return image, stats, nil
+}
+
+// mappedGPAs enumerates the VM's mapped guest frames.
+func mappedGPAs(vm *hypervisor.VM) []mem.GPA {
+	out := make([]mem.GPA, 0, vm.EPT.Mapped())
+	vm.EPT.Range(func(gpa mem.GPA, e ept.Entry) bool {
+		out = append(out, gpa)
+		return true
+	})
+	return out
+}
+
+// sendPages copies the given frames into the image, charging transfer time.
+func sendPages(vm *hypervisor.VM, image map[mem.GPA][]byte, pages []mem.GPA, perPage time.Duration, stats *Stats) error {
+	for _, gpa := range pages {
+		buf := make([]byte, mem.PageSize)
+		if err := vm.VCPU.KernelReadGPA(gpa.PageFloor(), buf); err != nil {
+			return fmt.Errorf("migration: reading %v: %w", gpa, err)
+		}
+		image[gpa.PageFloor()] = buf
+		vm.Clock.Advance(perPage)
+		stats.PagesSent++
+	}
+	stats.Rounds++
+	stats.PerRoundPages = append(stats.PerRoundPages, len(pages))
+	return nil
+}

@@ -1,0 +1,79 @@
+package par
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsAll(t *testing.T) {
+	var hits [100]atomic.Int32
+	err := ForEach(100, 8, func(i int) error {
+		hits[i].Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Fatalf("index %d ran %d times", i, hits[i].Load())
+		}
+	}
+}
+
+func TestForEachEdgeCases(t *testing.T) {
+	if err := ForEach(0, 4, func(int) error { t.Error("ran"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	// workers <= 0 defaults and workers > n clamps.
+	var count atomic.Int32
+	if err := ForEach(3, 0, func(int) error { count.Add(1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != 3 {
+		t.Errorf("ran %d", count.Load())
+	}
+	if err := ForEach(2, 100, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachStopsOnError(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int32
+	err := ForEach(1000, 2, func(i int) error {
+		ran.Add(1)
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran.Load() == 1000 {
+		t.Error("scheduler did not stop after failure")
+	}
+}
+
+func TestMapOrder(t *testing.T) {
+	got, err := Map(50, 4, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("Map[%d] = %d", i, v)
+		}
+	}
+	boom := errors.New("boom")
+	if _, err := Map(10, 2, func(i int) (int, error) {
+		if i == 5 {
+			return 0, boom
+		}
+		return i, nil
+	}); !errors.Is(err, boom) {
+		t.Errorf("Map error = %v", err)
+	}
+}

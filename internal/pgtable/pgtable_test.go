@@ -1,0 +1,185 @@
+package pgtable
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func TestMapLookupUnmap(t *testing.T) {
+	tab := New()
+	gva, gpa := mem.GVA(0x400000), mem.GPA(0x7000)
+	if err := tab.Map(gva, gpa, FlagWritable|FlagUser); err != nil {
+		t.Fatal(err)
+	}
+	pte, ok := tab.Lookup(gva)
+	if !ok || !pte.Present() || !pte.Writable() || pte.GPA() != gpa {
+		t.Fatalf("Lookup = %#x, %v", uint64(pte), ok)
+	}
+	// Offset-preserving translation.
+	got, err := tab.Translate(gva + 123)
+	if err != nil || got != gpa+123 {
+		t.Errorf("Translate = %v, %v", got, err)
+	}
+	if tab.Present() != 1 {
+		t.Errorf("Present = %d", tab.Present())
+	}
+	old, err := tab.Unmap(gva)
+	if err != nil || old.GPA() != gpa {
+		t.Fatalf("Unmap = %#x, %v", uint64(old), err)
+	}
+	if _, ok := tab.Lookup(gva); ok {
+		t.Error("Lookup succeeded after Unmap")
+	}
+	if _, err := tab.Unmap(gva); !errors.Is(err, ErrNotMapped) {
+		t.Errorf("double Unmap: %v", err)
+	}
+}
+
+func TestMapErrors(t *testing.T) {
+	tab := New()
+	if err := tab.Map(0x1001, 0x2000, 0); !errors.Is(err, ErrMisaligned) {
+		t.Errorf("misaligned gva: %v", err)
+	}
+	if err := tab.Map(0x1000, 0x2001, 0); !errors.Is(err, ErrMisaligned) {
+		t.Errorf("misaligned gpa: %v", err)
+	}
+	if err := tab.Map(0x1000, 0x2000, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Map(0x1000, 0x3000, 0); !errors.Is(err, ErrAlreadyMapped) {
+		t.Errorf("remap: %v", err)
+	}
+	if _, err := tab.Translate(0x9000); !errors.Is(err, ErrNotMapped) {
+		t.Errorf("translate unmapped: %v", err)
+	}
+}
+
+func TestFlagUpdates(t *testing.T) {
+	tab := New()
+	gva := mem.GVA(0x5000)
+	if err := tab.Map(gva, 0x1000, FlagWritable); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.SetFlags(gva, FlagDirty|FlagSoftDirty); err != nil {
+		t.Fatal(err)
+	}
+	pte, _ := tab.Lookup(gva)
+	if !pte.Dirty() || !pte.SoftDirty() {
+		t.Errorf("flags not set: %#x", uint64(pte))
+	}
+	if err := tab.ClearFlags(gva, FlagSoftDirty|FlagWritable); err != nil {
+		t.Fatal(err)
+	}
+	pte, _ = tab.Lookup(gva)
+	if pte.SoftDirty() || pte.Writable() || !pte.Dirty() {
+		t.Errorf("flags after clear: %#x", uint64(pte))
+	}
+	// GPA must survive flag churn.
+	if pte.GPA() != 0x1000 {
+		t.Errorf("GPA corrupted: %v", pte.GPA())
+	}
+	if err := tab.SetFlags(0xDEAD000, FlagDirty); !errors.Is(err, ErrNotMapped) {
+		t.Errorf("SetFlags unmapped: %v", err)
+	}
+}
+
+func TestRangeOrderAndSpan(t *testing.T) {
+	tab := New()
+	addrs := []mem.GVA{0x9000, 0x2000, 0x401000, 0x3000}
+	for i, a := range addrs {
+		if err := tab.Map(a, mem.GPA(0x1000*(i+1)), FlagWritable); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []mem.GVA
+	tab.Range(func(gva mem.GVA, pte PTE) bool {
+		got = append(got, gva)
+		return true
+	})
+	want := []mem.GVA{0x2000, 0x3000, 0x9000, 0x401000}
+	if len(got) != len(want) {
+		t.Fatalf("Range visited %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Range order %v, want %v", got, want)
+		}
+	}
+	// Early stop.
+	count := 0
+	tab.Range(func(mem.GVA, PTE) bool { count++; return false })
+	if count != 1 {
+		t.Errorf("Range after false: %d visits", count)
+	}
+	// Span restriction.
+	var span []mem.GVA
+	tab.RangeSpan(0x3000, 0xA000, func(gva mem.GVA, pte PTE) bool {
+		span = append(span, gva)
+		return true
+	})
+	if len(span) != 2 || span[0] != 0x3000 || span[1] != 0x9000 {
+		t.Errorf("RangeSpan = %v", span)
+	}
+}
+
+func TestReverseLookup(t *testing.T) {
+	tab := New()
+	if err := tab.Map(0x7000, 0x42000, FlagWritable); err != nil {
+		t.Fatal(err)
+	}
+	gva, ok := tab.ReverseLookup(0x42123)
+	if !ok || gva != 0x7123 {
+		t.Errorf("ReverseLookup = %v, %v", gva, ok)
+	}
+	if _, ok := tab.ReverseLookup(0x99000); ok {
+		t.Error("ReverseLookup found unmapped frame")
+	}
+}
+
+// TestQuickMapTranslateRoundTrip: for random page-aligned pairs, mapping
+// then translating any offset returns gpa+offset.
+func TestQuickMapTranslateRoundTrip(t *testing.T) {
+	tab := New()
+	used := map[mem.GVA]bool{}
+	prop := func(page uint32, frame uint32, off uint16) bool {
+		gva := mem.GVA(page) << mem.PageShift
+		gpa := mem.GPA(frame) << mem.PageShift
+		o := uint64(off) & mem.PageMask
+		if used[gva] {
+			return true // skip collisions
+		}
+		used[gva] = true
+		if err := tab.Map(gva, gpa, FlagWritable); err != nil {
+			return false
+		}
+		got, err := tab.Translate(gva.Add(o))
+		return err == nil && got == gpa+mem.GPA(o)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHighCanonicalAddresses exercises the upper half of the 48-bit space.
+func TestHighCanonicalAddresses(t *testing.T) {
+	tab := New()
+	gva := mem.GVA(0x0000_7FFF_FFFF_F000)
+	if err := tab.Map(gva, 0x1000, FlagWritable); err != nil {
+		t.Fatal(err)
+	}
+	pte, ok := tab.Lookup(gva)
+	if !ok || pte.GPA() != 0x1000 {
+		t.Fatalf("high address lookup failed: %v %v", pte, ok)
+	}
+	found := false
+	tab.Range(func(g mem.GVA, _ PTE) bool {
+		found = g == gva
+		return true
+	})
+	if !found {
+		t.Error("Range missed high address")
+	}
+}

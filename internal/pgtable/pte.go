@@ -1,0 +1,56 @@
+// Package pgtable implements an x86-64-style 4-level guest page table
+// mapping guest virtual addresses (GVA) to guest physical addresses (GPA).
+//
+// The flag layout follows the hardware PTE format where it matters to the
+// paper: Present, Writable, Accessed and Dirty occupy their architectural
+// bit positions, and the Linux-specific soft-dirty bit sits at bit 55,
+// which is exactly the bit /proc/PID/pagemap exposes to userspace (§III-B).
+package pgtable
+
+import "repro/internal/mem"
+
+// PTE is a page table entry: flags plus the mapped guest frame number.
+type PTE uint64
+
+// Architectural and software PTE bits.
+const (
+	FlagPresent  PTE = 1 << 0 // P: page is mapped
+	FlagWritable PTE = 1 << 1 // R/W: writes allowed
+	FlagUser     PTE = 1 << 2 // U/S: userspace accessible
+	FlagAccessed PTE = 1 << 5 // A: set by the MMU on any access
+	FlagDirty    PTE = 1 << 6 // D: set by the MMU on write
+	// FlagUfdWP marks a page write-protected by userfaultfd rather than by
+	// the soft-dirty mechanism; the fault handler dispatches on it.
+	FlagUfdWP PTE = 1 << 58
+	// FlagSoftDirty is Linux's software dirty bit, reported to userspace as
+	// bit 55 of a /proc/PID/pagemap entry.
+	FlagSoftDirty PTE = 1 << 55
+
+	addrMask PTE = 0x000F_FFFF_FFFF_F000 // bits 12..51 hold the frame base
+)
+
+// Present reports whether the entry maps a page.
+func (p PTE) Present() bool { return p&FlagPresent != 0 }
+
+// Writable reports whether writes are allowed.
+func (p PTE) Writable() bool { return p&FlagWritable != 0 }
+
+// Accessed reports the architectural accessed bit.
+func (p PTE) Accessed() bool { return p&FlagAccessed != 0 }
+
+// Dirty reports the architectural dirty bit.
+func (p PTE) Dirty() bool { return p&FlagDirty != 0 }
+
+// SoftDirty reports the Linux soft-dirty bit (pagemap bit 55).
+func (p PTE) SoftDirty() bool { return p&FlagSoftDirty != 0 }
+
+// UfdWriteProtected reports whether userfaultfd write-protected the page.
+func (p PTE) UfdWriteProtected() bool { return p&FlagUfdWP != 0 }
+
+// GPA returns the guest physical base address the entry maps.
+func (p PTE) GPA() mem.GPA { return mem.GPA(p & addrMask) }
+
+// WithGPA returns the entry remapped to the (page-aligned) gpa.
+func (p PTE) WithGPA(gpa mem.GPA) PTE {
+	return (p &^ addrMask) | (PTE(gpa) & addrMask)
+}

@@ -1,0 +1,219 @@
+package pgtable
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Errors returned by Table operations.
+var (
+	ErrNotMapped     = errors.New("pgtable: address not mapped")
+	ErrAlreadyMapped = errors.New("pgtable: address already mapped")
+	ErrMisaligned    = errors.New("pgtable: address not page aligned")
+)
+
+// Levels is the depth of the radix tree (PML4 -> PDPT -> PD -> PT).
+const Levels = 4
+
+const (
+	indexBits = 9
+	fanout    = 1 << indexBits // 512 entries per level, as on x86-64
+	indexMask = fanout - 1
+)
+
+// node is one 512-entry page table page. Leaf nodes hold PTEs in entries;
+// interior nodes hold child pointers.
+type node struct {
+	entries  [fanout]PTE
+	children [fanout]*node
+	live     int // number of present entries/children, for pruning
+}
+
+// Table is a 4-level guest page table. The zero value is not usable; create
+// tables with New. Table is not safe for concurrent use: in the simulation
+// a page table belongs to exactly one guest process on one vCPU.
+type Table struct {
+	root    *node
+	present int   // number of mapped pages
+	walkOps int64 // cumulative levels touched, for cost accounting
+	Walks   int64 // number of full translations performed
+}
+
+// New returns an empty page table.
+func New() *Table { return &Table{root: &node{}} }
+
+// indexAt extracts the radix index for the given level (0 = root).
+func indexAt(gva mem.GVA, level int) int {
+	shift := mem.PageShift + indexBits*(Levels-1-level)
+	return int(uint64(gva)>>shift) & indexMask
+}
+
+// walk descends to the leaf node for gva. When alloc is true, missing
+// interior nodes are created. Returns the leaf node and the final index,
+// or nil when the path does not exist.
+func (t *Table) walk(gva mem.GVA, alloc bool) (*node, int) {
+	n := t.root
+	t.Walks++
+	for level := 0; level < Levels-1; level++ {
+		t.walkOps++
+		idx := indexAt(gva, level)
+		child := n.children[idx]
+		if child == nil {
+			if !alloc {
+				return nil, 0
+			}
+			child = &node{}
+			n.children[idx] = child
+			n.live++
+		}
+		n = child
+	}
+	t.walkOps++
+	return n, indexAt(gva, Levels-1)
+}
+
+// WalkOps returns the cumulative number of page-table levels touched, an
+// input to walk-cost accounting, and resets the counter.
+func (t *Table) WalkOps() int64 {
+	v := t.walkOps
+	t.walkOps = 0
+	return v
+}
+
+// Map installs a translation gva -> gpa with the given flags (FlagPresent is
+// implied). Both addresses must be page aligned and the slot must be free.
+func (t *Table) Map(gva mem.GVA, gpa mem.GPA, flags PTE) error {
+	if gva.PageOffset() != 0 || gpa.PageOffset() != 0 {
+		return fmt.Errorf("%w: map %v -> %v", ErrMisaligned, gva, gpa)
+	}
+	leaf, idx := t.walk(gva, true)
+	if leaf.entries[idx].Present() {
+		return fmt.Errorf("%w: %v", ErrAlreadyMapped, gva)
+	}
+	leaf.entries[idx] = (flags | FlagPresent).WithGPA(gpa)
+	leaf.live++
+	t.present++
+	return nil
+}
+
+// Unmap removes the translation for gva and returns the old entry.
+func (t *Table) Unmap(gva mem.GVA) (PTE, error) {
+	leaf, idx := t.walk(gva.PageFloor(), false)
+	if leaf == nil || !leaf.entries[idx].Present() {
+		return 0, fmt.Errorf("%w: %v", ErrNotMapped, gva)
+	}
+	old := leaf.entries[idx]
+	leaf.entries[idx] = 0
+	leaf.live--
+	t.present--
+	return old, nil
+}
+
+// Lookup returns the PTE covering gva, without modifying flags.
+func (t *Table) Lookup(gva mem.GVA) (PTE, bool) {
+	leaf, idx := t.walk(gva.PageFloor(), false)
+	if leaf == nil {
+		return 0, false
+	}
+	pte := leaf.entries[idx]
+	return pte, pte.Present()
+}
+
+// Update applies fn to the PTE covering gva and stores the result. It
+// returns ErrNotMapped when the page is absent.
+func (t *Table) Update(gva mem.GVA, fn func(PTE) PTE) error {
+	leaf, idx := t.walk(gva.PageFloor(), false)
+	if leaf == nil || !leaf.entries[idx].Present() {
+		return fmt.Errorf("%w: %v", ErrNotMapped, gva)
+	}
+	leaf.entries[idx] = fn(leaf.entries[idx])
+	return nil
+}
+
+// SetFlags ORs flags into the PTE covering gva.
+func (t *Table) SetFlags(gva mem.GVA, flags PTE) error {
+	return t.Update(gva, func(p PTE) PTE { return p | flags })
+}
+
+// ClearFlags removes flags from the PTE covering gva.
+func (t *Table) ClearFlags(gva mem.GVA, flags PTE) error {
+	return t.Update(gva, func(p PTE) PTE { return p &^ flags })
+}
+
+// Translate converts any gva to the corresponding gpa, honouring the page
+// offset. It does not touch accessed/dirty bits (the MMU in package cpu
+// does that).
+func (t *Table) Translate(gva mem.GVA) (mem.GPA, error) {
+	pte, ok := t.Lookup(gva)
+	if !ok {
+		return 0, fmt.Errorf("%w: %v", ErrNotMapped, gva)
+	}
+	return pte.GPA() + mem.GPA(gva.PageOffset()), nil
+}
+
+// Present returns the number of mapped pages.
+func (t *Table) Present() int { return t.present }
+
+// Range calls fn for every present page, in ascending GVA order, until fn
+// returns false. It reports whether the iteration ran to completion.
+func (t *Table) Range(fn func(gva mem.GVA, pte PTE) bool) bool {
+	return rangeNode(t.root, 0, 0, fn)
+}
+
+func rangeNode(n *node, level int, base uint64, fn func(mem.GVA, PTE) bool) bool {
+	shift := mem.PageShift + indexBits*(Levels-1-level)
+	if level == Levels-1 {
+		for i := 0; i < fanout; i++ {
+			if pte := n.entries[i]; pte.Present() {
+				if !fn(mem.GVA(base|uint64(i)<<shift), pte) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for i := 0; i < fanout; i++ {
+		if child := n.children[i]; child != nil {
+			if !rangeNode(child, level+1, base|uint64(i)<<shift, fn) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// RangeSpan is like Range but restricted to [start, end).
+func (t *Table) RangeSpan(start, end mem.GVA, fn func(gva mem.GVA, pte PTE) bool) {
+	t.Range(func(gva mem.GVA, pte PTE) bool {
+		if gva < start.PageFloor() {
+			return true
+		}
+		if gva >= end {
+			return false
+		}
+		return fn(gva, pte)
+	})
+}
+
+// ReverseLookup scans the whole table for the page mapping gpa's frame and
+// returns its GVA. This is the expensive operation SPML must perform for
+// every logged GPA (the paper's M17); the scan cost is charged by the
+// caller from the cost model, but the work here is real.
+func (t *Table) ReverseLookup(gpa mem.GPA) (mem.GVA, bool) {
+	target := gpa.PageFloor()
+	var found mem.GVA
+	ok := false
+	t.Range(func(gva mem.GVA, pte PTE) bool {
+		if pte.GPA() == target {
+			found, ok = gva, true
+			return false
+		}
+		return true
+	})
+	if !ok {
+		return 0, false
+	}
+	return found + mem.GVA(gpa.PageOffset()), true
+}

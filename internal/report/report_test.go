@@ -1,0 +1,68 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("Caption here", "Name", "Value")
+	tab.AddRow("alpha", 42)
+	tab.AddRow("beta-long-name", time.Millisecond)
+	tab.AddRow("gamma", 3.14159)
+	tab.AddNote("a note with %d placeholders", 1)
+	out := tab.Render()
+	for _, want := range []string{"Caption here", "Name", "alpha", "42",
+		"beta-long-name", "1.000ms", "3.14", "note: a note with 1 placeholders"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Columns align: every data line is at least as wide as the header.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 6 {
+		t.Fatalf("render has %d lines", len(lines))
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	cases := []struct {
+		in   time.Duration
+		want string
+	}{
+		{0, "0"},
+		{500 * time.Nanosecond, "500ns"},
+		{1500 * time.Nanosecond, "1.50us"},
+		{2500 * time.Microsecond, "2.500ms"},
+		{3 * time.Second, "3.000s"},
+	}
+	for _, c := range cases {
+		if got := FormatDuration(c.in); got != c.want {
+			t.Errorf("FormatDuration(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if got := FormatPercent(12.34); got != "12.3%" {
+		t.Errorf("FormatPercent = %q", got)
+	}
+	if got := FormatFactor(2.5); got != "2.50x" {
+		t.Errorf("FormatFactor = %q", got)
+	}
+	cases := []struct {
+		in   uint64
+		want string
+	}{
+		{512, "512B"},
+		{2048, "2KB"},
+		{5 << 20, "5MB"},
+		{3 << 30, "3.0GB"},
+	}
+	for _, c := range cases {
+		if got := FormatBytes(c.in); got != c.want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+// Package report renders the experiment results as aligned ASCII tables,
+// one per paper table or figure, so `oohbench` output can be compared side
+// by side with the paper.
+package report
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Table is a simple rows-and-columns result with a caption.
+type Table struct {
+	Caption string
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// NewTable returns an empty table.
+func NewTable(caption string, headers ...string) *Table {
+	return &Table{Caption: caption, Headers: headers}
+}
+
+// AddRow appends a row; values are stringified with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case time.Duration:
+			row[i] = FormatDuration(v)
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddNote appends a free-text note rendered under the table.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render produces the aligned ASCII form.
+func (t *Table) Render() string {
+	var b strings.Builder
+	if t.Caption != "" {
+		fmt.Fprintf(&b, "%s\n", t.Caption)
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// FormatDuration renders a duration with sensible units for the tables.
+func FormatDuration(d time.Duration) string {
+	switch {
+	case d == 0:
+		return "0"
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.2fus", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.3fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	}
+}
+
+// FormatPercent renders an overhead percentage.
+func FormatPercent(v float64) string { return fmt.Sprintf("%.1f%%", v) }
+
+// FormatFactor renders a slowdown/speedup factor.
+func FormatFactor(v float64) string { return fmt.Sprintf("%.2fx", v) }
+
+// FormatBytes renders a byte size in MB with the paper's units.
+func FormatBytes(b uint64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.0fMB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.0fKB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", b)
+}

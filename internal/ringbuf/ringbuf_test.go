@@ -1,0 +1,156 @@
+package ringbuf
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestPushPopFIFO(t *testing.T) {
+	r := New(8)
+	for i := uint64(0); i < 8; i++ {
+		if !r.Push(i) {
+			t.Fatalf("Push(%d) rejected on non-full ring", i)
+		}
+	}
+	if r.Push(99) {
+		t.Error("Push succeeded on full ring")
+	}
+	if r.Dropped() != 1 {
+		t.Errorf("Dropped = %d, want 1", r.Dropped())
+	}
+	for i := uint64(0); i < 8; i++ {
+		v, ok := r.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop = (%d,%v), want (%d,true)", v, ok, i)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Error("Pop succeeded on empty ring")
+	}
+}
+
+func TestCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{{1, 1}, {2, 2}, {3, 4}, {5, 8}, {1000, 1024}} {
+		if got := New(tc.in).Cap(); got != tc.want {
+			t.Errorf("New(%d).Cap() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestInvalidCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+func TestDrainAndReset(t *testing.T) {
+	r := New(16)
+	for i := uint64(0); i < 10; i++ {
+		r.Push(i * 3)
+	}
+	got := r.Drain(nil)
+	if len(got) != 10 || got[0] != 0 || got[9] != 27 {
+		t.Errorf("Drain = %v", got)
+	}
+	if r.Len() != 0 {
+		t.Errorf("Len after Drain = %d", r.Len())
+	}
+	r.Push(1)
+	r.Reset()
+	if r.Len() != 0 || r.Dropped() != 0 {
+		t.Error("Reset did not clear state")
+	}
+}
+
+// TestWrapAround exercises index wrap far past the capacity.
+func TestWrapAround(t *testing.T) {
+	r := New(4)
+	for round := uint64(0); round < 1000; round++ {
+		if !r.Push(round) {
+			t.Fatalf("Push rejected at round %d", round)
+		}
+		v, ok := r.Pop()
+		if !ok || v != round {
+			t.Fatalf("round %d: got (%d,%v)", round, v, ok)
+		}
+	}
+}
+
+// TestConcurrentSPSC proves the lock-free property: one producer and one
+// consumer running concurrently neither lose, duplicate nor reorder
+// entries. (Rejected pushes on a momentarily full ring are expected and
+// retried; they count as drops by design.)
+func TestConcurrentSPSC(t *testing.T) {
+	r := New(64)
+	const n = 20000
+	var got []uint64
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // producer
+		defer wg.Done()
+		for i := uint64(1); i <= n; {
+			if r.Push(i) {
+				i++
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}()
+	go func() { // consumer
+		defer wg.Done()
+		for len(got) < n {
+			if v, ok := r.Pop(); ok {
+				got = append(got, v)
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}()
+	wg.Wait()
+	if len(got) != n {
+		t.Fatalf("consumed %d entries, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != uint64(i+1) {
+			t.Fatalf("entry %d = %d, want %d (reorder/duplicate)", i, v, i+1)
+		}
+	}
+}
+
+// TestQuickSequences drives random push/pop sequences against a slice
+// model.
+func TestQuickSequences(t *testing.T) {
+	prop := func(ops []uint16) bool {
+		r := New(32)
+		var model []uint64
+		for _, op := range ops {
+			if op%3 != 0 { // push twice as often as pop
+				v := uint64(op)
+				if r.Push(v) {
+					model = append(model, v)
+				} else if len(model) < 32 {
+					return false // rejected while model says not full
+				}
+			} else {
+				v, ok := r.Pop()
+				if ok {
+					if len(model) == 0 || model[0] != v {
+						return false
+					}
+					model = model[1:]
+				} else if len(model) != 0 {
+					return false // empty while model says not empty
+				}
+			}
+		}
+		return r.Len() == len(model)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

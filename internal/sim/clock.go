@@ -1,0 +1,60 @@
+// Package sim provides the deterministic virtual-time substrate used by the
+// whole OoH simulator: a virtual clock, named event counters and a seeded
+// pseudo-random number generator.
+//
+// All simulated components (vCPU, hypervisor, guest kernel, trackers) share
+// one Clock per virtual machine. Every simulated action advances the clock
+// by a model-derived duration, which makes every experiment bit-for-bit
+// reproducible regardless of host load.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Clock is a virtual clock measured in nanoseconds. The zero value is a
+// clock at time zero, ready to use. Clock is not safe for concurrent use;
+// each simulated VM owns exactly one goroutine and one Clock.
+type Clock struct {
+	now int64 // virtual nanoseconds since simulation start
+}
+
+// Now returns the current virtual time as a duration since simulation start.
+func (c *Clock) Now() time.Duration { return time.Duration(c.now) }
+
+// Nanos returns the current virtual time in nanoseconds.
+func (c *Clock) Nanos() int64 { return c.now }
+
+// Advance moves virtual time forward by d. Negative durations panic: time
+// in the simulation never moves backwards.
+func (c *Clock) Advance(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: clock moved backwards by %v", d))
+	}
+	c.now += int64(d)
+}
+
+// AdvanceNanos moves virtual time forward by n nanoseconds.
+func (c *Clock) AdvanceNanos(n int64) {
+	if n < 0 {
+		panic(fmt.Sprintf("sim: clock moved backwards by %dns", n))
+	}
+	c.now += n
+}
+
+// Reset rewinds the clock to zero. It is intended for reusing a machine
+// between experiment runs.
+func (c *Clock) Reset() { c.now = 0 }
+
+// Stopwatch measures a span of virtual time on a Clock.
+type Stopwatch struct {
+	c     *Clock
+	start int64
+}
+
+// StartWatch begins measuring virtual time on c.
+func StartWatch(c *Clock) Stopwatch { return Stopwatch{c: c, start: c.now} }
+
+// Elapsed reports the virtual time accumulated since the watch started.
+func (s Stopwatch) Elapsed() time.Duration { return time.Duration(s.c.now - s.start) }

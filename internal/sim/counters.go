@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Counters is a set of named event counters used throughout the simulator
+// to record how often each modelled event occurred (page faults, vmexits,
+// hypercalls, ...). The zero value is ready to use. Counters is not safe
+// for concurrent use.
+type Counters struct {
+	m map[string]int64
+}
+
+// Add increments the named counter by n.
+func (c *Counters) Add(name string, n int64) {
+	if c.m == nil {
+		c.m = make(map[string]int64)
+	}
+	c.m[name] += n
+}
+
+// Inc increments the named counter by one.
+func (c *Counters) Inc(name string) { c.Add(name, 1) }
+
+// Get returns the value of the named counter (zero if never incremented).
+func (c *Counters) Get(name string) int64 { return c.m[name] }
+
+// Reset clears all counters.
+func (c *Counters) Reset() { c.m = nil }
+
+// Names returns the sorted list of counter names that have been touched.
+func (c *Counters) Names() []string {
+	names := make([]string, 0, len(c.m))
+	for k := range c.m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Snapshot returns a copy of all counters.
+func (c *Counters) Snapshot() map[string]int64 {
+	out := make(map[string]int64, len(c.m))
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
+}
+
+// Merge adds every counter from other into c.
+func (c *Counters) Merge(other *Counters) {
+	for k, v := range other.m {
+		c.Add(k, v)
+	}
+}
+
+// String renders the counters as "name=value" pairs sorted by name.
+func (c *Counters) String() string {
+	var b strings.Builder
+	for i, name := range c.Names() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", name, c.m[name])
+	}
+	return b.String()
+}

@@ -1,0 +1,85 @@
+package spp
+
+import (
+	"fmt"
+
+	"repro/internal/guestos"
+	"repro/internal/mem"
+)
+
+// GuardHeap is the paper's motivating SPP use case (§III-D): a secure heap
+// allocator that places a write-protected guard after every allocation to
+// detect buffer overflows synchronously.
+//
+// With classic guard *pages*, each allocation wastes up to 4 KiB; with
+// OoH-SPP guard *sub-pages* the waste is one 128-byte sub-page - the
+// paper's promised 32x reduction. The allocator is a bump allocator (like
+// electric-fence-style debug allocators) so each guard sits immediately
+// after its block.
+type GuardHeap struct {
+	Mon *Monitor
+
+	region guestos.Region
+	next   mem.GVA
+
+	// Allocs counts live allocations; GuardBytes the memory spent on
+	// guards (the waste metric the paper wants reduced by 32x).
+	Allocs     int
+	GuardBytes uint64
+
+	// UsePages falls back to full guard pages (the baseline the paper
+	// compares against).
+	UsePages bool
+}
+
+// NewGuardHeap builds a guarded allocator over size bytes of fresh address
+// space in the monitor's process.
+func NewGuardHeap(mon *Monitor, size uint64, usePages bool) (*GuardHeap, error) {
+	region, err := mon.Proc.Mmap(size, true)
+	if err != nil {
+		return nil, err
+	}
+	return &GuardHeap{Mon: mon, region: region, next: region.Start, UsePages: usePages}, nil
+}
+
+// guardSize returns this heap's per-allocation guard footprint.
+func (h *GuardHeap) guardSize() uint64 {
+	if h.UsePages {
+		return mem.PageSize
+	}
+	return SubPageSize
+}
+
+// Alloc returns a block of n bytes followed immediately by a write-
+// protected guard. The block is right-aligned against its guard (the
+// electric-fence layout), so even a one-byte overflow lands in the guard
+// and faults synchronously.
+func (h *GuardHeap) Alloc(n uint64) (mem.GVA, error) {
+	align := h.guardSize()
+	slot := (n + 7) &^ 7 // 8-byte-aligned block span
+	// The guard must start on its own granularity boundary.
+	guard := (uint64(h.next) + slot + align - 1) &^ (align - 1)
+	end := guard + h.guardSize()
+	if mem.GVA(end) > h.region.End {
+		return 0, fmt.Errorf("spp: guard heap exhausted (%d bytes left, need %d)",
+			uint64(h.region.End-h.next), end-uint64(h.next))
+	}
+	addr := mem.GVA(guard - slot)
+	if _, err := h.Mon.ProtectRange(mem.GVA(guard), h.guardSize()); err != nil {
+		return 0, err
+	}
+	h.next = mem.GVA(end)
+	h.Allocs++
+	h.GuardBytes += h.guardSize()
+	return addr, nil
+}
+
+// Free lifts the guard of the block at addr with the given requested size.
+// (A bump allocator does not recycle; Free exists to retire guards.)
+func (h *GuardHeap) Free(addr mem.GVA, n uint64) error {
+	slot := (n + 7) &^ 7
+	return h.Mon.UnprotectRange(addr.Add(slot), h.guardSize())
+}
+
+// Waste reports the bytes consumed by guards so far.
+func (h *GuardHeap) Waste() uint64 { return h.GuardBytes }

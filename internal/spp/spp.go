@@ -1,0 +1,172 @@
+// Package spp implements OoH for Intel SPP (Sub-Page write Permission),
+// the second hardware virtualization feature the paper proposes exposing
+// to guest userspace (§III-D).
+//
+// SPP refines EPT write permission from 4 KiB pages to 128-byte sub-pages:
+// each guest frame carries a 32-bit write-permission mask. The paper's
+// motivating use case is secure heap allocators: guard *sub-pages* instead
+// of guard pages detect overflows synchronously while wasting 1/32 the
+// memory. This package provides the SPP table (hardware model), the OoH
+// monitor that exposes per-sub-page protection of a process's virtual
+// memory to userspace, and a guard-sub-page heap allocator built on it.
+package spp
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/guestos"
+	"repro/internal/mem"
+)
+
+// Sub-page geometry (Intel SPP: 128-byte sub-pages, 32 per 4 KiB page).
+const (
+	SubPageSize  = 128
+	SubPagesPage = mem.PageSize / SubPageSize // 32
+)
+
+// Errors returned by the monitor and the guard heap.
+var (
+	ErrOverflow     = errors.New("spp: write into a guarded sub-page (overflow detected)")
+	ErrNotProtected = errors.New("spp: sub-page was not protected")
+)
+
+// Table is the hypervisor-level SPP state: per guest frame, a 32-bit mask
+// with bit i set when sub-page i is WRITE-PROTECTED (absent frames are
+// fully writable, matching SPP being off for them).
+type Table struct {
+	masks map[uint64]uint32
+}
+
+// NewTable returns an empty SPP table.
+func NewTable() *Table { return &Table{masks: make(map[uint64]uint32)} }
+
+// subIndex returns the sub-page index of a physical address.
+func subIndex(gpa mem.GPA) uint { return uint(gpa.PageOffset() / SubPageSize) }
+
+// Protect write-protects the sub-page containing gpa.
+func (t *Table) Protect(gpa mem.GPA) {
+	t.masks[gpa.Page()] |= 1 << subIndex(gpa)
+}
+
+// Unprotect restores write access to the sub-page containing gpa.
+func (t *Table) Unprotect(gpa mem.GPA) {
+	page := gpa.Page()
+	if m, ok := t.masks[page]; ok {
+		m &^= 1 << subIndex(gpa)
+		if m == 0 {
+			delete(t.masks, page)
+		} else {
+			t.masks[page] = m
+		}
+	}
+}
+
+// WriteAllowed reports whether a write to gpa is permitted; this is the
+// predicate the CPU's walk consults (cpu.VCPU.SPPCheck).
+func (t *Table) WriteAllowed(gpa mem.GPA) bool {
+	m, ok := t.masks[gpa.Page()]
+	if !ok {
+		return true
+	}
+	return m&(1<<subIndex(gpa)) == 0
+}
+
+// ProtectedSubPages counts currently protected sub-pages.
+func (t *Table) ProtectedSubPages() int {
+	n := 0
+	for _, m := range t.masks {
+		for ; m != 0; m &= m - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// ViolationHandler receives synchronous overflow notifications: the guest
+// virtual address of the blocked write.
+type ViolationHandler func(gva mem.GVA)
+
+// Monitor is the OoH-SPP facility for one process: it translates virtual
+// sub-page protections into SPP table entries and delivers violations to
+// a userspace handler, synchronously, like a guard page would - but 32x
+// finer.
+type Monitor struct {
+	Proc    *guestos.Process
+	Table   *Table
+	Handler ViolationHandler
+
+	// Violations counts blocked writes.
+	Violations int
+}
+
+// NewMonitor installs OoH-SPP for proc: the SPP table is created and wired
+// into the vCPU's write path. Only one monitor per vCPU is supported (like
+// PML, SPP is a per-VM hardware resource multiplexed by the kernel).
+func NewMonitor(proc *guestos.Process) *Monitor {
+	m := &Monitor{Proc: proc, Table: NewTable()}
+	v := proc.Kernel().VCPU
+	v.SPPCheck = m.Table.WriteAllowed
+	v.SPPViolation = m.violation
+	return m
+}
+
+// Close detaches the monitor from the vCPU.
+func (m *Monitor) Close() {
+	v := m.Proc.Kernel().VCPU
+	v.SPPCheck = nil
+	v.SPPViolation = nil
+}
+
+// violation implements the CPU callback: record, notify, abort the write.
+func (m *Monitor) violation(gva mem.GVA, gpa mem.GPA) error {
+	m.Violations++
+	if m.Handler != nil {
+		m.Handler(gva)
+	}
+	return fmt.Errorf("%w: at %v", ErrOverflow, gva)
+}
+
+// translate resolves a virtual address to its guest physical sub-page.
+func (m *Monitor) translate(gva mem.GVA) (mem.GPA, error) {
+	gpa, err := m.Proc.PT.Translate(gva)
+	if err != nil {
+		// Touch the page (zero write) to populate it, then retry.
+		if werr := m.Proc.WriteU64(gva.PageFloor(), 0); werr != nil {
+			return 0, werr
+		}
+		gpa, err = m.Proc.PT.Translate(gva)
+	}
+	return gpa, err
+}
+
+// ProtectRange write-protects every 128-byte sub-page fully covered by
+// [gva, gva+n) and returns how many sub-pages were protected.
+func (m *Monitor) ProtectRange(gva mem.GVA, n uint64) (int, error) {
+	count := 0
+	start := (uint64(gva) + SubPageSize - 1) &^ (SubPageSize - 1)
+	end := (uint64(gva) + n) &^ (SubPageSize - 1)
+	for a := start; a < end; a += SubPageSize {
+		gpa, err := m.translate(mem.GVA(a))
+		if err != nil {
+			return count, err
+		}
+		m.Table.Protect(gpa)
+		count++
+	}
+	return count, nil
+}
+
+// UnprotectRange removes protection from the sub-pages covered by the range.
+func (m *Monitor) UnprotectRange(gva mem.GVA, n uint64) error {
+	start := (uint64(gva) + SubPageSize - 1) &^ (SubPageSize - 1)
+	end := (uint64(gva) + n) &^ (SubPageSize - 1)
+	for a := start; a < end; a += SubPageSize {
+		gpa, err := m.translate(mem.GVA(a))
+		if err != nil {
+			return err
+		}
+		m.Table.Unprotect(gpa)
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package tracking
+
+import (
+	"repro/internal/costmodel"
+	"repro/internal/cpu"
+	"repro/internal/guestos"
+	"repro/internal/mem"
+)
+
+// OracleTechnique is the paper's hypothetical zero-cost tracker (§VI-B):
+// E(C_oracle) = 0 and it inflicts nothing on the tracked process. It hooks
+// the simulator's write observer, which charges no virtual time, and is
+// the ground truth the property-based completeness tests compare real
+// techniques against.
+type OracleTechnique struct {
+	vcpu  *cpu.VCPU
+	proc  *guestos.Process
+	dirty map[mem.GVA]struct{}
+	order []mem.GVA
+	prev  func(mem.GVA)
+	stats Stats
+}
+
+// NewOracle returns the oracle technique for the process.
+func NewOracle(proc *guestos.Process) *OracleTechnique {
+	return &OracleTechnique{
+		vcpu:  proc.Kernel().VCPU,
+		proc:  proc,
+		dirty: make(map[mem.GVA]struct{}),
+	}
+}
+
+// Name implements Technique.
+func (t *OracleTechnique) Name() string { return "oracle" }
+
+// Kind implements Technique.
+func (t *OracleTechnique) Kind() costmodel.Technique { return costmodel.Oracle }
+
+// Init implements Technique: chain onto the vCPU's write hook.
+func (t *OracleTechnique) Init() error {
+	t.prev = t.vcpu.WriteHook
+	prev := t.prev
+	t.vcpu.WriteHook = func(gva mem.GVA) {
+		if prev != nil {
+			prev(gva)
+		}
+		if t.proc.Kernel().Current() != t.proc {
+			return
+		}
+		if _, dup := t.dirty[gva]; !dup {
+			t.dirty[gva] = struct{}{}
+			t.order = append(t.order, gva)
+		}
+	}
+	return nil
+}
+
+// Collect implements Technique.
+func (t *OracleTechnique) Collect() ([]mem.GVA, error) {
+	out := make([]mem.GVA, len(t.order))
+	copy(out, t.order)
+	t.order = t.order[:0]
+	t.dirty = make(map[mem.GVA]struct{})
+	t.stats.Collections++
+	t.stats.Reported += int64(len(out))
+	return out, nil
+}
+
+// Close implements Technique: unchain the hook.
+func (t *OracleTechnique) Close() error {
+	t.vcpu.WriteHook = t.prev
+	return nil
+}
+
+// Stats implements Technique.
+func (t *OracleTechnique) Stats() Stats { return t.stats }

@@ -1,0 +1,93 @@
+package tracking
+
+import (
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/guestos"
+	"repro/internal/mem"
+)
+
+// PMLTechnique adapts an OoH session (SPML or EPML, per the module's mode)
+// to the Technique interface. The heavy lifting - hypercalls, ring drains,
+// reverse mapping - lives in internal/core; this adapter only does phase
+// accounting.
+type PMLTechnique struct {
+	lib     *core.Lib
+	pid     guestos.Pid
+	session *core.Session
+	stats   Stats
+	w       watch
+
+	// ReuseReverseIndex enables the SPML reverse-index cache (set before
+	// Init). Boehm's integration uses it (paper footnote 2); CRIU's does
+	// not.
+	ReuseReverseIndex bool
+}
+
+// NewPML returns the SPML or EPML technique (depending on how the module
+// was loaded) for pid.
+func NewPML(lib *core.Lib, pid guestos.Pid) *PMLTechnique {
+	return &PMLTechnique{lib: lib, pid: pid, w: watch{clock: lib.Module().K.Clock}}
+}
+
+// Name implements Technique.
+func (t *PMLTechnique) Name() string { return t.lib.Module().Mode.String() }
+
+// Kind implements Technique.
+func (t *PMLTechnique) Kind() costmodel.Technique {
+	if t.lib.Module().Mode == core.ModeSPML {
+		return costmodel.SPML
+	}
+	return costmodel.EPML
+}
+
+// Init implements Technique: open an OoH session (ioctl + hypercall).
+func (t *PMLTechnique) Init() error {
+	return t.w.measure(&t.stats.InitTime, func() error {
+		s, err := t.lib.Open(t.pid)
+		if err != nil {
+			return err
+		}
+		s.ReuseReverseIndex = t.ReuseReverseIndex
+		t.session = s
+		return nil
+	})
+}
+
+// Collect implements Technique: fetch from the ring (and reverse-map for
+// SPML).
+func (t *PMLTechnique) Collect() ([]mem.GVA, error) {
+	var out []mem.GVA
+	err := t.w.measure(&t.stats.CollectTime, func() error {
+		var err error
+		out, err = t.session.Fetch()
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.stats.Collections++
+	t.stats.Reported += int64(len(out))
+	return out, nil
+}
+
+// LastBreakdown exposes the Fig. 3 decomposition of the last Collect.
+func (t *PMLTechnique) LastBreakdown() core.FetchBreakdown {
+	if t.session == nil {
+		return core.FetchBreakdown{}
+	}
+	return t.session.LastBreakdown
+}
+
+// Close implements Technique.
+func (t *PMLTechnique) Close() error {
+	if t.session == nil {
+		return nil
+	}
+	return t.w.measure(&t.stats.CloseTime, func() error {
+		return t.session.Close()
+	})
+}
+
+// Stats implements Technique.
+func (t *PMLTechnique) Stats() Stats { return t.stats }

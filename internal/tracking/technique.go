@@ -1,0 +1,60 @@
+// Package tracking provides the uniform Tracker-side interface over the
+// four dirty page tracking techniques the paper compares - /proc, ufd,
+// SPML, EPML - plus the hypothetical zero-cost oracle of §VI-B.
+//
+// Every technique follows the paper's four-phase Tracker structure
+// (Fig. 1): initialization (Init), monitoring (implicit: the tracked
+// process runs), collection (Collect), and exploitation (the caller's
+// business: checkpointing, GC marking, ...).
+package tracking
+
+import (
+	"time"
+
+	"repro/internal/costmodel"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Stats accumulates the technique-attributed virtual time and counts: the
+// measured E(C_x) the formula engine cross-checks in Table IV.
+type Stats struct {
+	InitTime    time.Duration // phase 1
+	CollectTime time.Duration // phase 3, cumulative
+	CloseTime   time.Duration
+	Collections int
+	Reported    int64 // dirty page addresses returned, cumulative
+}
+
+// TechniqueTime returns the technique's total own time, E(C_x).
+func (s Stats) TechniqueTime() time.Duration { return s.InitTime + s.CollectTime + s.CloseTime }
+
+// Technique is one dirty page tracking method bound to one tracked process.
+type Technique interface {
+	// Name returns the paper's name for the technique.
+	Name() string
+	// Kind returns the cost-model identity of the technique.
+	Kind() costmodel.Technique
+	// Init performs the initialization phase (clear_refs, ufd
+	// registration, PML arming...). Monitoring starts when Init returns.
+	Init() error
+	// Collect returns the addresses of pages dirtied since Init or the
+	// previous Collect, de-duplicated, and re-arms monitoring.
+	Collect() ([]mem.GVA, error)
+	// Close ends monitoring and releases technique resources.
+	Close() error
+	// Stats returns the accumulated phase times and counts.
+	Stats() Stats
+}
+
+// watch is a tiny helper binding a clock to phase accounting.
+type watch struct {
+	clock *sim.Clock
+}
+
+func (w watch) measure(dst *time.Duration, fn func() error) error {
+	sw := sim.StartWatch(w.clock)
+	err := fn()
+	*dst += sw.Elapsed()
+	return err
+}

@@ -1,0 +1,150 @@
+package tracking_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/costmodel"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/tracking"
+)
+
+// TestQuickCompleteness is the property-based form of the completeness
+// invariant: for arbitrary write scripts (random pages, random offsets,
+// random collection points), every technique reports every truly written
+// page. testing/quick generates the scripts.
+func TestQuickCompleteness(t *testing.T) {
+	for _, kind := range machine.RealTechniques() {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			prop := func(script []uint16, seed uint64) bool {
+				m, err := machine.New(machine.Config{})
+				if err != nil {
+					return false
+				}
+				g := m.Guest(0)
+				proc := g.Kernel.Spawn("q")
+				const pages = 64
+				region, err := proc.Mmap(pages*mem.PageSize, true)
+				if err != nil {
+					return false
+				}
+				tech, err := g.NewTechnique(kind, proc)
+				if err != nil {
+					return false
+				}
+				if err := tech.Init(); err != nil {
+					return false
+				}
+				ver := tracking.NewVerifier(proc)
+				defer ver.Stop()
+				ver.Reset()
+				rng := sim.NewRNG(seed)
+				for _, op := range script {
+					page := int(op) % pages
+					off := rng.Uint64n(mem.PageSize/8) * 8
+					gva := region.Start.Add(uint64(page)*mem.PageSize + off)
+					if err := proc.WriteU64(gva, uint64(op)); err != nil {
+						return false
+					}
+					if op%17 == 0 { // occasional mid-script collection
+						got, err := tech.Collect()
+						if err != nil || ver.MustComplete(got) != nil {
+							return false
+						}
+						ver.Reset()
+					}
+				}
+				got, err := tech.Collect()
+				if err != nil {
+					return false
+				}
+				return ver.MustComplete(got) == nil
+			}
+			cfg := &quick.Config{MaxCount: 15}
+			if err := quick.Check(prop, cfg); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestStatsAccumulate sanity-checks the phase accounting contract.
+func TestStatsAccumulate(t *testing.T) {
+	m, err := machine.New(machine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := m.Guest(0)
+	proc := g.Kernel.Spawn("s")
+	region, err := proc.Mmap(8*mem.PageSize, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tech, err := g.NewTechnique(costmodel.Proc, proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tech.Init(); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		if err := proc.WriteU64(region.Start, uint64(round)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tech.Collect(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := tech.Stats()
+	if s.Collections != 3 {
+		t.Errorf("Collections = %d", s.Collections)
+	}
+	if s.Reported < 3 {
+		t.Errorf("Reported = %d", s.Reported)
+	}
+	if s.InitTime <= 0 || s.CollectTime <= 0 {
+		t.Errorf("times not accumulated: init=%v collect=%v", s.InitTime, s.CollectTime)
+	}
+	if s.TechniqueTime() != s.InitTime+s.CollectTime+s.CloseTime {
+		t.Error("TechniqueTime mismatch")
+	}
+}
+
+// TestOracleZeroCost: the oracle adds no virtual time at all.
+func TestOracleZeroCost(t *testing.T) {
+	m, err := machine.New(machine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := m.Guest(0)
+	proc := g.Kernel.Spawn("o")
+	region, err := proc.Mmap(8*mem.PageSize, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tech, _ := g.NewTechnique(costmodel.Oracle, proc)
+	before := g.Kernel.Clock.Nanos()
+	if err := tech.Init(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Kernel.Clock.Nanos() != before {
+		t.Error("oracle Init advanced the clock")
+	}
+	if err := proc.WriteU64(region.Start, 1); err != nil {
+		t.Fatal(err)
+	}
+	mid := g.Kernel.Clock.Nanos()
+	got, err := tech.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Kernel.Clock.Nanos() != mid {
+		t.Error("oracle Collect advanced the clock")
+	}
+	if len(got) != 1 || got[0] != region.Start {
+		t.Errorf("oracle collected %v", got)
+	}
+}

@@ -1,0 +1,83 @@
+package tracking
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cpu"
+	"repro/internal/guestos"
+	"repro/internal/mem"
+)
+
+// Verifier records, at zero cost, the ground-truth set of pages a process
+// actually wrote, so tests can prove the completeness invariant: every
+// technique must report a superset of the truly dirtied pages between two
+// collection points (no false negatives - a tracker that misses a dirty
+// page checkpoints stale data or frees live objects).
+type Verifier struct {
+	vcpu  *cpu.VCPU
+	proc  *guestos.Process
+	truth map[mem.GVA]struct{}
+	prev  func(mem.GVA)
+}
+
+// NewVerifier starts recording writes of proc.
+func NewVerifier(proc *guestos.Process) *Verifier {
+	v := &Verifier{
+		vcpu:  proc.Kernel().VCPU,
+		proc:  proc,
+		truth: make(map[mem.GVA]struct{}),
+	}
+	v.prev = v.vcpu.WriteHook
+	prev := v.prev
+	v.vcpu.WriteHook = func(gva mem.GVA) {
+		if prev != nil {
+			prev(gva)
+		}
+		if proc.Kernel().Current() == proc {
+			v.truth[gva] = struct{}{}
+		}
+	}
+	return v
+}
+
+// Truth returns the pages written since the last Reset, sorted.
+func (v *Verifier) Truth() []mem.GVA {
+	out := make([]mem.GVA, 0, len(v.truth))
+	for gva := range v.truth {
+		out = append(out, gva)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Reset clears the recorded ground truth (call right after a Collect).
+func (v *Verifier) Reset() { v.truth = make(map[mem.GVA]struct{}) }
+
+// Stop unchains the verifier from the vCPU.
+func (v *Verifier) Stop() { v.vcpu.WriteHook = v.prev }
+
+// CheckComplete verifies reported covers the ground truth. It returns the
+// missing pages (nil when complete).
+func (v *Verifier) CheckComplete(reported []mem.GVA) []mem.GVA {
+	have := make(map[mem.GVA]struct{}, len(reported))
+	for _, gva := range reported {
+		have[gva.PageFloor()] = struct{}{}
+	}
+	var missing []mem.GVA
+	for gva := range v.truth {
+		if _, ok := have[gva]; !ok {
+			missing = append(missing, gva)
+		}
+	}
+	sort.Slice(missing, func(i, j int) bool { return missing[i] < missing[j] })
+	return missing
+}
+
+// MustComplete is CheckComplete for tests that want a formatted error.
+func (v *Verifier) MustComplete(reported []mem.GVA) error {
+	if missing := v.CheckComplete(reported); len(missing) > 0 {
+		return fmt.Errorf("tracking: %d dirty pages not reported (first: %v)", len(missing), missing[0])
+	}
+	return nil
+}

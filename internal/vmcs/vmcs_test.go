@@ -1,0 +1,99 @@
+package vmcs
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestReadWriteKnownFields(t *testing.T) {
+	v := New()
+	if got := v.MustRead(FieldPMLIndex); got != PMLResetIndex {
+		t.Errorf("fresh PML index = %d, want %d", got, PMLResetIndex)
+	}
+	v.MustWrite(FieldPMLAddress, 0x1234000)
+	if got := v.MustRead(FieldPMLAddress); got != 0x1234000 {
+		t.Errorf("PML address = %#x", got)
+	}
+	if _, err := v.Read(Field(0x9999)); !errors.Is(err, ErrUnknownField) {
+		t.Errorf("unknown field read: %v", err)
+	}
+	if err := v.Write(Field(0x9999), 1); !errors.Is(err, ErrUnknownField) {
+		t.Errorf("unknown field write: %v", err)
+	}
+}
+
+func TestGuestAccessWithoutShadowingExits(t *testing.T) {
+	v := New()
+	if _, err := v.GuestRead(FieldGuestPMLIndex); !errors.Is(err, ErrExitRequired) {
+		t.Errorf("guest read without shadowing: %v", err)
+	}
+	if err := v.GuestWrite(FieldGuestPMLEnable, 1); !errors.Is(err, ErrExitRequired) {
+		t.Errorf("guest write without shadowing: %v", err)
+	}
+}
+
+func TestShadowingSemantics(t *testing.T) {
+	v := New()
+	shadow := New()
+	v.LinkShadow(shadow, FieldGuestPMLIndex, FieldGuestPMLEnable)
+	if !v.ShadowingEnabled() || v.Shadow() != shadow {
+		t.Fatal("shadowing not enabled after LinkShadow")
+	}
+
+	// Exposed fields: exit-free, values land in the shadow VMCS only.
+	if err := v.GuestWrite(FieldGuestPMLEnable, 1); err != nil {
+		t.Fatalf("shadowed write: %v", err)
+	}
+	got, err := v.GuestRead(FieldGuestPMLEnable)
+	if err != nil || got != 1 {
+		t.Fatalf("shadowed read = %d, %v", got, err)
+	}
+	if ord := v.MustRead(FieldGuestPMLEnable); ord != 0 {
+		t.Errorf("ordinary VMCS contaminated: %d", ord)
+	}
+
+	// Non-exposed fields still exit.
+	if _, err := v.GuestRead(FieldPMLAddress); !errors.Is(err, ErrExitRequired) {
+		t.Errorf("non-exposed field read: %v", err)
+	}
+	if err := v.GuestWrite(FieldPMLIndex, 7); !errors.Is(err, ErrExitRequired) {
+		t.Errorf("non-exposed field write: %v", err)
+	}
+
+	v.UnlinkShadow()
+	if v.ShadowingEnabled() {
+		t.Error("shadowing still enabled after Unlink")
+	}
+	if _, err := v.GuestRead(FieldGuestPMLEnable); !errors.Is(err, ErrExitRequired) {
+		t.Errorf("guest read after unlink: %v", err)
+	}
+}
+
+func TestControlBits(t *testing.T) {
+	v := New()
+	if v.PMLEnabled() || v.EPMLEnabled() {
+		t.Fatal("controls set on fresh VMCS")
+	}
+	v.SetPMLEnabled(true)
+	v.SetEPMLEnabled(true)
+	if !v.PMLEnabled() || !v.EPMLEnabled() {
+		t.Error("controls not set")
+	}
+	v.SetPMLEnabled(false)
+	if v.PMLEnabled() || !v.EPMLEnabled() {
+		t.Error("clearing PML disturbed EPML bit")
+	}
+	v.SetEPMLEnabled(false)
+	if v.EPMLEnabled() {
+		t.Error("EPML bit not cleared")
+	}
+}
+
+func TestFieldStrings(t *testing.T) {
+	if FieldPMLAddress.String() != "PML_ADDRESS" {
+		t.Errorf("String = %q", FieldPMLAddress.String())
+	}
+	if s := Field(0xAAAA).String(); s == "" {
+		t.Error("unknown field has empty String")
+	}
+}

@@ -1,0 +1,149 @@
+package workloads
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Size selects a Table III configuration column.
+type Size int
+
+// Configuration sizes.
+const (
+	Small Size = iota
+	Medium
+	Large
+)
+
+func (s Size) String() string {
+	switch s {
+	case Small:
+		return "small"
+	case Medium:
+		return "medium"
+	case Large:
+		return "large"
+	}
+	return "unknown"
+}
+
+// Sizes lists all configuration sizes in order.
+func Sizes() []Size { return []Size{Small, Medium, Large} }
+
+// Factory builds a workload for one Table III configuration, scaled down
+// by scale (1 = a laptop-tractable base that preserves the Small:Medium:
+// Large ratios; larger scale values grow toward the paper's absolute
+// sizes).
+type Factory func(size Size, scale int) Workload
+
+// pick indexes a per-size triple.
+func pick[T any](size Size, small, medium, large T) T {
+	switch size {
+	case Small:
+		return small
+	case Medium:
+		return medium
+	default:
+		return large
+	}
+}
+
+// registry maps workload names to factories, mirroring Table III's rows.
+var registry = map[string]Factory{
+	// Phoenix: datafile sizes 0.1/0.5/1.5 GB scaled to 2/10/30 MB x scale.
+	"histogram": func(size Size, scale int) Workload {
+		return NewHistogram(uint64(scale) * pick(size, uint64(2<<20), 10<<20, 30<<20))
+	},
+	// kmeans -d/-c/-p 500..5K: points x dims scaled.
+	"kmeans": func(size Size, scale int) Workload {
+		n := scale * pick(size, 2048, 4096, 8192)
+		return NewKMeans(n, pick(size, 16, 24, 32), 128)
+	},
+	// matrix-multiply 500/1K/2K: n scaled from 96/160/256.
+	"matrix-multiply": func(size Size, scale int) Workload {
+		return NewMatrixMultiply(scale * pick(size, 96, 160, 256))
+	},
+	// pca -r/-c 1K..10K: rows x cols scaled.
+	"pca": func(size Size, scale int) Workload {
+		return NewPCA(scale*pick(size, 1024, 2048, 4096), 256)
+	},
+	// string-match 50/100/200 MB files scaled to 2/4/8 MB x scale.
+	"string-match": func(size Size, scale int) Workload {
+		return NewStringMatch(uint64(scale) * pick(size, uint64(2<<20), 4<<20, 8<<20))
+	},
+	// word-count 50/100/200 MB files scaled likewise.
+	"word-count": func(size Size, scale int) Workload {
+		return NewWordCount(uint64(scale)*pick(size, uint64(2<<20), 4<<20, 8<<20), 1<<14)
+	},
+	// tkrzw engines: -iter 3M/5M/10M scaled to 6K/10K/20K x scale; thread
+	// counts follow Table III.
+	"baby": func(size Size, scale int) Workload {
+		return NewTkrzw(&BabyDBM{}, scale*pick(size, 6000, 10000, 20000), 3, 0)
+	},
+	"cache": func(size Size, scale int) Workload {
+		iters := scale * pick(size, 6000, 10000, 20000)
+		return NewTkrzw(&CacheDBM{Capacity: iters}, iters, 5, 0)
+	},
+	"stdhash": func(size Size, scale int) Workload {
+		return NewTkrzw(&StdHashDBM{Buckets: 1 << 12}, scale*pick(size, 6000, 10000, 20000), 2, 0)
+	},
+	"stdtree": func(size Size, scale int) Workload {
+		return NewTkrzw(&StdTreeDBM{}, scale*pick(size, 6000, 10000, 20000), 2, 0)
+	},
+	"tiny": func(size Size, scale int) Workload {
+		return NewTkrzw(&TinyDBM{}, scale*pick(size, 10000, 10000, 10000), pick(size, 3, 5, 7), 0)
+	},
+	"micro": func(size Size, scale int) Workload {
+		return NewArrayParser(scale * pick(size, 256, 2560, 25600))
+	},
+}
+
+// New builds the named workload at the given size and scale. Scale <= 0 is
+// treated as 1.
+func New(name string, size Size, scale int) (Workload, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("workloads: unknown workload %q (have %v)", name, Names())
+	}
+	return f(size, scale), nil
+}
+
+// Names lists the registered workloads, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PhoenixNames lists the six Phoenix kernels.
+func PhoenixNames() []string {
+	return []string{"histogram", "kmeans", "matrix-multiply", "pca", "string-match", "word-count"}
+}
+
+// TkrzwNames lists the five tkrzw engines.
+func TkrzwNames() []string {
+	return []string{"baby", "cache", "stdhash", "stdtree", "tiny"}
+}
+
+// GCBenchConfig returns the Table III GCBench parameters at a size, scaled.
+// Paper values: (500K,16,18), (650K,18,20), (750K,20,22); depths shrink by
+// 6 at base scale to keep object counts tractable and grow with scale.
+func GCBenchConfig(size Size, scale int) *GCBench {
+	if scale <= 0 {
+		scale = 1
+	}
+	extra := 0
+	for s := scale; s > 1; s /= 2 {
+		extra++
+	}
+	arr := uint64(scale) * pick(size, uint64(50_000), 65_000, 75_000)
+	long := pick(size, 10, 12, 14) + extra
+	stretch := long + 2
+	return NewGCBench(arr, long, stretch)
+}

@@ -1,0 +1,157 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/boehmgc"
+	"repro/internal/sim"
+)
+
+// GCBench is the classic Boehm/Ellis/Kovac garbage collection benchmark
+// the paper uses as its GC microbenchmark: build a "stretch" tree to size
+// the heap, keep a long-lived tree and a large array alive, then
+// repeatedly build-and-drop temporary binary trees of increasing depth.
+//
+// Table III parameterizes it as (array size, long-lived depth, stretch
+// depth); e.g. config Small is (500K, 16, 18).
+type GCBench struct {
+	ArrayBytes   uint64
+	LongLived    int // depth of the long-lived tree
+	StretchDepth int
+	MinDepth     int // temporary tree depths iterate MinDepth..StretchDepth-2 step 2
+
+	gc        *boehmgc.GC
+	longLived boehmgc.Object
+	array     boehmgc.Object
+	ready     bool
+}
+
+// NewGCBench returns the benchmark with the given Table III parameters.
+func NewGCBench(arrayBytes uint64, longLived, stretch int) *GCBench {
+	return &GCBench{ArrayBytes: arrayBytes, LongLived: longLived, StretchDepth: stretch, MinDepth: 4}
+}
+
+// Name implements the workload naming convention.
+func (w *GCBench) Name() string { return "gcbench" }
+
+// SetupGC prepares the benchmark on a collector. GCBench allocates
+// pointered objects, so it binds to the GC directly rather than through
+// the data Allocator.
+func (w *GCBench) SetupGC(gc *boehmgc.GC, rng *sim.RNG) error {
+	w.gc = gc
+
+	// Stretch the heap with a full tree of StretchDepth, then drop it.
+	stretch, err := w.makeTree(w.StretchDepth)
+	if err != nil {
+		return fmt.Errorf("gcbench: stretch tree: %w", err)
+	}
+	gc.AddRoot(stretch)
+	gc.RemoveRoot(stretch)
+
+	// Long-lived structures survive all collections.
+	w.longLived, err = w.makeTree(w.LongLived)
+	if err != nil {
+		return fmt.Errorf("gcbench: long-lived tree: %w", err)
+	}
+	gc.AddRoot(w.longLived)
+
+	w.array, err = gc.Alloc(w.ArrayBytes, 0)
+	if err != nil {
+		return fmt.Errorf("gcbench: array: %w", err)
+	}
+	gc.AddRoot(w.array)
+	// Touch the array like the original benchmark does.
+	for off := uint64(0); off+8 <= w.ArrayBytes; off += 512 {
+		if err := gc.SetData(w.array, off, off); err != nil {
+			return err
+		}
+	}
+	w.ready = true
+	return nil
+}
+
+// Run performs one round: for each depth, build and drop temporary trees,
+// then mutate part of the long-lived tree (dirtying its pages, which is
+// what the incremental GC must notice).
+func (w *GCBench) Run() error {
+	if err := checkSetup(w.Name(), w.ready); err != nil {
+		return err
+	}
+	for depth := w.MinDepth; depth <= w.StretchDepth-2; depth += 2 {
+		tmp, err := w.makeTree(depth)
+		if err != nil {
+			return fmt.Errorf("gcbench: depth %d: %w", depth, err)
+		}
+		// Temporary tree is dropped immediately (garbage).
+		_ = tmp
+	}
+	// Mutate the long-lived tree's top levels.
+	node := w.longLived
+	for i := 0; i < w.LongLived/2 && !node.IsNil(); i++ {
+		if err := w.gc.SetData(node, 16, uint64(i)); err != nil {
+			return err
+		}
+		next, err := w.gc.GetPtr(node, 0)
+		if err != nil {
+			return err
+		}
+		node = next
+	}
+	return nil
+}
+
+// treeNode layout: 2 pointer slots (left, right) + one data word.
+const treeNodeBytes = 3 * 8
+
+// makeTree builds a full binary tree of the given depth bottom-up.
+func (w *GCBench) makeTree(depth int) (boehmgc.Object, error) {
+	if depth <= 0 {
+		return w.gc.Alloc(treeNodeBytes, 2)
+	}
+	left, err := w.makeTree(depth - 1)
+	if err != nil {
+		return boehmgc.Object{}, err
+	}
+	right, err := w.makeTree(depth - 1)
+	if err != nil {
+		return boehmgc.Object{}, err
+	}
+	node, err := w.gc.Alloc(treeNodeBytes, 2)
+	if err != nil {
+		return boehmgc.Object{}, err
+	}
+	if err := w.gc.SetPtr(node, 0, left); err != nil {
+		return boehmgc.Object{}, err
+	}
+	if err := w.gc.SetPtr(node, 1, right); err != nil {
+		return boehmgc.Object{}, err
+	}
+	return node, nil
+}
+
+// CheckTree verifies the long-lived tree is intact (depth reachable), the
+// correctness witness that GC never freed live nodes.
+func (w *GCBench) CheckTree() error {
+	var walk func(node boehmgc.Object, depth int) error
+	walk = func(node boehmgc.Object, depth int) error {
+		if depth == 0 {
+			return nil
+		}
+		if node.IsNil() {
+			return fmt.Errorf("gcbench: long-lived tree truncated at depth %d", depth)
+		}
+		left, err := w.gc.GetPtr(node, 0)
+		if err != nil {
+			return err
+		}
+		right, err := w.gc.GetPtr(node, 1)
+		if err != nil {
+			return err
+		}
+		if err := walk(left, depth-1); err != nil {
+			return err
+		}
+		return walk(right, depth-1)
+	}
+	return walk(w.longLived, w.LongLived)
+}

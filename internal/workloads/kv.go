@@ -1,0 +1,289 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/gheap"
+	"repro/internal/guestos"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// KVEngine is one tkrzw-style in-memory database engine storing 64-bit
+// keys and values in guest memory. The five engines mirror tkrzw's
+// on-memory DBMs: tiny (open-addressing hash), stdhash (chained hash),
+// cache (LRU-bounded hash), stdtree (ordered treap), baby (B+ tree).
+type KVEngine interface {
+	Name() string
+	// Open prepares the engine for about capacity records.
+	Open(alloc Allocator, rng *sim.RNG, capacity int) error
+	Set(key, value uint64) error
+	Get(key uint64) (uint64, bool, error)
+	// Count returns the number of live records.
+	Count() int
+}
+
+// Tkrzw adapts a KVEngine to the Workload interface: each Run injects a
+// batch of set requests with deterministic pseudo-random keys, exactly the
+// paper's "we focused on the five in-memory engines and we injected set
+// requests" (§VI-A). Threads multiplies the batch, standing in for the
+// -threads parameter of Table III on our single-vCPU guest.
+type Tkrzw struct {
+	Engine  KVEngine
+	Iters   int // set requests per Run
+	Threads int
+	KeySpan uint64 // keys drawn from [0, KeySpan)
+
+	rng   *sim.RNG
+	ready bool
+}
+
+// NewTkrzw returns the injection workload around an engine.
+func NewTkrzw(engine KVEngine, iters, threads int, keySpan uint64) *Tkrzw {
+	if threads <= 0 {
+		threads = 1
+	}
+	if keySpan == 0 {
+		keySpan = uint64(iters) * 4
+	}
+	return &Tkrzw{Engine: engine, Iters: iters, Threads: threads, KeySpan: keySpan}
+}
+
+// Name implements Workload.
+func (w *Tkrzw) Name() string { return "tkrzw/" + w.Engine.Name() }
+
+// Setup implements Workload.
+func (w *Tkrzw) Setup(alloc Allocator, rng *sim.RNG) error {
+	w.rng = rng
+	// Repeated Runs keep inserting fresh keys from KeySpan; size the
+	// engine for the whole key space, not just one batch.
+	capacity := int(w.KeySpan)
+	if batch := w.Iters * w.Threads; capacity < batch {
+		capacity = batch
+	}
+	if err := w.Engine.Open(alloc, rng, capacity); err != nil {
+		return err
+	}
+	w.ready = true
+	return nil
+}
+
+// Run implements Workload: inject Iters*Threads set requests.
+func (w *Tkrzw) Run() error {
+	if err := checkSetup(w.Name(), w.ready); err != nil {
+		return err
+	}
+	total := w.Iters * w.Threads
+	for i := 0; i < total; i++ {
+		key := w.rng.Uint64n(w.KeySpan)
+		if err := w.Engine.Set(key, key^0xDEADBEEF); err != nil {
+			return fmt.Errorf("%s: set %d: %w", w.Name(), key, err)
+		}
+	}
+	return nil
+}
+
+// WorkingSet implements Workload (approximate: records * slot size).
+func (w *Tkrzw) WorkingSet() uint64 { return uint64(w.Iters*w.Threads) * 32 }
+
+// --- tiny: open-addressing hash over a flat region ------------------------------
+
+// TinyDBM mirrors tkrzw's TinyDBM: a fixed bucket array with linear
+// probing; each slot is 16 bytes (key+1, value). -buckets of Table III.
+type TinyDBM struct {
+	Buckets uint64
+
+	proc  *guestos.Process
+	base  mem.GVA
+	count int
+}
+
+// Open implements KVEngine.
+func (d *TinyDBM) Open(alloc Allocator, rng *sim.RNG, capacity int) error {
+	if d.Buckets == 0 {
+		d.Buckets = uint64(capacity) * 2
+	}
+	d.proc = alloc.Proc()
+	base, err := alloc.Alloc(d.Buckets * 16)
+	if err != nil {
+		return err
+	}
+	d.base = base
+	return nil
+}
+
+// Name implements KVEngine.
+func (d *TinyDBM) Name() string { return "tiny" }
+
+// Count implements KVEngine.
+func (d *TinyDBM) Count() int { return d.count }
+
+// slot reads bucket i.
+func (d *TinyDBM) slot(i uint64) (k, v uint64, err error) {
+	k, err = d.proc.ReadU64(d.base.Add(i * 16))
+	if err != nil {
+		return
+	}
+	v, err = d.proc.ReadU64(d.base.Add(i*16 + 8))
+	return
+}
+
+// Set implements KVEngine.
+func (d *TinyDBM) Set(key, value uint64) error {
+	h := mix64(key) % d.Buckets
+	for probe := uint64(0); probe < d.Buckets; probe++ {
+		i := (h + probe) % d.Buckets
+		k, _, err := d.slot(i)
+		if err != nil {
+			return err
+		}
+		if k == 0 || k == key+1 {
+			if k == 0 {
+				d.count++
+				if err := d.proc.WriteU64(d.base.Add(i*16), key+1); err != nil {
+					return err
+				}
+			}
+			return d.proc.WriteU64(d.base.Add(i*16+8), value)
+		}
+	}
+	return fmt.Errorf("tiny: table full (%d buckets)", d.Buckets)
+}
+
+// Get implements KVEngine.
+func (d *TinyDBM) Get(key uint64) (uint64, bool, error) {
+	h := mix64(key) % d.Buckets
+	for probe := uint64(0); probe < d.Buckets; probe++ {
+		i := (h + probe) % d.Buckets
+		k, v, err := d.slot(i)
+		if err != nil {
+			return 0, false, err
+		}
+		if k == 0 {
+			return 0, false, nil
+		}
+		if k == key+1 {
+			return v, true, nil
+		}
+	}
+	return 0, false, nil
+}
+
+// mix64 is a Stafford finalizer, used as the engines' hash.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	if x == 0 {
+		x = 1
+	}
+	return x
+}
+
+// --- stdhash: chained hash with heap-allocated nodes -----------------------------
+
+// StdHashDBM mirrors tkrzw's StdHashDBM (std::unordered_map): a bucket
+// array of chain heads plus 24-byte chain nodes {key, value, next} from
+// the guest heap.
+type StdHashDBM struct {
+	Buckets uint64
+
+	proc  *guestos.Process
+	heap  *gheap.Heap
+	heads mem.GVA
+	count int
+}
+
+// Name implements KVEngine.
+func (d *StdHashDBM) Name() string { return "stdhash" }
+
+// Count implements KVEngine.
+func (d *StdHashDBM) Count() int { return d.count }
+
+// Open implements KVEngine.
+func (d *StdHashDBM) Open(alloc Allocator, rng *sim.RNG, capacity int) error {
+	if d.Buckets == 0 {
+		d.Buckets = uint64(capacity)
+	}
+	d.proc = alloc.Proc()
+	heads, err := alloc.Alloc(d.Buckets * 8)
+	if err != nil {
+		return err
+	}
+	d.heads = heads
+	heap, err := gheap.New(d.proc, uint64(capacity+16)*32+1<<16, false)
+	if err != nil {
+		return err
+	}
+	d.heap = heap
+	return nil
+}
+
+// Set implements KVEngine.
+func (d *StdHashDBM) Set(key, value uint64) error {
+	b := mix64(key) % d.Buckets
+	headAddr := d.heads.Add(b * 8)
+	node, err := d.proc.ReadU64(headAddr)
+	if err != nil {
+		return err
+	}
+	for node != 0 {
+		k, err := d.proc.ReadU64(mem.GVA(node))
+		if err != nil {
+			return err
+		}
+		if k == key {
+			return d.proc.WriteU64(mem.GVA(node).Add(8), value)
+		}
+		node, err = d.proc.ReadU64(mem.GVA(node).Add(16))
+		if err != nil {
+			return err
+		}
+	}
+	// Prepend a fresh node.
+	addr, err := d.heap.Alloc(24)
+	if err != nil {
+		return err
+	}
+	head, err := d.proc.ReadU64(headAddr)
+	if err != nil {
+		return err
+	}
+	if err := d.proc.WriteU64(addr, key); err != nil {
+		return err
+	}
+	if err := d.proc.WriteU64(addr.Add(8), value); err != nil {
+		return err
+	}
+	if err := d.proc.WriteU64(addr.Add(16), head); err != nil {
+		return err
+	}
+	d.count++
+	return d.proc.WriteU64(headAddr, uint64(addr))
+}
+
+// Get implements KVEngine.
+func (d *StdHashDBM) Get(key uint64) (uint64, bool, error) {
+	b := mix64(key) % d.Buckets
+	node, err := d.proc.ReadU64(d.heads.Add(b * 8))
+	if err != nil {
+		return 0, false, err
+	}
+	for node != 0 {
+		k, err := d.proc.ReadU64(mem.GVA(node))
+		if err != nil {
+			return 0, false, err
+		}
+		if k == key {
+			v, err := d.proc.ReadU64(mem.GVA(node).Add(8))
+			return v, err == nil, err
+		}
+		node, err = d.proc.ReadU64(mem.GVA(node).Add(16))
+		if err != nil {
+			return 0, false, err
+		}
+	}
+	return 0, false, nil
+}

@@ -1,0 +1,394 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/gheap"
+	"repro/internal/guestos"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// BabyDBM mirrors tkrzw's BabyDBM: an on-memory B+ tree. Nodes are
+// fixed-size guest heap blocks; splits propagate up and every insert
+// rewrites one leaf page plus, occasionally, interior pages - the classic
+// clustered dirty pattern of a page-structured store.
+//
+// Node layout (order btreeOrder, max keys = btreeOrder-1):
+//
+//	offset 0:                 header: leaf flag (bit 0) | nkeys<<1
+//	offset 8..8+K*8:          keys
+//	leaf:   offset vo..vo+K*8: values,  offset no: next-leaf link
+//	inner:  offset vo..vo+O*8: children
+type BabyDBM struct {
+	proc *guestos.Process
+	heap *gheap.Heap
+	// rootCell holds the root node address in guest memory.
+	rootCell mem.GVA
+	count    int
+	depth    int
+}
+
+const (
+	btreeOrder   = 16             // children per inner node
+	btreeMaxKeys = btreeOrder - 1 // 15
+	btreeHdrOff  = 0
+	btreeKeyOff  = 8
+	btreeValOff  = btreeKeyOff + btreeMaxKeys*8 // 128
+	btreeNodeSz  = btreeValOff + btreeOrder*8   // 256 (leaf uses last slot as next-link)
+)
+
+// Name implements KVEngine.
+func (d *BabyDBM) Name() string { return "baby" }
+
+// Count implements KVEngine.
+func (d *BabyDBM) Count() int { return d.count }
+
+// Depth returns the current tree depth (validation helper).
+func (d *BabyDBM) Depth() int { return d.depth }
+
+// Open implements KVEngine.
+func (d *BabyDBM) Open(alloc Allocator, rng *sim.RNG, capacity int) error {
+	d.proc = alloc.Proc()
+	cell, err := alloc.Alloc(8)
+	if err != nil {
+		return err
+	}
+	d.rootCell = cell
+	heap, err := gheap.New(d.proc, uint64(capacity/btreeMaxKeys+64)*2*btreeNodeSz+1<<18, false)
+	if err != nil {
+		return err
+	}
+	d.heap = heap
+	root, err := d.newNode(true)
+	if err != nil {
+		return err
+	}
+	d.depth = 1
+	return d.proc.WriteU64(cell, root)
+}
+
+func (d *BabyDBM) newNode(leaf bool) (uint64, error) {
+	addr, err := d.heap.Alloc(btreeNodeSz)
+	if err != nil {
+		return 0, err
+	}
+	hdr := uint64(0)
+	if leaf {
+		hdr = 1
+	}
+	if err := d.proc.WriteU64(addr, hdr); err != nil {
+		return 0, err
+	}
+	return uint64(addr), nil
+}
+
+func (d *BabyDBM) header(node uint64) (leaf bool, nkeys int, err error) {
+	h, err := d.proc.ReadU64(mem.GVA(node))
+	if err != nil {
+		return false, 0, err
+	}
+	return h&1 == 1, int(h >> 1), nil
+}
+
+func (d *BabyDBM) setHeader(node uint64, leaf bool, nkeys int) error {
+	h := uint64(nkeys) << 1
+	if leaf {
+		h |= 1
+	}
+	return d.proc.WriteU64(mem.GVA(node), h)
+}
+
+func (d *BabyDBM) key(node uint64, i int) (uint64, error) {
+	return d.proc.ReadU64(mem.GVA(node).Add(btreeKeyOff + uint64(i)*8))
+}
+
+func (d *BabyDBM) setKey(node uint64, i int, k uint64) error {
+	return d.proc.WriteU64(mem.GVA(node).Add(btreeKeyOff+uint64(i)*8), k)
+}
+
+func (d *BabyDBM) val(node uint64, i int) (uint64, error) {
+	return d.proc.ReadU64(mem.GVA(node).Add(btreeValOff + uint64(i)*8))
+}
+
+func (d *BabyDBM) setVal(node uint64, i int, v uint64) error {
+	return d.proc.WriteU64(mem.GVA(node).Add(btreeValOff+uint64(i)*8), v)
+}
+
+// child slots share the value slots on inner nodes (btreeOrder of them).
+func (d *BabyDBM) child(node uint64, i int) (uint64, error) { return d.val(node, i) }
+
+func (d *BabyDBM) setChild(node uint64, i int, c uint64) error { return d.setVal(node, i, c) }
+
+// findSlot locates the position of key within node's keys: the first index
+// with keys[i] >= key.
+func (d *BabyDBM) findSlot(node uint64, nkeys int, key uint64) (int, bool, error) {
+	lo, hi := 0, nkeys
+	for lo < hi {
+		mid := (lo + hi) / 2
+		k, err := d.key(node, mid)
+		if err != nil {
+			return 0, false, err
+		}
+		if k < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < nkeys {
+		k, err := d.key(node, lo)
+		if err != nil {
+			return 0, false, err
+		}
+		return lo, k == key, nil
+	}
+	return lo, false, nil
+}
+
+// splitResult carries a split's separator key and new right sibling.
+type splitResult struct {
+	split bool
+	key   uint64
+	right uint64
+}
+
+// insert descends into node; on child overflow it splits and returns the
+// separator to the caller.
+func (d *BabyDBM) insert(node uint64, key, value uint64) (splitResult, error) {
+	leaf, nkeys, err := d.header(node)
+	if err != nil {
+		return splitResult{}, err
+	}
+	slot, exact, err := d.findSlot(node, nkeys, key)
+	if err != nil {
+		return splitResult{}, err
+	}
+
+	if leaf {
+		if exact {
+			return splitResult{}, d.setVal(node, slot, value)
+		}
+		// Shift keys/values right and insert.
+		for i := nkeys; i > slot; i-- {
+			k, err := d.key(node, i-1)
+			if err != nil {
+				return splitResult{}, err
+			}
+			v, err := d.val(node, i-1)
+			if err != nil {
+				return splitResult{}, err
+			}
+			if err := d.setKey(node, i, k); err != nil {
+				return splitResult{}, err
+			}
+			if err := d.setVal(node, i, v); err != nil {
+				return splitResult{}, err
+			}
+		}
+		if err := d.setKey(node, slot, key); err != nil {
+			return splitResult{}, err
+		}
+		if err := d.setVal(node, slot, value); err != nil {
+			return splitResult{}, err
+		}
+		nkeys++
+		d.count++
+		if err := d.setHeader(node, true, nkeys); err != nil {
+			return splitResult{}, err
+		}
+		if nkeys < btreeMaxKeys {
+			return splitResult{}, nil
+		}
+		return d.splitLeaf(node, nkeys)
+	}
+
+	// Inner node: descend. findSlot gives the separating child index;
+	// keys[i] is the smallest key of child i+1.
+	ci := slot
+	if exact {
+		ci = slot + 1
+	}
+	childAddr, err := d.child(node, ci)
+	if err != nil {
+		return splitResult{}, err
+	}
+	res, err := d.insert(childAddr, key, value)
+	if err != nil || !res.split {
+		return splitResult{}, err
+	}
+	// Insert separator res.key and child res.right at position ci.
+	for i := nkeys; i > ci; i-- {
+		k, err := d.key(node, i-1)
+		if err != nil {
+			return splitResult{}, err
+		}
+		if err := d.setKey(node, i, k); err != nil {
+			return splitResult{}, err
+		}
+		c, err := d.child(node, i)
+		if err != nil {
+			return splitResult{}, err
+		}
+		if err := d.setChild(node, i+1, c); err != nil {
+			return splitResult{}, err
+		}
+	}
+	if err := d.setKey(node, ci, res.key); err != nil {
+		return splitResult{}, err
+	}
+	if err := d.setChild(node, ci+1, res.right); err != nil {
+		return splitResult{}, err
+	}
+	nkeys++
+	if err := d.setHeader(node, false, nkeys); err != nil {
+		return splitResult{}, err
+	}
+	if nkeys < btreeMaxKeys {
+		return splitResult{}, nil
+	}
+	return d.splitInner(node, nkeys)
+}
+
+// splitLeaf splits a full leaf in half; the separator is the right half's
+// first key (B+ tree style: the key stays in the leaf).
+func (d *BabyDBM) splitLeaf(node uint64, nkeys int) (splitResult, error) {
+	mid := nkeys / 2
+	right, err := d.newNode(true)
+	if err != nil {
+		return splitResult{}, err
+	}
+	for i := mid; i < nkeys; i++ {
+		k, err := d.key(node, i)
+		if err != nil {
+			return splitResult{}, err
+		}
+		v, err := d.val(node, i)
+		if err != nil {
+			return splitResult{}, err
+		}
+		if err := d.setKey(right, i-mid, k); err != nil {
+			return splitResult{}, err
+		}
+		if err := d.setVal(right, i-mid, v); err != nil {
+			return splitResult{}, err
+		}
+	}
+	if err := d.setHeader(right, true, nkeys-mid); err != nil {
+		return splitResult{}, err
+	}
+	if err := d.setHeader(node, true, mid); err != nil {
+		return splitResult{}, err
+	}
+	sep, err := d.key(right, 0)
+	if err != nil {
+		return splitResult{}, err
+	}
+	return splitResult{split: true, key: sep, right: right}, nil
+}
+
+// splitInner splits a full inner node; the middle key moves up.
+func (d *BabyDBM) splitInner(node uint64, nkeys int) (splitResult, error) {
+	mid := nkeys / 2
+	sep, err := d.key(node, mid)
+	if err != nil {
+		return splitResult{}, err
+	}
+	right, err := d.newNode(false)
+	if err != nil {
+		return splitResult{}, err
+	}
+	for i := mid + 1; i < nkeys; i++ {
+		k, err := d.key(node, i)
+		if err != nil {
+			return splitResult{}, err
+		}
+		if err := d.setKey(right, i-mid-1, k); err != nil {
+			return splitResult{}, err
+		}
+	}
+	for i := mid + 1; i <= nkeys; i++ {
+		c, err := d.child(node, i)
+		if err != nil {
+			return splitResult{}, err
+		}
+		if err := d.setChild(right, i-mid-1, c); err != nil {
+			return splitResult{}, err
+		}
+	}
+	if err := d.setHeader(right, false, nkeys-mid-1); err != nil {
+		return splitResult{}, err
+	}
+	if err := d.setHeader(node, false, mid); err != nil {
+		return splitResult{}, err
+	}
+	return splitResult{split: true, key: sep, right: right}, nil
+}
+
+// Set implements KVEngine.
+func (d *BabyDBM) Set(key, value uint64) error {
+	root, err := d.proc.ReadU64(d.rootCell)
+	if err != nil {
+		return err
+	}
+	res, err := d.insert(root, key, value)
+	if err != nil {
+		return err
+	}
+	if !res.split {
+		return nil
+	}
+	// Grow a new root.
+	newRoot, err := d.newNode(false)
+	if err != nil {
+		return err
+	}
+	if err := d.setKey(newRoot, 0, res.key); err != nil {
+		return err
+	}
+	if err := d.setChild(newRoot, 0, root); err != nil {
+		return err
+	}
+	if err := d.setChild(newRoot, 1, res.right); err != nil {
+		return err
+	}
+	if err := d.setHeader(newRoot, false, 1); err != nil {
+		return err
+	}
+	d.depth++
+	return d.proc.WriteU64(d.rootCell, newRoot)
+}
+
+// Get implements KVEngine.
+func (d *BabyDBM) Get(key uint64) (uint64, bool, error) {
+	node, err := d.proc.ReadU64(d.rootCell)
+	if err != nil {
+		return 0, false, err
+	}
+	for depth := 0; depth < 64; depth++ {
+		leaf, nkeys, err := d.header(node)
+		if err != nil {
+			return 0, false, err
+		}
+		slot, exact, err := d.findSlot(node, nkeys, key)
+		if err != nil {
+			return 0, false, err
+		}
+		if leaf {
+			if !exact {
+				return 0, false, nil
+			}
+			v, err := d.val(node, slot)
+			return v, err == nil, err
+		}
+		ci := slot
+		if exact {
+			ci = slot + 1
+		}
+		node, err = d.child(node, ci)
+		if err != nil {
+			return 0, false, err
+		}
+	}
+	return 0, false, fmt.Errorf("baby: tree deeper than 64 levels (corrupt)")
+}

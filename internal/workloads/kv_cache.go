@@ -1,0 +1,265 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/gheap"
+	"repro/internal/guestos"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// CacheDBM mirrors tkrzw's CacheDBM: a hash map bounded by -cap_rec_num;
+// when full, the least-recently-used record is evicted. Nodes live in the
+// guest heap and carry hash-chain and LRU-list links:
+//
+//	offset 0:  key
+//	offset 8:  value
+//	offset 16: hnext (hash chain)
+//	offset 24: lprev (LRU list)
+//	offset 32: lnext
+//
+// The constant re-linking of the LRU list makes cache the most
+// write-intensive engine per request, matching its high rank in the
+// paper's CRIU figures.
+type CacheDBM struct {
+	Capacity int // -cap_rec_num
+	Buckets  uint64
+
+	proc  *guestos.Process
+	heap  *gheap.Heap
+	heads mem.GVA
+	// LRU list endpoints (guest addresses of nodes; 0 = none).
+	lruHead, lruTail uint64
+	count            int
+	Evictions        int
+}
+
+const cacheNodeBytes = 40
+
+// Name implements KVEngine.
+func (d *CacheDBM) Name() string { return "cache" }
+
+// Count implements KVEngine.
+func (d *CacheDBM) Count() int { return d.count }
+
+// Open implements KVEngine.
+func (d *CacheDBM) Open(alloc Allocator, rng *sim.RNG, capacity int) error {
+	if d.Capacity == 0 {
+		d.Capacity = capacity
+	}
+	if d.Buckets == 0 {
+		d.Buckets = uint64(d.Capacity)*2 + 1
+	}
+	d.proc = alloc.Proc()
+	heads, err := alloc.Alloc(d.Buckets * 8)
+	if err != nil {
+		return err
+	}
+	d.heads = heads
+	heap, err := gheap.New(d.proc, uint64(d.Capacity+16)*cacheNodeBytes+1<<16, false)
+	if err != nil {
+		return err
+	}
+	d.heap = heap
+	return nil
+}
+
+func (d *CacheDBM) read(addr uint64, off uint64) (uint64, error) {
+	return d.proc.ReadU64(mem.GVA(addr).Add(off))
+}
+
+func (d *CacheDBM) write(addr uint64, off uint64, v uint64) error {
+	return d.proc.WriteU64(mem.GVA(addr).Add(off), v)
+}
+
+// findNode walks the hash chain for key.
+func (d *CacheDBM) findNode(key uint64) (node uint64, bucket uint64, err error) {
+	bucket = mix64(key) % d.Buckets
+	node, err = d.proc.ReadU64(d.heads.Add(bucket * 8))
+	if err != nil {
+		return 0, bucket, err
+	}
+	for node != 0 {
+		k, err := d.read(node, 0)
+		if err != nil {
+			return 0, bucket, err
+		}
+		if k == key {
+			return node, bucket, nil
+		}
+		node, err = d.read(node, 16)
+		if err != nil {
+			return 0, bucket, err
+		}
+	}
+	return 0, bucket, nil
+}
+
+// lruUnlink detaches node from the LRU list.
+func (d *CacheDBM) lruUnlink(node uint64) error {
+	prev, err := d.read(node, 24)
+	if err != nil {
+		return err
+	}
+	next, err := d.read(node, 32)
+	if err != nil {
+		return err
+	}
+	if prev != 0 {
+		if err := d.write(prev, 32, next); err != nil {
+			return err
+		}
+	} else {
+		d.lruHead = next
+	}
+	if next != 0 {
+		if err := d.write(next, 24, prev); err != nil {
+			return err
+		}
+	} else {
+		d.lruTail = prev
+	}
+	return nil
+}
+
+// lruPushFront makes node the most recently used.
+func (d *CacheDBM) lruPushFront(node uint64) error {
+	if err := d.write(node, 24, 0); err != nil {
+		return err
+	}
+	if err := d.write(node, 32, d.lruHead); err != nil {
+		return err
+	}
+	if d.lruHead != 0 {
+		if err := d.write(d.lruHead, 24, node); err != nil {
+			return err
+		}
+	}
+	d.lruHead = node
+	if d.lruTail == 0 {
+		d.lruTail = node
+	}
+	return nil
+}
+
+// hashUnlink removes node from its bucket chain.
+func (d *CacheDBM) hashUnlink(node uint64, key uint64) error {
+	bucket := mix64(key) % d.Buckets
+	headAddr := d.heads.Add(bucket * 8)
+	cur, err := d.proc.ReadU64(headAddr)
+	if err != nil {
+		return err
+	}
+	if cur == node {
+		next, err := d.read(node, 16)
+		if err != nil {
+			return err
+		}
+		return d.proc.WriteU64(headAddr, next)
+	}
+	for cur != 0 {
+		next, err := d.read(cur, 16)
+		if err != nil {
+			return err
+		}
+		if next == node {
+			nn, err := d.read(node, 16)
+			if err != nil {
+				return err
+			}
+			return d.write(cur, 16, nn)
+		}
+		cur = next
+	}
+	return fmt.Errorf("cache: node %#x not in its chain", node)
+}
+
+// evictLRU removes the least recently used record.
+func (d *CacheDBM) evictLRU() error {
+	victim := d.lruTail
+	if victim == 0 {
+		return fmt.Errorf("cache: evict with empty LRU list")
+	}
+	key, err := d.read(victim, 0)
+	if err != nil {
+		return err
+	}
+	if err := d.lruUnlink(victim); err != nil {
+		return err
+	}
+	if err := d.hashUnlink(victim, key); err != nil {
+		return err
+	}
+	if err := d.heap.Free(mem.GVA(victim)); err != nil {
+		return err
+	}
+	d.count--
+	d.Evictions++
+	return nil
+}
+
+// Set implements KVEngine.
+func (d *CacheDBM) Set(key, value uint64) error {
+	node, bucket, err := d.findNode(key)
+	if err != nil {
+		return err
+	}
+	if node != 0 {
+		if err := d.write(node, 8, value); err != nil {
+			return err
+		}
+		if err := d.lruUnlink(node); err != nil {
+			return err
+		}
+		return d.lruPushFront(node)
+	}
+	if d.count >= d.Capacity {
+		if err := d.evictLRU(); err != nil {
+			return err
+		}
+	}
+	addr, err := d.heap.Alloc(cacheNodeBytes)
+	if err != nil {
+		return err
+	}
+	node = uint64(addr)
+	headAddr := d.heads.Add(bucket * 8)
+	head, err := d.proc.ReadU64(headAddr)
+	if err != nil {
+		return err
+	}
+	if err := d.write(node, 0, key); err != nil {
+		return err
+	}
+	if err := d.write(node, 8, value); err != nil {
+		return err
+	}
+	if err := d.write(node, 16, head); err != nil {
+		return err
+	}
+	if err := d.proc.WriteU64(headAddr, node); err != nil {
+		return err
+	}
+	d.count++
+	return d.lruPushFront(node)
+}
+
+// Get implements KVEngine: a hit also refreshes recency.
+func (d *CacheDBM) Get(key uint64) (uint64, bool, error) {
+	node, _, err := d.findNode(key)
+	if err != nil || node == 0 {
+		return 0, false, err
+	}
+	v, err := d.read(node, 8)
+	if err != nil {
+		return 0, false, err
+	}
+	if err := d.lruUnlink(node); err != nil {
+		return 0, false, err
+	}
+	if err := d.lruPushFront(node); err != nil {
+		return 0, false, err
+	}
+	return v, true, nil
+}

@@ -1,0 +1,167 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/guestos"
+	"repro/internal/hypervisor"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// newTestProc boots a minimal stack and returns a process.
+func newTestProc(t testing.TB) *guestos.Process {
+	t.Helper()
+	model := costmodel.Default()
+	hyp := hypervisor.New(mem.NewPhysMem(0), model)
+	vm, err := hyp.CreateVM()
+	if err != nil {
+		t.Fatalf("CreateVM: %v", err)
+	}
+	k := guestos.NewKernel(vm.VCPU, model)
+	return k.Spawn("test")
+}
+
+// engines lists fresh instances of all five KV engines.
+func engines() []KVEngine {
+	return []KVEngine{
+		&TinyDBM{},
+		&StdHashDBM{Buckets: 257},
+		&CacheDBM{Capacity: 100000},
+		&StdTreeDBM{},
+		&BabyDBM{},
+	}
+}
+
+// TestKVEnginesAgainstReference drives every engine with a deterministic
+// random mix of sets (with overwrites) and compares each Get against a
+// host-side reference map.
+func TestKVEnginesAgainstReference(t *testing.T) {
+	for _, eng := range engines() {
+		eng := eng
+		t.Run(eng.Name(), func(t *testing.T) {
+			proc := newTestProc(t)
+			rng := sim.NewRNG(7)
+			if err := eng.Open(NewRegionAlloc(proc, false), rng, 4096); err != nil {
+				t.Fatalf("Open: %v", err)
+			}
+			ref := make(map[uint64]uint64)
+			for i := 0; i < 3000; i++ {
+				key := rng.Uint64n(1024) + 1
+				val := rng.Uint64()
+				if err := eng.Set(key, val); err != nil {
+					t.Fatalf("Set(%d): %v", key, err)
+				}
+				ref[key] = val
+			}
+			if got, want := eng.Count(), len(ref); got != want {
+				t.Errorf("Count = %d, want %d", got, want)
+			}
+			for key, want := range ref {
+				got, ok, err := eng.Get(key)
+				if err != nil {
+					t.Fatalf("Get(%d): %v", key, err)
+				}
+				if !ok || got != want {
+					t.Errorf("Get(%d) = (%d,%v), want (%d,true)", key, got, ok, want)
+				}
+			}
+			// Absent keys stay absent.
+			for i := 0; i < 50; i++ {
+				key := rng.Uint64n(1<<40) + 1<<41
+				if _, ok, err := eng.Get(key); err != nil || ok {
+					t.Errorf("Get(absent %d) = (_,%v,%v), want miss", key, ok, err)
+				}
+			}
+		})
+	}
+}
+
+// TestCacheDBMEviction verifies the LRU bound: capacity is respected and
+// the most recently used keys survive.
+func TestCacheDBMEviction(t *testing.T) {
+	proc := newTestProc(t)
+	rng := sim.NewRNG(9)
+	d := &CacheDBM{Capacity: 8}
+	if err := d.Open(NewRegionAlloc(proc, false), rng, 8); err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for k := uint64(1); k <= 16; k++ {
+		if err := d.Set(k, k*10); err != nil {
+			t.Fatalf("Set(%d): %v", k, err)
+		}
+	}
+	if d.Count() != 8 {
+		t.Errorf("Count = %d, want 8 (capacity)", d.Count())
+	}
+	if d.Evictions != 8 {
+		t.Errorf("Evictions = %d, want 8", d.Evictions)
+	}
+	// Keys 9..16 are the most recent and must be present; 1..8 evicted.
+	for k := uint64(9); k <= 16; k++ {
+		if v, ok, err := d.Get(k); err != nil || !ok || v != k*10 {
+			t.Errorf("Get(%d) = (%d,%v,%v), want hit", k, v, ok, err)
+		}
+	}
+	for k := uint64(1); k <= 8; k++ {
+		if _, ok, _ := d.Get(k); ok {
+			t.Errorf("Get(%d) hit, want evicted", k)
+		}
+	}
+}
+
+// TestStdTreeOrdered verifies in-order iteration yields sorted keys.
+func TestStdTreeOrdered(t *testing.T) {
+	proc := newTestProc(t)
+	rng := sim.NewRNG(11)
+	d := &StdTreeDBM{}
+	if err := d.Open(NewRegionAlloc(proc, false), rng, 2048); err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 1000; i++ {
+		if err := d.Set(rng.Uint64n(10000)+1, uint64(i)); err != nil {
+			t.Fatalf("Set: %v", err)
+		}
+	}
+	prev := uint64(0)
+	n := 0
+	err := d.Walk(func(k, v uint64) bool {
+		if k <= prev {
+			t.Errorf("Walk out of order: %d after %d", k, prev)
+			return false
+		}
+		prev = k
+		n++
+		return true
+	})
+	if err != nil {
+		t.Fatalf("Walk: %v", err)
+	}
+	if n != d.Count() {
+		t.Errorf("walked %d keys, Count = %d", n, d.Count())
+	}
+}
+
+// TestBabyDepthGrows exercises B+ tree splits through the root.
+func TestBabyDepthGrows(t *testing.T) {
+	proc := newTestProc(t)
+	rng := sim.NewRNG(13)
+	d := &BabyDBM{}
+	if err := d.Open(NewRegionAlloc(proc, false), rng, 1<<14); err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := uint64(1); i <= 5000; i++ {
+		if err := d.Set(i, i^0xABCD); err != nil {
+			t.Fatalf("Set(%d): %v", i, err)
+		}
+	}
+	if d.Depth() < 3 {
+		t.Errorf("Depth = %d, want >= 3 after 5000 sequential inserts", d.Depth())
+	}
+	for i := uint64(1); i <= 5000; i += 37 {
+		if v, ok, err := d.Get(i); err != nil || !ok || v != i^0xABCD {
+			t.Fatalf("Get(%d) = (%d,%v,%v)", i, v, ok, err)
+		}
+	}
+}

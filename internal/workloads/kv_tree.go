@@ -1,0 +1,266 @@
+package workloads
+
+import (
+	"repro/internal/gheap"
+	"repro/internal/guestos"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// StdTreeDBM mirrors tkrzw's StdTreeDBM (std::map): an ordered dictionary.
+// We implement it as a treap - a binary search tree balanced by random
+// heap priorities - whose rotations rewrite parent/child links in guest
+// memory, giving the pointer-chasing dirty pattern of a red-black tree at
+// a fraction of the code. Node layout:
+//
+//	offset 0:  key
+//	offset 8:  value
+//	offset 16: priority
+//	offset 24: left child (guest address, 0 = nil)
+//	offset 32: right child
+type StdTreeDBM struct {
+	proc *guestos.Process
+	heap *gheap.Heap
+	rng  *sim.RNG
+	// rootCell is a one-word guest allocation holding the root pointer,
+	// so the whole structure lives in tracked memory.
+	rootCell mem.GVA
+	count    int
+}
+
+const treapNodeBytes = 40
+
+// Name implements KVEngine.
+func (d *StdTreeDBM) Name() string { return "stdtree" }
+
+// Count implements KVEngine.
+func (d *StdTreeDBM) Count() int { return d.count }
+
+// Open implements KVEngine.
+func (d *StdTreeDBM) Open(alloc Allocator, rng *sim.RNG, capacity int) error {
+	d.proc = alloc.Proc()
+	d.rng = rng
+	cell, err := alloc.Alloc(8)
+	if err != nil {
+		return err
+	}
+	d.rootCell = cell
+	if err := d.proc.WriteU64(cell, 0); err != nil {
+		return err
+	}
+	heap, err := gheap.New(d.proc, uint64(capacity+16)*treapNodeBytes+1<<16, false)
+	if err != nil {
+		return err
+	}
+	d.heap = heap
+	return nil
+}
+
+func (d *StdTreeDBM) nread(addr uint64, off uint64) (uint64, error) {
+	return d.proc.ReadU64(mem.GVA(addr).Add(off))
+}
+
+func (d *StdTreeDBM) nwrite(addr uint64, off uint64, v uint64) error {
+	return d.proc.WriteU64(mem.GVA(addr).Add(off), v)
+}
+
+// insert adds (key,value) under root and returns the new subtree root.
+func (d *StdTreeDBM) insert(root uint64, key, value uint64) (uint64, error) {
+	if root == 0 {
+		addr, err := d.heap.Alloc(treapNodeBytes)
+		if err != nil {
+			return 0, err
+		}
+		node := uint64(addr)
+		if err := d.nwrite(node, 0, key); err != nil {
+			return 0, err
+		}
+		if err := d.nwrite(node, 8, value); err != nil {
+			return 0, err
+		}
+		if err := d.nwrite(node, 16, d.rng.Uint64()); err != nil {
+			return 0, err
+		}
+		if err := d.nwrite(node, 24, 0); err != nil {
+			return 0, err
+		}
+		if err := d.nwrite(node, 32, 0); err != nil {
+			return 0, err
+		}
+		d.count++
+		return node, nil
+	}
+	k, err := d.nread(root, 0)
+	if err != nil {
+		return 0, err
+	}
+	switch {
+	case key == k:
+		return root, d.nwrite(root, 8, value)
+	case key < k:
+		left, err := d.nread(root, 24)
+		if err != nil {
+			return 0, err
+		}
+		newLeft, err := d.insert(left, key, value)
+		if err != nil {
+			return 0, err
+		}
+		if newLeft != left {
+			if err := d.nwrite(root, 24, newLeft); err != nil {
+				return 0, err
+			}
+		}
+		// Heap property: rotate right if the child outranks the root.
+		lp, err := d.nread(newLeft, 16)
+		if err != nil {
+			return 0, err
+		}
+		rp, err := d.nread(root, 16)
+		if err != nil {
+			return 0, err
+		}
+		if lp > rp {
+			return d.rotateRight(root, newLeft)
+		}
+		return root, nil
+	default:
+		right, err := d.nread(root, 32)
+		if err != nil {
+			return 0, err
+		}
+		newRight, err := d.insert(right, key, value)
+		if err != nil {
+			return 0, err
+		}
+		if newRight != right {
+			if err := d.nwrite(root, 32, newRight); err != nil {
+				return 0, err
+			}
+		}
+		rp, err := d.nread(newRight, 16)
+		if err != nil {
+			return 0, err
+		}
+		pp, err := d.nread(root, 16)
+		if err != nil {
+			return 0, err
+		}
+		if rp > pp {
+			return d.rotateLeft(root, newRight)
+		}
+		return root, nil
+	}
+}
+
+// rotateRight lifts left over root.
+func (d *StdTreeDBM) rotateRight(root, left uint64) (uint64, error) {
+	lr, err := d.nread(left, 32)
+	if err != nil {
+		return 0, err
+	}
+	if err := d.nwrite(root, 24, lr); err != nil {
+		return 0, err
+	}
+	if err := d.nwrite(left, 32, root); err != nil {
+		return 0, err
+	}
+	return left, nil
+}
+
+// rotateLeft lifts right over root.
+func (d *StdTreeDBM) rotateLeft(root, right uint64) (uint64, error) {
+	rl, err := d.nread(right, 24)
+	if err != nil {
+		return 0, err
+	}
+	if err := d.nwrite(root, 32, rl); err != nil {
+		return 0, err
+	}
+	if err := d.nwrite(right, 24, root); err != nil {
+		return 0, err
+	}
+	return right, nil
+}
+
+// Set implements KVEngine.
+func (d *StdTreeDBM) Set(key, value uint64) error {
+	root, err := d.proc.ReadU64(d.rootCell)
+	if err != nil {
+		return err
+	}
+	newRoot, err := d.insert(root, key, value)
+	if err != nil {
+		return err
+	}
+	if newRoot != root {
+		return d.proc.WriteU64(d.rootCell, newRoot)
+	}
+	return nil
+}
+
+// Get implements KVEngine.
+func (d *StdTreeDBM) Get(key uint64) (uint64, bool, error) {
+	node, err := d.proc.ReadU64(d.rootCell)
+	if err != nil {
+		return 0, false, err
+	}
+	for node != 0 {
+		k, err := d.nread(node, 0)
+		if err != nil {
+			return 0, false, err
+		}
+		switch {
+		case key == k:
+			v, err := d.nread(node, 8)
+			return v, err == nil, err
+		case key < k:
+			node, err = d.nread(node, 24)
+		default:
+			node, err = d.nread(node, 32)
+		}
+		if err != nil {
+			return 0, false, err
+		}
+	}
+	return 0, false, nil
+}
+
+// Walk visits keys in order (validation helper).
+func (d *StdTreeDBM) Walk(fn func(key, value uint64) bool) error {
+	root, err := d.proc.ReadU64(d.rootCell)
+	if err != nil {
+		return err
+	}
+	_, err = d.walk(root, fn)
+	return err
+}
+
+func (d *StdTreeDBM) walk(node uint64, fn func(key, value uint64) bool) (bool, error) {
+	if node == 0 {
+		return true, nil
+	}
+	left, err := d.nread(node, 24)
+	if err != nil {
+		return false, err
+	}
+	if cont, err := d.walk(left, fn); err != nil || !cont {
+		return cont, err
+	}
+	k, err := d.nread(node, 0)
+	if err != nil {
+		return false, err
+	}
+	v, err := d.nread(node, 8)
+	if err != nil {
+		return false, err
+	}
+	if !fn(k, v) {
+		return false, nil
+	}
+	right, err := d.nread(node, 32)
+	if err != nil {
+		return false, err
+	}
+	return d.walk(right, fn)
+}

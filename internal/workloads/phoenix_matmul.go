@@ -1,0 +1,115 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/guestos"
+	"repro/internal/sim"
+
+	"repro/internal/mem"
+)
+
+// MatrixMultiply is Phoenix's matrix-multiply kernel: C = A x B over n x n
+// float64 matrices. A and B are read-only after setup; each Run rewrites
+// all of C - a write working set of n*n*8 bytes streamed row by row
+// (Table III: 500-2K).
+type MatrixMultiply struct {
+	N int
+
+	proc    *guestos.Process
+	a, b, c mem.GVA
+	ready   bool
+
+	// Checksum is the sum of C's entries after the last Run.
+	Checksum float64
+}
+
+// NewMatrixMultiply returns the kernel for n x n matrices.
+func NewMatrixMultiply(n int) *MatrixMultiply { return &MatrixMultiply{N: n} }
+
+// Name implements Workload.
+func (w *MatrixMultiply) Name() string { return "phoenix/matrix-multiply" }
+
+// Setup implements Workload.
+func (w *MatrixMultiply) Setup(alloc Allocator, rng *sim.RNG) error {
+	if w.N <= 0 {
+		return fmt.Errorf("matmul: bad dimension %d", w.N)
+	}
+	w.proc = alloc.Proc()
+	bytes := uint64(w.N) * uint64(w.N) * 8
+	var err error
+	if w.a, err = alloc.Alloc(bytes); err != nil {
+		return err
+	}
+	if w.b, err = alloc.Alloc(bytes); err != nil {
+		return err
+	}
+	if w.c, err = alloc.Alloc(bytes); err != nil {
+		return err
+	}
+	row := make([]byte, w.N*8)
+	for i := 0; i < w.N; i++ {
+		for j := 0; j < w.N; j++ {
+			putU64(row, j*8, math.Float64bits(rng.Float64()))
+		}
+		if err := writeChunk(w.proc, w.a.Add(uint64(i)*uint64(w.N)*8), row); err != nil {
+			return err
+		}
+		for j := 0; j < w.N; j++ {
+			putU64(row, j*8, math.Float64bits(rng.Float64()))
+		}
+		if err := writeChunk(w.proc, w.b.Add(uint64(i)*uint64(w.N)*8), row); err != nil {
+			return err
+		}
+	}
+	w.ready = true
+	return nil
+}
+
+// Run implements Workload: one full multiplication, writing C row by row.
+func (w *MatrixMultiply) Run() error {
+	if err := checkSetup(w.Name(), w.ready); err != nil {
+		return err
+	}
+	n := w.N
+	rowBytes := uint64(n) * 8
+	// Load B once (column access pattern), row-major into host memory.
+	bm := make([]float64, n*n)
+	row := make([]byte, rowBytes)
+	for i := 0; i < n; i++ {
+		if err := readChunk(w.proc, w.b.Add(uint64(i)*rowBytes), row); err != nil {
+			return err
+		}
+		for j := 0; j < n; j++ {
+			bm[i*n+j] = math.Float64frombits(u64At(row, j*8))
+		}
+	}
+	w.Checksum = 0
+	chargeFlops(w.proc, 2*int64(n)*int64(n)*int64(n))
+	arow := make([]float64, n)
+	crow := make([]byte, rowBytes)
+	for i := 0; i < n; i++ {
+		if err := readChunk(w.proc, w.a.Add(uint64(i)*rowBytes), row); err != nil {
+			return err
+		}
+		for j := 0; j < n; j++ {
+			arow[j] = math.Float64frombits(u64At(row, j*8))
+		}
+		for j := 0; j < n; j++ {
+			var sum float64
+			for k := 0; k < n; k++ {
+				sum += arow[k] * bm[k*n+j]
+			}
+			putU64(crow, j*8, math.Float64bits(sum))
+			w.Checksum += sum
+		}
+		if err := writeChunk(w.proc, w.c.Add(uint64(i)*rowBytes), crow); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WorkingSet implements Workload.
+func (w *MatrixMultiply) WorkingSet() uint64 { return 3 * uint64(w.N) * uint64(w.N) * 8 }

@@ -1,0 +1,134 @@
+package workloads
+
+import (
+	"repro/internal/guestos"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// WordCount is Phoenix's word-count kernel: tokenize a text file and count
+// word frequencies into a hash table. The table writes hash-scatter across
+// the whole table region - the adversarial dirty pattern for page-granular
+// tracking, since one counter update dirties a full 4 KiB page.
+type WordCount struct {
+	FileBytes uint64
+	Buckets   int // hash table slots (each 16 bytes: tag + count)
+
+	proc  *guestos.Process
+	file  mem.GVA
+	table mem.GVA
+	ready bool
+
+	// Words counts tokens seen in the last Run.
+	Words int
+}
+
+// NewWordCount returns the kernel over a synthetic file of n bytes with the
+// given hash table size.
+func NewWordCount(fileBytes uint64, buckets int) *WordCount {
+	if buckets <= 0 {
+		buckets = 1 << 14
+	}
+	return &WordCount{FileBytes: fileBytes, Buckets: buckets}
+}
+
+// Name implements Workload.
+func (w *WordCount) Name() string { return "phoenix/word-count" }
+
+// Setup implements Workload: synthesize text from a zipf-ish vocabulary.
+func (w *WordCount) Setup(alloc Allocator, rng *sim.RNG) error {
+	w.proc = alloc.Proc()
+	var err error
+	if w.file, err = alloc.Alloc(w.FileBytes); err != nil {
+		return err
+	}
+	if w.table, err = alloc.Alloc(uint64(w.Buckets) * 16); err != nil {
+		return err
+	}
+	buf := make([]byte, mem.PageSize)
+	for off := uint64(0); off < w.FileBytes; off += mem.PageSize {
+		n := w.FileBytes - off
+		if n > mem.PageSize {
+			n = mem.PageSize
+		}
+		i := 0
+		for i < int(n) {
+			// Word length 3-9, then a space.
+			wl := 3 + rng.Intn(7)
+			for j := 0; j < wl && i < int(n); j++ {
+				buf[i] = byte('a' + rng.Intn(26))
+				i++
+			}
+			if i < int(n) {
+				buf[i] = ' '
+				i++
+			}
+		}
+		if err := writeChunk(w.proc, w.file.Add(off), buf[:n]); err != nil {
+			return err
+		}
+	}
+	w.ready = true
+	return nil
+}
+
+// fnv1a hashes a word.
+func fnv1a(b []byte) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// Run implements Workload: tokenize and count. Counter updates batch per
+// bucket in host memory during the map phase; the reduce phase writes each
+// touched bucket back (read-modify-write of its 16-byte slot).
+func (w *WordCount) Run() error {
+	if err := checkSetup(w.Name(), w.ready); err != nil {
+		return err
+	}
+	w.Words = 0
+	buf := make([]byte, mem.PageSize)
+	local := make(map[uint64]uint64) // bucket -> added count
+	for off := uint64(0); off < w.FileBytes; off += mem.PageSize {
+		n := w.FileBytes - off
+		if n > mem.PageSize {
+			n = mem.PageSize
+		}
+		if err := readChunk(w.proc, w.file.Add(off), buf[:n]); err != nil {
+			return err
+		}
+		start := -1
+		for i := 0; i <= int(n); i++ {
+			inWord := i < int(n) && buf[i] != ' '
+			if inWord && start < 0 {
+				start = i
+			}
+			if !inWord && start >= 0 {
+				h := fnv1a(buf[start:i])
+				local[h%uint64(w.Buckets)] += 1
+				w.Words++
+				start = -1
+			}
+		}
+	}
+	// Reduce: merge batched counts into the guest-resident table.
+	slot := make([]byte, 16)
+	for bucket, add := range local {
+		addr := w.table.Add(bucket * 16)
+		if err := readChunk(w.proc, addr, slot); err != nil {
+			return err
+		}
+		putU64(slot, 0, bucket)             // tag
+		putU64(slot, 8, u64At(slot, 8)+add) // count
+		if err := writeChunk(w.proc, addr, slot); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WorkingSet implements Workload.
+func (w *WordCount) WorkingSet() uint64 { return w.FileBytes + uint64(w.Buckets)*16 }

@@ -1,0 +1,151 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestAllWorkloadsRun smoke-tests every registered workload at every size:
+// Setup then two Runs must succeed (Run must be repeatable for pre-copy
+// rounds).
+func TestAllWorkloadsRun(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			w, err := New(name, Small, 1)
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			proc := newTestProc(t)
+			rng := sim.NewRNG(1)
+			if err := w.Setup(NewRegionAlloc(proc, false), rng); err != nil {
+				t.Fatalf("Setup: %v", err)
+			}
+			if err := w.Run(); err != nil {
+				t.Fatalf("Run 1: %v", err)
+			}
+			if err := w.Run(); err != nil {
+				t.Fatalf("Run 2: %v", err)
+			}
+			if w.WorkingSet() == 0 {
+				t.Error("WorkingSet() == 0")
+			}
+		})
+	}
+}
+
+// TestRunBeforeSetupFails checks the uniform misuse guard.
+func TestRunBeforeSetupFails(t *testing.T) {
+	w, err := New("histogram", Small, 1)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := w.Run(); err == nil {
+		t.Error("Run before Setup succeeded, want error")
+	}
+}
+
+// TestUnknownWorkload checks the registry error path.
+func TestUnknownWorkload(t *testing.T) {
+	if _, err := New("no-such-app", Small, 1); err == nil {
+		t.Error("New(no-such-app) succeeded, want error")
+	}
+}
+
+// TestHistogramCounts verifies the kernel's result: totals must sum to the
+// number of pixels scanned.
+func TestHistogramCounts(t *testing.T) {
+	w := NewHistogram(1 << 16)
+	proc := newTestProc(t)
+	if err := w.Setup(NewRegionAlloc(proc, false), sim.NewRNG(2)); err != nil {
+		t.Fatalf("Setup: %v", err)
+	}
+	if err := w.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var sum uint64
+	for v := 0; v < 256; v++ {
+		sum += w.Totals[0][v]
+	}
+	// Pixels per page: floor(4096/3) = 1365; 16 pages.
+	if want := uint64(16 * 1365); sum != want {
+		t.Errorf("channel-0 total = %d, want %d", sum, want)
+	}
+}
+
+// TestKMeansConverges verifies that repeated Lloyd iterations reduce the
+// number of reassigned points.
+func TestKMeansConverges(t *testing.T) {
+	w := NewKMeans(500, 8, 8)
+	proc := newTestProc(t)
+	if err := w.Setup(NewRegionAlloc(proc, false), sim.NewRNG(3)); err != nil {
+		t.Fatalf("Setup: %v", err)
+	}
+	if err := w.Run(); err != nil {
+		t.Fatalf("Run 1: %v", err)
+	}
+	first := w.Moved
+	for i := 0; i < 6; i++ {
+		if err := w.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+	}
+	if w.Moved >= first {
+		t.Errorf("Moved after 7 iters = %d, want < first iter's %d", w.Moved, first)
+	}
+}
+
+// TestStringMatchFindsPlantedKeys verifies planted keys are found.
+func TestStringMatchFindsPlantedKeys(t *testing.T) {
+	w := NewStringMatch(1 << 16)
+	proc := newTestProc(t)
+	if err := w.Setup(NewRegionAlloc(proc, false), sim.NewRNG(4)); err != nil {
+		t.Fatalf("Setup: %v", err)
+	}
+	if err := w.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// One key planted every 2 KiB: 16 pages * 2 = 32 plants.
+	if w.Matches < 30 {
+		t.Errorf("Matches = %d, want >= 30", w.Matches)
+	}
+}
+
+// TestWordCountCounts verifies token counting over guest memory.
+func TestWordCountCounts(t *testing.T) {
+	w := NewWordCount(1<<15, 512)
+	proc := newTestProc(t)
+	if err := w.Setup(NewRegionAlloc(proc, false), sim.NewRNG(5)); err != nil {
+		t.Fatalf("Setup: %v", err)
+	}
+	if err := w.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Words average ~7 bytes + space: expect roughly fileBytes/8 tokens.
+	if w.Words < 2000 {
+		t.Errorf("Words = %d, want >= 2000", w.Words)
+	}
+}
+
+// TestMatrixMultiplyChecksum pins the deterministic result.
+func TestMatrixMultiplyChecksum(t *testing.T) {
+	w := NewMatrixMultiply(32)
+	proc := newTestProc(t)
+	if err := w.Setup(NewRegionAlloc(proc, false), sim.NewRNG(6)); err != nil {
+		t.Fatalf("Setup: %v", err)
+	}
+	if err := w.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	first := w.Checksum
+	if first == 0 {
+		t.Fatal("checksum is zero")
+	}
+	if err := w.Run(); err != nil {
+		t.Fatalf("Run 2: %v", err)
+	}
+	if w.Checksum != first {
+		t.Errorf("checksum changed across runs: %v vs %v", w.Checksum, first)
+	}
+}

@@ -1,0 +1,215 @@
+// Package ooh is the public API of the OoH (Out of Hypervisor) simulator:
+// a full-stack, deterministic reproduction of "Out of Hypervisor (OoH):
+// Efficient Dirty Page Tracking in Userspace Using Hardware Virtualization
+// Features" (SC 2022).
+//
+// The package boots a simulated host - physical memory, a Xen-like
+// hypervisor, VT-x vCPUs with EPT and Intel PML (plus the paper's EPML
+// hardware extension), and Linux-like guest kernels - and exposes dirty
+// page tracking to guest userspace through four techniques: /proc
+// soft-dirty bits, userfaultfd, SPML and EPML. On top of those it provides
+// a CRIU-style checkpoint/restore system and a Boehm-style incremental
+// garbage collector, plus the paper's complete benchmark suite.
+//
+// Quick start:
+//
+//	m, _ := ooh.NewMachine()
+//	p := m.Spawn("myapp")
+//	buf, _ := p.Mmap(64*ooh.PageSize, true)
+//	tr, _ := m.StartTracking(p, ooh.EPML)
+//	p.WriteU64(buf, 42)
+//	dirty, _ := tr.Collect() // -> [buf's page]
+package ooh
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/costmodel"
+	"repro/internal/guestos"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/tracking"
+)
+
+// PageSize is the guest page size (4 KiB).
+const PageSize = mem.PageSize
+
+// Addr is a guest virtual address.
+type Addr = uint64
+
+// Technique selects a dirty page tracking technique.
+type Technique int
+
+// The four techniques the paper compares, plus the zero-cost oracle.
+const (
+	// Proc uses /proc/PID/pagemap soft-dirty bits (clear_refs + pagemap).
+	Proc Technique = iota
+	// Ufd uses userfaultfd in missing+write-protect mode.
+	Ufd
+	// SPML is Shadow PML: hypervisor-emulated per-process PML, no
+	// hardware changes, GPA->GVA reverse mapping in userspace.
+	SPML
+	// EPML is Extended PML: the paper's hardware extension; the CPU logs
+	// GVAs to a guest-owned buffer with no hypervisor on the critical path.
+	EPML
+	// Oracle is the hypothetical zero-cost tracker of §VI-B.
+	Oracle
+)
+
+// String returns the paper's name for the technique.
+func (t Technique) String() string { return t.internal().String() }
+
+func (t Technique) internal() costmodel.Technique {
+	switch t {
+	case Proc:
+		return costmodel.Proc
+	case Ufd:
+		return costmodel.Ufd
+	case SPML:
+		return costmodel.SPML
+	case EPML:
+		return costmodel.EPML
+	default:
+		return costmodel.Oracle
+	}
+}
+
+// Techniques lists the four real techniques in the paper's comparison order.
+func Techniques() []Technique { return []Technique{Proc, Ufd, SPML, EPML} }
+
+// Machine is a booted simulated host with one guest VM.
+type Machine struct {
+	m *machine.Machine
+	g *machine.Guest
+}
+
+// Option configures NewMachine.
+type Option func(*machine.Config)
+
+// WithHostMemory bounds the simulated DRAM.
+func WithHostMemory(bytes uint64) Option {
+	return func(c *machine.Config) { c.HostMemBytes = bytes }
+}
+
+// WithoutPreemption disables the guest scheduler's time-slice preemption
+// (for experiments needing exact event counts).
+func WithoutPreemption() Option {
+	return func(c *machine.Config) { c.DisablePreemption = true }
+}
+
+// NewMachine boots a host with one VM (1 vCPU, like the paper's setup),
+// running a guest kernel with PML, EPML, VMCS shadowing and posted
+// interrupts available.
+func NewMachine(opts ...Option) (*Machine, error) {
+	cfg := machine.Config{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	m, err := machine.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{m: m, g: m.Guest(0)}, nil
+}
+
+// Process is a guest process.
+type Process struct {
+	mach *Machine
+	p    *guestos.Process
+}
+
+// Spawn creates a guest process with an empty address space.
+func (m *Machine) Spawn(name string) *Process {
+	return &Process{mach: m, p: m.g.Kernel.Spawn(name)}
+}
+
+// VirtualTime returns the guest's current virtual time.
+func (m *Machine) VirtualTime() time.Duration { return m.g.Kernel.Clock.Now() }
+
+// Pid returns the process id.
+func (p *Process) Pid() int { return int(p.p.Pid) }
+
+// Mmap reserves size bytes (rounded to pages) and returns the base
+// address. With eager true the pages are populated immediately (mlockall).
+func (p *Process) Mmap(size uint64, eager bool) (Addr, error) {
+	r, err := p.p.Mmap(size, eager)
+	if err != nil {
+		return 0, err
+	}
+	return Addr(r.Start), nil
+}
+
+// Write stores b at addr through the simulated MMU (faults, EPT, PML and
+// all tracking techniques observe it).
+func (p *Process) Write(addr Addr, b []byte) error { return p.p.Write(mem.GVA(addr), b) }
+
+// Read loads len(b) bytes at addr.
+func (p *Process) Read(addr Addr, b []byte) error { return p.p.Read(mem.GVA(addr), b) }
+
+// WriteU64 stores one 64-bit word.
+func (p *Process) WriteU64(addr Addr, v uint64) error { return p.p.WriteU64(mem.GVA(addr), v) }
+
+// ReadU64 loads one 64-bit word.
+func (p *Process) ReadU64(addr Addr) (uint64, error) { return p.p.ReadU64(mem.GVA(addr)) }
+
+// WorkingSet returns the process's mapped memory in bytes.
+func (p *Process) WorkingSet() uint64 { return p.p.WorkingSetBytes() }
+
+// Tracker is an initialized dirty page tracking session on one process:
+// the paper's Tracker role.
+type Tracker struct {
+	t tracking.Technique
+}
+
+// StartTracking initializes the given technique on a process and starts
+// monitoring (phase 1 + 2 of Fig. 1).
+func (m *Machine) StartTracking(p *Process, tech Technique) (*Tracker, error) {
+	t, err := m.g.NewTechnique(tech.internal(), p.p)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.Init(); err != nil {
+		return nil, fmt.Errorf("ooh: tracker init: %w", err)
+	}
+	return &Tracker{t: t}, nil
+}
+
+// Collect returns the page-aligned addresses dirtied since tracking
+// started or since the previous Collect, and re-arms monitoring.
+func (t *Tracker) Collect() ([]Addr, error) {
+	gvas, err := t.t.Collect()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Addr, len(gvas))
+	for i, g := range gvas {
+		out[i] = Addr(g)
+	}
+	return out, nil
+}
+
+// Close ends monitoring and releases the technique's resources.
+func (t *Tracker) Close() error { return t.t.Close() }
+
+// Stats reports the tracker's accumulated phase times.
+type Stats struct {
+	InitTime    time.Duration
+	CollectTime time.Duration
+	Collections int
+	Reported    int64
+}
+
+// Stats returns the tracker's phase accounting (virtual time).
+func (t *Tracker) Stats() Stats {
+	s := t.t.Stats()
+	return Stats{
+		InitTime:    s.InitTime,
+		CollectTime: s.CollectTime,
+		Collections: s.Collections,
+		Reported:    s.Reported,
+	}
+}
+
+// Name returns the technique's name.
+func (t *Tracker) Name() string { return t.t.Name() }

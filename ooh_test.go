@@ -1,0 +1,177 @@
+package ooh_test
+
+import (
+	"bytes"
+	"testing"
+
+	ooh "repro"
+)
+
+// TestPublicAPITrackingRoundTrip exercises the facade end to end for every
+// technique.
+func TestPublicAPITrackingRoundTrip(t *testing.T) {
+	for _, tech := range ooh.Techniques() {
+		tech := tech
+		t.Run(tech.String(), func(t *testing.T) {
+			m, err := ooh.NewMachine()
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := m.Spawn("app")
+			buf, err := p.Mmap(32*ooh.PageSize, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr, err := m.StartTracking(p, tech)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := map[ooh.Addr]bool{}
+			for i := 0; i < 32; i += 4 {
+				addr := buf + uint64(i)*ooh.PageSize
+				if err := p.WriteU64(addr, uint64(i)); err != nil {
+					t.Fatal(err)
+				}
+				want[addr] = true
+			}
+			dirty, err := tr.Collect()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := map[ooh.Addr]bool{}
+			for _, a := range dirty {
+				got[a] = true
+			}
+			for addr := range want {
+				if !got[addr] {
+					t.Errorf("page %#x written but not reported", addr)
+				}
+			}
+			if s := tr.Stats(); s.Collections != 1 {
+				t.Errorf("Collections = %d, want 1", s.Collections)
+			}
+			if err := tr.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestPublicAPIMemoryRoundTrip checks Read/Write through the facade.
+func TestPublicAPIMemoryRoundTrip(t *testing.T) {
+	m, err := ooh.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.Spawn("mem")
+	buf, err := p.Mmap(4*ooh.PageSize, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("out of hypervisor")
+	if err := p.Write(buf+100, msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if err := p.Read(buf+100, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Errorf("read back %q, want %q", got, msg)
+	}
+	if ws := p.WorkingSet(); ws == 0 {
+		t.Error("WorkingSet is zero after writes")
+	}
+	if m.VirtualTime() == 0 {
+		t.Error("virtual clock did not advance")
+	}
+}
+
+// TestPublicAPICheckpoint exercises checkpoint/restore plus image
+// serialization through the facade.
+func TestPublicAPICheckpoint(t *testing.T) {
+	m, err := ooh.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.Spawn("ck")
+	buf, err := p.Mmap(16*ooh.PageSize, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		if err := p.WriteU64(buf+uint64(i)*ooh.PageSize, uint64(i)*7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	img, stats, err := m.Checkpoint(p, ooh.EPML, ooh.CheckpointOptions{KeepRunning: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.PageCount() != 16 {
+		t.Errorf("image has %d pages, want 16", img.PageCount())
+	}
+	if stats.Total <= 0 {
+		t.Errorf("stats.Total = %v", stats.Total)
+	}
+	var out bytes.Buffer
+	if _, err := img.WriteTo(&out); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := ooh.ReadImage(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := m.Restore(decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ooh.VerifyRestore(p, restored); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPublicAPIGC exercises the collector facade.
+func TestPublicAPIGC(t *testing.T) {
+	m, err := ooh.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.Spawn("gc")
+	gc, err := m.NewGC(p, 1<<20, ooh.EPML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := gc.Alloc(16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gc.AddRoot(root)
+	child, err := gc.Alloc(16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gc.SetPtr(root, 0, child); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gc.Alloc(64, 0); err != nil { // garbage
+		t.Fatal(err)
+	}
+	c1, err := gc.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.Live != 2 || c1.Freed != 1 {
+		t.Errorf("cycle 1: live=%d freed=%d, want 2/1", c1.Live, c1.Freed)
+	}
+	c2, err := gc.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c2.Incremental {
+		t.Error("cycle 2 not incremental")
+	}
+	if gc.Live() != 2 {
+		t.Errorf("Live = %d, want 2", gc.Live())
+	}
+}

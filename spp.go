@@ -1,0 +1,77 @@
+package ooh
+
+import (
+	"repro/internal/mem"
+	"repro/internal/spp"
+)
+
+// SubPageSize is Intel SPP's write-permission granularity (128 bytes, 32
+// sub-pages per 4 KiB page).
+const SubPageSize = spp.SubPageSize
+
+// SubPageMonitor exposes Intel SPP (Sub-Page write Permission) to guest
+// userspace - the second OoH instance the paper proposes (§III-D). It
+// write-protects 128-byte sub-pages of a process and delivers synchronous
+// violation notifications, enabling guard-sub-page heap allocators that
+// waste 1/32 the memory of guard pages.
+type SubPageMonitor struct {
+	mon *spp.Monitor
+}
+
+// NewSubPageMonitor installs OoH-SPP on a process. The handler (may be
+// nil) receives the guest virtual address of every blocked write.
+func (m *Machine) NewSubPageMonitor(p *Process, handler func(addr Addr)) *SubPageMonitor {
+	mon := spp.NewMonitor(p.p)
+	if handler != nil {
+		mon.Handler = func(gva mem.GVA) { handler(Addr(gva)) }
+	}
+	return &SubPageMonitor{mon: mon}
+}
+
+// Protect write-protects the 128-byte sub-pages fully covered by
+// [addr, addr+n) and returns how many were protected.
+func (s *SubPageMonitor) Protect(addr Addr, n uint64) (int, error) {
+	return s.mon.ProtectRange(mem.GVA(addr), n)
+}
+
+// Unprotect restores write access to the covered sub-pages.
+func (s *SubPageMonitor) Unprotect(addr Addr, n uint64) error {
+	return s.mon.UnprotectRange(mem.GVA(addr), n)
+}
+
+// Violations reports how many writes were blocked so far.
+func (s *SubPageMonitor) Violations() int { return s.mon.Violations }
+
+// Close detaches the monitor from the vCPU.
+func (s *SubPageMonitor) Close() { s.mon.Close() }
+
+// GuardHeap is a secure allocator placing a write-protected guard after
+// every block: overflows fault synchronously. With sub-page guards
+// (usePages false) the per-allocation waste is 128 bytes instead of 4 KiB.
+type GuardHeap struct {
+	h *spp.GuardHeap
+}
+
+// NewGuardHeap builds a guarded allocator of size bytes.
+func (s *SubPageMonitor) NewGuardHeap(size uint64, usePages bool) (*GuardHeap, error) {
+	h, err := spp.NewGuardHeap(s.mon, size, usePages)
+	if err != nil {
+		return nil, err
+	}
+	return &GuardHeap{h: h}, nil
+}
+
+// Alloc returns a guarded block of n bytes.
+func (g *GuardHeap) Alloc(n uint64) (Addr, error) {
+	a, err := g.h.Alloc(n)
+	return Addr(a), err
+}
+
+// Free retires the guard of the block at addr (allocated with size n).
+func (g *GuardHeap) Free(addr Addr, n uint64) error { return g.h.Free(mem.GVA(addr), n) }
+
+// Waste reports the bytes consumed by guards.
+func (g *GuardHeap) Waste() uint64 { return g.h.Waste() }
+
+// ErrOverflow is returned by writes that hit a guard sub-page.
+var ErrOverflow = spp.ErrOverflow

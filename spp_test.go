@@ -1,0 +1,112 @@
+package ooh_test
+
+import (
+	"errors"
+	"testing"
+
+	ooh "repro"
+)
+
+// TestSubPageMonitorFacade exercises OoH-SPP through the public API.
+func TestSubPageMonitorFacade(t *testing.T) {
+	m, err := ooh.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.Spawn("spp")
+	buf, err := p.Mmap(2*ooh.PageSize, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var caught []ooh.Addr
+	mon := m.NewSubPageMonitor(p, func(a ooh.Addr) { caught = append(caught, a) })
+	defer mon.Close()
+
+	n, err := mon.Protect(buf+512, ooh.SubPageSize)
+	if err != nil || n != 1 {
+		t.Fatalf("Protect = %d, %v", n, err)
+	}
+	if err := p.WriteU64(buf, 1); err != nil {
+		t.Fatalf("write outside guard: %v", err)
+	}
+	if err := p.WriteU64(buf+512, 2); !errors.Is(err, ooh.ErrOverflow) {
+		t.Fatalf("write into guard: %v", err)
+	}
+	if mon.Violations() != 1 || len(caught) != 1 {
+		t.Errorf("violations=%d caught=%v", mon.Violations(), caught)
+	}
+	if err := mon.Unprotect(buf+512, ooh.SubPageSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WriteU64(buf+512, 3); err != nil {
+		t.Errorf("write after unprotect: %v", err)
+	}
+}
+
+// TestGuardHeapFacade checks the 32x waste claim through the public API.
+func TestGuardHeapFacade(t *testing.T) {
+	m, err := ooh.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.Spawn("heap")
+	mon := m.NewSubPageMonitor(p, nil)
+	defer mon.Close()
+
+	sub, err := mon.NewGuardHeap(1<<20, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pages, err := mon.NewGuardHeap(1<<20, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		if _, err := sub.Alloc(64); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := pages.Alloc(64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pages.Waste() != 32*sub.Waste() {
+		t.Errorf("waste ratio = %d/%d, want 32x", pages.Waste(), sub.Waste())
+	}
+	// Overflow detection through the facade.
+	b, err := sub.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WriteU64(b+64, 1); !errors.Is(err, ooh.ErrOverflow) {
+		t.Errorf("overflow: %v", err)
+	}
+	if err := sub.Free(b, 64); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WriteU64(b+64, 1); err != nil {
+		t.Errorf("write after Free: %v", err)
+	}
+}
+
+// TestHostMemoryLimit: a bounded host runs out of frames with a clear error.
+func TestHostMemoryLimit(t *testing.T) {
+	m, err := ooh.NewMachine(ooh.WithHostMemory(64 * ooh.PageSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.Spawn("oom")
+	buf, err := p.Mmap(256*ooh.PageSize, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failed bool
+	for i := 0; i < 256; i++ {
+		if err := p.WriteU64(buf+uint64(i)*ooh.PageSize, 1); err != nil {
+			failed = true
+			break
+		}
+	}
+	if !failed {
+		t.Error("256 pages fit in a 64-frame host")
+	}
+}
