@@ -21,16 +21,19 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/trace"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment id (empty = all)")
-		scale   = flag.Int("scale", 1, "workload scale factor")
-		full    = flag.Bool("full", false, "include the most expensive points (500MB/1GB, all apps, 5 VMs)")
-		workers = flag.Int("workers", 0, "parallel experiment workers (0 = GOMAXPROCS)")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		seed    = flag.Uint64("seed", 42, "workload data seed")
+		exp        = flag.String("exp", "", "experiment id (empty = all)")
+		scale      = flag.Int("scale", 1, "workload scale factor")
+		full       = flag.Bool("full", false, "include the most expensive points (500MB/1GB, all apps, 5 VMs)")
+		workers    = flag.Int("workers", 0, "parallel experiment workers (0 = GOMAXPROCS)")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		seed       = flag.Uint64("seed", 42, "workload data seed")
+		traceFile  = flag.String("trace", "", "write a JSONL event trace of the monitored runs to this file")
+		traceKinds = flag.String("trace-kinds", "", "comma-separated event kinds to trace (empty = all)")
 	)
 	flag.Parse()
 
@@ -42,6 +45,29 @@ func main() {
 	}
 
 	opt := experiments.Options{Scale: *scale, Full: *full, Workers: *workers, Seed: *seed}
+	if *traceFile != "" {
+		mask, err := trace.ParseKinds(*traceKinds)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oohbench: %v\n", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oohbench: %v\n", err)
+			os.Exit(1)
+		}
+		tr := trace.New(trace.NewJSONLWriter(f), 0)
+		tr.SetMask(mask)
+		defer func() {
+			if err := tr.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "oohbench: closing trace: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+		opt.Tracer = tr
+		// A Tracer is single-goroutine; serialize the experiment grids.
+		opt.Workers = 1
+	}
 	ids := experiments.IDs()
 	if *exp != "" {
 		ids = []string{*exp}

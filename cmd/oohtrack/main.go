@@ -19,17 +19,21 @@ import (
 	"repro/internal/machine"
 	"repro/internal/report"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/workloads"
 )
 
 func main() {
 	var (
-		name   = flag.String("workload", "micro", "workload: "+strings.Join(workloads.Names(), ", "))
-		tech   = flag.String("tech", "epml", "technique: proc, ufd, spml, epml, oracle")
-		size   = flag.String("size", "small", "config size: small, medium, large")
-		scale  = flag.Int("scale", 1, "workload scale factor")
-		passes = flag.Int("passes", 3, "workload passes (collection after each)")
-		seed   = flag.Uint64("seed", 42, "workload data seed")
+		name       = flag.String("workload", "micro", "workload: "+strings.Join(workloads.Names(), ", "))
+		tech       = flag.String("tech", "epml", "technique: proc, ufd, spml, epml, oracle")
+		size       = flag.String("size", "small", "config size: small, medium, large")
+		scale      = flag.Int("scale", 1, "workload scale factor")
+		passes     = flag.Int("passes", 3, "workload passes (collection after each)")
+		seed       = flag.Uint64("seed", 42, "workload data seed")
+		traceFile  = flag.String("trace", "", "write a JSONL event trace to this file")
+		traceKinds = flag.String("trace-kinds", "", "comma-separated event kinds to trace (empty = all)")
+		summary    = flag.Bool("summary", false, "print a per-kind cost breakdown of the trace")
 	)
 	flag.Parse()
 
@@ -42,7 +46,34 @@ func main() {
 		fail(err)
 	}
 
-	m, err := machine.New(machine.Config{})
+	// Trace plumbing: a JSONL file, an in-memory sink for -summary, or a
+	// tee of both.
+	var (
+		tracer *trace.Tracer
+		memory *trace.Memory
+	)
+	if *traceFile != "" || *summary {
+		var sinks []trace.Sink
+		if *traceFile != "" {
+			f, err := os.Create(*traceFile)
+			if err != nil {
+				fail(err)
+			}
+			sinks = append(sinks, trace.NewJSONLWriter(f))
+		}
+		if *summary {
+			memory = &trace.Memory{}
+			sinks = append(sinks, memory)
+		}
+		tracer = trace.New(trace.Tee(sinks...), 0)
+		mask, err := trace.ParseKinds(*traceKinds)
+		if err != nil {
+			fail(err)
+		}
+		tracer.SetMask(mask)
+	}
+
+	m, err := machine.New(machine.Config{Tracer: tracer})
 	if err != nil {
 		fail(err)
 	}
@@ -86,6 +117,18 @@ func main() {
 		report.FormatDuration(s.InitTime), report.FormatDuration(s.CollectTime),
 		s.Collections, s.Reported)
 	fmt.Printf("guest events: %s\n", g.Kernel.VCPU.Counters.String())
+
+	if tracer != nil {
+		if err := tracer.Close(); err != nil {
+			fail(err)
+		}
+		if memory != nil {
+			fmt.Printf("\n%s", trace.SummaryTable(memory.Records()).Render())
+		}
+		if *traceFile != "" {
+			fmt.Printf("\ntrace: %d records written to %s\n", tracer.Emitted(), *traceFile)
+		}
+	}
 }
 
 func parseTech(s string) (costmodel.Technique, error) {

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/mem"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // StartIncremental arms the dirty page technique immediately, so that even
@@ -37,6 +38,11 @@ func (g *GC) StartIncremental() error {
 // unmodified old objects from the cached shadow graph.
 func (g *GC) Collect() (CycleStats, error) {
 	stats := CycleStats{Cycle: len(g.cycles) + 1}
+	tr := g.Proc.Kernel().VCPU.Tracer
+	var cycleStart int64
+	if tr != nil {
+		cycleStart = g.clock.Nanos()
+	}
 	total := sim.StartWatch(g.clock)
 
 	// --- mark phase -------------------------------------------------------
@@ -85,8 +91,17 @@ func (g *GC) Collect() (CycleStats, error) {
 		stack = append(stack, edges...)
 	}
 	stats.MarkTime = mark.Elapsed()
+	if tr.Enabled(trace.KindGCMark) {
+		tr.Emit(trace.Record{Kind: trace.KindGCMark, VM: int32(g.Proc.Kernel().VCPU.ID),
+			TS: g.clock.Nanos() - int64(stats.MarkTime), Cost: int64(stats.MarkTime),
+			Arg: int64(stats.Scanned)})
+	}
 
 	// --- sweep phase ------------------------------------------------------
+	var sweepStart int64
+	if tr != nil {
+		sweepStart = g.clock.Nanos()
+	}
 	sweep := sim.StartWatch(g.clock)
 	var dead []mem.GVA
 	g.Heap.Blocks(func(addr mem.GVA, size uint64) bool {
@@ -110,6 +125,10 @@ func (g *GC) Collect() (CycleStats, error) {
 	stats.SweepTime = sweep.Elapsed()
 	stats.Freed = len(dead)
 	stats.Live = len(marked)
+	if tr.Enabled(trace.KindGCSweep) {
+		tr.Emit(trace.Record{Kind: trace.KindGCSweep, VM: int32(g.Proc.Kernel().VCPU.ID),
+			TS: sweepStart, Cost: g.clock.Nanos() - sweepStart, Arg: int64(stats.Freed)})
+	}
 
 	// Re-arm the dirty tracker for the next incremental cycle.
 	if g.Tech != nil && !g.tracking {
@@ -123,6 +142,10 @@ func (g *GC) Collect() (CycleStats, error) {
 
 	stats.Total = total.Elapsed()
 	g.cycles = append(g.cycles, stats)
+	if tr.Enabled(trace.KindGCCycle) {
+		tr.Emit(trace.Record{Kind: trace.KindGCCycle, VM: int32(g.Proc.Kernel().VCPU.ID),
+			TS: cycleStart, Cost: g.clock.Nanos() - cycleStart, Arg: int64(stats.Cycle)})
+	}
 	return stats, nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"repro/internal/hypervisor"
 	"repro/internal/mem"
 	"repro/internal/pgtable"
+	"repro/internal/trace"
 )
 
 // Lib is the userspace half of the OoH UIO driver: the template code a
@@ -99,11 +100,16 @@ func (s *Session) Fetch() ([]mem.GVA, error) {
 		if _, err := k.VCPU.Hypercall(hypervisor.HCDrainRing, uint64(s.pid)); err != nil {
 			return nil, err
 		}
+		tr := k.VCPU.Tracer
 		w := startSpan(clock)
 		raw := s.s.ring.Drain(nil)
 		perEntry := k.Model.RBCopy.PerPage(s.s.proc.ReservedBytes())
 		clock.Advance(perEntry * time.Duration(len(raw)))
 		s.LastBreakdown.RingCopy = w.stop()
+		if tr.Enabled(trace.KindRingCopy) {
+			tr.Emit(trace.Record{Kind: trace.KindRingCopy, VM: int32(k.VCPU.ID), TS: w.start,
+				Cost: int64(s.LastBreakdown.RingCopy), Arg: int64(len(raw))})
+		}
 
 		if len(raw) == 0 {
 			return nil, nil
@@ -130,6 +136,10 @@ func (s *Session) Fetch() ([]mem.GVA, error) {
 				}
 			}
 			s.LastBreakdown.PTWalk = w.stop()
+			if tr.Enabled(trace.KindPTWalk) {
+				tr.Emit(trace.Record{Kind: trace.KindPTWalk, VM: int32(k.VCPU.ID), TS: w.start,
+					Cost: int64(s.LastBreakdown.PTWalk), Arg: int64(len(entries))})
+			}
 			if s.ReuseReverseIndex {
 				s.revIndex = index
 			}
@@ -156,6 +166,10 @@ func (s *Session) Fetch() ([]mem.GVA, error) {
 		}
 		s.LastBreakdown.ReverseMap = w.stop()
 		s.LastBreakdown.Entries = len(out)
+		if tr.Enabled(trace.KindReverseMap) {
+			tr.Emit(trace.Record{Kind: trace.KindReverseMap, VM: int32(k.VCPU.ID), TS: w.start,
+				Cost: int64(s.LastBreakdown.ReverseMap), Arg: int64(len(out))})
+		}
 		return out, nil
 
 	case ModeEPML:
@@ -181,6 +195,10 @@ func (s *Session) Fetch() ([]mem.GVA, error) {
 		}
 		s.LastBreakdown.RingCopy = w.stop()
 		s.LastBreakdown.Entries = len(out)
+		if tr := k.VCPU.Tracer; tr.Enabled(trace.KindRingCopy) {
+			tr.Emit(trace.Record{Kind: trace.KindRingCopy, VM: int32(k.VCPU.ID), TS: w.start,
+				Cost: int64(s.LastBreakdown.RingCopy), Arg: int64(len(raw))})
+		}
 		return out, nil
 	}
 	return nil, fmt.Errorf("core: unknown mode %v", mod.Mode)

@@ -25,6 +25,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/pgtable"
 	"repro/internal/ringbuf"
+	"repro/internal/trace"
 	"repro/internal/vmcs"
 )
 
@@ -286,6 +287,11 @@ func (s *session) drainGuestBuffer() {
 	if cur := k.Current(); cur != nil && cur != s.proc {
 		return
 	}
+	tr := k.VCPU.Tracer
+	var start int64
+	if tr != nil {
+		start = k.Clock.Nanos()
+	}
 	idx, err := k.VCPU.GuestVMRead(vmcs.FieldGuestPMLIndex)
 	if err != nil {
 		return
@@ -302,4 +308,8 @@ func (s *session) drainGuestBuffer() {
 		s.ring.Push(raw)
 	}
 	_ = k.VCPU.GuestVMWrite(vmcs.FieldGuestPMLIndex, vmcs.PMLResetIndex)
+	if tr.Enabled(trace.KindRingDrain) {
+		tr.Emit(trace.Record{Kind: trace.KindRingDrain, VM: int32(k.VCPU.ID), TS: start,
+			Cost: k.Clock.Nanos() - start, Arg: int64(vmcs.PMLBufferEntries - first)})
+	}
 }

@@ -57,6 +57,51 @@ func TestCurveEdges(t *testing.T) {
 	}
 }
 
+// TestCurveOutOfRange is the regression test for the negative-extrapolation
+// bug: with a decreasing final segment, far-above-range sizes used to go
+// negative (and panic sim.Clock.Advance). Both out-of-range sides are
+// table-driven here.
+func TestCurveOutOfRange(t *testing.T) {
+	increasing := NewCurve(
+		[]float64{10, 100, 1000},
+		[]time.Duration{10 * time.Microsecond, 100 * time.Microsecond, time.Millisecond})
+	// Final segment slope: (500us-1ms)/(1000MB-100MB) < 0.
+	decreasing := NewCurve(
+		[]float64{10, 100, 1000},
+		[]time.Duration{100 * time.Microsecond, time.Millisecond, 500 * time.Microsecond})
+
+	cases := []struct {
+		name      string
+		c         Curve
+		sizeBytes uint64
+		want      time.Duration
+	}{
+		{"below first sample scales proportionally", increasing, 1 << 20, time.Microsecond},
+		{"below first sample half", increasing, 5 << 20, 5 * time.Microsecond},
+		{"at last sample", increasing, 1000 << 20, time.Millisecond},
+		{"above range follows final slope", increasing, 2000 << 20, 2 * time.Millisecond},
+		{"decreasing: just above range still positive", decreasing, 1100 << 20,
+			500*time.Microsecond - 55*time.Microsecond - 555*time.Nanosecond},
+		{"decreasing: far above range clamps at zero", decreasing, 100 << 30, 0},
+	}
+	for _, tc := range cases {
+		got := tc.c.Total(tc.sizeBytes)
+		if diff := got - tc.want; diff < -time.Microsecond || diff > time.Microsecond {
+			t.Errorf("%s: Total(%d) = %v, want %v", tc.name, tc.sizeBytes, got, tc.want)
+		}
+	}
+
+	// The invariant that matters to the simulator: no size may ever yield a
+	// negative cost (sim.Clock.Advance panics on negative durations).
+	for mb := uint64(1); mb <= 1<<20; mb *= 2 {
+		for _, c := range []Curve{increasing, decreasing} {
+			if got := c.Total(mb << 20); got < 0 {
+				t.Fatalf("Total(%dMB) = %v, negative", mb, got)
+			}
+		}
+	}
+}
+
 func TestPerPage(t *testing.T) {
 	m := Default()
 	total := m.PTWalkUser.Total(1 << 30)

@@ -11,8 +11,10 @@ const MiB = 1 << 20
 // Curve is a memory-size-dependent cost: the paper samples each such metric
 // at seven Tracked memory sizes (1 MB .. 1 GB, Table Vb). Between samples we
 // interpolate log-linearly in size (costs grow smoothly but super- or
-// sub-linearly in memory, e.g. reverse mapping), and clamp outside the
-// sampled range by scaling linearly with size from the nearest endpoint.
+// sub-linearly in memory, e.g. reverse mapping). Below the first sample the
+// cost scales proportionally with size from the first point; above the last
+// sample it extrapolates along the final segment's linear slope, clamped at
+// zero so a decreasing final segment can never yield a negative cost.
 type Curve struct {
 	sizesMB []float64       // sample sizes in MiB, ascending
 	costs   []time.Duration // total cost at each sample size
@@ -45,10 +47,17 @@ func (c Curve) Total(sizeBytes uint64) time.Duration {
 		// Scale linearly below the first sample: cost per MiB is constant.
 		return time.Duration(float64(c.costs[0]) * mb / c.sizesMB[0])
 	case mb >= c.sizesMB[n-1]:
-		// Scale linearly above the last sample using the last segment's slope.
+		// Extrapolate linearly above the last sample using the last
+		// segment's slope. A negative slope (a metric that got cheaper at
+		// the largest sample) would eventually cross zero and produce a
+		// negative cost, which panics sim.Clock.Advance - clamp at zero.
 		last, prev := float64(c.costs[n-1]), float64(c.costs[n-2])
 		slope := (last - prev) / (c.sizesMB[n-1] - c.sizesMB[n-2])
-		return time.Duration(last + slope*(mb-c.sizesMB[n-1]))
+		cost := last + slope*(mb-c.sizesMB[n-1])
+		if cost < 0 {
+			return 0
+		}
+		return time.Duration(cost)
 	}
 	// Log-linear interpolation between bracketing samples.
 	i := 1

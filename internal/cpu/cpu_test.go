@@ -340,11 +340,46 @@ func TestWriteHookObservesPages(t *testing.T) {
 	h := newHarness(t)
 	h.mapPage(t, 0x4000)
 	var hooked []mem.GVA
-	h.vcpu.WriteHook = func(gva mem.GVA) { hooked = append(hooked, gva) }
+	id := h.vcpu.AddWriteHook(func(gva mem.GVA) { hooked = append(hooked, gva) })
 	if err := h.vcpu.WriteU64(0x4123&^7, 9); err != nil {
 		t.Fatal(err)
 	}
 	if len(hooked) != 1 || hooked[0] != 0x4000 {
 		t.Errorf("hook saw %v, want [0x4000]", hooked)
+	}
+	h.vcpu.RemoveWriteHook(id)
+	if err := h.vcpu.WriteU64(0x4123&^7, 10); err != nil {
+		t.Fatal(err)
+	}
+	if len(hooked) != 1 {
+		t.Errorf("removed hook still fired: saw %v", hooked)
+	}
+}
+
+func TestWriteHookRemovalOrderIndependent(t *testing.T) {
+	h := newHarness(t)
+	h.mapPage(t, 0x4000)
+	var a, b, c int
+	idA := h.vcpu.AddWriteHook(func(mem.GVA) { a++ })
+	idB := h.vcpu.AddWriteHook(func(mem.GVA) { b++ })
+	idC := h.vcpu.AddWriteHook(func(mem.GVA) { c++ })
+	write := func() {
+		t.Helper()
+		if err := h.vcpu.WriteU64(0x4000, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write() // all three fire
+	h.vcpu.RemoveWriteHook(idB)
+	write() // a, c fire; b must not
+	h.vcpu.RemoveWriteHook(idA)
+	write() // only c fires
+	h.vcpu.RemoveWriteHook(idC)
+	write() // none fire
+	if a != 2 || b != 1 || c != 3 {
+		t.Errorf("hook fire counts a=%d b=%d c=%d, want 2/1/3", a, b, c)
+	}
+	if n := h.vcpu.WriteHookCount(); n != 0 {
+		t.Errorf("WriteHookCount = %d after removing all, want 0", n)
 	}
 }

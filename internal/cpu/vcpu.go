@@ -14,6 +14,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/pgtable"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/vmcs"
 )
 
@@ -84,14 +85,23 @@ type VCPU struct {
 	Costs    Costs
 	Counters sim.Counters
 
+	// Tracer, when non-nil, receives per-event records for every cost this
+	// vCPU (and the layers reached through it) charges to the virtual
+	// clock. Tracing only observes: it never advances the clock, so traced
+	// and untraced runs are bit-identical in virtual time.
+	Tracer *trace.Tracer
+
 	// EPMLVector is the self-IPI vector raised when the guest-level PML
 	// buffer fills (EPML only).
 	EPMLVector int
 
-	// WriteHook, when non-nil, observes every successful guest write (the
-	// page base written). It models perfect instrumentation: the oracle
-	// technique and the completeness verifier use it; it charges no cost.
-	WriteHook func(gva mem.GVA)
+	// writeHooks observe every successful guest write (the page base
+	// written). They model perfect instrumentation: the oracle technique
+	// and the completeness verifier use them; they charge no cost. Hooks
+	// run in registration order and are removed by the id AddWriteHook
+	// returned, so stacked observers can detach in any order.
+	writeHooks []writeHook
+	nextHookID int
 
 	// SPPCheck, when non-nil, implements Intel SPP (Sub-Page write
 	// Permission): it is consulted with the target GPA of every guest
@@ -119,6 +129,35 @@ type VCPU struct {
 // Mode returns the current VMX mode.
 func (v *VCPU) Mode() Mode { return v.mode }
 
+// writeHook is one registered write observer.
+type writeHook struct {
+	id int
+	fn func(gva mem.GVA)
+}
+
+// AddWriteHook registers fn to observe every successful guest write and
+// returns an id for RemoveWriteHook. Hooks fire in registration order.
+func (v *VCPU) AddWriteHook(fn func(gva mem.GVA)) int {
+	v.nextHookID++
+	v.writeHooks = append(v.writeHooks, writeHook{id: v.nextHookID, fn: fn})
+	return v.nextHookID
+}
+
+// RemoveWriteHook detaches the hook with the given id. Removal is
+// position-independent: observers stacked on top of the removed one keep
+// firing, so trackers and verifiers can stop in any order.
+func (v *VCPU) RemoveWriteHook(id int) {
+	for i, h := range v.writeHooks {
+		if h.id == id {
+			v.writeHooks = append(v.writeHooks[:i], v.writeHooks[i+1:]...)
+			return
+		}
+	}
+}
+
+// WriteHookCount reports how many write observers are attached.
+func (v *VCPU) WriteHookCount() int { return len(v.writeHooks) }
+
 // SetAddressSpace installs a guest page table as the active address space.
 func (v *VCPU) SetAddressSpace(pt *pgtable.Table) { v.GuestPT = pt }
 
@@ -131,13 +170,43 @@ func (v *VCPU) exit(e *Exit) (uint64, error) {
 		return 0, fmt.Errorf("cpu: unhandled vmexit %v", e.Reason)
 	}
 	v.Counters.Inc(CtrVMExits)
+	tr := v.Tracer
+	var start int64
+	if tr != nil {
+		start = v.Clock.Nanos()
+	}
 	v.Clock.Advance(v.Costs.VMExit)
 	prev := v.mode
 	v.mode = VMXRoot
 	ret, err := v.Exits.HandleExit(v, e)
 	v.mode = prev
 	v.Clock.Advance(v.Costs.VMEntry)
+	if tr != nil {
+		if k, arg := exitTrace(e); tr.Enabled(k) {
+			tr.Emit(trace.Record{
+				Kind: k, VM: int32(v.ID), TS: start,
+				Cost: v.Clock.Nanos() - start,
+				Addr: uint64(e.GPA), Arg: arg,
+			})
+		}
+	}
 	return ret, err
+}
+
+// exitTrace maps a vmexit to its trace kind and detail argument: hypercalls
+// and the PML/EPT reasons get dedicated kinds so per-kind summaries
+// attribute the full service span (world switches plus handler) without
+// double counting; everything else is a generic vmexit.
+func exitTrace(e *Exit) (trace.Kind, int64) {
+	switch e.Reason {
+	case ExitHypercall:
+		return trace.KindHypercall, int64(e.Nr)
+	case ExitPMLFull:
+		return trace.KindPMLFull, 0
+	case ExitEPTViolation:
+		return trace.KindEPTViolation, 0
+	}
+	return trace.KindVMExit, int64(e.Reason)
 }
 
 // Hypercall issues a hypercall from the guest (a vmexit with ExitHypercall).
@@ -220,6 +289,13 @@ func (v *VCPU) pmlLog(gpa mem.GPA) error {
 		v.VMCS.MustWrite(vmcs.FieldPMLIndex, (idx-1)&0xFFFF)
 		v.Counters.Inc(CtrPMLLogs)
 		v.Clock.Advance(v.Costs.PMLLog)
+		if tr := v.Tracer; tr.Enabled(trace.KindPMLLog) {
+			tr.Emit(trace.Record{
+				Kind: trace.KindPMLLog, VM: int32(v.ID),
+				TS:   v.Clock.Nanos() - int64(v.Costs.PMLLog),
+				Cost: int64(v.Costs.PMLLog), Addr: uint64(gpa),
+			})
+		}
 		return nil
 	}
 }
@@ -246,11 +322,22 @@ func (v *VCPU) epmlLog(gva mem.GVA) error {
 				return errors.New("cpu: EPML buffer-full IRQ handler made no progress")
 			}
 			v.Counters.Inc(CtrEPMLFullIRQs)
+			tr := v.Tracer
+			var start int64
+			if tr != nil {
+				start = v.Clock.Nanos()
+			}
 			v.Clock.Advance(v.Costs.IRQDeliver)
 			if v.IRQ == nil {
 				return errors.New("cpu: EPML buffer full with no IRQ sink")
 			}
 			v.IRQ.DeliverIRQ(v.EPMLVector)
+			if tr.Enabled(trace.KindEPMLFullIRQ) {
+				tr.Emit(trace.Record{
+					Kind: trace.KindEPMLFullIRQ, VM: int32(v.ID), TS: start,
+					Cost: v.Clock.Nanos() - start, Arg: int64(v.EPMLVector),
+				})
+			}
 			continue
 		}
 		buf := mem.HPA(fields.MustRead(vmcs.FieldGuestPMLAddress))
@@ -260,6 +347,13 @@ func (v *VCPU) epmlLog(gva mem.GVA) error {
 		fields.MustWrite(vmcs.FieldGuestPMLIndex, (idx-1)&0xFFFF)
 		v.Counters.Inc(CtrEPMLLogs)
 		v.Clock.Advance(v.Costs.PMLLog)
+		if tr := v.Tracer; tr.Enabled(trace.KindEPMLLog) {
+			tr.Emit(trace.Record{
+				Kind: trace.KindEPMLLog, VM: int32(v.ID),
+				TS:   v.Clock.Nanos() - int64(v.Costs.PMLLog),
+				Cost: int64(v.Costs.PMLLog), Addr: uint64(gva),
+			})
+		}
 		return nil
 	}
 }
@@ -285,7 +379,7 @@ func (v *VCPU) walkForWrite(gva mem.GVA) (mem.HPA, error) {
 			if v.Fault == nil {
 				return 0, fmt.Errorf("cpu: unhandled #PF (write) at %v", gva)
 			}
-			if err := v.Fault.HandlePageFault(v, gva, true); err != nil {
+			if err := v.tracedFault(gva, true); err != nil {
 				return 0, err
 			}
 			continue
@@ -298,8 +392,19 @@ func (v *VCPU) walkForWrite(gva mem.GVA) (mem.HPA, error) {
 			if v.SPPViolation == nil {
 				return 0, fmt.Errorf("cpu: unhandled SPP violation at %v", gva)
 			}
+			tr := v.Tracer
+			var start int64
+			if tr != nil {
+				start = v.Clock.Nanos()
+			}
 			if err := v.SPPViolation(gva, gpa); err != nil {
 				return 0, err
+			}
+			if tr.Enabled(trace.KindSPPViolation) {
+				tr.Emit(trace.Record{
+					Kind: trace.KindSPPViolation, VM: int32(v.ID), TS: start,
+					Cost: v.Clock.Nanos() - start, Addr: uint64(gva),
+				})
 			}
 			continue
 		}
@@ -330,12 +435,37 @@ func (v *VCPU) walkForWrite(gva mem.GVA) (mem.HPA, error) {
 				return 0, err
 			}
 		}
-		if v.WriteHook != nil {
-			v.WriteHook(gva.PageFloor())
+		for i := range v.writeHooks {
+			v.writeHooks[i].fn(gva.PageFloor())
 		}
 		return hpa, nil
 	}
 	return 0, fmt.Errorf("cpu: fault loop on write at %v", gva)
+}
+
+// tracedFault dispatches a guest #PF to the kernel's fault handler,
+// recording the full service span (the envelope around the narrower
+// demand/soft-dirty/ufd kinds the kernel emits).
+func (v *VCPU) tracedFault(gva mem.GVA, write bool) error {
+	tr := v.Tracer
+	var start int64
+	if tr != nil {
+		start = v.Clock.Nanos()
+	}
+	if err := v.Fault.HandlePageFault(v, gva, write); err != nil {
+		return err
+	}
+	if tr.Enabled(trace.KindGuestPF) {
+		arg := int64(0)
+		if write {
+			arg = 1
+		}
+		tr.Emit(trace.Record{
+			Kind: trace.KindGuestPF, VM: int32(v.ID), TS: start,
+			Cost: v.Clock.Nanos() - start, Addr: uint64(gva), Arg: arg,
+		})
+	}
+	return nil
 }
 
 // walkForRead resolves gva for a read access.
@@ -350,7 +480,7 @@ func (v *VCPU) walkForRead(gva mem.GVA) (mem.HPA, error) {
 			if v.Fault == nil {
 				return 0, fmt.Errorf("cpu: unhandled #PF (read) at %v", gva)
 			}
-			if err := v.Fault.HandlePageFault(v, gva, false); err != nil {
+			if err := v.tracedFault(gva, false); err != nil {
 				return 0, err
 			}
 			continue

@@ -10,6 +10,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/pgtable"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/tracking"
 )
 
@@ -158,21 +159,37 @@ func (c *Checkpointer) Run(runBetween func(round int) error) (*Image, Stats, err
 // (paper §VI-F: "with SPML and EPML it first collects all dirty pages from
 // the ring buffer and then writes them").
 func (c *Checkpointer) collect(stats *Stats) ([]mem.GVA, error) {
+	tr := c.Proc.Kernel().VCPU.Tracer
+	var start int64
+	if tr != nil {
+		start = c.clock.Nanos()
+	}
 	w := sim.StartWatch(c.clock)
 	dirty, err := c.Tech.Collect()
 	if err != nil {
 		return nil, fmt.Errorf("criu: collect: %w", err)
 	}
+	kind := trace.KindCRIUMD
 	if c.Tech.Kind() == costmodel.Proc {
 		stats.MW += w.Elapsed()
+		kind = trace.KindCRIUMW
 	} else {
 		stats.MD += w.Elapsed()
+	}
+	if tr.Enabled(kind) {
+		tr.Emit(trace.Record{Kind: kind, VM: int32(c.Proc.Kernel().VCPU.ID), TS: start,
+			Cost: c.clock.Nanos() - start, Arg: int64(len(dirty))})
 	}
 	return dirty, nil
 }
 
 // dumpRound reads and writes one round's pages into the image.
 func (c *Checkpointer) dumpRound(img *Image, stats *Stats, pages []mem.GVA) error {
+	tr := c.Proc.Kernel().VCPU.Tracer
+	var start int64
+	if tr != nil {
+		start = c.clock.Nanos()
+	}
 	w := sim.StartWatch(c.clock)
 	model := c.Proc.Kernel().Model
 	n := 0
@@ -195,6 +212,10 @@ func (c *Checkpointer) dumpRound(img *Image, stats *Stats, pages []mem.GVA) erro
 	stats.Rounds++
 	stats.PagesPer = append(stats.PagesPer, n)
 	stats.Dumped += n
+	if tr.Enabled(trace.KindCRIUMW) {
+		tr.Emit(trace.Record{Kind: trace.KindCRIUMW, VM: int32(c.Proc.Kernel().VCPU.ID),
+			TS: start, Cost: c.clock.Nanos() - start, Arg: int64(n)})
+	}
 	return nil
 }
 

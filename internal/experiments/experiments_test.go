@@ -20,7 +20,7 @@ func TestMicroShapeMatchesPaper(t *testing.T) {
 	const pages = 50 << 8 // 50 MB
 	results := make(map[costmodel.Technique]MicroResult)
 	for _, kind := range []costmodel.Technique{costmodel.Proc, costmodel.Ufd, costmodel.SPML, costmodel.EPML} {
-		r, err := runMicro(kind, pages, 1)
+		r, err := runMicro(kind, pages, 1, nil)
 		if err != nil {
 			t.Fatalf("%v: %v", kind, err)
 		}
@@ -44,7 +44,7 @@ func TestMicroShapeMatchesPaper(t *testing.T) {
 
 // TestFig3ReverseMapDominates checks the Fig. 3 claim on one size.
 func TestFig3ReverseMapDominates(t *testing.T) {
-	r, err := runMicro(costmodel.SPML, 10<<8, 1)
+	r, err := runMicro(costmodel.SPML, 10<<8, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +62,7 @@ func TestFig3ReverseMapDominates(t *testing.T) {
 func TestTable4FormulaAccuracy(t *testing.T) {
 	model := costmodel.Default()
 	for _, kind := range []costmodel.Technique{costmodel.Proc, costmodel.SPML, costmodel.EPML} {
-		r, err := runMicro(kind, 2048, 1)
+		r, err := runMicro(kind, 2048, 1, nil)
 		if err != nil {
 			t.Fatalf("%v: %v", kind, err)
 		}
@@ -80,11 +80,18 @@ func TestTable4FormulaAccuracy(t *testing.T) {
 
 // TestCRIUShapeMatchesPaper checks the Fig. 7/8 shape on one workload.
 func TestCRIUShapeMatchesPaper(t *testing.T) {
+	// The orderings only emerge at a Large working set (EPML's constant
+	// ~11.5ms setup cost must be amortized), and simulating that many page
+	// writes dominates the whole suite under -race, so short mode skips;
+	// the CRIU machinery itself stays covered by internal/criu's tests.
+	if testing.Short() {
+		t.Skip("CRIU shape sweep needs the Large working set; too slow for -short")
+	}
 	res := make(map[costmodel.Technique]CRIUResult)
 	// Large working set: at paper scale EPML's constant ~11.5ms setup cost
 	// (M3+M10) is negligible against /proc's per-collect pagemap walks.
 	for _, kind := range []costmodel.Technique{costmodel.Proc, costmodel.SPML, costmodel.EPML} {
-		r, err := runCRIU("baby", workloads.Large, 4, kind, 1)
+		r, err := runCRIU("baby", workloads.Large, 4, kind, 1, nil)
 		if err != nil {
 			t.Fatalf("%v: %v", kind, err)
 		}
@@ -114,7 +121,7 @@ func TestCRIUShapeMatchesPaper(t *testing.T) {
 func TestBoehmShapeMatchesPaper(t *testing.T) {
 	res := make(map[costmodel.Technique]BoehmResult)
 	for _, kind := range boehmTechniques() {
-		r, err := runBoehm("gcbench", workloads.Small, 1, kind, 1)
+		r, err := runBoehm("gcbench", workloads.Small, 1, kind, 1, nil)
 		if err != nil {
 			t.Fatalf("%v: %v", kind, err)
 		}

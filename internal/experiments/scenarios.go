@@ -15,6 +15,7 @@ import (
 	"repro/internal/guestos"
 	"repro/internal/machine"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/tracking"
 	"repro/internal/workloads"
 )
@@ -33,6 +34,11 @@ type Options struct {
 	Full bool
 	// Seed for workload data generation.
 	Seed uint64
+	// Tracer, when non-nil, is attached to each scenario's monitored
+	// machine (never the ideal baseline) so every simulated layer emits
+	// trace records. Tracers are single-goroutine; drivers must force
+	// Workers to 1 when setting this.
+	Tracer *trace.Tracer
 }
 
 func (o Options) withDefaults() Options {
@@ -105,8 +111,9 @@ func (r MicroResult) Slowdown() float64 {
 const microPasses = 3
 
 // runMicro executes the Listing-1 scenario under one technique and returns
-// the measured times and raw event counts.
-func runMicro(kind costmodel.Technique, pages int, seed uint64) (MicroResult, error) {
+// the measured times and raw event counts. tr (may be nil) traces the
+// monitored run only.
+func runMicro(kind costmodel.Technique, pages int, seed uint64, tr *trace.Tracer) (MicroResult, error) {
 	res := MicroResult{Technique: kind, Pages: pages}
 
 	// Ideal run: same machine type, no tracking.
@@ -117,7 +124,7 @@ func runMicro(kind costmodel.Technique, pages int, seed uint64) (MicroResult, er
 	res.Ideal = ideal
 
 	// Monitored run.
-	m, err := machine.New(machine.Config{})
+	m, err := machine.New(machine.Config{Tracer: tr})
 	if err != nil {
 		return res, err
 	}
@@ -228,8 +235,9 @@ func (r CRIUResult) TrackedOverheadPct() float64 {
 const criuRuns = 3
 
 // runCRIU checkpoints a workload under one technique, verifying the
-// restored image, and measures the impact on the workload.
-func runCRIU(name string, size workloads.Size, scale int, kind costmodel.Technique, seed uint64) (CRIUResult, error) {
+// restored image, and measures the impact on the workload. tr (may be nil)
+// traces the monitored run only.
+func runCRIU(name string, size workloads.Size, scale int, kind costmodel.Technique, seed uint64, tr *trace.Tracer) (CRIUResult, error) {
 	res := CRIUResult{Workload: name, Technique: kind}
 
 	// Ideal: the workload's passes without checkpointing.
@@ -257,7 +265,7 @@ func runCRIU(name string, size workloads.Size, scale int, kind costmodel.Techniq
 	}
 
 	// Monitored: same passes with a pre-copy checkpoint interleaved.
-	m, err := machine.New(machine.Config{})
+	m, err := machine.New(machine.Config{Tracer: tr})
 	if err != nil {
 		return res, err
 	}
@@ -337,9 +345,10 @@ const boehmPasses = 4
 
 // runBoehm executes an application with Boehm GC using one technique for
 // its incremental cycles. kind == Oracle means "untracked" (full traces,
-// no dirty technique), the paper's baseline.
-func runBoehm(app string, size workloads.Size, scale int, kind costmodel.Technique, seed uint64) (BoehmResult, error) {
-	m, err := machine.New(machine.Config{})
+// no dirty technique), the paper's baseline. tr (may be nil) traces the
+// run.
+func runBoehm(app string, size workloads.Size, scale int, kind costmodel.Technique, seed uint64, tr *trace.Tracer) (BoehmResult, error) {
+	m, err := machine.New(machine.Config{Tracer: tr})
 	if err != nil {
 		return BoehmResult{App: app, Size: size, Technique: kind}, err
 	}

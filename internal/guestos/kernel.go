@@ -14,6 +14,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/mem"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Pid identifies a guest process.
@@ -163,7 +164,18 @@ func (k *Kernel) RegisterIRQ(vector int, handler func()) {
 
 // DeliverIRQ dispatches a posted interrupt to its registered handler.
 func (k *Kernel) DeliverIRQ(vector int) {
-	if h, ok := k.irqHandlers[vector]; ok {
-		h()
+	h, ok := k.irqHandlers[vector]
+	if !ok {
+		return
+	}
+	tr := k.VCPU.Tracer
+	var start int64
+	if tr != nil {
+		start = k.Clock.Nanos()
+	}
+	h()
+	if tr.Enabled(trace.KindIRQ) {
+		tr.Emit(trace.Record{Kind: trace.KindIRQ, VM: int32(k.VCPU.ID),
+			TS: start, Cost: k.Clock.Nanos() - start, Arg: int64(vector)})
 	}
 }

@@ -2,9 +2,11 @@ package guestos
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/mem"
 	"repro/internal/pgtable"
+	"repro/internal/trace"
 )
 
 // Region is a contiguous virtual memory area of a process (a VMA).
@@ -178,6 +180,11 @@ func (p *Process) handleFault(gva mem.GVA, write bool) error {
 		// Ordinary demand paging.
 		p.k.VCPU.Counters.Inc(CtrDemandFaults)
 		p.k.Clock.Advance(p.k.Model.DemandFault)
+		if tr := p.k.VCPU.Tracer; tr.Enabled(trace.KindDemandFault) {
+			cost := int64(p.k.Model.DemandFault)
+			tr.Emit(trace.Record{Kind: trace.KindDemandFault, VM: int32(p.k.VCPU.ID),
+				TS: p.k.Clock.Nanos() - cost, Cost: cost, Addr: uint64(gva.PageFloor())})
+		}
 		return p.mapPage(gva)
 	}
 
@@ -186,7 +193,12 @@ func (p *Process) handleFault(gva mem.GVA, write bool) error {
 		// bit and restores write permission (§III-B). The cost is the
 		// kernel-space page fault handling metric M5.
 		p.k.VCPU.Counters.Inc(CtrSoftDirtyFaults)
-		p.k.Clock.Advance(p.k.Model.PFHKernel.PerPage(p.curveSize()))
+		cost := int64(p.k.Model.PFHKernel.PerPage(p.curveSize()))
+		p.k.Clock.Advance(time.Duration(cost))
+		if tr := p.k.VCPU.Tracer; tr.Enabled(trace.KindSoftDirtyFault) {
+			tr.Emit(trace.Record{Kind: trace.KindSoftDirtyFault, VM: int32(p.k.VCPU.ID),
+				TS: p.k.Clock.Nanos() - cost, Cost: cost, Addr: uint64(gva.PageFloor())})
+		}
 		return p.PT.SetFlags(gva, pgtable.FlagWritable|pgtable.FlagSoftDirty)
 	}
 

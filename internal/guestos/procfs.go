@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/mem"
 	"repro/internal/pgtable"
+	"repro/internal/trace"
 )
 
 // PagemapEntry is one decoded entry of /proc/PID/pagemap: the present bit,
@@ -44,6 +45,11 @@ func (k *Kernel) ClearRefs(pid Pid) error {
 		return true
 	})
 	k.Clock.Advance(perPage * time.Duration(pages))
+	if tr := k.VCPU.Tracer; tr.Enabled(trace.KindClearRefs) {
+		cost := int64(perPage) * int64(pages)
+		tr.Emit(trace.Record{Kind: trace.KindClearRefs, VM: int32(k.VCPU.ID),
+			TS: k.Clock.Nanos() - cost, Cost: cost, Arg: int64(pages)})
+	}
 	return nil
 }
 

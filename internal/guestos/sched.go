@@ -2,6 +2,8 @@ package guestos
 
 import (
 	"time"
+
+	"repro/internal/trace"
 )
 
 // SchedNotifier receives context-switch events for one traced process. The
@@ -107,10 +109,19 @@ func (s *Scheduler) switchTo(p *Process) {
 	if old != nil {
 		s.k.VCPU.Counters.Inc(CtrContextSwitches)
 		s.switches++
+		tr := k.VCPU.Tracer
+		var start int64
+		if tr != nil {
+			start = k.Clock.Nanos()
+		}
 		for _, n := range s.notifiers[old.Pid] {
 			n.ScheduledOut(old)
 		}
 		s.k.Clock.Advance(s.k.Model.ContextSwitch)
+		if tr.Enabled(trace.KindContextSwitch) {
+			tr.Emit(trace.Record{Kind: trace.KindContextSwitch, VM: int32(k.VCPU.ID),
+				TS: start, Cost: k.Clock.Nanos() - start, Arg: int64(old.Pid)})
+		}
 	}
 	k.current = p
 	k.VCPU.SetAddressSpace(p.PT)
@@ -124,11 +135,20 @@ func (s *Scheduler) ContextSwitch(p *Process) {
 	m := s.k.Model
 	s.k.VCPU.Counters.Add(CtrContextSwitches, 2)
 	s.switches += 2
+	tr := s.k.VCPU.Tracer
+	var start int64
+	if tr != nil {
+		start = s.k.Clock.Nanos()
+	}
 	for _, n := range s.notifiers[p.Pid] {
 		n.ScheduledOut(p)
 	}
 	s.k.Clock.Advance(2 * m.ContextSwitch)
 	for _, n := range s.notifiers[p.Pid] {
 		n.ScheduledIn(p)
+	}
+	if tr.Enabled(trace.KindContextSwitch) {
+		tr.Emit(trace.Record{Kind: trace.KindContextSwitch, VM: int32(s.k.VCPU.ID),
+			TS: start, Cost: s.k.Clock.Nanos() - start, Arg: int64(p.Pid)})
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/ringbuf"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/vmcs"
 )
 
@@ -210,6 +211,12 @@ func (vm *VM) drainPMLBuffer() error {
 		vm.VMCS.MustWrite(vmcs.FieldPMLIndex, vmcs.PMLResetIndex)
 		return nil
 	}
+	tr := vm.VCPU.Tracer
+	var start int64
+	if tr != nil {
+		start = vm.Clock.Nanos()
+	}
+	copied := int64(0)
 	perEntry := vm.Hyp.Model.RBCopy.PerPage(vm.wsOrDefault())
 	for slot := first; slot < vmcs.PMLBufferEntries; slot++ {
 		raw, err := vm.Hyp.Phys.ReadU64(vm.pmlBuf + mem.HPA(slot*8))
@@ -226,9 +233,14 @@ func (vm *VM) drainPMLBuffer() error {
 			slot.armedClear = append(slot.armedClear, gpa)
 			vm.VCPU.Counters.Inc(CtrRingCopied)
 			vm.Clock.Advance(perEntry)
+			copied++
 		}
 	}
 	vm.VMCS.MustWrite(vmcs.FieldPMLIndex, vmcs.PMLResetIndex)
+	if tr.Enabled(trace.KindPMLDrain) {
+		tr.Emit(trace.Record{Kind: trace.KindPMLDrain, VM: int32(vm.ID), TS: start,
+			Cost: vm.Clock.Nanos() - start, Arg: copied})
+	}
 	return nil
 }
 

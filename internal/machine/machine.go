@@ -12,6 +12,7 @@ import (
 	"repro/internal/guestos"
 	"repro/internal/hypervisor"
 	"repro/internal/mem"
+	"repro/internal/trace"
 	"repro/internal/tracking"
 )
 
@@ -26,6 +27,10 @@ type Config struct {
 	// DisablePreemption turns the guests' schedulers off, for
 	// microbenchmarks needing exact event counts.
 	DisablePreemption bool
+	// Tracer, when non-nil, is attached to every vCPU so all layers emit
+	// trace records. A Tracer is single-goroutine (like sim.Clock): only
+	// set it on machines driven by one goroutine.
+	Tracer *trace.Tracer
 }
 
 // Machine is a booted host: one hypervisor, n VMs each running a guest
@@ -70,6 +75,7 @@ func New(cfg Config) (*Machine, error) {
 		if err != nil {
 			return nil, fmt.Errorf("machine: creating VM %d: %w", i, err)
 		}
+		vm.VCPU.Tracer = cfg.Tracer
 		k := guestos.NewKernel(vm.VCPU, model)
 		if cfg.DisablePreemption {
 			k.Sched.SetDisabled(true)

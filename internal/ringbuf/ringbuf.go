@@ -44,9 +44,15 @@ func New(capacity int) *Ring {
 // Cap returns the ring's capacity.
 func (r *Ring) Cap() int { return len(r.buf) }
 
-// Len returns the number of entries currently buffered.
+// Len returns the number of entries currently buffered. head must be
+// loaded before tail: the consumer only moves head forward and the
+// producer only moves tail forward, so with this order a concurrent Pop
+// between the two loads can only make the result an underestimate, never
+// let head overtake the observed tail and underflow the subtraction.
 func (r *Ring) Len() int {
-	return int(r.tail.Load() - r.head.Load())
+	head := r.head.Load()
+	tail := r.tail.Load()
+	return int(tail - head)
 }
 
 // Push appends v. It returns false (and counts a drop) if the ring is full.

@@ -154,3 +154,49 @@ func TestQuickSequences(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestLenConcurrentBounds is the regression test for the Len load-order
+// race: Len used to load tail before head, so a Pop landing between the
+// two loads made tail-head underflow to a huge positive int. Hammer Len
+// against a concurrent producer/consumer pair and require every result to
+// stay within [0, Cap]. Run with -race.
+func TestLenConcurrentBounds(t *testing.T) {
+	r := New(64)
+	const iters = 200000
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			r.Push(uint64(i))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			r.Pop()
+		}
+	}()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	bad := 0
+	for running := true; running; {
+		select {
+		case <-done:
+			running = false
+		default:
+			if n := r.Len(); n < 0 || n > r.Cap() {
+				bad++
+			}
+		}
+	}
+	// A few final checks after both sides quiesce.
+	for i := 0; i < 100; i++ {
+		if n := r.Len(); n < 0 || n > r.Cap() {
+			bad++
+		}
+	}
+	if bad > 0 {
+		t.Errorf("Len out of [0,%d] bounds %d times", r.Cap(), bad)
+	}
+}

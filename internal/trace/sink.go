@@ -1,0 +1,214 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Sink consumes batches of records flushed from a Tracer's ring. WriteBatch
+// must copy anything it keeps: the slice is reused for the next batch.
+type Sink interface {
+	WriteBatch(recs []Record) error
+}
+
+// Discard drops every record; useful for measuring tracing overhead and as
+// the fallback sink.
+type Discard struct{}
+
+// WriteBatch implements Sink.
+func (Discard) WriteBatch([]Record) error { return nil }
+
+// Memory retains every record in memory, for tests and for the in-process
+// summary mode.
+type Memory struct {
+	recs []Record
+}
+
+// WriteBatch implements Sink.
+func (m *Memory) WriteBatch(recs []Record) error {
+	m.recs = append(m.recs, recs...)
+	return nil
+}
+
+// Records returns the retained records in emission order.
+func (m *Memory) Records() []Record { return m.recs }
+
+// Reset drops the retained records.
+func (m *Memory) Reset() { m.recs = nil }
+
+// Tee fans each batch out to several sinks.
+func Tee(sinks ...Sink) Sink { return teeSink(sinks) }
+
+type teeSink []Sink
+
+// WriteBatch implements Sink.
+func (t teeSink) WriteBatch(recs []Record) error {
+	var first error
+	for _, s := range t {
+		if err := s.WriteBatch(recs); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Close closes every sub-sink that is closable.
+func (t teeSink) Close() error {
+	var first error
+	for _, s := range t {
+		if c, ok := s.(interface{ Close() error }); ok {
+			if err := c.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// JSONLWriter streams records as one JSON object per line:
+//
+//	{"kind":"hypercall","vm":0,"ts":1234,"cost":5651000,"addr":"0x400000","arg":3}
+//
+// The addr field is omitted when zero. Lines are buffered; Close (or the
+// owning Tracer's Close) flushes them.
+type JSONLWriter struct {
+	w   *bufio.Writer
+	c   io.Closer // underlying closer, if any
+	tmp []byte
+}
+
+// NewJSONLWriter returns a sink encoding records to w. If w implements
+// io.Closer it is closed by Close.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	j := &JSONLWriter{w: bufio.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		j.c = c
+	}
+	return j
+}
+
+// WriteBatch implements Sink.
+func (j *JSONLWriter) WriteBatch(recs []Record) error {
+	for i := range recs {
+		r := &recs[i]
+		b := j.tmp[:0]
+		b = append(b, `{"kind":"`...)
+		b = append(b, r.Kind.String()...)
+		b = append(b, `","vm":`...)
+		b = strconv.AppendInt(b, int64(r.VM), 10)
+		b = append(b, `,"ts":`...)
+		b = strconv.AppendInt(b, r.TS, 10)
+		b = append(b, `,"cost":`...)
+		b = strconv.AppendInt(b, r.Cost, 10)
+		if r.Addr != 0 {
+			b = append(b, `,"addr":"0x`...)
+			b = strconv.AppendUint(b, r.Addr, 16)
+			b = append(b, '"')
+		}
+		b = append(b, `,"arg":`...)
+		b = strconv.AppendInt(b, r.Arg, 10)
+		b = append(b, '}', '\n')
+		j.tmp = b
+		if _, err := j.w.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close flushes buffered lines and closes the underlying writer if closable.
+func (j *JSONLWriter) Close() error {
+	err := j.w.Flush()
+	if j.c != nil {
+		if cerr := j.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// ReadJSONL decodes a JSONL trace produced by JSONLWriter back into
+// records, for offline summaries (oohtrack -summarize). It accepts only
+// the exact field layout JSONLWriter emits.
+func ReadJSONL(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []Record
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		rec, err := parseLine(text)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseLine decodes one JSONL record without pulling in encoding/json.
+func parseLine(s string) (Record, error) {
+	var rec Record
+	if !strings.HasPrefix(s, "{") || !strings.HasSuffix(s, "}") {
+		return rec, fmt.Errorf("malformed record %q", s)
+	}
+	for _, field := range strings.Split(s[1:len(s)-1], ",") {
+		key, val, ok := strings.Cut(field, ":")
+		if !ok {
+			return rec, fmt.Errorf("malformed field %q", field)
+		}
+		key = strings.Trim(key, `"`)
+		switch key {
+		case "kind":
+			k, ok := KindByName(strings.Trim(val, `"`))
+			if !ok {
+				return rec, fmt.Errorf("unknown kind %s", val)
+			}
+			rec.Kind = k
+		case "vm":
+			n, err := strconv.ParseInt(val, 10, 32)
+			if err != nil {
+				return rec, err
+			}
+			rec.VM = int32(n)
+		case "ts":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return rec, err
+			}
+			rec.TS = n
+		case "cost":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return rec, err
+			}
+			rec.Cost = n
+		case "addr":
+			hex := strings.TrimPrefix(strings.Trim(val, `"`), "0x")
+			n, err := strconv.ParseUint(hex, 16, 64)
+			if err != nil {
+				return rec, err
+			}
+			rec.Addr = n
+		case "arg":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return rec, err
+			}
+			rec.Arg = n
+		default:
+			return rec, fmt.Errorf("unknown field %q", key)
+		}
+	}
+	return rec, nil
+}

@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"time"
+
+	"repro/internal/report"
+)
+
+// KindSummary aggregates every record of one kind.
+type KindSummary struct {
+	Kind  Kind
+	Count int64
+	Cost  time.Duration // summed Cost of all records
+	Arg   int64         // summed Arg (entries, pages, ... - kind-specific)
+}
+
+// Summarize aggregates records per kind, returned in Kind order with
+// untouched kinds omitted.
+func Summarize(recs []Record) []KindSummary {
+	var agg [numKinds]KindSummary
+	for i := range recs {
+		r := &recs[i]
+		if r.Kind >= numKinds {
+			continue
+		}
+		s := &agg[r.Kind]
+		s.Count++
+		s.Cost += time.Duration(r.Cost)
+		s.Arg += r.Arg
+	}
+	var out []KindSummary
+	for k := Kind(0); k < numKinds; k++ {
+		if agg[k].Count > 0 {
+			s := agg[k]
+			s.Kind = k
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// SummaryTable renders the per-kind cost breakdown of a trace. The share
+// column is each kind's cost relative to the summed cost of all kinds;
+// because envelope kinds include nested kinds' costs (see the package
+// comment), shares can exceed 100% in aggregate and are a relative guide,
+// not a partition.
+func SummaryTable(recs []Record) *report.Table {
+	sums := Summarize(recs)
+	var total time.Duration
+	for _, s := range sums {
+		total += s.Cost
+	}
+	t := report.NewTable("Trace summary: virtual-time cost per event kind",
+		"Kind", "Events", "Total cost", "Mean cost", "Share")
+	for _, s := range sums {
+		mean := time.Duration(0)
+		if s.Count > 0 {
+			mean = s.Cost / time.Duration(s.Count)
+		}
+		share := 0.0
+		if total > 0 {
+			share = float64(s.Cost) / float64(total) * 100
+		}
+		t.AddRow(s.Kind.String(), s.Count, s.Cost, mean, report.FormatPercent(share))
+	}
+	t.AddNote("%d records; envelope kinds (hypercall, guest_pf, irq, gc_cycle, ...) include nested kinds' costs", len(recs))
+	return t
+}

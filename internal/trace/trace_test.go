@@ -1,0 +1,199 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestNilTracerIsDisabled(t *testing.T) {
+	var tr *Tracer
+	for k := Kind(0); k < numKinds; k++ {
+		if tr.Enabled(k) {
+			t.Fatalf("nil tracer reports %v enabled", k)
+		}
+	}
+	if err := tr.Flush(); err != nil {
+		t.Errorf("nil Flush: %v", err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Errorf("nil Close: %v", err)
+	}
+}
+
+func TestMaskGating(t *testing.T) {
+	tr := New(Discard{}, 8)
+	for k := Kind(0); k < numKinds; k++ {
+		if !tr.Enabled(k) {
+			t.Fatalf("kind %v disabled by default", k)
+		}
+	}
+	tr.SetMask(0)
+	for k := Kind(0); k < numKinds; k++ {
+		if tr.Enabled(k) {
+			t.Fatalf("kind %v enabled under zero mask", k)
+		}
+	}
+	tr.Enable(KindHypercall, KindGCMark)
+	if !tr.Enabled(KindHypercall) || !tr.Enabled(KindGCMark) {
+		t.Error("Enable did not enable")
+	}
+	if tr.Enabled(KindGuestPF) {
+		t.Error("unrelated kind enabled")
+	}
+	tr.Disable(KindHypercall)
+	if tr.Enabled(KindHypercall) {
+		t.Error("Disable did not disable")
+	}
+	if !tr.Enabled(KindGCMark) {
+		t.Error("Disable clobbered another kind")
+	}
+}
+
+func TestRingBatchesToSink(t *testing.T) {
+	mem := &Memory{}
+	tr := New(mem, 4)
+	for i := 0; i < 3; i++ {
+		tr.Emit(Record{Kind: KindVMExit, TS: int64(i)})
+	}
+	if len(mem.Records()) != 0 {
+		t.Fatalf("sink saw %d records before the ring filled", len(mem.Records()))
+	}
+	tr.Emit(Record{Kind: KindVMExit, TS: 3}) // fills the ring -> flush
+	if len(mem.Records()) != 4 {
+		t.Fatalf("sink saw %d records after fill, want 4", len(mem.Records()))
+	}
+	tr.Emit(Record{Kind: KindVMExit, TS: 4})
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recs := mem.Records()
+	if len(recs) != 5 {
+		t.Fatalf("after Flush sink has %d records, want 5", len(recs))
+	}
+	for i, r := range recs {
+		if r.TS != int64(i) {
+			t.Errorf("record %d out of order: TS=%d", i, r.TS)
+		}
+	}
+	if tr.Emitted() != 5 {
+		t.Errorf("Emitted = %d, want 5", tr.Emitted())
+	}
+}
+
+func TestEmitZeroAlloc(t *testing.T) {
+	tr := New(Discard{}, 1024)
+	r := Record{Kind: KindGuestPF, TS: 1, Cost: 2, Addr: 0x4000, VM: 0}
+	allocs := testing.AllocsPerRun(10000, func() {
+		if tr.Enabled(KindGuestPF) {
+			tr.Emit(r)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Emit allocates %v per call, want 0", allocs)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Kind: KindHypercall, VM: 0, TS: 1234, Cost: 5651000, Addr: 0x400000, Arg: 3},
+		{Kind: KindGuestPF, VM: 2, TS: 99, Cost: 1000, Addr: 0xfffffffff000, Arg: 1},
+		{Kind: KindPMLDrain, VM: 1, TS: 0, Cost: 0, Addr: 0, Arg: -7},
+	}
+	var buf bytes.Buffer
+	tr := New(NewJSONLWriter(&buf), 2)
+	for _, r := range recs {
+		tr.Emit(r)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != len(recs) {
+		t.Fatalf("wrote %d lines, want %d:\n%s", got, len(recs), buf.String())
+	}
+	back, err := ReadJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(recs) {
+		t.Fatalf("read back %d records, want %d", len(back), len(recs))
+	}
+	for i := range recs {
+		if back[i] != recs[i] {
+			t.Errorf("record %d: got %+v, want %+v", i, back[i], recs[i])
+		}
+	}
+}
+
+func TestKindNamesComplete(t *testing.T) {
+	seen := map[string]Kind{}
+	for k := Kind(0); k < numKinds; k++ {
+		name := k.String()
+		if name == "" || name == "unknown" {
+			t.Errorf("kind %d has no name", k)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("kinds %v and %v share the name %q", prev, k, name)
+		}
+		seen[name] = k
+		got, ok := KindByName(name)
+		if !ok || got != k {
+			t.Errorf("KindByName(%q) = %v, %v", name, got, ok)
+		}
+	}
+	if Kind(200).String() != "unknown" {
+		t.Error("out-of-range kind should stringify as unknown")
+	}
+}
+
+func TestParseKinds(t *testing.T) {
+	mask, err := ParseKinds("")
+	if err != nil || mask != AllKinds {
+		t.Errorf("ParseKinds(\"\") = %x, %v", mask, err)
+	}
+	mask, err = ParseKinds("hypercall, guest_pf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(1)<<uint(KindHypercall) | uint64(1)<<uint(KindGuestPF)
+	if mask != want {
+		t.Errorf("mask = %x, want %x", mask, want)
+	}
+	if _, err := ParseKinds("no_such_kind"); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	recs := []Record{
+		{Kind: KindGuestPF, Cost: 100, Arg: 1},
+		{Kind: KindGuestPF, Cost: 300, Arg: 1},
+		{Kind: KindRingCopy, Cost: 50, Arg: 10},
+	}
+	sums := Summarize(recs)
+	if len(sums) != 2 {
+		t.Fatalf("got %d summaries, want 2", len(sums))
+	}
+	// Kind order: KindGuestPF < KindRingCopy.
+	if sums[0].Kind != KindGuestPF || sums[0].Count != 2 || int64(sums[0].Cost) != 400 || sums[0].Arg != 2 {
+		t.Errorf("guest_pf summary wrong: %+v", sums[0])
+	}
+	if sums[1].Kind != KindRingCopy || sums[1].Count != 1 || int64(sums[1].Cost) != 50 || sums[1].Arg != 10 {
+		t.Errorf("ring_copy summary wrong: %+v", sums[1])
+	}
+	table := SummaryTable(recs)
+	out := table.Render()
+	if !strings.Contains(out, "guest_pf") || !strings.Contains(out, "ring_copy") {
+		t.Errorf("summary table missing kinds:\n%s", out)
+	}
+}
+
+func TestTeeFansOut(t *testing.T) {
+	a, b := &Memory{}, &Memory{}
+	tr := New(Tee(a, b), 2)
+	tr.Emit(Record{Kind: KindIRQ})
+	tr.Emit(Record{Kind: KindIRQ})
+	if len(a.Records()) != 2 || len(b.Records()) != 2 {
+		t.Errorf("tee delivered %d/%d records, want 2/2", len(a.Records()), len(b.Records()))
+	}
+}

@@ -17,7 +17,7 @@ type OracleTechnique struct {
 	proc  *guestos.Process
 	dirty map[mem.GVA]struct{}
 	order []mem.GVA
-	prev  func(mem.GVA)
+	hook  int
 	stats Stats
 }
 
@@ -36,14 +36,9 @@ func (t *OracleTechnique) Name() string { return "oracle" }
 // Kind implements Technique.
 func (t *OracleTechnique) Kind() costmodel.Technique { return costmodel.Oracle }
 
-// Init implements Technique: chain onto the vCPU's write hook.
+// Init implements Technique: register on the vCPU's write-hook list.
 func (t *OracleTechnique) Init() error {
-	t.prev = t.vcpu.WriteHook
-	prev := t.prev
-	t.vcpu.WriteHook = func(gva mem.GVA) {
-		if prev != nil {
-			prev(gva)
-		}
+	t.hook = t.vcpu.AddWriteHook(func(gva mem.GVA) {
 		if t.proc.Kernel().Current() != t.proc {
 			return
 		}
@@ -51,7 +46,7 @@ func (t *OracleTechnique) Init() error {
 			t.dirty[gva] = struct{}{}
 			t.order = append(t.order, gva)
 		}
-	}
+	})
 	return nil
 }
 
@@ -68,7 +63,7 @@ func (t *OracleTechnique) Collect() ([]mem.GVA, error) {
 
 // Close implements Technique: unchain the hook.
 func (t *OracleTechnique) Close() error {
-	t.vcpu.WriteHook = t.prev
+	t.vcpu.RemoveWriteHook(t.hook)
 	return nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/guestos"
 	"repro/internal/mem"
+	"repro/internal/trace"
 )
 
 // PMLTechnique adapts an OoH session (SPML or EPML, per the module's mode)
@@ -27,7 +28,8 @@ type PMLTechnique struct {
 // NewPML returns the SPML or EPML technique (depending on how the module
 // was loaded) for pid.
 func NewPML(lib *core.Lib, pid guestos.Pid) *PMLTechnique {
-	return &PMLTechnique{lib: lib, pid: pid, w: watch{clock: lib.Module().K.Clock}}
+	k := lib.Module().K
+	return &PMLTechnique{lib: lib, pid: pid, w: watch{clock: k.Clock, vcpu: k.VCPU}}
 }
 
 // Name implements Technique.
@@ -43,7 +45,7 @@ func (t *PMLTechnique) Kind() costmodel.Technique {
 
 // Init implements Technique: open an OoH session (ioctl + hypercall).
 func (t *PMLTechnique) Init() error {
-	return t.w.measure(&t.stats.InitTime, func() error {
+	return t.w.phase(&t.stats.InitTime, trace.KindTrackInit, t.Kind(), nil, func() error {
 		s, err := t.lib.Open(t.pid)
 		if err != nil {
 			return err
@@ -58,11 +60,12 @@ func (t *PMLTechnique) Init() error {
 // SPML).
 func (t *PMLTechnique) Collect() ([]mem.GVA, error) {
 	var out []mem.GVA
-	err := t.w.measure(&t.stats.CollectTime, func() error {
-		var err error
-		out, err = t.session.Fetch()
-		return err
-	})
+	err := t.w.phase(&t.stats.CollectTime, trace.KindTrackCollect, t.Kind(),
+		func() int64 { return int64(len(out)) }, func() error {
+			var err error
+			out, err = t.session.Fetch()
+			return err
+		})
 	if err != nil {
 		return nil, err
 	}
@@ -84,7 +87,7 @@ func (t *PMLTechnique) Close() error {
 	if t.session == nil {
 		return nil
 	}
-	return t.w.measure(&t.stats.CloseTime, func() error {
+	return t.w.phase(&t.stats.CloseTime, trace.KindTrackClose, t.Kind(), nil, func() error {
 		return t.session.Close()
 	})
 }

@@ -4,6 +4,7 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/guestos"
 	"repro/internal/mem"
+	"repro/internal/trace"
 )
 
 // ProcTechnique tracks dirty pages through /proc/PID/pagemap soft-dirty
@@ -20,7 +21,7 @@ type ProcTechnique struct {
 
 // NewProc returns the /proc technique for pid.
 func NewProc(k *guestos.Kernel, pid guestos.Pid) *ProcTechnique {
-	return &ProcTechnique{k: k, pid: pid, w: watch{clock: k.Clock}}
+	return &ProcTechnique{k: k, pid: pid, w: watch{clock: k.Clock, vcpu: k.VCPU}}
 }
 
 // Name implements Technique.
@@ -31,7 +32,7 @@ func (t *ProcTechnique) Kind() costmodel.Technique { return costmodel.Proc }
 
 // Init implements Technique: echo 4 > /proc/PID/clear_refs.
 func (t *ProcTechnique) Init() error {
-	return t.w.measure(&t.stats.InitTime, func() error {
+	return t.w.phase(&t.stats.InitTime, trace.KindTrackInit, t.Kind(), nil, func() error {
 		return t.k.ClearRefs(t.pid)
 	})
 }
@@ -40,14 +41,15 @@ func (t *ProcTechnique) Init() error {
 // for the next monitoring round.
 func (t *ProcTechnique) Collect() ([]mem.GVA, error) {
 	var dirty []mem.GVA
-	err := t.w.measure(&t.stats.CollectTime, func() error {
-		var err error
-		dirty, err = t.k.SoftDirtyPages(t.pid)
-		if err != nil {
-			return err
-		}
-		return t.k.ClearRefs(t.pid)
-	})
+	err := t.w.phase(&t.stats.CollectTime, trace.KindTrackCollect, t.Kind(),
+		func() int64 { return int64(len(dirty)) }, func() error {
+			var err error
+			dirty, err = t.k.SoftDirtyPages(t.pid)
+			if err != nil {
+				return err
+			}
+			return t.k.ClearRefs(t.pid)
+		})
 	if err != nil {
 		return nil, err
 	}

@@ -12,8 +12,10 @@ import (
 	"time"
 
 	"repro/internal/costmodel"
+	"repro/internal/cpu"
 	"repro/internal/mem"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Stats accumulates the technique-attributed virtual time and counts: the
@@ -47,14 +49,41 @@ type Technique interface {
 	Stats() Stats
 }
 
-// watch is a tiny helper binding a clock to phase accounting.
+// watch is a tiny helper binding a clock (and the vCPU's tracer) to phase
+// accounting.
 type watch struct {
 	clock *sim.Clock
+	vcpu  *cpu.VCPU
 }
 
 func (w watch) measure(dst *time.Duration, fn func() error) error {
 	sw := sim.StartWatch(w.clock)
 	err := fn()
 	*dst += sw.Elapsed()
+	return err
+}
+
+// phase is measure plus a trace record of the phase span. arg, evaluated
+// after fn so it can report results (pages collected), supplies the
+// record's Arg; nil means the technique's cost-model id.
+func (w watch) phase(dst *time.Duration, kind trace.Kind, tech costmodel.Technique,
+	arg func() int64, fn func() error) error {
+	var tr *trace.Tracer
+	if w.vcpu != nil {
+		tr = w.vcpu.Tracer
+	}
+	var start int64
+	if tr != nil {
+		start = w.clock.Nanos()
+	}
+	err := w.measure(dst, fn)
+	if err == nil && tr.Enabled(kind) {
+		a := int64(tech)
+		if arg != nil {
+			a = arg()
+		}
+		tr.Emit(trace.Record{Kind: kind, VM: int32(w.vcpu.ID), TS: start,
+			Cost: w.clock.Nanos() - start, Arg: a})
+	}
 	return err
 }

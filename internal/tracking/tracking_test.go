@@ -148,3 +148,58 @@ func TestOracleZeroCost(t *testing.T) {
 		t.Errorf("oracle collected %v", got)
 	}
 }
+
+// TestStackedVerifiersStopOrder is the regression test for the hook
+// unchaining bug: Stop() used to restore a saved previous WriteHook
+// unconditionally, so stopping verifiers in registration (FIFO) order
+// silently detached the ones stacked after. With the id-based hook list,
+// both stop orders must leave the surviving verifier recording.
+func TestStackedVerifiersStopOrder(t *testing.T) {
+	for _, order := range []string{"fifo", "lifo"} {
+		t.Run(order, func(t *testing.T) {
+			m, err := machine.New(machine.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := m.Guest(0)
+			proc := g.Kernel.Spawn("v")
+			region, err := proc.Mmap(8*mem.PageSize, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v1 := tracking.NewVerifier(proc)
+			v2 := tracking.NewVerifier(proc)
+
+			if err := proc.WriteU64(region.Start, 1); err != nil {
+				t.Fatal(err)
+			}
+			if len(v1.Truth()) != 1 || len(v2.Truth()) != 1 {
+				t.Fatalf("before stop: truths %v / %v, want 1 page each",
+					v1.Truth(), v2.Truth())
+			}
+
+			var stopped, survivor *tracking.Verifier
+			if order == "fifo" {
+				stopped, survivor = v1, v2
+			} else {
+				stopped, survivor = v2, v1
+			}
+			stopped.Stop()
+			survivor.Reset()
+
+			second := region.Start.Add(mem.PageSize)
+			if err := proc.WriteU64(second, 2); err != nil {
+				t.Fatal(err)
+			}
+			truth := survivor.Truth()
+			if len(truth) != 1 || truth[0] != second {
+				t.Errorf("%s: surviving verifier recorded %v, want [%v]",
+					order, truth, second)
+			}
+			survivor.Stop()
+			if n := g.Kernel.VCPU.WriteHookCount(); n != 0 {
+				t.Errorf("%s: %d hooks left attached after stopping both", order, n)
+			}
+		})
+	}
+}

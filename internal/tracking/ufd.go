@@ -4,6 +4,7 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/guestos"
 	"repro/internal/mem"
+	"repro/internal/trace"
 )
 
 // UfdTechnique tracks dirty pages with userfaultfd in write_protect mode
@@ -26,7 +27,7 @@ func NewUfd(proc *guestos.Process) *UfdTechnique {
 		k:     proc.Kernel(),
 		proc:  proc,
 		dirty: make(map[mem.GVA]struct{}),
-		w:     watch{clock: proc.Kernel().Clock},
+		w:     watch{clock: proc.Kernel().Clock, vcpu: proc.Kernel().VCPU},
 	}
 }
 
@@ -41,7 +42,7 @@ func (t *UfdTechnique) Kind() costmodel.Technique { return costmodel.Ufd }
 // pages populated after registration (fresh heap growth) - with pure
 // write-protect mode those would be dirtied invisibly.
 func (t *UfdTechnique) Init() error {
-	return t.w.measure(&t.stats.InitTime, func() error {
+	return t.w.phase(&t.stats.InitTime, trace.KindTrackInit, t.Kind(), nil, func() error {
 		for _, r := range t.proc.Regions() {
 			mode := guestos.UfdMissing | guestos.UfdWriteProtect
 			if err := t.proc.UfdRegister(r, mode, t.handle); err != nil {
@@ -58,7 +59,12 @@ func (t *UfdTechnique) Init() error {
 // The userspace handling cost (M6 per fault) is both the tracked thread's
 // suspension and the tracker's own work; it accrues to CollectTime.
 func (t *UfdTechnique) handle(ev guestos.UfdEvent) error {
-	return t.w.measure(&t.stats.CollectTime, func() error {
+	tr := t.k.VCPU.Tracer
+	var start int64
+	if tr != nil {
+		start = t.k.Clock.Nanos()
+	}
+	err := t.w.measure(&t.stats.CollectTime, func() error {
 		t.k.Clock.Advance(t.k.Model.PFHUser.PerPage(ev.Proc.ReservedBytes()))
 		page := ev.GVA.PageFloor()
 		if _, dup := t.dirty[page]; !dup {
@@ -70,24 +76,34 @@ func (t *UfdTechnique) handle(ev guestos.UfdEvent) error {
 		}
 		return ev.Proc.UfdWriteUnprotect(page)
 	})
+	if err == nil && tr.Enabled(trace.KindUfdFault) {
+		arg := int64(0)
+		if ev.Missing {
+			arg = 1
+		}
+		tr.Emit(trace.Record{Kind: trace.KindUfdFault, VM: int32(t.k.VCPU.ID), TS: start,
+			Cost: t.k.Clock.Nanos() - start, Addr: uint64(ev.GVA.PageFloor()), Arg: arg})
+	}
+	return err
 }
 
 // Collect implements Technique: hand over the recorded set and re-protect
 // those pages for the next round.
 func (t *UfdTechnique) Collect() ([]mem.GVA, error) {
 	var out []mem.GVA
-	err := t.w.measure(&t.stats.CollectTime, func() error {
-		out = make([]mem.GVA, len(t.order))
-		copy(out, t.order)
-		for _, gva := range t.order {
-			if err := t.proc.UfdWriteProtect(gva); err != nil {
-				return err
+	err := t.w.phase(&t.stats.CollectTime, trace.KindTrackCollect, t.Kind(),
+		func() int64 { return int64(len(out)) }, func() error {
+			out = make([]mem.GVA, len(t.order))
+			copy(out, t.order)
+			for _, gva := range t.order {
+				if err := t.proc.UfdWriteProtect(gva); err != nil {
+					return err
+				}
 			}
-		}
-		t.order = t.order[:0]
-		t.dirty = make(map[mem.GVA]struct{})
-		return nil
-	})
+			t.order = t.order[:0]
+			t.dirty = make(map[mem.GVA]struct{})
+			return nil
+		})
 	if err != nil {
 		return nil, err
 	}
@@ -98,7 +114,7 @@ func (t *UfdTechnique) Collect() ([]mem.GVA, error) {
 
 // Close implements Technique: unregister and restore write access.
 func (t *UfdTechnique) Close() error {
-	return t.w.measure(&t.stats.CloseTime, func() error {
+	return t.w.phase(&t.stats.CloseTime, trace.KindTrackClose, t.Kind(), nil, func() error {
 		for _, r := range t.proc.Regions() {
 			t.proc.UfdUnregister(r)
 			for gva := r.Start; gva < r.End; gva = gva.Add(mem.PageSize) {

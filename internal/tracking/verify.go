@@ -18,7 +18,7 @@ type Verifier struct {
 	vcpu  *cpu.VCPU
 	proc  *guestos.Process
 	truth map[mem.GVA]struct{}
-	prev  func(mem.GVA)
+	hook  int
 }
 
 // NewVerifier starts recording writes of proc.
@@ -28,16 +28,11 @@ func NewVerifier(proc *guestos.Process) *Verifier {
 		proc:  proc,
 		truth: make(map[mem.GVA]struct{}),
 	}
-	v.prev = v.vcpu.WriteHook
-	prev := v.prev
-	v.vcpu.WriteHook = func(gva mem.GVA) {
-		if prev != nil {
-			prev(gva)
-		}
+	v.hook = v.vcpu.AddWriteHook(func(gva mem.GVA) {
 		if proc.Kernel().Current() == proc {
 			v.truth[gva] = struct{}{}
 		}
-	}
+	})
 	return v
 }
 
@@ -54,8 +49,10 @@ func (v *Verifier) Truth() []mem.GVA {
 // Reset clears the recorded ground truth (call right after a Collect).
 func (v *Verifier) Reset() { v.truth = make(map[mem.GVA]struct{}) }
 
-// Stop unchains the verifier from the vCPU.
-func (v *Verifier) Stop() { v.vcpu.WriteHook = v.prev }
+// Stop unchains the verifier from the vCPU. Removal is by hook id, so
+// stacked observers (a second Verifier, an Oracle, a trace hook) keep
+// firing no matter the order verifiers are stopped in.
+func (v *Verifier) Stop() { v.vcpu.RemoveWriteHook(v.hook) }
 
 // CheckComplete verifies reported covers the ground truth. It returns the
 // missing pages (nil when complete).
