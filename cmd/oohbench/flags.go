@@ -1,0 +1,22 @@
+package main
+
+import (
+	"repro/internal/faults"
+	"repro/internal/trace"
+)
+
+// parseSpecFlags validates the spec-valued flags. It runs unconditionally
+// at startup - even when -trace is unset or the experiment ignores faults -
+// so a typo in -trace-kinds or -faults exits non-zero instead of silently
+// running without the events or faults the user asked for.
+func parseSpecFlags(traceKinds, faultSpec string) (mask uint64, spec faults.Spec, err error) {
+	mask, err = trace.ParseKinds(traceKinds)
+	if err != nil {
+		return 0, faults.Spec{}, err
+	}
+	spec, err = faults.ParseSpec(faultSpec)
+	if err != nil {
+		return 0, faults.Spec{}, err
+	}
+	return mask, spec, nil
+}

@@ -34,8 +34,17 @@ func main() {
 		seed       = flag.Uint64("seed", 42, "workload data seed")
 		traceFile  = flag.String("trace", "", "write a JSONL event trace of the monitored runs to this file")
 		traceKinds = flag.String("trace-kinds", "", "comma-separated event kinds to trace (empty = all)")
+		faultSpec  = flag.String("faults", "", "fault spec for the fault-matrix experiment's custom row (faults.ParseSpec grammar)")
 	)
 	flag.Parse()
+
+	// Validate spec flags up front: a typo must exit non-zero even when the
+	// flag would not be consumed this run.
+	mask, _, err := parseSpecFlags(*traceKinds, *faultSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "oohbench: %v\n", err)
+		os.Exit(1)
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -44,13 +53,9 @@ func main() {
 		return
 	}
 
-	opt := experiments.Options{Scale: *scale, Full: *full, Workers: *workers, Seed: *seed}
+	opt := experiments.Options{Scale: *scale, Full: *full, Workers: *workers, Seed: *seed,
+		FaultSpec: *faultSpec}
 	if *traceFile != "" {
-		mask, err := trace.ParseKinds(*traceKinds)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "oohbench: %v\n", err)
-			os.Exit(1)
-		}
 		f, err := os.Create(*traceFile)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "oohbench: %v\n", err)

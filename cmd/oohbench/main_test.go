@@ -1,0 +1,44 @@
+package main
+
+import "testing"
+
+// TestParseSpecFlags pins the always-on validation of the spec-valued flags:
+// unknown -trace-kinds or -faults tokens must be rejected regardless of
+// whether the run would have consumed them.
+func TestParseSpecFlags(t *testing.T) {
+	cases := []struct {
+		name       string
+		traceKinds string
+		faultSpec  string
+		wantErr    bool
+	}{
+		{name: "both empty", traceKinds: "", faultSpec: "", wantErr: false},
+		{name: "valid kinds", traceKinds: "vmexit,hypercall", faultSpec: "", wantErr: false},
+		{name: "unknown kind", traceKinds: "vmexit,warpcore", faultSpec: "", wantErr: true},
+		{name: "valid fault spec", traceKinds: "", faultSpec: "ipi-drop:0.5,epml-absent", wantErr: false},
+		{name: "fault seed token", traceKinds: "", faultSpec: "ipi-drop,seed=7", wantErr: false},
+		{name: "unknown fault point", traceKinds: "", faultSpec: "ipi-teleport:0.5", wantErr: true},
+		{name: "fault rate out of range", traceKinds: "", faultSpec: "ipi-drop:1.5", wantErr: true},
+		{name: "fault rate not a number", traceKinds: "", faultSpec: "ipi-drop:lots", wantErr: true},
+		{name: "both valid", traceKinds: "fault,track_rescan", faultSpec: "pml-entry-loss:0.2", wantErr: false},
+		{name: "kinds bad, spec good", traceKinds: "nope", faultSpec: "ipi-drop", wantErr: true},
+		{name: "kinds good, spec bad", traceKinds: "vmexit", faultSpec: "nope", wantErr: true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			mask, spec, err := parseSpecFlags(c.traceKinds, c.faultSpec)
+			if (err != nil) != c.wantErr {
+				t.Fatalf("parseSpecFlags(%q, %q) err = %v, wantErr %v", c.traceKinds, c.faultSpec, err, c.wantErr)
+			}
+			if err != nil {
+				return
+			}
+			if c.traceKinds != "" && mask == 0 {
+				t.Errorf("non-empty kinds %q produced empty mask", c.traceKinds)
+			}
+			if c.faultSpec != "" && spec.Empty() {
+				t.Errorf("non-empty fault spec %q parsed to an empty spec", c.faultSpec)
+			}
+		})
+	}
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/faults"
+	"repro/internal/trace"
+)
+
+// parseSpecFlags validates the spec-valued flags. It runs unconditionally
+// at startup - even when neither -trace nor -summary is set - so a typo in
+// -trace-kinds or -faults exits non-zero instead of silently running
+// without the events or faults the user asked for.
+func parseSpecFlags(traceKinds, faultSpec string) (mask uint64, spec faults.Spec, err error) {
+	mask, err = trace.ParseKinds(traceKinds)
+	if err != nil {
+		return 0, faults.Spec{}, err
+	}
+	spec, err = faults.ParseSpec(faultSpec)
+	if err != nil {
+		return 0, faults.Spec{}, err
+	}
+	return mask, spec, nil
+}
+
+// renderCounts formats per-point fault firing counts as "point:count"
+// pairs in name order.
+func renderCounts(counts map[string]uint64) string {
+	if len(counts) == 0 {
+		return "-"
+	}
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s:%d", k, counts[k])
+	}
+	return strings.Join(parts, " ")
+}

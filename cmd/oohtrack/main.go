@@ -16,10 +16,12 @@ import (
 	"time"
 
 	"repro/internal/costmodel"
+	"repro/internal/faults"
 	"repro/internal/machine"
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/internal/tracking"
 	"repro/internal/workloads"
 )
 
@@ -34,6 +36,7 @@ func main() {
 		traceFile  = flag.String("trace", "", "write a JSONL event trace to this file")
 		traceKinds = flag.String("trace-kinds", "", "comma-separated event kinds to trace (empty = all)")
 		summary    = flag.Bool("summary", false, "print a per-kind cost breakdown of the trace")
+		faultSpec  = flag.String("faults", "", "inject faults per this spec and track through a resilient wrapper")
 	)
 	flag.Parse()
 
@@ -42,6 +45,12 @@ func main() {
 		fail(err)
 	}
 	sz, err := parseSize(*size)
+	if err != nil {
+		fail(err)
+	}
+	// Validate spec flags up front: a typo must exit non-zero even when the
+	// flag would not be consumed this run.
+	mask, spec, err := parseSpecFlags(*traceKinds, *faultSpec)
 	if err != nil {
 		fail(err)
 	}
@@ -66,14 +75,14 @@ func main() {
 			sinks = append(sinks, memory)
 		}
 		tracer = trace.New(trace.Tee(sinks...), 0)
-		mask, err := trace.ParseKinds(*traceKinds)
-		if err != nil {
-			fail(err)
-		}
 		tracer.SetMask(mask)
 	}
 
-	m, err := machine.New(machine.Config{Tracer: tracer})
+	var inj *faults.Injector
+	if !spec.Empty() {
+		inj = faults.New(spec, *seed)
+	}
+	m, err := machine.New(machine.Config{Tracer: tracer, Faults: inj})
 	if err != nil {
 		fail(err)
 	}
@@ -86,9 +95,22 @@ func main() {
 	if err := w.Setup(workloads.NewRegionAlloc(proc, false), sim.NewRNG(*seed)); err != nil {
 		fail(err)
 	}
-	t, err := g.NewTechnique(kind, proc)
-	if err != nil {
-		fail(err)
+	// Under injected faults, track through the resilient wrapper so transient
+	// failures are retried and missing capabilities degrade down the ladder.
+	// The oracle sits outside the ladder (it is the ground truth the wrapper
+	// itself verifies against), so it always runs bare.
+	var (
+		t   tracking.Technique
+		res *tracking.Resilient
+	)
+	if inj.Armed() && kind != costmodel.Oracle {
+		res = g.NewResilient(kind, proc)
+		t = res
+	} else {
+		t, err = g.NewTechnique(kind, proc)
+		if err != nil {
+			fail(err)
+		}
 	}
 	if err := t.Init(); err != nil {
 		fail(err)
@@ -117,6 +139,13 @@ func main() {
 		report.FormatDuration(s.InitTime), report.FormatDuration(s.CollectTime),
 		s.Collections, s.Reported)
 	fmt.Printf("guest events: %s\n", g.Kernel.VCPU.Counters.String())
+	if res != nil {
+		rec := res.Recovery()
+		fmt.Printf("faults injected: %d (%s)\n", inj.Total(), renderCounts(inj.Counts()))
+		fmt.Printf("recovery: %d retries (%s backoff), %d degradations, %d rescans (%d pages rescued), %d stalls; active rung %s\n",
+			rec.Retries, report.FormatDuration(rec.BackoffTime), rec.Degradations,
+			rec.Rescans, rec.RescuedPages, rec.Stalls, res.Active())
+	}
 
 	if tracer != nil {
 		if err := tracer.Close(); err != nil {

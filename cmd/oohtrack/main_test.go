@@ -1,0 +1,98 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/workloads"
+)
+
+func TestParseTech(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    costmodel.Technique
+		wantErr bool
+	}{
+		{in: "proc", want: costmodel.Proc},
+		{in: "/proc", want: costmodel.Proc},
+		{in: "ufd", want: costmodel.Ufd},
+		{in: "spml", want: costmodel.SPML},
+		{in: "EPML", want: costmodel.EPML},
+		{in: "oracle", want: costmodel.Oracle},
+		{in: "pml", wantErr: true},
+		{in: "", wantErr: true},
+	}
+	for _, c := range cases {
+		got, err := parseTech(c.in)
+		if (err != nil) != c.wantErr {
+			t.Errorf("parseTech(%q) err = %v, wantErr %v", c.in, err, c.wantErr)
+			continue
+		}
+		if err == nil && got != c.want {
+			t.Errorf("parseTech(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseSize(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    workloads.Size
+		wantErr bool
+	}{
+		{in: "small", want: workloads.Small},
+		{in: "Medium", want: workloads.Medium},
+		{in: "large", want: workloads.Large},
+		{in: "xl", wantErr: true},
+	}
+	for _, c := range cases {
+		got, err := parseSize(c.in)
+		if (err != nil) != c.wantErr {
+			t.Errorf("parseSize(%q) err = %v, wantErr %v", c.in, err, c.wantErr)
+			continue
+		}
+		if err == nil && got != c.want {
+			t.Errorf("parseSize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestParseSpecFlags pins the always-on validation: unknown -trace-kinds or
+// -faults tokens are rejected even when no trace sink or injector is built.
+func TestParseSpecFlags(t *testing.T) {
+	cases := []struct {
+		name       string
+		traceKinds string
+		faultSpec  string
+		wantErr    bool
+	}{
+		{name: "both empty", traceKinds: "", faultSpec: ""},
+		{name: "valid kinds", traceKinds: "track_init,track_collect"},
+		{name: "unknown kind", traceKinds: "page_party", wantErr: true},
+		{name: "valid fault spec", faultSpec: "hc-enable-fail:0.3,ufd-absent"},
+		{name: "unknown fault point", faultSpec: "cosmic-ray", wantErr: true},
+		{name: "bad fault rate", faultSpec: "ipi-drop:-1", wantErr: true},
+		{name: "both valid", traceKinds: "fault", faultSpec: "collect-stall:0.1"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, spec, err := parseSpecFlags(c.traceKinds, c.faultSpec)
+			if (err != nil) != c.wantErr {
+				t.Fatalf("parseSpecFlags(%q, %q) err = %v, wantErr %v", c.traceKinds, c.faultSpec, err, c.wantErr)
+			}
+			if err == nil && c.faultSpec != "" && spec.Empty() {
+				t.Errorf("non-empty fault spec %q parsed to an empty spec", c.faultSpec)
+			}
+		})
+	}
+}
+
+func TestRenderCounts(t *testing.T) {
+	if got := renderCounts(nil); got != "-" {
+		t.Errorf("renderCounts(nil) = %q, want \"-\"", got)
+	}
+	got := renderCounts(map[string]uint64{"ipi-drop": 3, "collect-stall": 1})
+	if want := "collect-stall:1 ipi-drop:3"; got != want {
+		t.Errorf("renderCounts = %q, want %q", got, want)
+	}
+}

@@ -186,6 +186,15 @@ func (s *Session) Fetch() ([]mem.GVA, error) {
 			if _, dup := seen[gva]; dup {
 				continue
 			}
+			// Harden against stale ring generations: a legitimately logged
+			// page always has its guest PTE dirty bit set (the walk circuit
+			// sets it in the same micro-op that logs), so an entry whose PTE
+			// is absent or clean is left over from a buffer the guest failed
+			// to reset (e.g. a faulted index vmwrite) and must not be
+			// reported. On fault-free runs this filter never rejects.
+			if pte, ok := s.s.proc.PT.Lookup(gva); !ok || !pte.Dirty() {
+				continue
+			}
 			seen[gva] = struct{}{}
 			out = append(out, gva)
 			// Re-arm: clear the guest PTE dirty bit so the next write

@@ -11,6 +11,24 @@ import (
 	"repro/internal/vmcs"
 )
 
+// mustRead/mustWrite are test-side replacements for the removed panicking
+// VMCS accessors.
+func mustRead(t *testing.T, v *vmcs.VMCS, f vmcs.Field) uint64 {
+	t.Helper()
+	val, err := v.Read(f)
+	if err != nil {
+		t.Fatalf("Read(%v): %v", f, err)
+	}
+	return val
+}
+
+func mustWrite(t *testing.T, v *vmcs.VMCS, f vmcs.Field, val uint64) {
+	t.Helper()
+	if err := v.Write(f, val); err != nil {
+		t.Fatalf("Write(%v): %v", f, err)
+	}
+}
+
 // testHarness wires a vCPU with a scripted exit handler, fault handler and
 // IRQ sink so the CPU can be tested without the real hypervisor/kernel.
 type testHarness struct {
@@ -36,7 +54,7 @@ func newHarness(t *testing.T) *testHarness {
 		t.Fatal(err)
 	}
 	v := vmcs.New()
-	v.MustWrite(vmcs.FieldPMLAddress, uint64(pmlBuf))
+	mustWrite(t, v, vmcs.FieldPMLAddress, uint64(pmlBuf))
 	h.vcpu = &VCPU{
 		Clock: &sim.Clock{},
 		Phys:  h.phys,
@@ -62,7 +80,9 @@ func (h *testHarness) HandleExit(v *VCPU, e *Exit) (uint64, error) {
 		}
 		return 0, v.EPT.Map(e.GPA.PageFloor(), hpa)
 	case ExitPMLFull:
-		v.VMCS.MustWrite(vmcs.FieldPMLIndex, vmcs.PMLResetIndex)
+		if err := v.VMCS.Write(vmcs.FieldPMLIndex, vmcs.PMLResetIndex); err != nil {
+			return 0, err
+		}
 		return 0, nil
 	case ExitHypercall:
 		return uint64(e.Nr) + 100, nil
@@ -170,12 +190,12 @@ func TestPMLLogsOnDirtyTransition(t *testing.T) {
 	if n := h.vcpu.Counters.Get(CtrPMLLogs); n != 1 {
 		t.Errorf("PML logs = %d, want 1", n)
 	}
-	idx := h.vcpu.VMCS.MustRead(vmcs.FieldPMLIndex)
+	idx := mustRead(t, h.vcpu.VMCS, vmcs.FieldPMLIndex)
 	if idx != vmcs.PMLResetIndex-1 {
 		t.Errorf("PML index = %d, want %d", idx, vmcs.PMLResetIndex-1)
 	}
 	// The logged entry is the page-aligned GPA.
-	buf := mem.HPA(h.vcpu.VMCS.MustRead(vmcs.FieldPMLAddress))
+	buf := mem.HPA(mustRead(t, h.vcpu.VMCS, vmcs.FieldPMLAddress))
 	raw, err := h.phys.ReadU64(buf + mem.HPA(vmcs.PMLResetIndex*8))
 	if err != nil {
 		t.Fatal(err)
@@ -240,7 +260,7 @@ func TestEPMLDualLogging(t *testing.T) {
 	if err != nil {
 		t.Fatalf("buffer GPA not EPT-mapped after vmwrite: %v", err)
 	}
-	if stored := shadow.MustRead(vmcs.FieldGuestPMLAddress); stored != uint64(wantHPA) {
+	if stored := mustRead(t, shadow, vmcs.FieldGuestPMLAddress); stored != uint64(wantHPA) {
 		t.Errorf("GuestPMLAddress = %#x, want translated HPA %#x", stored, uint64(wantHPA))
 	}
 
@@ -255,7 +275,7 @@ func TestEPMLDualLogging(t *testing.T) {
 		t.Errorf("guest-level logs = %d, want 1 (dual logging)", n)
 	}
 	// The guest buffer holds the GVA, the hypervisor buffer the GPA.
-	gbuf := mem.HPA(shadow.MustRead(vmcs.FieldGuestPMLAddress))
+	gbuf := mem.HPA(mustRead(t, shadow, vmcs.FieldGuestPMLAddress))
 	raw, err := h.phys.ReadU64(gbuf + mem.HPA(vmcs.PMLResetIndex*8))
 	if err != nil {
 		t.Fatal(err)
@@ -279,7 +299,7 @@ func TestEPMLBufferFullRaisesIRQWithoutExit(t *testing.T) {
 		t.Fatal(err)
 	}
 	// IRQ handler resets the index, emulating the OoH module's drain.
-	reset := func() { shadow.MustWrite(vmcs.FieldGuestPMLIndex, vmcs.PMLResetIndex) }
+	reset := func() { mustWrite(t, shadow, vmcs.FieldGuestPMLIndex, vmcs.PMLResetIndex) }
 	irqSeen := 0
 	h.vcpu.IRQ = irqFunc(func(vec int) {
 		irqSeen++

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/ept"
+	"repro/internal/faults"
 	"repro/internal/mem"
 	"repro/internal/pgtable"
 	"repro/internal/sim"
@@ -56,6 +57,9 @@ const (
 	CtrWriteOps      = "write_ops"
 	CtrReadOps       = "read_ops"
 	CtrSPPViolations = "spp_violations"
+	// CtrEPMLDropped counts guest-level PML entries lost to injected
+	// buffer-full IPI drops (the loss mode Bitchebe et al. measure).
+	CtrEPMLDropped = "epml_entries_dropped"
 )
 
 // ErrNoAddressSpace is returned for accesses issued with no page table set.
@@ -90,6 +94,12 @@ type VCPU struct {
 	// clock. Tracing only observes: it never advances the clock, so traced
 	// and untraced runs are bit-identical in virtual time.
 	Tracer *trace.Tracer
+
+	// Inj, when non-nil, injects deterministic faults at this vCPU's trust
+	// boundaries (and, through it, the hypervisor's and guest kernel's).
+	// Like Tracer it is single-goroutine; a nil or unarmed injector leaves
+	// the simulation bit-identical to one without injection at all.
+	Inj *faults.Injector
 
 	// EPMLVector is the self-IPI vector raised when the guest-level PML
 	// buffer fills (EPML only).
@@ -215,6 +225,17 @@ func (v *VCPU) Hypercall(nr int, args ...uint64) (uint64, error) {
 	return v.exit(&Exit{Reason: ExitHypercall, Nr: nr, Args: args})
 }
 
+// FaultRecord emits a KindFault trace record for an injected fault that
+// fired at this vCPU (or at a layer reached through it). The fault itself
+// is instantaneous - recovery time is charged, and traced, where recovery
+// happens.
+func (v *VCPU) FaultRecord(p faults.Point, addr uint64) {
+	if tr := v.Tracer; tr.Enabled(trace.KindFault) {
+		tr.Emit(trace.Record{Kind: trace.KindFault, VM: int32(v.ID),
+			TS: v.Clock.Nanos(), Addr: addr, Arg: int64(p)})
+	}
+}
+
 // --- guest-mode VMCS access -------------------------------------------------
 
 // GuestVMRead executes vmread in vmx non-root mode. Shadowed fields return
@@ -236,6 +257,10 @@ func (v *VCPU) GuestVMRead(f vmcs.Field) (uint64, error) {
 func (v *VCPU) GuestVMWrite(f vmcs.Field, val uint64) error {
 	v.Counters.Inc(CtrVMWrites)
 	v.Clock.Advance(v.Costs.VMWrite)
+	if v.Inj.Fire(faults.VMWriteFail) {
+		v.FaultRecord(faults.VMWriteFail, uint64(f))
+		return fmt.Errorf("cpu: vmwrite %v: %w", f, faults.ErrTransient)
+	}
 	if f == vmcs.FieldGuestPMLAddress {
 		hpa, err := v.translateGPA(mem.GPA(val), true)
 		if err != nil {
@@ -273,8 +298,21 @@ func (v *VCPU) translateGPA(gpa mem.GPA, write bool) (mem.HPA, error) {
 // SDM: an invalid index exits first, then the entry is logged and the index
 // decremented.
 func (v *VCPU) pmlLog(gpa mem.GPA) error {
+	if v.Inj.Fire(faults.PMLFullExit) {
+		// Spurious buffer-full exit: the hypervisor drains a partial
+		// buffer. Nothing is lost - entries already logged reach the ring
+		// early - but the exit and drain costs land mid-monitoring.
+		v.Counters.Inc(CtrPMLFullExits)
+		v.FaultRecord(faults.PMLFullExit, uint64(gpa))
+		if _, err := v.exit(&Exit{Reason: ExitPMLFull}); err != nil {
+			return err
+		}
+	}
 	for {
-		idx := v.VMCS.MustRead(vmcs.FieldPMLIndex)
+		idx, err := v.VMCS.Read(vmcs.FieldPMLIndex)
+		if err != nil {
+			return err
+		}
 		if idx > vmcs.PMLResetIndex { // 0xFFFF after decrementing past 0
 			v.Counters.Inc(CtrPMLFullExits)
 			if _, err := v.exit(&Exit{Reason: ExitPMLFull}); err != nil {
@@ -282,11 +320,17 @@ func (v *VCPU) pmlLog(gpa mem.GPA) error {
 			}
 			continue
 		}
-		buf := mem.HPA(v.VMCS.MustRead(vmcs.FieldPMLAddress))
+		bufRaw, err := v.VMCS.Read(vmcs.FieldPMLAddress)
+		if err != nil {
+			return err
+		}
+		buf := mem.HPA(bufRaw)
 		if err := v.Phys.WriteU64(buf+mem.HPA(idx*8), uint64(gpa)); err != nil {
 			return fmt.Errorf("cpu: PML buffer write: %w", err)
 		}
-		v.VMCS.MustWrite(vmcs.FieldPMLIndex, (idx-1)&0xFFFF)
+		if err := v.VMCS.Write(vmcs.FieldPMLIndex, (idx-1)&0xFFFF); err != nil {
+			return err
+		}
 		v.Counters.Inc(CtrPMLLogs)
 		v.Clock.Advance(v.Costs.PMLLog)
 		if tr := v.Tracer; tr.Enabled(trace.KindPMLLog) {
@@ -316,10 +360,21 @@ func (v *VCPU) epmlFields() *vmcs.VMCS {
 func (v *VCPU) epmlLog(gva mem.GVA) error {
 	fields := v.epmlFields()
 	for try := 0; ; try++ {
-		idx := fields.MustRead(vmcs.FieldGuestPMLIndex)
+		idx, err := fields.Read(vmcs.FieldGuestPMLIndex)
+		if err != nil {
+			return err
+		}
 		if idx > vmcs.PMLResetIndex {
 			if try >= maxFaultRetries {
 				return errors.New("cpu: EPML buffer-full IRQ handler made no progress")
+			}
+			if v.Inj.Fire(faults.IPIDrop) {
+				// The posted self-IPI is lost: nobody drains the full
+				// buffer and the entry has nowhere to go, so it is
+				// dropped - the buffer-full loss mode of Bitchebe et al.
+				v.Counters.Inc(CtrEPMLDropped)
+				v.FaultRecord(faults.IPIDrop, uint64(gva))
+				return nil
 			}
 			v.Counters.Inc(CtrEPMLFullIRQs)
 			tr := v.Tracer
@@ -332,6 +387,13 @@ func (v *VCPU) epmlLog(gva mem.GVA) error {
 				return errors.New("cpu: EPML buffer full with no IRQ sink")
 			}
 			v.IRQ.DeliverIRQ(v.EPMLVector)
+			if v.Inj.Fire(faults.IPIDup) {
+				// The posted interrupt arrives twice; the second delivery
+				// must find an empty buffer and do no harm.
+				v.FaultRecord(faults.IPIDup, uint64(gva))
+				v.Clock.Advance(v.Costs.IRQDeliver)
+				v.IRQ.DeliverIRQ(v.EPMLVector)
+			}
 			if tr.Enabled(trace.KindEPMLFullIRQ) {
 				tr.Emit(trace.Record{
 					Kind: trace.KindEPMLFullIRQ, VM: int32(v.ID), TS: start,
@@ -340,11 +402,17 @@ func (v *VCPU) epmlLog(gva mem.GVA) error {
 			}
 			continue
 		}
-		buf := mem.HPA(fields.MustRead(vmcs.FieldGuestPMLAddress))
+		bufRaw, err := fields.Read(vmcs.FieldGuestPMLAddress)
+		if err != nil {
+			return err
+		}
+		buf := mem.HPA(bufRaw)
 		if err := v.Phys.WriteU64(buf+mem.HPA(idx*8), uint64(gva)); err != nil {
 			return fmt.Errorf("cpu: EPML buffer write: %w", err)
 		}
-		fields.MustWrite(vmcs.FieldGuestPMLIndex, (idx-1)&0xFFFF)
+		if err := fields.Write(vmcs.FieldGuestPMLIndex, (idx-1)&0xFFFF); err != nil {
+			return err
+		}
 		v.Counters.Inc(CtrEPMLLogs)
 		v.Clock.Advance(v.Costs.PMLLog)
 		if tr := v.Tracer; tr.Enabled(trace.KindEPMLLog) {
@@ -359,8 +427,12 @@ func (v *VCPU) epmlLog(gva mem.GVA) error {
 }
 
 // epmlArmed reports whether guest-level logging is currently enabled.
-func (v *VCPU) epmlArmed() bool {
-	return v.VMCS.EPMLEnabled() && v.epmlFields().MustRead(vmcs.FieldGuestPMLEnable) != 0
+func (v *VCPU) epmlArmed() (bool, error) {
+	if !v.VMCS.EPMLEnabled() {
+		return false, nil
+	}
+	val, err := v.epmlFields().Read(vmcs.FieldGuestPMLEnable)
+	return val != 0, err
 }
 
 // --- guest memory accesses ----------------------------------------------------
@@ -430,7 +502,11 @@ func (v *VCPU) walkForWrite(gva mem.GVA) (mem.HPA, error) {
 				return 0, err
 			}
 		}
-		if guestDirtied && v.epmlArmed() {
+		armed, err := v.epmlArmed()
+		if err != nil {
+			return 0, err
+		}
+		if guestDirtied && armed {
 			if err := v.epmlLog(gva.PageFloor()); err != nil {
 				return 0, err
 			}

@@ -27,6 +27,8 @@ var runners = map[string]Runner{
 	// Ablations of the design knobs DESIGN.md §5 calls out.
 	"ablation-ring":  func(opt Options) (*Result, error) { return AblationRingCapacity() },
 	"ablation-slice": func(opt Options) (*Result, error) { return AblationTimeSlice() },
+	// Robustness: the fault-injection matrix (not from the paper).
+	"fault-matrix": FaultMatrix,
 }
 
 // Run regenerates the experiment with the given id.

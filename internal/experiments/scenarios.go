@@ -39,6 +39,9 @@ type Options struct {
 	// trace records. Tracers are single-goroutine; drivers must force
 	// Workers to 1 when setting this.
 	Tracer *trace.Tracer
+	// FaultSpec, when non-empty, adds a custom row to the fault-matrix
+	// experiment (faults.ParseSpec grammar). Other experiments ignore it.
+	FaultSpec string
 }
 
 func (o Options) withDefaults() Options {

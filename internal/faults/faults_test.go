@@ -1,0 +1,156 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSpec(t *testing.T) {
+	spec, err := ParseSpec("ipi-drop:0.25, epml-absent ,hc-drain-fail:1,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := spec.Rate(IPIDrop); got != 0.25 {
+		t.Errorf("ipi-drop rate = %v, want 0.25", got)
+	}
+	if got := spec.Rate(EPMLAbsent); got != 1 {
+		t.Errorf("bare point rate = %v, want 1", got)
+	}
+	if got := spec.Rate(HCDrainFail); got != 1 {
+		t.Errorf("explicit rate-1 = %v, want 1", got)
+	}
+	if spec.Rate(IPIDup) != 0 {
+		t.Error("unarmed point has non-zero rate")
+	}
+	if spec.Seed != 7 {
+		t.Errorf("seed = %d, want 7", spec.Seed)
+	}
+	if spec.Empty() {
+		t.Error("armed spec reported empty")
+	}
+}
+
+func TestParseSpecEmpty(t *testing.T) {
+	spec, err := ParseSpec("  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spec.Empty() {
+		t.Error("blank spec not empty")
+	}
+	if New(spec, 1).Armed() {
+		t.Error("injector armed on empty spec")
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, bad := range []string{
+		"bogus-point",
+		"ipi-drop:nope",
+		"ipi-drop:1.5",
+		"ipi-drop:-0.1",
+		"seed=abc",
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	in := "ipi-drop:0.25,pml-entry-loss:0.5,epml-absent,seed=9"
+	spec, err := ParseSpec(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseSpec(spec.String())
+	if err != nil {
+		t.Fatalf("re-parsing %q: %v", spec.String(), err)
+	}
+	if back != spec {
+		t.Errorf("round trip changed spec: %q -> %q", in, spec.String())
+	}
+}
+
+func TestLossPossible(t *testing.T) {
+	lossy, _ := ParseSpec("pml-entry-loss:0.1")
+	if !lossy.LossPossible() {
+		t.Error("entry loss not classified as lossy")
+	}
+	capOnly, _ := ParseSpec("epml-absent,spml-absent,collect-stall:0.5")
+	if capOnly.LossPossible() {
+		t.Error("capability/stall spec classified as lossy")
+	}
+}
+
+func TestFireDeterministicPerPoint(t *testing.T) {
+	spec, _ := ParseSpec("ipi-drop:0.3,pml-entry-loss:0.7")
+	run := func(interleave bool) (a, b []bool) {
+		in := New(spec, 42)
+		for i := 0; i < 200; i++ {
+			a = append(a, in.Fire(IPIDrop))
+			if interleave {
+				b = append(b, in.Fire(PMLEntryLoss))
+			}
+		}
+		return a, b
+	}
+	solo, _ := run(false)
+	mixed, _ := run(true)
+	for i := range solo {
+		if solo[i] != mixed[i] {
+			t.Fatalf("point streams not independent: visit %d diverged", i)
+		}
+	}
+}
+
+func TestFireRateEdges(t *testing.T) {
+	spec, _ := ParseSpec("epml-absent,ipi-drop:0.5")
+	in := New(spec, 1)
+	for i := 0; i < 10; i++ {
+		if !in.Fire(EPMLAbsent) {
+			t.Fatal("rate-1 point did not fire")
+		}
+		if in.Fire(IPIDup) {
+			t.Fatal("rate-0 point fired")
+		}
+	}
+	if in.Count(EPMLAbsent) != 10 {
+		t.Errorf("count = %d, want 10", in.Count(EPMLAbsent))
+	}
+	if in.Total() != 10 {
+		t.Errorf("total = %d, want 10", in.Total())
+	}
+	if c := in.Counts(); c["epml-absent"] != 10 || len(c) != 1 {
+		t.Errorf("Counts() = %v", c)
+	}
+}
+
+func TestNilInjector(t *testing.T) {
+	var in *Injector
+	if in.Armed() || in.LossPossible() || in.Fire(IPIDrop) || in.Total() != 0 {
+		t.Error("nil injector not inert")
+	}
+	if in.Count(IPIDrop) != 0 || in.Counts() != nil {
+		t.Error("nil injector counts not empty")
+	}
+}
+
+func TestPointNamesComplete(t *testing.T) {
+	for p := Point(0); p < numPoints; p++ {
+		name := p.String()
+		if name == "" || name == "unknown" {
+			t.Fatalf("point %d has no name", p)
+		}
+		if strings.ContainsAny(name, " ,:=") {
+			t.Fatalf("point name %q collides with the spec grammar", name)
+		}
+		back, ok := PointByName(name)
+		if !ok || back != p {
+			t.Fatalf("PointByName(%q) = %v, %v", name, back, ok)
+		}
+	}
+	if _, ok := PointByName("unknown"); ok {
+		t.Error("PointByName accepted 'unknown'")
+	}
+}

@@ -314,7 +314,7 @@ type countingNotifier struct{ in, out int }
 func (c *countingNotifier) ScheduledIn(*Process)  { c.in++ }
 func (c *countingNotifier) ScheduledOut(*Process) { c.out++ }
 
-func TestPausedProcessPanics(t *testing.T) {
+func TestPausedProcessAccessFails(t *testing.T) {
 	k := newKernel(t)
 	p := k.Spawn("app")
 	r, err := p.Mmap(mem.PageSize, true)
@@ -322,12 +322,16 @@ func TestPausedProcessPanics(t *testing.T) {
 		t.Fatal(err)
 	}
 	p.Pause()
-	defer func() {
-		if recover() == nil {
-			t.Error("write by paused process did not panic")
-		}
-	}()
-	_ = p.WriteU64(r.Start, 1)
+	if err := p.WriteU64(r.Start, 1); !errors.Is(err, ErrProcessPaused) {
+		t.Errorf("write by paused process: %v, want ErrProcessPaused", err)
+	}
+	if _, err := p.ReadU64(r.Start); !errors.Is(err, ErrProcessPaused) {
+		t.Errorf("read by paused process: %v, want ErrProcessPaused", err)
+	}
+	p.Resume()
+	if err := p.WriteU64(r.Start, 1); err != nil {
+		t.Errorf("write after Resume: %v", err)
+	}
 }
 
 func TestReadPageAndKernelWrite(t *testing.T) {

@@ -25,6 +25,9 @@ var (
 	ErrNoSuchProcess = errors.New("guestos: no such process")
 	ErrSegfault      = errors.New("guestos: segmentation fault")
 	ErrKernelOOM     = errors.New("guestos: out of guest physical memory")
+	// ErrProcessPaused is returned when workload code touches the memory of
+	// a SIGSTOP'd process (CRIU's final stop-and-copy window).
+	ErrProcessPaused = errors.New("guestos: memory access by paused process")
 )
 
 // Counter names recorded by the kernel on the vCPU counters.

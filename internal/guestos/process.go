@@ -44,7 +44,8 @@ type Process struct {
 	ufd *ufdState
 
 	// paused models a SIGSTOP'd process (CRIU's final stop-and-copy);
-	// while paused, memory operations panic to expose scheduling bugs.
+	// while paused, memory operations fail with ErrProcessPaused to expose
+	// scheduling bugs.
 	paused bool
 }
 
@@ -236,45 +237,51 @@ func (p *Process) Paused() bool { return p.paused }
 
 // --- memory operations (issued by workload code running as this process) ----
 
-func (p *Process) checkRunnable() {
-	if p.paused {
-		panic(fmt.Sprintf("guestos: memory access by paused process %d (%s)", p.Pid, p.Name))
-	}
-}
-
 // enter makes p current on the vCPU for one operation and runs the
 // scheduler's preemption check first. Switching to a different process is
 // a real context switch and fires the notifier chain - the OoH module
 // relies on it to move the logging window between tracked processes.
-func (p *Process) enter() {
-	p.checkRunnable()
+// Accessing a paused process is a workload bug surfaced as ErrProcessPaused.
+func (p *Process) enter() error {
+	if p.paused {
+		return fmt.Errorf("%w: pid %d (%s)", ErrProcessPaused, p.Pid, p.Name)
+	}
 	p.k.Sched.maybePreempt()
 	if p.k.current != p {
 		p.k.Sched.switchTo(p)
 	}
+	return nil
 }
 
 // Write stores b at gva in this process's address space.
 func (p *Process) Write(gva mem.GVA, b []byte) error {
-	p.enter()
+	if err := p.enter(); err != nil {
+		return err
+	}
 	return p.k.VCPU.Write(gva, b)
 }
 
 // Read loads len(b) bytes at gva.
 func (p *Process) Read(gva mem.GVA, b []byte) error {
-	p.enter()
+	if err := p.enter(); err != nil {
+		return err
+	}
 	return p.k.VCPU.Read(gva, b)
 }
 
 // WriteU64 stores one 64-bit word.
 func (p *Process) WriteU64(gva mem.GVA, v uint64) error {
-	p.enter()
+	if err := p.enter(); err != nil {
+		return err
+	}
 	return p.k.VCPU.WriteU64(gva, v)
 }
 
 // ReadU64 loads one 64-bit word.
 func (p *Process) ReadU64(gva mem.GVA) (uint64, error) {
-	p.enter()
+	if err := p.enter(); err != nil {
+		return 0, err
+	}
 	return p.k.VCPU.ReadU64(gva)
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/mem"
 	"repro/internal/pgtable"
 )
@@ -106,6 +107,12 @@ func (u *ufdState) raise(p *Process, gva mem.GVA, write, missing bool) error {
 // mode every present page is write-protected immediately (the tracker's
 // initialization step); the per-page ioctl cost is the paper's M2.
 func (p *Process) UfdRegister(r Region, mode UfdMode, handler UfdHandler) error {
+	if p.k.VCPU.Inj.Fire(faults.UfdAbsent) {
+		// Models a kernel built without CONFIG_USERFAULTFD: the register
+		// ioctl fails before any page is protected.
+		p.k.VCPU.FaultRecord(faults.UfdAbsent, uint64(r.Start))
+		return fmt.Errorf("guestos: userfaultfd unavailable: %w", faults.ErrUnsupported)
+	}
 	if p.ufd == nil {
 		p.ufd = &ufdState{}
 	}

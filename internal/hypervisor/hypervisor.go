@@ -14,6 +14,7 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/cpu"
 	"repro/internal/ept"
+	"repro/internal/faults"
 	"repro/internal/mem"
 	"repro/internal/ringbuf"
 	"repro/internal/sim"
@@ -38,6 +39,9 @@ const (
 	CtrHCShadow     = "hc_init_shadowing"
 	CtrRingCopied   = "ring_entries_copied"
 	CtrMigLogged    = "migration_pages_logged"
+	// CtrPMLEntriesLost counts buffer entries dropped by injected
+	// PML-entry-loss faults during drains.
+	CtrPMLEntriesLost = "pml_entries_lost"
 )
 
 // Hypervisor is the host-wide hypervisor instance. Creating VMs is safe
@@ -110,7 +114,9 @@ func (h *Hypervisor) CreateVM() (*VM, error) {
 		migLog: make(map[mem.GPA]struct{}),
 	}
 	h.nextID++
-	vm.VMCS.MustWrite(vmcs.FieldPMLAddress, uint64(pmlBuf))
+	if err := vm.VMCS.Write(vmcs.FieldPMLAddress, uint64(pmlBuf)); err != nil {
+		return nil, fmt.Errorf("hypervisor: programming PML address: %w", err)
+	}
 	vm.VCPU = &cpu.VCPU{
 		ID:    vm.ID,
 		Clock: vm.Clock,
@@ -203,12 +209,17 @@ func (vm *VM) handlePMLFull() error {
 // drainPMLBuffer copies every logged GPA out of the hardware buffer and
 // resets the PML index to 511.
 func (vm *VM) drainPMLBuffer() error {
-	idx := vm.VMCS.MustRead(vmcs.FieldPMLIndex)
+	idx, err := vm.VMCS.Read(vmcs.FieldPMLIndex)
+	if err != nil {
+		return fmt.Errorf("hypervisor: PML drain: %w", err)
+	}
 	// Entries occupy slots (idx+1 .. 511]; an idx of 0xFFFF means full.
 	first := int(idx+1) & 0xFFFF
 	n := vmcs.PMLBufferEntries - first
 	if n <= 0 {
-		vm.VMCS.MustWrite(vmcs.FieldPMLIndex, vmcs.PMLResetIndex)
+		if err := vm.VMCS.Write(vmcs.FieldPMLIndex, vmcs.PMLResetIndex); err != nil {
+			return fmt.Errorf("hypervisor: PML drain: %w", err)
+		}
 		return nil
 	}
 	tr := vm.VCPU.Tracer
@@ -224,6 +235,13 @@ func (vm *VM) drainPMLBuffer() error {
 			return fmt.Errorf("hypervisor: PML drain: %w", err)
 		}
 		gpa := mem.GPA(raw)
+		if vm.VCPU.Inj.Fire(faults.PMLEntryLoss) {
+			// The entry vanishes before either consumer sees it; the
+			// Resilient tracker's rescan is what recovers the page.
+			vm.VCPU.Counters.Inc(CtrPMLEntriesLost)
+			vm.VCPU.FaultRecord(faults.PMLEntryLoss, raw)
+			continue
+		}
 		if vm.enabledByHyp {
 			vm.migLog[gpa] = struct{}{}
 			vm.VCPU.Counters.Inc(CtrMigLogged)
@@ -236,7 +254,9 @@ func (vm *VM) drainPMLBuffer() error {
 			copied++
 		}
 	}
-	vm.VMCS.MustWrite(vmcs.FieldPMLIndex, vmcs.PMLResetIndex)
+	if err := vm.VMCS.Write(vmcs.FieldPMLIndex, vmcs.PMLResetIndex); err != nil {
+		return fmt.Errorf("hypervisor: PML drain: %w", err)
+	}
 	if tr.Enabled(trace.KindPMLDrain) {
 		tr.Emit(trace.Record{Kind: trace.KindPMLDrain, VM: int32(vm.ID), TS: start,
 			Cost: vm.Clock.Nanos() - start, Arg: copied})
@@ -257,6 +277,16 @@ func (vm *VM) handleHypercall(nr int, args []uint64) (uint64, error) {
 	m := vm.Hyp.Model
 	switch nr {
 	case HCInitPML:
+		// Fault points fire before any state changes so a retried call
+		// starts from exactly the state the failed one saw.
+		if vm.VCPU.Inj.Fire(faults.SPMLAbsent) {
+			vm.VCPU.FaultRecord(faults.SPMLAbsent, uint64(nr))
+			return 0, fmt.Errorf("hypervisor: init_pml: no PML support: %w", faults.ErrUnsupported)
+		}
+		if vm.VCPU.Inj.Fire(faults.HCInitFail) {
+			vm.VCPU.FaultRecord(faults.HCInitFail, uint64(nr))
+			return 0, fmt.Errorf("hypervisor: init_pml: %w", faults.ErrTransient)
+		}
 		vm.VCPU.Counters.Inc(CtrHCInit)
 		vm.Clock.Advance(m.HypInitPML)
 		if len(args) > 0 {
@@ -278,6 +308,10 @@ func (vm *VM) handleHypercall(nr int, args []uint64) (uint64, error) {
 		return 0, nil
 
 	case HCEnableLogging:
+		if vm.VCPU.Inj.Fire(faults.HCEnableFail) {
+			vm.VCPU.FaultRecord(faults.HCEnableFail, uint64(nr))
+			return 0, fmt.Errorf("hypervisor: enable_logging: %w", faults.ErrTransient)
+		}
 		vm.VCPU.Counters.Inc(CtrHCEnableLog)
 		vm.Clock.Advance(m.EnablePMLLog)
 		// Arg 0 (optional) selects the scheduled-in process's ring: the
@@ -295,6 +329,10 @@ func (vm *VM) handleHypercall(nr int, args []uint64) (uint64, error) {
 		return 0, nil
 
 	case HCDisableLogging:
+		if vm.VCPU.Inj.Fire(faults.HCDisableFail) {
+			vm.VCPU.FaultRecord(faults.HCDisableFail, uint64(nr))
+			return 0, fmt.Errorf("hypervisor: disable_logging: %w", faults.ErrTransient)
+		}
 		vm.VCPU.Counters.Inc(CtrHCDisableLog)
 		vm.Clock.Advance(m.DisablePMLLog.Total(vm.wsOrDefault()))
 		if err := vm.drainPMLBuffer(); err != nil {
@@ -306,6 +344,12 @@ func (vm *VM) handleHypercall(nr int, args []uint64) (uint64, error) {
 		return 0, nil
 
 	case HCDrainRing:
+		if vm.VCPU.Inj.Fire(faults.HCDrainFail) {
+			// Fails before any drain work: the hardware buffer and the
+			// ring keep their contents intact for the retry.
+			vm.VCPU.FaultRecord(faults.HCDrainFail, uint64(nr))
+			return 0, fmt.Errorf("hypervisor: drain_ring: %w", faults.ErrTransient)
+		}
 		vm.VCPU.Counters.Inc(CtrHCDrain)
 		tag := vm.activeTag
 		if len(args) > 0 {
@@ -327,6 +371,14 @@ func (vm *VM) handleHypercall(nr int, args []uint64) (uint64, error) {
 		return n, nil
 
 	case HCInitShadow:
+		if vm.VCPU.Inj.Fire(faults.EPMLAbsent) {
+			vm.VCPU.FaultRecord(faults.EPMLAbsent, uint64(nr))
+			return 0, fmt.Errorf("hypervisor: init_shadowing: no EPML support: %w", faults.ErrUnsupported)
+		}
+		if vm.VCPU.Inj.Fire(faults.HCInitFail) {
+			vm.VCPU.FaultRecord(faults.HCInitFail, uint64(nr))
+			return 0, fmt.Errorf("hypervisor: init_shadowing: %w", faults.ErrTransient)
+		}
 		vm.VCPU.Counters.Inc(CtrHCShadow)
 		vm.Clock.Advance(m.HypInitShadow)
 		shadow := vmcs.New()

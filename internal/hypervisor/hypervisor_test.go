@@ -39,11 +39,11 @@ func installPT(t *testing.T, vm *VM, n int) *pgtable.Table {
 
 func TestCreateVMInitializesPML(t *testing.T) {
 	vm := newVM(t)
-	if vm.VMCS.MustRead(vmcs.FieldPMLAddress) == 0 {
-		t.Error("PML buffer not allocated")
+	if addr, err := vm.VMCS.Read(vmcs.FieldPMLAddress); err != nil || addr == 0 {
+		t.Errorf("PML buffer not allocated: %#x, %v", addr, err)
 	}
-	if vm.VMCS.MustRead(vmcs.FieldPMLIndex) != vmcs.PMLResetIndex {
-		t.Error("PML index not at reset value")
+	if idx, err := vm.VMCS.Read(vmcs.FieldPMLIndex); err != nil || idx != vmcs.PMLResetIndex {
+		t.Errorf("PML index not at reset value: %d, %v", idx, err)
 	}
 	if vm.VMCS.PMLEnabled() {
 		t.Error("PML enabled before anyone asked")

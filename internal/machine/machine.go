@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/costmodel"
+	"repro/internal/faults"
 	"repro/internal/guestos"
 	"repro/internal/hypervisor"
 	"repro/internal/mem"
@@ -31,6 +32,10 @@ type Config struct {
 	// trace records. A Tracer is single-goroutine (like sim.Clock): only
 	// set it on machines driven by one goroutine.
 	Tracer *trace.Tracer
+	// Faults, when non-nil, is attached to every vCPU so all layers'
+	// fault-injection points can fire. Like the Tracer it is
+	// single-goroutine; nil means no injected faults.
+	Faults *faults.Injector
 }
 
 // Machine is a booted host: one hypervisor, n VMs each running a guest
@@ -76,6 +81,7 @@ func New(cfg Config) (*Machine, error) {
 			return nil, fmt.Errorf("machine: creating VM %d: %w", i, err)
 		}
 		vm.VCPU.Tracer = cfg.Tracer
+		vm.VCPU.Inj = cfg.Faults
 		k := guestos.NewKernel(vm.VCPU, model)
 		if cfg.DisablePreemption {
 			k.Sched.SetDisabled(true)
@@ -120,6 +126,17 @@ func (g *Guest) NewTechnique(kind costmodel.Technique, proc *guestos.Process) (t
 		return tracking.NewPML(g.EPML(), proc.Pid), nil
 	}
 	return nil, fmt.Errorf("machine: unknown technique %v", kind)
+}
+
+// NewResilient wraps the degradation ladder starting at preferred around
+// this guest's techniques, injecting the vCPU's fault injector. The wrapper
+// probes capabilities at Init, retries transient failures and repairs lossy
+// collections (see tracking.Resilient).
+func (g *Guest) NewResilient(preferred costmodel.Technique, proc *guestos.Process) *tracking.Resilient {
+	factory := func(kind costmodel.Technique) (tracking.Technique, error) {
+		return g.NewTechnique(kind, proc)
+	}
+	return tracking.NewResilient(proc, g.VM.VCPU.Inj, factory, tracking.LadderFrom(preferred)...)
 }
 
 // AllTechniques lists the four real techniques in the paper's comparison

@@ -79,6 +79,12 @@ const (
 	KindGCSweep // GC sweep phase; Arg = objects freed
 	KindGCCycle // whole GC cycle; Arg = cycle number
 
+	// --- internal/faults + tracking.Resilient: faults and recovery ------
+	KindFault        // injected fault fired; Arg = faults.Point, Addr = site detail
+	KindTrackRetry   // one transient-failure backoff wait; Arg = attempt number
+	KindTrackDegrade // ladder descent; Arg = from<<8 | to (costmodel.Technique)
+	KindTrackRescan  // soft-dirty rescan of a lossy epoch; Arg = pages recovered
+
 	numKinds // sentinel; keep last
 )
 
@@ -111,6 +117,10 @@ var kindNames = [numKinds]string{
 	KindGCMark:         "gc_mark",
 	KindGCSweep:        "gc_sweep",
 	KindGCCycle:        "gc_cycle",
+	KindFault:          "fault",
+	KindTrackRetry:     "track_retry",
+	KindTrackDegrade:   "track_degrade",
+	KindTrackRescan:    "track_rescan",
 }
 
 // NumKinds returns how many kinds are defined.

@@ -49,6 +49,12 @@ func (v *Verifier) Truth() []mem.GVA {
 // Reset clears the recorded ground truth (call right after a Collect).
 func (v *Verifier) Reset() { v.truth = make(map[mem.GVA]struct{}) }
 
+// Has reports whether gva's page is in the recorded ground truth.
+func (v *Verifier) Has(gva mem.GVA) bool {
+	_, ok := v.truth[gva.PageFloor()]
+	return ok
+}
+
 // Stop unchains the verifier from the vCPU. Removal is by hook id, so
 // stacked observers (a second Verifier, an Oracle, a trace hook) keep
 // firing no matter the order verifiers are stopped in.

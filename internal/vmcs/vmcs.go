@@ -129,22 +129,6 @@ func (v *VMCS) Write(f Field, val uint64) error {
 	return nil
 }
 
-// MustRead is Read for fields known to exist; it panics on programmer error.
-func (v *VMCS) MustRead(f Field) uint64 {
-	val, err := v.Read(f)
-	if err != nil {
-		panic(err)
-	}
-	return val
-}
-
-// MustWrite is Write for fields known to exist.
-func (v *VMCS) MustWrite(f Field, val uint64) {
-	if err := v.Write(f, val); err != nil {
-		panic(err)
-	}
-}
-
 // LinkShadow attaches a shadow VMCS and enables the shadowing control.
 // expose lists the fields the guest may vmread AND vmwrite exit-free.
 func (v *VMCS) LinkShadow(shadow *VMCS, expose ...Field) {

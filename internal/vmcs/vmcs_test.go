@@ -5,13 +5,31 @@ import (
 	"testing"
 )
 
+// mustRead is the test-side helper replacing the removed panicking
+// accessors: production code now propagates VMCS errors.
+func mustRead(t *testing.T, v *VMCS, f Field) uint64 {
+	t.Helper()
+	val, err := v.Read(f)
+	if err != nil {
+		t.Fatalf("Read(%v): %v", f, err)
+	}
+	return val
+}
+
+func mustWrite(t *testing.T, v *VMCS, f Field, val uint64) {
+	t.Helper()
+	if err := v.Write(f, val); err != nil {
+		t.Fatalf("Write(%v): %v", f, err)
+	}
+}
+
 func TestReadWriteKnownFields(t *testing.T) {
 	v := New()
-	if got := v.MustRead(FieldPMLIndex); got != PMLResetIndex {
+	if got := mustRead(t, v, FieldPMLIndex); got != PMLResetIndex {
 		t.Errorf("fresh PML index = %d, want %d", got, PMLResetIndex)
 	}
-	v.MustWrite(FieldPMLAddress, 0x1234000)
-	if got := v.MustRead(FieldPMLAddress); got != 0x1234000 {
+	mustWrite(t, v, FieldPMLAddress, 0x1234000)
+	if got := mustRead(t, v, FieldPMLAddress); got != 0x1234000 {
 		t.Errorf("PML address = %#x", got)
 	}
 	if _, err := v.Read(Field(0x9999)); !errors.Is(err, ErrUnknownField) {
@@ -48,7 +66,7 @@ func TestShadowingSemantics(t *testing.T) {
 	if err != nil || got != 1 {
 		t.Fatalf("shadowed read = %d, %v", got, err)
 	}
-	if ord := v.MustRead(FieldGuestPMLEnable); ord != 0 {
+	if ord := mustRead(t, v, FieldGuestPMLEnable); ord != 0 {
 		t.Errorf("ordinary VMCS contaminated: %d", ord)
 	}
 
