@@ -1,7 +1,13 @@
 package main
 
 import (
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
 	"repro/internal/faults"
+	"repro/internal/metrics"
 	"repro/internal/trace"
 )
 
@@ -19,4 +25,48 @@ func parseSpecFlags(traceKinds, faultSpec string) (mask uint64, spec faults.Spec
 		return 0, faults.Spec{}, err
 	}
 	return mask, spec, nil
+}
+
+// parseMetricsFlags validates the metrics-valued flags. Like the spec
+// flags, validation is unconditional: a bad -metrics sort mode, interval or
+// export path exits non-zero even when the flag would be ignored this run.
+func parseMetricsFlags(mode, interval, export string) (sortBy string, ival time.Duration, format string, err error) {
+	sortBy, err = metrics.ParseSortMode(mode)
+	if err != nil {
+		return "", 0, "", err
+	}
+	ival, err = metrics.ParseInterval(interval, time.Millisecond)
+	if err != nil {
+		return "", 0, "", err
+	}
+	format, err = metrics.ParseExportPath(export)
+	if err != nil {
+		return "", 0, "", err
+	}
+	return sortBy, ival, format, nil
+}
+
+// parseJSONPath validates a -json flag value: empty disables the report,
+// "-" selects stdout, anything else must end in .json.
+func parseJSONPath(p string) error {
+	p = strings.TrimSpace(p)
+	if p == "" || p == "-" || strings.HasSuffix(p, ".json") {
+		return nil
+	}
+	return fmt.Errorf("bench report path %q must be \"-\" or end in .json", p)
+}
+
+// writeMetricsExport writes the registry snapshot to path in the format
+// ParseExportPath derived from its extension.
+func writeMetricsExport(reg *metrics.Registry, path, format string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	snap := reg.Snapshot()
+	if format == metrics.ExportJSONL {
+		return snap.WriteJSONL(f)
+	}
+	return snap.WritePrometheus(f)
 }

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/metrics"
 	"repro/internal/trace"
 )
 
@@ -35,15 +36,43 @@ func main() {
 		traceFile  = flag.String("trace", "", "write a JSONL event trace of the monitored runs to this file")
 		traceKinds = flag.String("trace-kinds", "", "comma-separated event kinds to trace (empty = all)")
 		faultSpec  = flag.String("faults", "", "fault spec for the fault-matrix experiment's custom row (faults.ParseSpec grammar)")
+		metMode    = flag.String("metrics", "", "print a kvm_stat-style metrics table after the run, sorted by 'count' or 'cost'")
+		metIval    = flag.String("metrics-interval", "", "virtual-time sampling interval for metrics time-series (default 1ms)")
+		metExport  = flag.String("metrics-export", "", "write a metrics snapshot to this file (.prom/.txt = Prometheus text, .jsonl = JSON lines)")
+		jsonPath   = flag.String("json", "", "write a machine-readable ooh-bench/v1 report to this .json file (\"-\" = stdout, suppresses tables)")
+		checkJSON  = flag.String("check-json", "", "validate an ooh-bench/v1 report file against the schema and exit")
 	)
 	flag.Parse()
 
-	// Validate spec flags up front: a typo must exit non-zero even when the
-	// flag would not be consumed this run.
+	// Validate every parameterized flag up front: a typo must exit non-zero
+	// even when the flag would not be consumed this run.
 	mask, _, err := parseSpecFlags(*traceKinds, *faultSpec)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "oohbench: %v\n", err)
 		os.Exit(1)
+	}
+	sortBy, ival, exportFmt, err := parseMetricsFlags(*metMode, *metIval, *metExport)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "oohbench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := parseJSONPath(*jsonPath); err != nil {
+		fmt.Fprintf(os.Stderr, "oohbench: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *checkJSON != "" {
+		data, err := os.ReadFile(*checkJSON)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oohbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := experiments.ValidateBenchReport(data); err != nil {
+			fmt.Fprintf(os.Stderr, "oohbench: %s: %v\n", *checkJSON, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid %s report\n", *checkJSON, experiments.BenchSchema)
+		return
 	}
 
 	if *list {
@@ -55,6 +84,14 @@ func main() {
 
 	opt := experiments.Options{Scale: *scale, Full: *full, Workers: *workers, Seed: *seed,
 		FaultSpec: *faultSpec}
+	var reg *metrics.Registry
+	if sortBy != "" || exportFmt != "" {
+		reg = metrics.NewRegistry()
+		reg.NewSampler(ival)
+		opt.Metrics = reg
+		// A Registry, like a Tracer, is single-goroutine.
+		opt.Workers = 1
+	}
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)
 		if err != nil {
@@ -77,6 +114,8 @@ func main() {
 	if *exp != "" {
 		ids = []string{*exp}
 	}
+	quiet := *jsonPath == "-" // keep stdout parseable
+	var results []*experiments.Result
 	for _, id := range ids {
 		start := time.Now()
 		var (
@@ -92,8 +131,53 @@ func main() {
 			fmt.Fprintf(os.Stderr, "oohbench: %s: %v\n", id, err)
 			os.Exit(1)
 		}
-		fmt.Printf("=== %s (%s, took %v) ===\n\n", res.ID, res.Title, time.Since(start).Round(time.Millisecond))
-		fmt.Print(res.Render())
+		results = append(results, res)
+		if !quiet {
+			fmt.Printf("=== %s (%s, took %v) ===\n\n", res.ID, res.Title, time.Since(start).Round(time.Millisecond))
+			fmt.Print(res.Render())
+		}
+	}
+
+	// Fold the trace plane's own loss count into the metrics plane before
+	// any snapshot is rendered or exported.
+	if opt.Tracer != nil {
+		_ = opt.Tracer.Flush()
+		reg.Counter("trace", "records_dropped", "").Add(int64(opt.Tracer.Dropped()))
+	}
+
+	if sortBy != "" && !quiet {
+		for _, tab := range metrics.StatTables(reg, sortBy) {
+			fmt.Printf("\n%s", tab.Render())
+		}
+	}
+	if exportFmt != "" {
+		if err := writeMetricsExport(reg, *metExport, exportFmt); err != nil {
+			fmt.Fprintf(os.Stderr, "oohbench: %v\n", err)
+			os.Exit(1)
+		}
+		if !quiet {
+			fmt.Printf("\nmetrics: snapshot written to %s\n", *metExport)
+		}
+	}
+	if *jsonPath != "" {
+		rep := experiments.NewBenchReport(opt, results, reg)
+		out := os.Stdout
+		if !quiet {
+			f, err := os.Create(*jsonPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "oohbench: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := rep.WriteJSON(out); err != nil {
+			fmt.Fprintf(os.Stderr, "oohbench: writing report: %v\n", err)
+			os.Exit(1)
+		}
+		if !quiet {
+			fmt.Printf("\nbench report (%s) written to %s\n", experiments.BenchSchema, *jsonPath)
+		}
 	}
 }
 

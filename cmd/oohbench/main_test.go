@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
 
 // TestParseSpecFlags pins the always-on validation of the spec-valued flags:
 // unknown -trace-kinds or -faults tokens must be rejected regardless of
@@ -40,5 +45,70 @@ func TestParseSpecFlags(t *testing.T) {
 				t.Errorf("non-empty fault spec %q parsed to an empty spec", c.faultSpec)
 			}
 		})
+	}
+}
+
+// TestParseMetricsFlags pins the always-on validation of the -metrics,
+// -metrics-interval and -metrics-export flags: bad values are rejected up
+// front so the CLI exits non-zero before running any experiment.
+func TestParseMetricsFlags(t *testing.T) {
+	cases := []struct {
+		name     string
+		mode     string
+		interval string
+		export   string
+		wantSort string
+		wantIval time.Duration
+		wantFmt  string
+		wantErr  bool
+	}{
+		{name: "all empty", wantIval: time.Millisecond},
+		{name: "sort by count", mode: "count", wantSort: metrics.SortByCount, wantIval: time.Millisecond},
+		{name: "sort by cost", mode: "cost", wantSort: metrics.SortByCost, wantIval: time.Millisecond},
+		{name: "bad sort mode", mode: "alphabetical", wantErr: true},
+		{name: "custom interval", interval: "2ms", wantIval: 2 * time.Millisecond},
+		{name: "bad interval", interval: "soon", wantErr: true},
+		{name: "negative interval", interval: "-5us", wantErr: true},
+		{name: "prom export", export: "snap.prom", wantIval: time.Millisecond, wantFmt: metrics.ExportProm},
+		{name: "jsonl export", export: "snap.jsonl", wantIval: time.Millisecond, wantFmt: metrics.ExportJSONL},
+		{name: "bad export extension", export: "snap.xml", wantErr: true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			sortBy, ival, format, err := parseMetricsFlags(c.mode, c.interval, c.export)
+			if (err != nil) != c.wantErr {
+				t.Fatalf("parseMetricsFlags(%q, %q, %q) err = %v, wantErr %v",
+					c.mode, c.interval, c.export, err, c.wantErr)
+			}
+			if err != nil {
+				return
+			}
+			if sortBy != c.wantSort || ival != c.wantIval || format != c.wantFmt {
+				t.Errorf("parseMetricsFlags(%q, %q, %q) = (%q, %v, %q), want (%q, %v, %q)",
+					c.mode, c.interval, c.export, sortBy, ival, format, c.wantSort, c.wantIval, c.wantFmt)
+			}
+		})
+	}
+}
+
+// TestParseJSONPath pins the -json path validation: stdout, .json files,
+// or nothing.
+func TestParseJSONPath(t *testing.T) {
+	cases := []struct {
+		in      string
+		wantErr bool
+	}{
+		{in: ""},
+		{in: "-"},
+		{in: "BENCH_fig3.json"},
+		{in: "out/dir/report.json"},
+		{in: "report.txt", wantErr: true},
+		{in: "report.json.bak", wantErr: true},
+		{in: "--", wantErr: true},
+	}
+	for _, c := range cases {
+		if err := parseJSONPath(c.in); (err != nil) != c.wantErr {
+			t.Errorf("parseJSONPath(%q) err = %v, wantErr %v", c.in, err, c.wantErr)
+		}
 	}
 }

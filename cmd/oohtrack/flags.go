@@ -2,10 +2,13 @@ package main
 
 import (
 	"fmt"
+	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/faults"
+	"repro/internal/metrics"
 	"repro/internal/trace"
 )
 
@@ -23,6 +26,40 @@ func parseSpecFlags(traceKinds, faultSpec string) (mask uint64, spec faults.Spec
 		return 0, faults.Spec{}, err
 	}
 	return mask, spec, nil
+}
+
+// parseMetricsFlags validates the metrics-valued flags. Like the spec
+// flags, validation is unconditional: a bad -metrics sort mode, interval or
+// export path exits non-zero even when the flag would be ignored this run.
+func parseMetricsFlags(mode, interval, export string) (sortBy string, ival time.Duration, format string, err error) {
+	sortBy, err = metrics.ParseSortMode(mode)
+	if err != nil {
+		return "", 0, "", err
+	}
+	ival, err = metrics.ParseInterval(interval, time.Millisecond)
+	if err != nil {
+		return "", 0, "", err
+	}
+	format, err = metrics.ParseExportPath(export)
+	if err != nil {
+		return "", 0, "", err
+	}
+	return sortBy, ival, format, nil
+}
+
+// writeMetricsExport writes the registry snapshot to path in the format
+// ParseExportPath derived from its extension.
+func writeMetricsExport(reg *metrics.Registry, path, format string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	snap := reg.Snapshot()
+	if format == metrics.ExportJSONL {
+		return snap.WriteJSONL(f)
+	}
+	return snap.WritePrometheus(f)
 }
 
 // renderCounts formats per-point fault firing counts as "point:count"

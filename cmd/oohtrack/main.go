@@ -18,6 +18,7 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/faults"
 	"repro/internal/machine"
+	"repro/internal/metrics"
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -37,6 +38,9 @@ func main() {
 		traceKinds = flag.String("trace-kinds", "", "comma-separated event kinds to trace (empty = all)")
 		summary    = flag.Bool("summary", false, "print a per-kind cost breakdown of the trace")
 		faultSpec  = flag.String("faults", "", "inject faults per this spec and track through a resilient wrapper")
+		metMode    = flag.String("metrics", "", "print a kvm_stat-style metrics table after the run, sorted by 'count' or 'cost'")
+		metIval    = flag.String("metrics-interval", "", "virtual-time sampling interval for metrics time-series (default 1ms)")
+		metExport  = flag.String("metrics-export", "", "write a metrics snapshot to this file (.prom/.txt = Prometheus text, .jsonl = JSON lines)")
 	)
 	flag.Parse()
 
@@ -51,6 +55,10 @@ func main() {
 	// Validate spec flags up front: a typo must exit non-zero even when the
 	// flag would not be consumed this run.
 	mask, spec, err := parseSpecFlags(*traceKinds, *faultSpec)
+	if err != nil {
+		fail(err)
+	}
+	sortBy, ival, exportFmt, err := parseMetricsFlags(*metMode, *metIval, *metExport)
 	if err != nil {
 		fail(err)
 	}
@@ -82,7 +90,12 @@ func main() {
 	if !spec.Empty() {
 		inj = faults.New(spec, *seed)
 	}
-	m, err := machine.New(machine.Config{Tracer: tracer, Faults: inj})
+	var reg *metrics.Registry
+	if sortBy != "" || exportFmt != "" {
+		reg = metrics.NewRegistry()
+		reg.NewSampler(ival)
+	}
+	m, err := machine.New(machine.Config{Tracer: tracer, Faults: inj, Metrics: reg})
 	if err != nil {
 		fail(err)
 	}
@@ -151,12 +164,26 @@ func main() {
 		if err := tracer.Close(); err != nil {
 			fail(err)
 		}
+		// The trace plane's own health is a metric too: a lossy sink means
+		// every count above undercounts.
+		reg.Counter("trace", "records_dropped", "").Add(int64(tracer.Dropped()))
 		if memory != nil {
-			fmt.Printf("\n%s", trace.SummaryTable(memory.Records()).Render())
+			fmt.Printf("\n%s", trace.SummaryTableFor(tracer, memory.Records()).Render())
 		}
 		if *traceFile != "" {
 			fmt.Printf("\ntrace: %d records written to %s\n", tracer.Emitted(), *traceFile)
 		}
+	}
+	if sortBy != "" {
+		for _, tab := range metrics.StatTables(reg, sortBy) {
+			fmt.Printf("\n%s", tab.Render())
+		}
+	}
+	if exportFmt != "" {
+		if err := writeMetricsExport(reg, *metExport, exportFmt); err != nil {
+			fail(err)
+		}
+		fmt.Printf("\nmetrics: snapshot written to %s\n", *metExport)
 	}
 }
 

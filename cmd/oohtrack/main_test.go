@@ -2,8 +2,10 @@ package main
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/costmodel"
+	"repro/internal/metrics"
 	"repro/internal/workloads"
 )
 
@@ -82,6 +84,51 @@ func TestParseSpecFlags(t *testing.T) {
 			}
 			if err == nil && c.faultSpec != "" && spec.Empty() {
 				t.Errorf("non-empty fault spec %q parsed to an empty spec", c.faultSpec)
+			}
+		})
+	}
+}
+
+// TestParseMetricsFlags pins the always-on validation of the metrics
+// flags: bad sort modes, intervals or export paths must be rejected up
+// front so the CLI exits non-zero before running anything.
+func TestParseMetricsFlags(t *testing.T) {
+	cases := []struct {
+		name     string
+		mode     string
+		interval string
+		export   string
+		wantSort string
+		wantIval time.Duration
+		wantFmt  string
+		wantErr  bool
+	}{
+		{name: "all empty", wantIval: time.Millisecond},
+		{name: "sort by count", mode: "count", wantSort: metrics.SortByCount, wantIval: time.Millisecond},
+		{name: "sort by cost", mode: "cost", wantSort: metrics.SortByCost, wantIval: time.Millisecond},
+		{name: "bad sort mode", mode: "vibes", wantErr: true},
+		{name: "custom interval", mode: "count", interval: "250us", wantSort: metrics.SortByCount, wantIval: 250 * time.Microsecond},
+		{name: "bad interval", interval: "fast", wantErr: true},
+		{name: "negative interval", interval: "-1ms", wantErr: true},
+		{name: "zero interval", interval: "0s", wantErr: true},
+		{name: "prom export", export: "m.prom", wantIval: time.Millisecond, wantFmt: metrics.ExportProm},
+		{name: "txt export", export: "m.txt", wantIval: time.Millisecond, wantFmt: metrics.ExportProm},
+		{name: "jsonl export", export: "m.jsonl", wantIval: time.Millisecond, wantFmt: metrics.ExportJSONL},
+		{name: "bad export extension", export: "m.csv", wantErr: true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			sortBy, ival, format, err := parseMetricsFlags(c.mode, c.interval, c.export)
+			if (err != nil) != c.wantErr {
+				t.Fatalf("parseMetricsFlags(%q, %q, %q) err = %v, wantErr %v",
+					c.mode, c.interval, c.export, err, c.wantErr)
+			}
+			if err != nil {
+				return
+			}
+			if sortBy != c.wantSort || ival != c.wantIval || format != c.wantFmt {
+				t.Errorf("parseMetricsFlags(%q, %q, %q) = (%q, %v, %q), want (%q, %v, %q)",
+					c.mode, c.interval, c.export, sortBy, ival, format, c.wantSort, c.wantIval, c.wantFmt)
 			}
 		})
 	}

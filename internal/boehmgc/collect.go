@@ -38,9 +38,9 @@ func (g *GC) StartIncremental() error {
 // unmodified old objects from the cached shadow graph.
 func (g *GC) Collect() (CycleStats, error) {
 	stats := CycleStats{Cycle: len(g.cycles) + 1}
-	tr := g.Proc.Kernel().VCPU.Tracer
+	tr, ev := g.Proc.Kernel().VCPU.Tracer, g.Proc.Kernel().VCPU.Met
 	var cycleStart int64
-	if tr != nil {
+	if tr != nil || ev != nil {
 		cycleStart = g.clock.Nanos()
 	}
 	total := sim.StartWatch(g.clock)
@@ -96,10 +96,11 @@ func (g *GC) Collect() (CycleStats, error) {
 			TS: g.clock.Nanos() - int64(stats.MarkTime), Cost: int64(stats.MarkTime),
 			Arg: int64(stats.Scanned)})
 	}
+	ev.Observe(trace.KindGCMark, g.clock.Nanos(), int64(stats.MarkTime), int64(stats.Scanned))
 
 	// --- sweep phase ------------------------------------------------------
 	var sweepStart int64
-	if tr != nil {
+	if tr != nil || ev != nil {
 		sweepStart = g.clock.Nanos()
 	}
 	sweep := sim.StartWatch(g.clock)
@@ -129,6 +130,7 @@ func (g *GC) Collect() (CycleStats, error) {
 		tr.Emit(trace.Record{Kind: trace.KindGCSweep, VM: int32(g.Proc.Kernel().VCPU.ID),
 			TS: sweepStart, Cost: g.clock.Nanos() - sweepStart, Arg: int64(stats.Freed)})
 	}
+	ev.Observe(trace.KindGCSweep, g.clock.Nanos(), g.clock.Nanos()-sweepStart, int64(stats.Freed))
 
 	// Re-arm the dirty tracker for the next incremental cycle.
 	if g.Tech != nil && !g.tracking {
@@ -146,6 +148,7 @@ func (g *GC) Collect() (CycleStats, error) {
 		tr.Emit(trace.Record{Kind: trace.KindGCCycle, VM: int32(g.Proc.Kernel().VCPU.ID),
 			TS: cycleStart, Cost: g.clock.Nanos() - cycleStart, Arg: int64(stats.Cycle)})
 	}
+	ev.Observe(trace.KindGCCycle, g.clock.Nanos(), g.clock.Nanos()-cycleStart, int64(stats.Cycle))
 	return stats, nil
 }
 

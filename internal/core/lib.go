@@ -100,7 +100,7 @@ func (s *Session) Fetch() ([]mem.GVA, error) {
 		if _, err := k.VCPU.Hypercall(hypervisor.HCDrainRing, uint64(s.pid)); err != nil {
 			return nil, err
 		}
-		tr := k.VCPU.Tracer
+		tr, ev := k.VCPU.Tracer, k.VCPU.Met
 		w := startSpan(clock)
 		raw := s.s.ring.Drain(nil)
 		perEntry := k.Model.RBCopy.PerPage(s.s.proc.ReservedBytes())
@@ -110,6 +110,7 @@ func (s *Session) Fetch() ([]mem.GVA, error) {
 			tr.Emit(trace.Record{Kind: trace.KindRingCopy, VM: int32(k.VCPU.ID), TS: w.start,
 				Cost: int64(s.LastBreakdown.RingCopy), Arg: int64(len(raw))})
 		}
+		ev.Observe(trace.KindRingCopy, clock.Nanos(), int64(s.LastBreakdown.RingCopy), int64(len(raw)))
 
 		if len(raw) == 0 {
 			return nil, nil
@@ -140,6 +141,7 @@ func (s *Session) Fetch() ([]mem.GVA, error) {
 				tr.Emit(trace.Record{Kind: trace.KindPTWalk, VM: int32(k.VCPU.ID), TS: w.start,
 					Cost: int64(s.LastBreakdown.PTWalk), Arg: int64(len(entries))})
 			}
+			ev.Observe(trace.KindPTWalk, clock.Nanos(), int64(s.LastBreakdown.PTWalk), int64(len(entries)))
 			if s.ReuseReverseIndex {
 				s.revIndex = index
 			}
@@ -170,6 +172,7 @@ func (s *Session) Fetch() ([]mem.GVA, error) {
 			tr.Emit(trace.Record{Kind: trace.KindReverseMap, VM: int32(k.VCPU.ID), TS: w.start,
 				Cost: int64(s.LastBreakdown.ReverseMap), Arg: int64(len(out))})
 		}
+		ev.Observe(trace.KindReverseMap, clock.Nanos(), int64(s.LastBreakdown.ReverseMap), int64(len(out)))
 		return out, nil
 
 	case ModeEPML:
@@ -208,6 +211,7 @@ func (s *Session) Fetch() ([]mem.GVA, error) {
 			tr.Emit(trace.Record{Kind: trace.KindRingCopy, VM: int32(k.VCPU.ID), TS: w.start,
 				Cost: int64(s.LastBreakdown.RingCopy), Arg: int64(len(raw))})
 		}
+		k.VCPU.Met.Observe(trace.KindRingCopy, clock.Nanos(), int64(s.LastBreakdown.RingCopy), int64(len(raw)))
 		return out, nil
 	}
 	return nil, fmt.Errorf("core: unknown mode %v", mod.Mode)

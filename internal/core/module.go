@@ -287,9 +287,9 @@ func (s *session) drainGuestBuffer() {
 	if cur := k.Current(); cur != nil && cur != s.proc {
 		return
 	}
-	tr := k.VCPU.Tracer
+	tr, ev := k.VCPU.Tracer, k.VCPU.Met
 	var start int64
-	if tr != nil {
+	if tr != nil || ev != nil {
 		start = k.Clock.Nanos()
 	}
 	idx, err := k.VCPU.GuestVMRead(vmcs.FieldGuestPMLIndex)
@@ -308,8 +308,10 @@ func (s *session) drainGuestBuffer() {
 		s.ring.Push(raw)
 	}
 	_ = k.VCPU.GuestVMWrite(vmcs.FieldGuestPMLIndex, vmcs.PMLResetIndex)
+	now := k.Clock.Nanos()
 	if tr.Enabled(trace.KindRingDrain) {
 		tr.Emit(trace.Record{Kind: trace.KindRingDrain, VM: int32(k.VCPU.ID), TS: start,
-			Cost: k.Clock.Nanos() - start, Arg: int64(vmcs.PMLBufferEntries - first)})
+			Cost: now - start, Arg: int64(vmcs.PMLBufferEntries - first)})
 	}
+	ev.Observe(trace.KindRingDrain, now, now-start, int64(vmcs.PMLBufferEntries-first))
 }

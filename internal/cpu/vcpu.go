@@ -13,6 +13,7 @@ import (
 	"repro/internal/ept"
 	"repro/internal/faults"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/pgtable"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -101,6 +102,14 @@ type VCPU struct {
 	// the simulation bit-identical to one without injection at all.
 	Inj *faults.Injector
 
+	// Met, when non-nil, aggregates the same per-event observations the
+	// Tracer records into the metrics registry: per-kind counters, cost
+	// histograms and sampled time-series. Every site that emits a trace
+	// record also observes it here with identical (kind, cost, arg), which
+	// is what makes registry counters equal trace.Summarize counts on the
+	// same run. Like Tracer, a nil bridge costs one branch per site.
+	Met *metrics.Events
+
 	// EPMLVector is the self-IPI vector raised when the guest-level PML
 	// buffer fills (EPML only).
 	EPMLVector int
@@ -180,9 +189,9 @@ func (v *VCPU) exit(e *Exit) (uint64, error) {
 		return 0, fmt.Errorf("cpu: unhandled vmexit %v", e.Reason)
 	}
 	v.Counters.Inc(CtrVMExits)
-	tr := v.Tracer
+	tr, ev := v.Tracer, v.Met
 	var start int64
-	if tr != nil {
+	if tr != nil || ev != nil {
 		start = v.Clock.Nanos()
 	}
 	v.Clock.Advance(v.Costs.VMExit)
@@ -191,14 +200,18 @@ func (v *VCPU) exit(e *Exit) (uint64, error) {
 	ret, err := v.Exits.HandleExit(v, e)
 	v.mode = prev
 	v.Clock.Advance(v.Costs.VMEntry)
-	if tr != nil {
-		if k, arg := exitTrace(e); tr.Enabled(k) {
+	if tr != nil || ev != nil {
+		k, arg := exitTrace(e)
+		now := v.Clock.Nanos()
+		if tr.Enabled(k) {
 			tr.Emit(trace.Record{
 				Kind: k, VM: int32(v.ID), TS: start,
-				Cost: v.Clock.Nanos() - start,
+				Cost: now - start,
 				Addr: uint64(e.GPA), Arg: arg,
 			})
 		}
+		ev.Observe(k, now, now-start, arg)
+		ev.Count(metrics.SubCPU, "vmexits_by_reason", e.Reason.String(), 1)
 	}
 	return ret, err
 }
@@ -230,9 +243,14 @@ func (v *VCPU) Hypercall(nr int, args ...uint64) (uint64, error) {
 // is instantaneous - recovery time is charged, and traced, where recovery
 // happens.
 func (v *VCPU) FaultRecord(p faults.Point, addr uint64) {
+	now := v.Clock.Nanos()
 	if tr := v.Tracer; tr.Enabled(trace.KindFault) {
 		tr.Emit(trace.Record{Kind: trace.KindFault, VM: int32(v.ID),
-			TS: v.Clock.Nanos(), Addr: addr, Arg: int64(p)})
+			TS: now, Addr: addr, Arg: int64(p)})
+	}
+	if ev := v.Met; ev != nil {
+		ev.Observe(trace.KindFault, now, 0, int64(p))
+		ev.Count(metrics.SubFaults, "injections", p.String(), 1)
 	}
 }
 
@@ -333,12 +351,20 @@ func (v *VCPU) pmlLog(gpa mem.GPA) error {
 		}
 		v.Counters.Inc(CtrPMLLogs)
 		v.Clock.Advance(v.Costs.PMLLog)
+		now := v.Clock.Nanos()
 		if tr := v.Tracer; tr.Enabled(trace.KindPMLLog) {
 			tr.Emit(trace.Record{
 				Kind: trace.KindPMLLog, VM: int32(v.ID),
-				TS:   v.Clock.Nanos() - int64(v.Costs.PMLLog),
+				TS:   now - int64(v.Costs.PMLLog),
 				Cost: int64(v.Costs.PMLLog), Addr: uint64(gpa),
 			})
+		}
+		if ev := v.Met; ev != nil {
+			ev.Observe(trace.KindPMLLog, now, int64(v.Costs.PMLLog), 0)
+			// Entries logged since the last drain: the index counts down
+			// from PMLResetIndex, so occupancy is the distance walked.
+			ev.SetGauge(metrics.SubCPU, "pml_buffer_occupancy", "",
+				int64(vmcs.PMLResetIndex-idx)+1)
 		}
 		return nil
 	}
@@ -377,29 +403,33 @@ func (v *VCPU) epmlLog(gva mem.GVA) error {
 				return nil
 			}
 			v.Counters.Inc(CtrEPMLFullIRQs)
-			tr := v.Tracer
+			tr, ev := v.Tracer, v.Met
 			var start int64
-			if tr != nil {
+			if tr != nil || ev != nil {
 				start = v.Clock.Nanos()
 			}
 			v.Clock.Advance(v.Costs.IRQDeliver)
 			if v.IRQ == nil {
 				return errors.New("cpu: EPML buffer full with no IRQ sink")
 			}
+			ev.Count(metrics.SubCPU, "posted_ipis", "", 1)
 			v.IRQ.DeliverIRQ(v.EPMLVector)
 			if v.Inj.Fire(faults.IPIDup) {
 				// The posted interrupt arrives twice; the second delivery
 				// must find an empty buffer and do no harm.
 				v.FaultRecord(faults.IPIDup, uint64(gva))
 				v.Clock.Advance(v.Costs.IRQDeliver)
+				ev.Count(metrics.SubCPU, "posted_ipis", "", 1)
 				v.IRQ.DeliverIRQ(v.EPMLVector)
 			}
+			now := v.Clock.Nanos()
 			if tr.Enabled(trace.KindEPMLFullIRQ) {
 				tr.Emit(trace.Record{
 					Kind: trace.KindEPMLFullIRQ, VM: int32(v.ID), TS: start,
-					Cost: v.Clock.Nanos() - start, Arg: int64(v.EPMLVector),
+					Cost: now - start, Arg: int64(v.EPMLVector),
 				})
 			}
+			ev.Observe(trace.KindEPMLFullIRQ, now, now-start, int64(v.EPMLVector))
 			continue
 		}
 		bufRaw, err := fields.Read(vmcs.FieldGuestPMLAddress)
@@ -415,12 +445,18 @@ func (v *VCPU) epmlLog(gva mem.GVA) error {
 		}
 		v.Counters.Inc(CtrEPMLLogs)
 		v.Clock.Advance(v.Costs.PMLLog)
+		now := v.Clock.Nanos()
 		if tr := v.Tracer; tr.Enabled(trace.KindEPMLLog) {
 			tr.Emit(trace.Record{
 				Kind: trace.KindEPMLLog, VM: int32(v.ID),
-				TS:   v.Clock.Nanos() - int64(v.Costs.PMLLog),
+				TS:   now - int64(v.Costs.PMLLog),
 				Cost: int64(v.Costs.PMLLog), Addr: uint64(gva),
 			})
+		}
+		if ev := v.Met; ev != nil {
+			ev.Observe(trace.KindEPMLLog, now, int64(v.Costs.PMLLog), 0)
+			ev.SetGauge(metrics.SubCPU, "pml_buffer_occupancy", "guest",
+				int64(vmcs.PMLResetIndex-idx)+1)
 		}
 		return nil
 	}
@@ -464,20 +500,22 @@ func (v *VCPU) walkForWrite(gva mem.GVA) (mem.HPA, error) {
 			if v.SPPViolation == nil {
 				return 0, fmt.Errorf("cpu: unhandled SPP violation at %v", gva)
 			}
-			tr := v.Tracer
+			tr, ev := v.Tracer, v.Met
 			var start int64
-			if tr != nil {
+			if tr != nil || ev != nil {
 				start = v.Clock.Nanos()
 			}
 			if err := v.SPPViolation(gva, gpa); err != nil {
 				return 0, err
 			}
+			now := v.Clock.Nanos()
 			if tr.Enabled(trace.KindSPPViolation) {
 				tr.Emit(trace.Record{
 					Kind: trace.KindSPPViolation, VM: int32(v.ID), TS: start,
-					Cost: v.Clock.Nanos() - start, Addr: uint64(gva),
+					Cost: now - start, Addr: uint64(gva),
 				})
 			}
+			ev.Observe(trace.KindSPPViolation, now, now-start, 0)
 			continue
 		}
 		hpa, eptDirtied, err := v.EPT.WalkWrite(gpa)
@@ -523,24 +561,26 @@ func (v *VCPU) walkForWrite(gva mem.GVA) (mem.HPA, error) {
 // recording the full service span (the envelope around the narrower
 // demand/soft-dirty/ufd kinds the kernel emits).
 func (v *VCPU) tracedFault(gva mem.GVA, write bool) error {
-	tr := v.Tracer
+	tr, ev := v.Tracer, v.Met
 	var start int64
-	if tr != nil {
+	if tr != nil || ev != nil {
 		start = v.Clock.Nanos()
 	}
 	if err := v.Fault.HandlePageFault(v, gva, write); err != nil {
 		return err
 	}
+	arg := int64(0)
+	if write {
+		arg = 1
+	}
+	now := v.Clock.Nanos()
 	if tr.Enabled(trace.KindGuestPF) {
-		arg := int64(0)
-		if write {
-			arg = 1
-		}
 		tr.Emit(trace.Record{
 			Kind: trace.KindGuestPF, VM: int32(v.ID), TS: start,
-			Cost: v.Clock.Nanos() - start, Addr: uint64(gva), Arg: arg,
+			Cost: now - start, Addr: uint64(gva), Arg: arg,
 		})
 	}
+	ev.Observe(trace.KindGuestPF, now, now-start, arg)
 	return nil
 }
 

@@ -159,9 +159,9 @@ func (c *Checkpointer) Run(runBetween func(round int) error) (*Image, Stats, err
 // (paper §VI-F: "with SPML and EPML it first collects all dirty pages from
 // the ring buffer and then writes them").
 func (c *Checkpointer) collect(stats *Stats) ([]mem.GVA, error) {
-	tr := c.Proc.Kernel().VCPU.Tracer
+	tr, ev := c.Proc.Kernel().VCPU.Tracer, c.Proc.Kernel().VCPU.Met
 	var start int64
-	if tr != nil {
+	if tr != nil || ev != nil {
 		start = c.clock.Nanos()
 	}
 	w := sim.StartWatch(c.clock)
@@ -176,18 +176,20 @@ func (c *Checkpointer) collect(stats *Stats) ([]mem.GVA, error) {
 	} else {
 		stats.MD += w.Elapsed()
 	}
+	now := c.clock.Nanos()
 	if tr.Enabled(kind) {
 		tr.Emit(trace.Record{Kind: kind, VM: int32(c.Proc.Kernel().VCPU.ID), TS: start,
-			Cost: c.clock.Nanos() - start, Arg: int64(len(dirty))})
+			Cost: now - start, Arg: int64(len(dirty))})
 	}
+	ev.Observe(kind, now, now-start, int64(len(dirty)))
 	return dirty, nil
 }
 
 // dumpRound reads and writes one round's pages into the image.
 func (c *Checkpointer) dumpRound(img *Image, stats *Stats, pages []mem.GVA) error {
-	tr := c.Proc.Kernel().VCPU.Tracer
+	tr, ev := c.Proc.Kernel().VCPU.Tracer, c.Proc.Kernel().VCPU.Met
 	var start int64
-	if tr != nil {
+	if tr != nil || ev != nil {
 		start = c.clock.Nanos()
 	}
 	w := sim.StartWatch(c.clock)
@@ -212,10 +214,12 @@ func (c *Checkpointer) dumpRound(img *Image, stats *Stats, pages []mem.GVA) erro
 	stats.Rounds++
 	stats.PagesPer = append(stats.PagesPer, n)
 	stats.Dumped += n
+	now := c.clock.Nanos()
 	if tr.Enabled(trace.KindCRIUMW) {
 		tr.Emit(trace.Record{Kind: trace.KindCRIUMW, VM: int32(c.Proc.Kernel().VCPU.ID),
-			TS: start, Cost: c.clock.Nanos() - start, Arg: int64(n)})
+			TS: start, Cost: now - start, Arg: int64(n)})
 	}
+	ev.Observe(trace.KindCRIUMW, now, now-start, int64(n))
 	return nil
 }
 

@@ -70,14 +70,14 @@ type faultCell struct {
 // runFaultCell drives the Resilient tracker under one fault spec and checks
 // every epoch's report against an independent write-set oracle, both
 // directions (nothing missing, nothing extra).
-func runFaultCell(c CannedFaultSpec, seed uint64) (faultCell, error) {
+func runFaultCell(c CannedFaultSpec, seed uint64, p probes) (faultCell, error) {
 	cell := faultCell{name: c.Name, spec: c.Spec, exact: true}
 	parsed, err := faults.ParseSpec(c.Spec)
 	if err != nil {
 		return cell, err
 	}
 	inj := faults.New(parsed, seed^0xFA177)
-	m, err := machine.New(machine.Config{Faults: inj})
+	m, err := machine.New(machine.Config{Faults: inj, Tracer: p.tr, Metrics: p.reg})
 	if err != nil {
 		return cell, err
 	}
@@ -185,7 +185,7 @@ func FaultMatrix(opt Options) (*Result, error) {
 	cells := make([]faultCell, len(specs))
 	err := par.ForEach(len(specs), opt.Workers, func(i int) error {
 		var err error
-		cells[i], err = runFaultCell(specs[i], opt.Seed)
+		cells[i], err = runFaultCell(specs[i], opt.Seed, opt.probes())
 		return err
 	})
 	if err != nil {

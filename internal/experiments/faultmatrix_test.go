@@ -55,7 +55,7 @@ func TestFaultMatrixCellsNotVacuous(t *testing.T) {
 	for _, c := range CannedFaultSpecs {
 		c := c
 		t.Run(c.Name, func(t *testing.T) {
-			cell, err := runFaultCell(c, 42)
+			cell, err := runFaultCell(c, 42, probes{})
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -17,7 +17,7 @@ func Fig3(opt Options) (*Result, error) {
 	out := report.NewTable("Fig. 3: SPML collection phase breakdown",
 		"Memory", "Reverse mapping", "PT walk", "RB copy", "RevMap share")
 	for _, mb := range opt.microSizes() {
-		res, err := runMicro(costmodel.SPML, mb<<8, opt.Seed, opt.Tracer)
+		res, err := runMicro(costmodel.SPML, mb<<8, opt.Seed, opt.probes())
 		if err != nil {
 			return nil, err
 		}
@@ -54,7 +54,7 @@ func Fig4(opt Options) (*Result, error) {
 		}
 	}
 	if err := par.ForEach(len(grid), opt.Workers, func(i int) error {
-		r, err := runMicro(grid[i].kind, grid[i].mb<<8, opt.Seed, opt.Tracer)
+		r, err := runMicro(grid[i].kind, grid[i].mb<<8, opt.Seed, opt.probes())
 		grid[i].res = r
 		return err
 	}); err != nil {
@@ -90,7 +90,7 @@ func Fig5(opt Options) (*Result, error) {
 			row := []any{app, size.String()}
 			cycles := 0
 			for _, kind := range boehmTechniques() {
-				r, err := runBoehm(app, size, opt.Scale, kind, opt.Seed, opt.Tracer)
+				r, err := runBoehm(app, size, opt.Scale, kind, opt.Seed, opt.probes())
 				if err != nil {
 					return nil, fmt.Errorf("fig5 %s/%s/%s: %w", app, size, kind, err)
 				}
@@ -114,13 +114,13 @@ func Fig6(opt Options) (*Result, error) {
 		"App", "Config", "/proc", "SPML", "EPML")
 	for _, app := range opt.boehmApps() {
 		for _, size := range boehmSizes(opt) {
-			base, err := runBoehm(app, size, opt.Scale, costmodel.Oracle, opt.Seed, opt.Tracer)
+			base, err := runBoehm(app, size, opt.Scale, costmodel.Oracle, opt.Seed, opt.probes())
 			if err != nil {
 				return nil, err
 			}
 			row := []any{app, size.String()}
 			for _, kind := range boehmTechniques() {
-				r, err := runBoehm(app, size, opt.Scale, kind, opt.Seed, opt.Tracer)
+				r, err := runBoehm(app, size, opt.Scale, kind, opt.Seed, opt.probes())
 				if err != nil {
 					return nil, err
 				}
@@ -182,7 +182,7 @@ func criuFigure(opt Options, id, title string, cell func(CRIUResult) string, not
 		}
 	}
 	if err := par.ForEach(len(grid), opt.Workers, func(i int) error {
-		r, err := runCRIU(grid[i].app, workloads.Large, opt.Scale, grid[i].kind, opt.Seed, opt.Tracer)
+		r, err := runCRIU(grid[i].app, workloads.Large, opt.Scale, grid[i].kind, opt.Seed, opt.probes())
 		grid[i].res = r
 		return err
 	}); err != nil {

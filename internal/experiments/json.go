@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/metrics"
+	"repro/internal/report"
+)
+
+// BenchSchema identifies the machine-readable bench report format. Bump it
+// only on breaking changes; CI validates every emitted report against it.
+const BenchSchema = "ooh-bench/v1"
+
+// BenchTable is one rendered result table in machine-readable form. It
+// mirrors report.Table exactly: headers name the columns, every row has
+// len(headers) cells, all pre-stringified with the same formatting the
+// ASCII renderer uses (so JSON and terminal output never disagree).
+type BenchTable struct {
+	Caption string     `json:"caption"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+}
+
+// BenchExperiment is one experiment's result.
+type BenchExperiment struct {
+	ID     string       `json:"id"`
+	Title  string       `json:"title"`
+	Tables []BenchTable `json:"tables"`
+}
+
+// BenchReport is the stable machine-readable output of `oohbench -json`.
+// Two runs with identical options produce byte-identical reports (the
+// determinism tests pin this); downstream tooling may diff them directly.
+type BenchReport struct {
+	Schema      string            `json:"schema"`
+	Seed        uint64            `json:"seed"`
+	Scale       int               `json:"scale"`
+	Full        bool              `json:"full"`
+	Experiments []BenchExperiment `json:"experiments"`
+	// Metrics is the end-of-run registry snapshot, present only when the
+	// run had -metrics attached.
+	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
+}
+
+// NewBenchReport assembles a report from finished experiment results.
+// reg may be nil (no metrics snapshot).
+func NewBenchReport(opt Options, results []*Result, reg *metrics.Registry) *BenchReport {
+	opt = opt.withDefaults()
+	r := &BenchReport{
+		Schema: BenchSchema,
+		Seed:   opt.Seed,
+		Scale:  opt.Scale,
+		Full:   opt.Full,
+	}
+	for _, res := range results {
+		if res == nil {
+			continue
+		}
+		exp := BenchExperiment{ID: res.ID, Title: res.Title}
+		for _, t := range res.Tables {
+			exp.Tables = append(exp.Tables, benchTableFrom(t))
+		}
+		r.Experiments = append(r.Experiments, exp)
+	}
+	if reg != nil {
+		snap := reg.Snapshot()
+		r.Metrics = &snap
+	}
+	return r
+}
+
+func benchTableFrom(t *report.Table) BenchTable {
+	return BenchTable{Caption: t.Caption, Headers: t.Headers, Rows: t.Rows, Notes: t.Notes}
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *BenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ValidateBenchReport checks a serialized report against the ooh-bench/v1
+// schema: correct schema tag, at least one experiment, every table
+// rectangular with non-empty headers. CI runs this over the emitted
+// BENCH_*.json artifacts.
+func ValidateBenchReport(data []byte) error {
+	var r BenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return fmt.Errorf("bench report: not valid JSON: %w", err)
+	}
+	if r.Schema != BenchSchema {
+		return fmt.Errorf("bench report: schema %q, want %q", r.Schema, BenchSchema)
+	}
+	if len(r.Experiments) == 0 {
+		return fmt.Errorf("bench report: no experiments")
+	}
+	for _, exp := range r.Experiments {
+		if exp.ID == "" {
+			return fmt.Errorf("bench report: experiment with empty id")
+		}
+		if len(exp.Tables) == 0 {
+			return fmt.Errorf("bench report: experiment %q has no tables", exp.ID)
+		}
+		for ti, t := range exp.Tables {
+			if len(t.Headers) == 0 {
+				return fmt.Errorf("bench report: %s table %d has no headers", exp.ID, ti)
+			}
+			for ri, row := range t.Rows {
+				if len(row) != len(t.Headers) {
+					return fmt.Errorf("bench report: %s table %d row %d has %d cells, want %d",
+						exp.ID, ti, ri, len(row), len(t.Headers))
+				}
+			}
+		}
+	}
+	return nil
+}

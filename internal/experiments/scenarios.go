@@ -14,6 +14,7 @@ import (
 	"repro/internal/criu"
 	"repro/internal/guestos"
 	"repro/internal/machine"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/tracking"
@@ -42,7 +43,21 @@ type Options struct {
 	// FaultSpec, when non-empty, adds a custom row to the fault-matrix
 	// experiment (faults.ParseSpec grammar). Other experiments ignore it.
 	FaultSpec string
+	// Metrics, when non-nil, is attached to each scenario's monitored
+	// machine (never the ideal baseline) so every layer feeds the metrics
+	// registry. Like the Tracer it is single-goroutine; drivers must force
+	// Workers to 1 when setting it.
+	Metrics *metrics.Registry
 }
+
+// probes bundles the observation-plane attachments (tracer + metrics
+// registry) threaded into a scenario's monitored machine.
+type probes struct {
+	tr  *trace.Tracer
+	reg *metrics.Registry
+}
+
+func (o Options) probes() probes { return probes{tr: o.Tracer, reg: o.Metrics} }
 
 func (o Options) withDefaults() Options {
 	if o.Scale <= 0 {
@@ -53,6 +68,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Seed == 0 {
 		o.Seed = 42
+	}
+	if o.Tracer != nil || o.Metrics != nil {
+		o.Workers = 1 // probes are single-goroutine
 	}
 	return o
 }
@@ -114,9 +132,9 @@ func (r MicroResult) Slowdown() float64 {
 const microPasses = 3
 
 // runMicro executes the Listing-1 scenario under one technique and returns
-// the measured times and raw event counts. tr (may be nil) traces the
-// monitored run only.
-func runMicro(kind costmodel.Technique, pages int, seed uint64, tr *trace.Tracer) (MicroResult, error) {
+// the measured times and raw event counts. p's tracer and metrics registry
+// (either may be nil) observe the monitored run only.
+func runMicro(kind costmodel.Technique, pages int, seed uint64, p probes) (MicroResult, error) {
 	res := MicroResult{Technique: kind, Pages: pages}
 
 	// Ideal run: same machine type, no tracking.
@@ -127,7 +145,7 @@ func runMicro(kind costmodel.Technique, pages int, seed uint64, tr *trace.Tracer
 	res.Ideal = ideal
 
 	// Monitored run.
-	m, err := machine.New(machine.Config{Tracer: tr})
+	m, err := machine.New(machine.Config{Tracer: p.tr, Metrics: p.reg})
 	if err != nil {
 		return res, err
 	}
@@ -238,9 +256,9 @@ func (r CRIUResult) TrackedOverheadPct() float64 {
 const criuRuns = 3
 
 // runCRIU checkpoints a workload under one technique, verifying the
-// restored image, and measures the impact on the workload. tr (may be nil)
-// traces the monitored run only.
-func runCRIU(name string, size workloads.Size, scale int, kind costmodel.Technique, seed uint64, tr *trace.Tracer) (CRIUResult, error) {
+// restored image, and measures the impact on the workload. p's probes
+// (either may be nil) observe the monitored run only.
+func runCRIU(name string, size workloads.Size, scale int, kind costmodel.Technique, seed uint64, p probes) (CRIUResult, error) {
 	res := CRIUResult{Workload: name, Technique: kind}
 
 	// Ideal: the workload's passes without checkpointing.
@@ -268,7 +286,7 @@ func runCRIU(name string, size workloads.Size, scale int, kind costmodel.Techniq
 	}
 
 	// Monitored: same passes with a pre-copy checkpoint interleaved.
-	m, err := machine.New(machine.Config{Tracer: tr})
+	m, err := machine.New(machine.Config{Tracer: p.tr, Metrics: p.reg})
 	if err != nil {
 		return res, err
 	}
@@ -348,10 +366,10 @@ const boehmPasses = 4
 
 // runBoehm executes an application with Boehm GC using one technique for
 // its incremental cycles. kind == Oracle means "untracked" (full traces,
-// no dirty technique), the paper's baseline. tr (may be nil) traces the
-// run.
-func runBoehm(app string, size workloads.Size, scale int, kind costmodel.Technique, seed uint64, tr *trace.Tracer) (BoehmResult, error) {
-	m, err := machine.New(machine.Config{Tracer: tr})
+// no dirty technique), the paper's baseline. p's probes (either may be
+// nil) observe the run.
+func runBoehm(app string, size workloads.Size, scale int, kind costmodel.Technique, seed uint64, p probes) (BoehmResult, error) {
+	m, err := machine.New(machine.Config{Tracer: p.tr, Metrics: p.reg})
 	if err != nil {
 		return BoehmResult{App: app, Size: size, Technique: kind}, err
 	}

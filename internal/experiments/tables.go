@@ -46,7 +46,7 @@ func Table1(opt Options) (*Result, error) {
 	}
 	err := par.ForEach(len(grid), opt.Workers, func(i int) error {
 		pages := grid[i].mb << 8 // 1 MiB = 256 pages
-		r, err := runMicro(grid[i].kind, pages, opt.Seed, opt.Tracer)
+		r, err := runMicro(grid[i].kind, pages, opt.Seed, opt.probes())
 		grid[i].res = r
 		return err
 	})
@@ -152,7 +152,7 @@ func Table4(opt Options) (*Result, error) {
 // replaced by the array parser (the counts, not the pattern, feed the
 // formulas; the parser gives deterministic counts).
 func runMicroWithCounts(kind costmodel.Technique, pages int, seed uint64) (MicroResult, error) {
-	return runMicro(kind, pages, seed, nil)
+	return runMicro(kind, pages, seed, probes{})
 }
 
 // Table5 regenerates Table V: the basic costs of metrics M1-M18, constant

@@ -171,14 +171,16 @@ func (k *Kernel) DeliverIRQ(vector int) {
 	if !ok {
 		return
 	}
-	tr := k.VCPU.Tracer
+	tr, ev := k.VCPU.Tracer, k.VCPU.Met
 	var start int64
-	if tr != nil {
+	if tr != nil || ev != nil {
 		start = k.Clock.Nanos()
 	}
 	h()
+	now := k.Clock.Nanos()
 	if tr.Enabled(trace.KindIRQ) {
 		tr.Emit(trace.Record{Kind: trace.KindIRQ, VM: int32(k.VCPU.ID),
-			TS: start, Cost: k.Clock.Nanos() - start, Arg: int64(vector)})
+			TS: start, Cost: now - start, Arg: int64(vector)})
 	}
+	ev.Observe(trace.KindIRQ, now, now-start, int64(vector))
 }

@@ -181,11 +181,12 @@ func (p *Process) handleFault(gva mem.GVA, write bool) error {
 		// Ordinary demand paging.
 		p.k.VCPU.Counters.Inc(CtrDemandFaults)
 		p.k.Clock.Advance(p.k.Model.DemandFault)
+		cost := int64(p.k.Model.DemandFault)
 		if tr := p.k.VCPU.Tracer; tr.Enabled(trace.KindDemandFault) {
-			cost := int64(p.k.Model.DemandFault)
 			tr.Emit(trace.Record{Kind: trace.KindDemandFault, VM: int32(p.k.VCPU.ID),
 				TS: p.k.Clock.Nanos() - cost, Cost: cost, Addr: uint64(gva.PageFloor())})
 		}
+		p.k.VCPU.Met.Observe(trace.KindDemandFault, p.k.Clock.Nanos(), cost, 0)
 		return p.mapPage(gva)
 	}
 
@@ -200,6 +201,7 @@ func (p *Process) handleFault(gva mem.GVA, write bool) error {
 			tr.Emit(trace.Record{Kind: trace.KindSoftDirtyFault, VM: int32(p.k.VCPU.ID),
 				TS: p.k.Clock.Nanos() - cost, Cost: cost, Addr: uint64(gva.PageFloor())})
 		}
+		p.k.VCPU.Met.Observe(trace.KindSoftDirtyFault, p.k.Clock.Nanos(), cost, 0)
 		return p.PT.SetFlags(gva, pgtable.FlagWritable|pgtable.FlagSoftDirty)
 	}
 

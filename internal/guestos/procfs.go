@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/pgtable"
 	"repro/internal/trace"
 )
@@ -45,11 +46,12 @@ func (k *Kernel) ClearRefs(pid Pid) error {
 		return true
 	})
 	k.Clock.Advance(perPage * time.Duration(pages))
+	cost := int64(perPage) * int64(pages)
 	if tr := k.VCPU.Tracer; tr.Enabled(trace.KindClearRefs) {
-		cost := int64(perPage) * int64(pages)
 		tr.Emit(trace.Record{Kind: trace.KindClearRefs, VM: int32(k.VCPU.ID),
 			TS: k.Clock.Nanos() - cost, Cost: cost, Arg: int64(pages)})
 	}
+	k.VCPU.Met.Observe(trace.KindClearRefs, k.Clock.Nanos(), cost, int64(pages))
 	return nil
 }
 
@@ -81,12 +83,19 @@ func (k *Kernel) Pagemap(pid Pid) ([]PagemapEntry, error) {
 	}
 	k.VCPU.Counters.Add(CtrPagemapPages, int64(pages))
 	k.Clock.Advance(perPage * time.Duration(pages))
+	if ev := k.VCPU.Met; ev != nil {
+		ev.Count(metrics.SubGuestOS, "pagemap_walks", "", 1)
+		ev.Count(metrics.SubGuestOS, "pagemap_pages", "", int64(pages))
+	}
 	return entries, nil
 }
 
 // SoftDirtyPages returns just the soft-dirty page addresses of pid,
 // charging the same walk cost as Pagemap.
 func (k *Kernel) SoftDirtyPages(pid Pid) ([]mem.GVA, error) {
+	if ev := k.VCPU.Met; ev != nil {
+		ev.Count(metrics.SubGuestOS, "softdirty_scans", "", 1)
+	}
 	entries, err := k.Pagemap(pid)
 	if err != nil {
 		return nil, err

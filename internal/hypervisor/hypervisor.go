@@ -16,6 +16,7 @@ import (
 	"repro/internal/ept"
 	"repro/internal/faults"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/ringbuf"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -222,9 +223,9 @@ func (vm *VM) drainPMLBuffer() error {
 		}
 		return nil
 	}
-	tr := vm.VCPU.Tracer
+	tr, ev := vm.VCPU.Tracer, vm.VCPU.Met
 	var start int64
-	if tr != nil {
+	if tr != nil || ev != nil {
 		start = vm.Clock.Nanos()
 	}
 	copied := int64(0)
@@ -239,6 +240,7 @@ func (vm *VM) drainPMLBuffer() error {
 			// The entry vanishes before either consumer sees it; the
 			// Resilient tracker's rescan is what recovers the page.
 			vm.VCPU.Counters.Inc(CtrPMLEntriesLost)
+			ev.Count(metrics.SubHypervisor, "pml_entries_lost", "", 1)
 			vm.VCPU.FaultRecord(faults.PMLEntryLoss, raw)
 			continue
 		}
@@ -257,9 +259,14 @@ func (vm *VM) drainPMLBuffer() error {
 	if err := vm.VMCS.Write(vmcs.FieldPMLIndex, vmcs.PMLResetIndex); err != nil {
 		return fmt.Errorf("hypervisor: PML drain: %w", err)
 	}
+	now := vm.Clock.Nanos()
 	if tr.Enabled(trace.KindPMLDrain) {
 		tr.Emit(trace.Record{Kind: trace.KindPMLDrain, VM: int32(vm.ID), TS: start,
-			Cost: vm.Clock.Nanos() - start, Arg: copied})
+			Cost: now - start, Arg: copied})
+	}
+	if ev != nil {
+		ev.Observe(trace.KindPMLDrain, now, now-start, copied)
+		ev.Count(metrics.SubHypervisor, "pml_entries_logged", "", copied)
 	}
 	return nil
 }
@@ -275,6 +282,9 @@ func (vm *VM) wsOrDefault() uint64 {
 
 func (vm *VM) handleHypercall(nr int, args []uint64) (uint64, error) {
 	m := vm.Hyp.Model
+	if ev := vm.VCPU.Met; ev != nil {
+		ev.Count(metrics.SubHypervisor, "hypercalls_by_type", hypercallName(nr), 1)
+	}
 	switch nr {
 	case HCInitPML:
 		// Fault points fire before any state changes so a retried call

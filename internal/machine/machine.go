@@ -13,6 +13,7 @@ import (
 	"repro/internal/guestos"
 	"repro/internal/hypervisor"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/trace"
 	"repro/internal/tracking"
 )
@@ -36,6 +37,10 @@ type Config struct {
 	// fault-injection points can fire. Like the Tracer it is
 	// single-goroutine; nil means no injected faults.
 	Faults *faults.Injector
+	// Metrics, when non-nil, receives counters/histograms from every layer
+	// via a per-vCPU metrics.Events bridge. Like the Tracer it is
+	// single-goroutine; nil disables metrics at zero cost.
+	Metrics *metrics.Registry
 }
 
 // Machine is a booted host: one hypervisor, n VMs each running a guest
@@ -82,6 +87,12 @@ func New(cfg Config) (*Machine, error) {
 		}
 		vm.VCPU.Tracer = cfg.Tracer
 		vm.VCPU.Inj = cfg.Faults
+		vm.VCPU.Met = metrics.NewEvents(cfg.Metrics)
+		if i == 0 {
+			// Only the first guest feeds the sampler's default series;
+			// duplicate registrations from later guests would shadow them.
+			vm.VCPU.Met.WatchDefaults()
+		}
 		k := guestos.NewKernel(vm.VCPU, model)
 		if cfg.DisablePreemption {
 			k.Sched.SetDisabled(true)

@@ -1,0 +1,44 @@
+package metrics
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// The CI metrics-overhead guard: a disabled (nil) registry/bridge must add
+// zero allocations on the hot path, so uninstrumented runs pay nothing.
+func TestDisabledMetricsZeroAlloc(t *testing.T) {
+	var e *Events
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var r *Registry
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.Observe(trace.KindVMExit, 1, 2, 3)
+		e.Count(SubCPU, "x", "y", 1)
+		e.SetGauge(SubCPU, "x", "y", 1)
+		c.Inc()
+		c.Add(2)
+		g.Set(3)
+		h.Observe(4)
+		r.Tick(5)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled metrics hot path allocates %.1f per run, want 0", allocs)
+	}
+}
+
+// An enabled bridge's Observe path (pre-resolved handles, fixed-size
+// histogram buckets) must also be allocation-free; only lazy labeled
+// lookups and sampler appends may allocate.
+func TestEnabledObserveZeroAlloc(t *testing.T) {
+	e := NewEvents(NewRegistry())
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.Observe(trace.KindVMExit, 1, 2500, 0)
+		e.Observe(trace.KindTrackCollect, 2, 9000, 64)
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled Observe allocates %.1f per run, want 0", allocs)
+	}
+}

@@ -1,0 +1,151 @@
+package metrics
+
+import "math/bits"
+
+// Histogram is a log-linear (HDR-style) histogram of non-negative int64
+// values - virtual-time durations in nanoseconds, typically. Each octave
+// [2^k, 2^(k+1)) is split into 2^subBits linear sub-buckets, bounding the
+// relative quantile error at 1/2^subBits (~6%) while using a fixed,
+// allocation-free array. Recording is integer-only and branch-light, so
+// runs are deterministic and the disabled (nil) path is free.
+//
+// All methods are nil-receiver safe.
+type Histogram struct {
+	buckets [numBuckets]int64
+	count   int64
+	sum     int64
+	max     int64
+	last    int64
+}
+
+const (
+	// subBits linear sub-buckets per power-of-two octave: 4 bits = 16
+	// sub-buckets, i.e. quantiles are exact to ~6%.
+	subBits = 4
+	subMask = 1<<subBits - 1
+
+	// Values below 2^subBits get one exact bucket each; each octave above
+	// that contributes 2^subBits buckets. For int64 (63 usable bits) the
+	// top index is bucketIndex(MaxInt64) = 975.
+	numBuckets = (64 - subBits) << subBits
+)
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v int64) int {
+	if v < 1<<subBits {
+		return int(v)
+	}
+	shift := bits.Len64(uint64(v)) - subBits - 1
+	return shift<<subBits + int(v>>uint(shift))
+}
+
+// bucketUpper returns the largest value mapping to bucket idx, so quantile
+// estimates never undershoot the true value.
+func bucketUpper(idx int) int64 {
+	if idx < 1<<subBits {
+		return int64(idx)
+	}
+	shift := uint(idx>>subBits - 1)
+	base := int64(idx&subMask|1<<subBits) << shift
+	return base + (1 << shift) - 1
+}
+
+// Observe records one value. Negative values are clamped to zero (virtual
+// durations are never negative; clamping keeps the method total).
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketIndex(v)]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+	h.last = v
+}
+
+// Count returns the number of recorded values.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Sum returns the sum of recorded values.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Max returns the exact maximum recorded value (0 when empty).
+func (h *Histogram) Max() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.max
+}
+
+// Last returns the most recently recorded value (0 when empty).
+func (h *Histogram) Last() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.last
+}
+
+// Mean returns the integer mean of recorded values (0 when empty).
+func (h *Histogram) Mean() int64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return h.sum / h.count
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1) using
+// the nearest-rank definition: the bucket upper bound of the value at rank
+// ceil(q*count). Returns 0 when the histogram is empty or q is out of
+// range. The estimate never undershoots the true value and overshoots by
+// at most one sub-bucket width (~6%); Quantile(1) is exact via Max.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil || h.count == 0 || q <= 0 || q > 1 {
+		return 0
+	}
+	rank := int64(q * float64(h.count))
+	if float64(rank) < q*float64(h.count) {
+		rank++ // ceil
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank >= h.count {
+		return h.max
+	}
+	var seen int64
+	for i := 0; i < numBuckets; i++ {
+		seen += h.buckets[i]
+		if seen >= rank {
+			u := bucketUpper(i)
+			if u > h.max {
+				u = h.max
+			}
+			return u
+		}
+	}
+	return h.max
+}
+
+// P50 returns the median upper bound.
+func (h *Histogram) P50() int64 { return h.Quantile(0.50) }
+
+// P90 returns the 90th-percentile upper bound.
+func (h *Histogram) P90() int64 { return h.Quantile(0.90) }
+
+// P99 returns the 99th-percentile upper bound.
+func (h *Histogram) P99() int64 { return h.Quantile(0.99) }

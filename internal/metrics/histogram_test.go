@@ -1,0 +1,125 @@
+package metrics
+
+import "testing"
+
+func TestBucketIndex(t *testing.T) {
+	for _, tc := range []struct {
+		v    int64
+		want int
+	}{
+		{0, 0}, {1, 1}, {15, 15}, // exact region
+		{16, 16}, {17, 17}, {31, 31}, // first octave, shift 0 (still exact)
+		{32, 32}, {33, 32}, {34, 33}, {63, 47}, // shift 1: two values per bucket
+		{64, 48}, {127, 63},
+		{1 << 62, (62-4)<<4 + 16}, // top octave
+	} {
+		if got := bucketIndex(tc.v); got != tc.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", tc.v, got, tc.want)
+		}
+	}
+	if got := bucketIndex(1<<63 - 1); got != numBuckets-1 {
+		t.Errorf("bucketIndex(MaxInt64) = %d, want %d", got, numBuckets-1)
+	}
+}
+
+func TestBucketUpperCoversBucket(t *testing.T) {
+	// Every value maps into a bucket whose upper bound is >= the value,
+	// and bucket upper bounds are themselves members of their bucket.
+	for _, v := range []int64{0, 1, 15, 16, 17, 31, 32, 33, 63, 64, 100, 1000, 12345, 1 << 40} {
+		idx := bucketIndex(v)
+		u := bucketUpper(idx)
+		if u < v {
+			t.Errorf("bucketUpper(%d) = %d < value %d", idx, u, v)
+		}
+		if bucketIndex(u) != idx {
+			t.Errorf("upper %d of bucket %d maps to bucket %d", u, idx, bucketIndex(u))
+		}
+	}
+}
+
+func TestHistogramAggregates(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{10, 20, 30, 40} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 || h.Sum() != 100 || h.Mean() != 25 || h.Max() != 40 || h.Last() != 40 {
+		t.Fatalf("count=%d sum=%d mean=%d max=%d last=%d",
+			h.Count(), h.Sum(), h.Mean(), h.Max(), h.Last())
+	}
+	h.Observe(-5) // clamped to 0
+	if h.Count() != 5 || h.Sum() != 100 || h.Last() != 0 {
+		t.Fatalf("negative clamp: count=%d sum=%d last=%d", h.Count(), h.Sum(), h.Last())
+	}
+}
+
+func TestHistogramQuantilesExactSmallValues(t *testing.T) {
+	// Values < 16 land in exact buckets, so quantiles are exact:
+	// pin them on 1..10 under the nearest-rank definition.
+	var h Histogram
+	for v := int64(1); v <= 10; v++ {
+		h.Observe(v)
+	}
+	if got := h.P50(); got != 5 {
+		t.Errorf("p50 = %d, want 5", got)
+	}
+	if got := h.P90(); got != 9 {
+		t.Errorf("p90 = %d, want 9", got)
+	}
+	if got := h.P99(); got != 10 {
+		t.Errorf("p99 = %d, want 10 (rank ceil(9.9)=10)", got)
+	}
+	if got := h.Quantile(1); got != 10 {
+		t.Errorf("p100 = %d, want 10", got)
+	}
+	if got := h.Quantile(0.05); got != 1 {
+		t.Errorf("p5 = %d, want 1", got)
+	}
+}
+
+func TestHistogramQuantileUpperBound(t *testing.T) {
+	// Large values: the estimate never undershoots and overshoots by at
+	// most one sub-bucket (~1/16 relative).
+	var h Histogram
+	const v = 1_000_000
+	for i := 0; i < 100; i++ {
+		h.Observe(v)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		got := h.Quantile(q)
+		if got < v {
+			t.Errorf("q%.2f = %d undershoots %d", q, got, v)
+		}
+		if got > v+v/8 {
+			t.Errorf("q%.2f = %d overshoots %d by more than a bucket", q, got, v)
+		}
+	}
+	// The max caps the estimate exactly.
+	if got := h.Quantile(1); got != v {
+		t.Errorf("p100 = %d, want exact max %d", got, v)
+	}
+}
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.P99() != 0 {
+		t.Fatal("empty histogram quantiles must be 0")
+	}
+	h.Observe(42)
+	for _, q := range []float64{-1, 0, 1.5} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("Quantile(%v) = %d, want 0 for out-of-range q", q, got)
+		}
+	}
+	if got := h.Quantile(0.5); got != 42 {
+		t.Errorf("single-value p50 = %d, want 42", got)
+	}
+}
+
+func TestHistogramNil(t *testing.T) {
+	var h *Histogram
+	h.Observe(10)
+	if h.Count() != 0 || h.Sum() != 0 || h.Max() != 0 || h.Last() != 0 ||
+		h.Mean() != 0 || h.P50() != 0 {
+		t.Fatal("nil histogram must be inert")
+	}
+}

@@ -1,0 +1,244 @@
+// Package metrics is the simulation-wide metrics plane: a deterministic,
+// low-overhead registry of named counters, gauges and log-bucketed
+// HDR-style histograms, plus a virtual-clock-driven sampler that turns
+// selected series into in-memory time-series.
+//
+// It is the kvm_stat/xentrace analogue for the simulator: where
+// internal/trace records *every* event for replay, the metrics plane keeps
+// only aggregates - counts, sums, distributions, sampled rates - that can
+// be rendered live (`oohtrack -metrics`, `oohbench -metrics`), exported for
+// scripting (Prometheus text, JSONL) or embedded into `oohbench -json`
+// machine-readable results.
+//
+// Design constraints, mirroring internal/trace and internal/faults:
+//
+//   - Free when disabled: a nil *Registry (and every handle derived from
+//     one) is valid; all operations on nil receivers are single-branch
+//     no-ops with zero allocations, so an uninstrumented run pays nothing.
+//   - Deterministic: metrics carry only virtual-time values and integer
+//     aggregates, iteration is in sorted key order everywhere, and no wall
+//     clock is ever read - two runs with the same seed produce
+//     byte-identical snapshot exports.
+//   - Observation only: updating a metric never advances the virtual
+//     clock, so instrumented and uninstrumented runs are bit-identical in
+//     virtual time.
+//   - Single-goroutine: like sim.Clock, trace.Tracer and faults.Injector,
+//     one Registry belongs to one simulation goroutine.
+//
+// The registry and the trace plane are two views of one ground truth: for
+// every trace kind, the per-kind event counter equals the count
+// trace.Summarize reports on the same run (held by a cross-check test in
+// internal/experiments).
+package metrics
+
+import (
+	"sort"
+	"time"
+)
+
+// Key identifies one metric: the owning subsystem ("cpu", "hypervisor",
+// "guestos", "tracking", "faults", ...), the metric name, and an optional
+// label splitting the metric into a family (a vmexit reason, a hypercall
+// name, a fault point).
+type Key struct {
+	Subsystem string
+	Name      string
+	Label     string
+}
+
+// less orders keys for deterministic iteration and rendering.
+func (k Key) less(o Key) bool {
+	if k.Subsystem != o.Subsystem {
+		return k.Subsystem < o.Subsystem
+	}
+	if k.Name != o.Name {
+		return k.Name < o.Name
+	}
+	return k.Label < o.Label
+}
+
+// Counter is a monotonically increasing event count. The zero value is
+// usable; handles are obtained from Registry.Counter and are valid for the
+// registry's lifetime, so hot paths pay a pointer increment, never a map
+// lookup. All methods are nil-receiver safe.
+type Counter struct {
+	v int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}
+
+// Add adds n (negative n is ignored: counters are monotonic).
+func (c *Counter) Add(n int64) {
+	if c != nil && n > 0 {
+		c.v += n
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a point-in-time value that can move both ways (buffer
+// occupancy, active rung, ring depth). All methods are nil-receiver safe.
+type Gauge struct {
+	v int64
+}
+
+// Set installs the current value.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v = v
+	}
+}
+
+// Add moves the gauge by n (may be negative).
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v += n
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Registry holds every metric of one simulation run. The zero value is not
+// usable; use NewRegistry. A nil *Registry is a valid disabled registry:
+// every lookup returns a nil handle whose operations are no-ops.
+type Registry struct {
+	counters map[Key]*Counter
+	gauges   map[Key]*Gauge
+	hists    map[Key]*Histogram
+	sampler  *Sampler
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[Key]*Counter),
+		gauges:   make(map[Key]*Gauge),
+		hists:    make(map[Key]*Histogram),
+	}
+}
+
+// Counter returns the counter for (subsystem, name, label), creating it on
+// first use. Nil-receiver safe: a nil registry returns a nil counter.
+func (r *Registry) Counter(subsystem, name, label string) *Counter {
+	if r == nil {
+		return nil
+	}
+	k := Key{Subsystem: subsystem, Name: name, Label: label}
+	c := r.counters[k]
+	if c == nil {
+		c = &Counter{}
+		r.counters[k] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge for (subsystem, name, label), creating it on
+// first use. Nil-receiver safe.
+func (r *Registry) Gauge(subsystem, name, label string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	k := Key{Subsystem: subsystem, Name: name, Label: label}
+	g := r.gauges[k]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[k] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram for (subsystem, name, label), creating
+// it on first use. Nil-receiver safe.
+func (r *Registry) Histogram(subsystem, name, label string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	k := Key{Subsystem: subsystem, Name: name, Label: label}
+	h := r.hists[k]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[k] = h
+	}
+	return h
+}
+
+// NewSampler installs (and returns) the registry's time-series sampler
+// with the given virtual-time interval; a second call replaces the first.
+// Nil-receiver safe: a nil registry returns a nil sampler.
+func (r *Registry) NewSampler(interval time.Duration) *Sampler {
+	if r == nil {
+		return nil
+	}
+	r.sampler = newSampler(interval)
+	return r.sampler
+}
+
+// Sampler returns the installed sampler (nil when none). Nil-receiver safe.
+func (r *Registry) Sampler() *Sampler {
+	if r == nil {
+		return nil
+	}
+	return r.sampler
+}
+
+// Tick gives the sampler a chance to snapshot its series at the current
+// virtual time. Instrumentation sites call it with the clock value they
+// already hold; it is nil-receiver safe and a single branch when no
+// sampler is installed.
+func (r *Registry) Tick(now int64) {
+	if r == nil || r.sampler == nil {
+		return
+	}
+	r.sampler.tick(now)
+}
+
+// sortedKeys returns m's keys in deterministic order.
+func sortedKeys[V any](m map[Key]V) []Key {
+	keys := make([]Key, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].less(keys[j]) })
+	return keys
+}
+
+// CounterKeys returns every counter key in deterministic order.
+func (r *Registry) CounterKeys() []Key {
+	if r == nil {
+		return nil
+	}
+	return sortedKeys(r.counters)
+}
+
+// GaugeKeys returns every gauge key in deterministic order.
+func (r *Registry) GaugeKeys() []Key {
+	if r == nil {
+		return nil
+	}
+	return sortedKeys(r.gauges)
+}
+
+// HistogramKeys returns every histogram key in deterministic order.
+func (r *Registry) HistogramKeys() []Key {
+	if r == nil {
+		return nil
+	}
+	return sortedKeys(r.hists)
+}

@@ -1,0 +1,345 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+func TestNilRegistryIsInert(t *testing.T) {
+	var r *Registry
+	c := r.Counter("cpu", "x", "")
+	g := r.Gauge("cpu", "y", "")
+	h := r.Histogram("cpu", "z", "")
+	if c != nil || g != nil || h != nil {
+		t.Fatalf("nil registry must hand out nil handles, got %v %v %v", c, g, h)
+	}
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(-1)
+	h.Observe(7)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("nil handles must stay zero")
+	}
+	if r.NewSampler(time.Millisecond) != nil || r.Sampler() != nil {
+		t.Fatal("nil registry must not create samplers")
+	}
+	r.Tick(100)
+	if keys := r.CounterKeys(); keys != nil {
+		t.Fatalf("nil registry keys = %v", keys)
+	}
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms)+len(s.Series) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", s)
+	}
+}
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("cpu", "vmexits", "")
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: monotonic
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if c2 := r.Counter("cpu", "vmexits", ""); c2 != c {
+		t.Fatal("same key must return the same counter")
+	}
+	g := r.Gauge("cpu", "occupancy", "")
+	g.Set(100)
+	g.Add(-25)
+	if got := g.Value(); got != 75 {
+		t.Fatalf("gauge = %d, want 75", got)
+	}
+}
+
+func TestKeysSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z", "a", "")
+	r.Counter("a", "z", "l2")
+	r.Counter("a", "z", "l1")
+	r.Counter("a", "b", "")
+	want := []Key{
+		{"a", "b", ""},
+		{"a", "z", "l1"},
+		{"a", "z", "l2"},
+		{"z", "a", ""},
+	}
+	got := r.CounterKeys()
+	if len(got) != len(want) {
+		t.Fatalf("got %d keys, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("key[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		// Insertion order differs between the two builds; output must not.
+		r.Counter("cpu", "events", "vmexit").Add(3)
+		r.Gauge("cpu", "occ", "").Set(42)
+		r.Histogram("tracking", "event_cost_ns", "track_collect").Observe(1000)
+		r.Histogram("tracking", "event_cost_ns", "track_collect").Observe(5000)
+		return r
+	}
+	build2 := func() *Registry {
+		r := NewRegistry()
+		r.Histogram("tracking", "event_cost_ns", "track_collect").Observe(1000)
+		r.Gauge("cpu", "occ", "").Set(42)
+		r.Counter("cpu", "events", "vmexit").Add(3)
+		r.Histogram("tracking", "event_cost_ns", "track_collect").Observe(5000)
+		return r
+	}
+	var a, b, p1, p2 bytes.Buffer
+	if err := build().Snapshot().WriteJSONL(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := build2().Snapshot().WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("JSONL export depends on insertion order:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	if err := build().Snapshot().WritePrometheus(&p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := build2().Snapshot().WritePrometheus(&p2); err != nil {
+		t.Fatal(err)
+	}
+	if p1.String() != p2.String() {
+		t.Fatalf("Prometheus export depends on insertion order:\n%s\nvs\n%s", p1.String(), p2.String())
+	}
+}
+
+func TestPrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("cpu", "events", "vmexit").Add(7)
+	r.Gauge("cpu", "pml_buffer_occupancy", "").Set(12)
+	h := r.Histogram("cpu", "event_cost_ns", "vmexit")
+	for i := 0; i < 10; i++ {
+		h.Observe(100)
+	}
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE ooh_cpu_events counter",
+		`ooh_cpu_events{label="vmexit"} 7`,
+		"# TYPE ooh_cpu_pml_buffer_occupancy gauge",
+		"ooh_cpu_pml_buffer_occupancy 12",
+		"# TYPE ooh_cpu_event_cost_ns summary",
+		`ooh_cpu_event_cost_ns{label="vmexit",quantile="0.5"}`,
+		`ooh_cpu_event_cost_ns_sum{label="vmexit"} 1000`,
+		`ooh_cpu_event_cost_ns_count{label="vmexit"} 10`,
+		`ooh_cpu_event_cost_ns_max{label="vmexit"} 100`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestJSONLFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("faults", "injections", "ipi-drop").Add(3)
+	s := r.NewSampler(time.Millisecond)
+	s.Watch("x", r.Counter("faults", "injections", "ipi-drop"))
+	r.Tick(0)
+	r.Tick(2_000_000)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 JSONL lines, got %d:\n%s", len(lines), buf.String())
+	}
+	if want := `{"type":"counter","subsystem":"faults","name":"injections","label":"ipi-drop","value":3}`; lines[0] != want {
+		t.Errorf("counter line = %s, want %s", lines[0], want)
+	}
+	if want := `{"type":"series","name":"x","points":[[0,3],[2000000,3]]}`; lines[1] != want {
+		t.Errorf("series line = %s, want %s", lines[1], want)
+	}
+}
+
+func TestEventsBridge(t *testing.T) {
+	r := NewRegistry()
+	e := NewEvents(r)
+	e.Observe(trace.KindVMExit, 100, 2500, 0)
+	e.Observe(trace.KindVMExit, 200, 3500, 0)
+	e.Observe(trace.KindTrackCollect, 300, 9000, 64)
+
+	if got := r.Counter(SubCPU, NameEvents, "vmexit").Value(); got != 2 {
+		t.Fatalf("vmexit events = %d, want 2", got)
+	}
+	if got := r.Counter(SubCPU, NameVMExitsTotal, "").Value(); got != 2 {
+		t.Fatalf("vmexits_total = %d, want 2", got)
+	}
+	if got := r.Histogram(SubCPU, NameEventCostNs, "vmexit").Sum(); got != 6000 {
+		t.Fatalf("vmexit cost sum = %d, want 6000", got)
+	}
+	if got := r.Counter(SubTracking, NameEventArgSum, "track_collect").Value(); got != 64 {
+		t.Fatalf("track_collect arg sum = %d, want 64", got)
+	}
+	// Non-exit kinds must not bump the pooled vmexit total.
+	if got := r.Counter(SubCPU, NameVMExitsTotal, "").Value(); got != 2 {
+		t.Fatalf("vmexits_total after track_collect = %d, want 2", got)
+	}
+}
+
+func TestEventsBridgeNil(t *testing.T) {
+	if NewEvents(nil) != nil {
+		t.Fatal("NewEvents(nil) must be nil")
+	}
+	var e *Events
+	e.Observe(trace.KindVMExit, 0, 1, 2) // must not panic
+	e.Count("cpu", "x", "y", 1)
+	e.SetGauge("cpu", "x", "y", 1)
+	e.WatchDefaults()
+	if e.Registry() != nil {
+		t.Fatal("nil bridge has no registry")
+	}
+}
+
+func TestKindSubsystemCoversAllKinds(t *testing.T) {
+	for k := trace.Kind(0); int(k) < trace.NumKinds(); k++ {
+		if sub := KindSubsystem(k); sub == "other" {
+			t.Errorf("kind %s has no subsystem mapping", k)
+		}
+	}
+}
+
+func TestWatchDefaults(t *testing.T) {
+	r := NewRegistry()
+	e := NewEvents(r)
+	r.NewSampler(time.Microsecond)
+	e.WatchDefaults()
+	e.Observe(trace.KindTrackCollect, 0, 9000, 64)
+	e.Observe(trace.KindVMExit, 5_000, 2500, 0)
+	snap := r.Snapshot()
+	if len(snap.Series) != 4 {
+		t.Fatalf("want 4 default series, got %d", len(snap.Series))
+	}
+	names := map[string]SeriesSnap{}
+	for _, se := range snap.Series {
+		names[se.Name] = se
+	}
+	dirty := names["dirty_pages_total"]
+	if len(dirty.Points) != 2 || dirty.Points[1].V != 64 {
+		t.Fatalf("dirty_pages_total series = %+v", dirty)
+	}
+	if vm := names["vmexits_total"]; len(vm.Points) != 2 || vm.Points[1].V != 1 {
+		t.Fatalf("vmexits_total series = %+v", vm)
+	}
+	if cl := names["collect_latency_ns"]; len(cl.Points) != 2 || cl.Points[0].V != 9000 {
+		t.Fatalf("collect_latency_ns series = %+v", cl)
+	}
+}
+
+func TestStatTables(t *testing.T) {
+	r := NewRegistry()
+	e := NewEvents(r)
+	// vmexit: many cheap events; track_collect: few expensive ones.
+	for i := 0; i < 10; i++ {
+		e.Observe(trace.KindVMExit, int64(i), 100, 0)
+	}
+	e.Observe(trace.KindTrackCollect, 100, 1_000_000, 32)
+	e.Count(SubFaults, "injections", "ipi-drop", 2)
+	e.SetGauge(SubCPU, "pml_buffer_occupancy", "", 17)
+
+	byCount := StatTables(r, SortByCount)
+	if len(byCount) != 2 {
+		t.Fatalf("want main+aux tables, got %d", len(byCount))
+	}
+	mainOut := byCount[0].Render()
+	if !strings.Contains(mainOut, "cpu/vmexit") || !strings.Contains(mainOut, "tracking/track_collect") {
+		t.Fatalf("main table missing rows:\n%s", mainOut)
+	}
+	// Sorted by count: vmexit (10) before track_collect (1).
+	if strings.Index(mainOut, "cpu/vmexit") > strings.Index(mainOut, "tracking/track_collect") {
+		t.Fatalf("count sort wrong:\n%s", mainOut)
+	}
+	// Sorted by cost: track_collect (1ms) before vmexit (1us).
+	byCost := StatTables(r, SortByCost)[0].Render()
+	if strings.Index(byCost, "tracking/track_collect") > strings.Index(byCost, "cpu/vmexit") {
+		t.Fatalf("cost sort wrong:\n%s", byCost)
+	}
+	auxOut := byCount[1].Render()
+	if !strings.Contains(auxOut, "faults/injections{ipi-drop}") ||
+		!strings.Contains(auxOut, "cpu/pml_buffer_occupancy") {
+		t.Fatalf("aux table missing rows:\n%s", auxOut)
+	}
+	// vmexits_total is a plain counter, so it lands in the aux table.
+	if !strings.Contains(auxOut, "cpu/vmexits_total") {
+		t.Fatalf("aux table missing vmexits_total:\n%s", auxOut)
+	}
+}
+
+func TestParseSortMode(t *testing.T) {
+	for _, tc := range []struct {
+		in, want string
+		ok       bool
+	}{
+		{"", "", true},
+		{"count", SortByCount, true},
+		{"cost", SortByCost, true},
+		{"bogus", "", false},
+		{"COST", "", false},
+	} {
+		got, err := ParseSortMode(tc.in)
+		if tc.ok != (err == nil) || got != tc.want {
+			t.Errorf("ParseSortMode(%q) = %q, %v; want %q, ok=%v", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestParseInterval(t *testing.T) {
+	def := 250 * time.Microsecond
+	for _, tc := range []struct {
+		in   string
+		want time.Duration
+		ok   bool
+	}{
+		{"", def, true},
+		{"1ms", time.Millisecond, true},
+		{"2s", 2 * time.Second, true},
+		{"0", 0, false},
+		{"-5ms", 0, false},
+		{"fast", 0, false},
+	} {
+		got, err := ParseInterval(tc.in, def)
+		if tc.ok != (err == nil) || got != tc.want {
+			t.Errorf("ParseInterval(%q) = %v, %v; want %v, ok=%v", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestParseExportPath(t *testing.T) {
+	for _, tc := range []struct {
+		in, want string
+		ok       bool
+	}{
+		{"", "", true},
+		{"m.prom", ExportProm, true},
+		{"m.txt", ExportProm, true},
+		{"m.jsonl", ExportJSONL, true},
+		{"m.json", "", false},
+		{"metrics", "", false},
+	} {
+		got, err := ParseExportPath(tc.in)
+		if tc.ok != (err == nil) || got != tc.want {
+			t.Errorf("ParseExportPath(%q) = %q, %v; want %q, ok=%v", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/report"
+)
+
+// Sort modes for the oohstat table (the -metrics CLI flag values).
+const (
+	SortByCount = "count"
+	SortByCost  = "cost"
+)
+
+// ParseSortMode validates a -metrics flag value: empty means disabled,
+// otherwise "count" or "cost" select the oohstat sort key.
+func ParseSortMode(s string) (string, error) {
+	switch strings.TrimSpace(s) {
+	case "":
+		return "", nil
+	case SortByCount:
+		return SortByCount, nil
+	case SortByCost:
+		return SortByCost, nil
+	default:
+		return "", fmt.Errorf("metrics: unknown sort mode %q (have %s, %s)", s, SortByCount, SortByCost)
+	}
+}
+
+// ParseInterval validates a -metrics-interval flag value: a positive
+// Go duration (virtual time). Empty selects the default.
+func ParseInterval(s string, def time.Duration) (time.Duration, error) {
+	if strings.TrimSpace(s) == "" {
+		return def, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("metrics: bad interval %q: %v", s, err)
+	}
+	if d <= 0 {
+		return 0, fmt.Errorf("metrics: interval must be positive, got %q", s)
+	}
+	return d, nil
+}
+
+// Export formats for ParseExportPath.
+const (
+	ExportProm  = "prom"
+	ExportJSONL = "jsonl"
+)
+
+// ParseExportPath validates a -metrics-export flag value and returns the
+// format implied by its extension: .prom/.txt select the Prometheus text
+// format, .jsonl selects JSON lines. Empty means no export.
+func ParseExportPath(path string) (format string, err error) {
+	if strings.TrimSpace(path) == "" {
+		return "", nil
+	}
+	switch {
+	case strings.HasSuffix(path, ".prom"), strings.HasSuffix(path, ".txt"):
+		return ExportProm, nil
+	case strings.HasSuffix(path, ".jsonl"):
+		return ExportJSONL, nil
+	default:
+		return "", fmt.Errorf("metrics: export path %q must end in .prom, .txt or .jsonl", path)
+	}
+}
+
+// statRow is one event-kind line of the oohstat table.
+type statRow struct {
+	name  string
+	count int64
+	sum   int64
+	h     HistSnap
+}
+
+// StatTables renders the registry kvm_stat-style: a main table of
+// per-event-kind counts and cost distributions sorted by sortBy (count or
+// cost, descending; ties broken by name for determinism), and - when any
+// exist - an auxiliary table of the remaining labeled counters and gauges
+// (vmexits by reason, hypercalls by type, fault injections by point, ...).
+// Nil-receiver safe: a nil registry renders an empty main table.
+func StatTables(r *Registry, sortBy string) []*report.Table {
+	snap := r.Snapshot()
+	hists := make(map[Key]HistSnap, len(snap.Histograms))
+	for _, h := range snap.Histograms {
+		hists[Key{h.Subsystem, h.Name, h.Label}] = h
+	}
+
+	var rows []statRow
+	var aux [][2]string // name, value - already deterministic from Snapshot order
+	for _, c := range snap.Counters {
+		switch c.Name {
+		case NameEvents:
+			h := hists[Key{c.Subsystem, NameEventCostNs, c.Label}]
+			if c.Value == 0 && h.Count == 0 {
+				continue
+			}
+			rows = append(rows, statRow{
+				name:  c.Subsystem + "/" + c.Label,
+				count: c.Value,
+				sum:   h.Sum,
+				h:     h,
+			})
+		case NameEventCostNs, NameEventArgSum:
+			// Rendered as part of the events row.
+		default:
+			if c.Value != 0 {
+				aux = append(aux, [2]string{metricName(c.Subsystem, c.Name, c.Label), fmt.Sprint(c.Value)})
+			}
+		}
+	}
+	for _, g := range snap.Gauges {
+		aux = append(aux, [2]string{metricName(g.Subsystem, g.Name, g.Label), fmt.Sprint(g.Value)})
+	}
+
+	sort.SliceStable(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		switch sortBy {
+		case SortByCost:
+			if a.sum != b.sum {
+				return a.sum > b.sum
+			}
+		default:
+			if a.count != b.count {
+				return a.count > b.count
+			}
+		}
+		return a.name < b.name
+	})
+
+	main := report.NewTable(
+		fmt.Sprintf("oohstat: per-event metrics (sorted by %s)", orDefault(sortBy, SortByCount)),
+		"Metric", "Count", "Total cost", "Mean", "p50", "p90", "p99", "Max")
+	for _, row := range rows {
+		main.AddRow(row.name, row.count,
+			time.Duration(row.sum), time.Duration(row.h.Mean),
+			time.Duration(row.h.P50), time.Duration(row.h.P90),
+			time.Duration(row.h.P99), time.Duration(row.h.Max))
+	}
+	main.AddNote("percentiles are log-bucket upper bounds (<=6%% over); envelope kinds include nested kinds' costs")
+	tables := []*report.Table{main}
+
+	if len(aux) > 0 {
+		t := report.NewTable("oohstat: labeled counters & gauges", "Metric", "Value")
+		for _, kv := range aux {
+			t.AddRow(kv[0], kv[1])
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+func metricName(sub, name, label string) string {
+	if label == "" {
+		return sub + "/" + name
+	}
+	return sub + "/" + name + "{" + label + "}"
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}

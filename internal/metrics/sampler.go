@@ -1,0 +1,116 @@
+package metrics
+
+import "time"
+
+// Valuer is anything the sampler can read a point-in-time int64 from.
+// *Counter, *Gauge and small adapter funcs all qualify.
+type Valuer interface {
+	Value() int64
+}
+
+// ValuerFunc adapts a func to the Valuer interface (e.g. a histogram's
+// Last or Count, or a derived rate).
+type ValuerFunc func() int64
+
+// Value calls f.
+func (f ValuerFunc) Value() int64 { return f() }
+
+// Point is one sample: the virtual time it was taken and the value read.
+type Point struct {
+	TS int64 // virtual nanoseconds
+	V  int64
+}
+
+// Series is one sampled time-series.
+type Series struct {
+	Name   string
+	valuer Valuer
+	Points []Point
+}
+
+// Sampler snapshots a set of watched series every `interval` of virtual
+// time. It is driven entirely by Registry.Tick calls from instrumentation
+// sites, so its resolution is bounded by event density: a quiet stretch
+// with no events produces no samples, which is the honest reading of a
+// simulator whose time only moves when events do. At most one point per
+// series is recorded per elapsed interval (no catch-up bursts), keeping
+// point counts bounded and runs deterministic.
+type Sampler struct {
+	interval int64
+	next     int64
+	started  bool
+	series   []*Series
+}
+
+func newSampler(interval time.Duration) *Sampler {
+	iv := interval.Nanoseconds()
+	if iv <= 0 {
+		iv = int64(time.Millisecond)
+	}
+	return &Sampler{interval: iv}
+}
+
+// Watch registers a named series read from v on every sampling tick.
+// Watching an already-watched name rebinds its valuer and keeps the
+// accumulated points, so re-attaching the same registry to a fresh machine
+// (one per scenario in a bench sweep) extends series instead of
+// duplicating them. Nil-receiver safe.
+func (s *Sampler) Watch(name string, v Valuer) {
+	if s == nil || v == nil {
+		return
+	}
+	for _, se := range s.series {
+		if se.Name == name {
+			se.valuer = v
+			return
+		}
+	}
+	s.series = append(s.series, &Series{Name: name, valuer: v})
+}
+
+// Interval returns the sampling interval.
+func (s *Sampler) Interval() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return time.Duration(s.interval)
+}
+
+// SeriesList returns the watched series in registration order.
+func (s *Sampler) SeriesList() []*Series {
+	if s == nil {
+		return nil
+	}
+	return s.series
+}
+
+// tick samples every watched series if at least one interval has elapsed
+// since the previous sample. The first tick anchors the schedule (and
+// takes a sample) at the run's first observed virtual time.
+func (s *Sampler) tick(now int64) {
+	if !s.started {
+		s.started = true
+		s.sample(now)
+		s.next = now + s.interval
+		return
+	}
+	if now < s.next-s.interval {
+		// Virtual time moved backwards: the registry was re-attached to a
+		// fresh machine whose clock starts at zero. Re-anchor the schedule.
+		s.sample(now)
+		s.next = now + s.interval
+		return
+	}
+	if now < s.next {
+		return
+	}
+	s.sample(now)
+	// One sample per elapsed interval boundary, never a catch-up burst.
+	s.next = s.next + ((now-s.next)/s.interval+1)*s.interval
+}
+
+func (s *Sampler) sample(now int64) {
+	for _, se := range s.series {
+		se.Points = append(se.Points, Point{TS: now, V: se.valuer.Value()})
+	}
+}

@@ -1,0 +1,74 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSamplerTicks(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("cpu", "events", "vmexit")
+	s := r.NewSampler(time.Millisecond) // 1e6 virtual ns
+	s.Watch("vmexits", c)
+
+	// First tick anchors the schedule and samples immediately.
+	c.Inc()
+	r.Tick(500)
+	// Within the interval: no sample.
+	c.Inc()
+	r.Tick(900_000)
+	// Past one interval: one sample.
+	c.Inc()
+	r.Tick(1_100_000)
+	// A long quiet gap then a burst of ticks: exactly one more sample,
+	// never a catch-up burst.
+	c.Inc()
+	r.Tick(10_500_000)
+	r.Tick(10_500_001)
+	r.Tick(10_500_002)
+
+	se := s.SeriesList()[0]
+	want := []Point{{TS: 500, V: 1}, {TS: 1_100_000, V: 3}, {TS: 10_500_000, V: 4}}
+	if len(se.Points) != len(want) {
+		t.Fatalf("points = %+v, want %+v", se.Points, want)
+	}
+	for i := range want {
+		if se.Points[i] != want[i] {
+			t.Fatalf("point[%d] = %+v, want %+v", i, se.Points[i], want[i])
+		}
+	}
+}
+
+func TestSamplerScheduleStaysAligned(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("cpu", "occ", "")
+	s := r.NewSampler(time.Microsecond) // 1000 virtual ns
+	s.Watch("occ", g)
+	r.Tick(0) // anchor + first sample
+	// After a gap of 3.5 intervals, the next deadline is the *next*
+	// boundary after now, not now+interval.
+	r.Tick(3_500)
+	r.Tick(3_900) // same window: no sample
+	r.Tick(4_000) // next boundary: sample
+	pts := s.SeriesList()[0].Points
+	if len(pts) != 3 || pts[1].TS != 3_500 || pts[2].TS != 4_000 {
+		t.Fatalf("points = %+v", pts)
+	}
+}
+
+func TestSamplerDefaultsAndNil(t *testing.T) {
+	var s *Sampler
+	s.Watch("x", ValuerFunc(func() int64 { return 1 })) // no panic
+	if s.Interval() != 0 || s.SeriesList() != nil {
+		t.Fatal("nil sampler must be inert")
+	}
+	r := NewRegistry()
+	sp := r.NewSampler(0) // non-positive interval falls back to 1ms
+	if sp.Interval() != time.Millisecond {
+		t.Fatalf("default interval = %v, want 1ms", sp.Interval())
+	}
+	sp.Watch("nilval", nil) // nil valuer ignored
+	if len(sp.SeriesList()) != 0 {
+		t.Fatal("nil valuer must not register a series")
+	}
+}

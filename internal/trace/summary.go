@@ -1,23 +1,50 @@
 package trace
 
 import (
+	"sort"
 	"time"
 
 	"repro/internal/report"
 )
 
-// KindSummary aggregates every record of one kind.
+// KindSummary aggregates every record of one kind, including exact
+// nearest-rank percentiles over the per-record costs (computed from the
+// raw records, so - unlike the metrics plane's log-bucketed histograms -
+// these are not upper bounds but exact values).
 type KindSummary struct {
 	Kind  Kind
 	Count int64
 	Cost  time.Duration // summed Cost of all records
 	Arg   int64         // summed Arg (entries, pages, ... - kind-specific)
+	P50   time.Duration // median per-record cost
+	P90   time.Duration // 90th-percentile per-record cost
+	P99   time.Duration // 99th-percentile per-record cost
+	Max   time.Duration // maximum per-record cost
+}
+
+// Percentile returns the nearest-rank q-quantile (0 < q <= 1) of a sorted
+// ascending slice: the value at rank ceil(q*len). Returns 0 for an empty
+// slice or out-of-range q.
+func Percentile(sorted []int64, q float64) int64 {
+	n := len(sorted)
+	if n == 0 || q <= 0 || q > 1 {
+		return 0
+	}
+	rank := int(q * float64(n))
+	if float64(rank) < q*float64(n) {
+		rank++ // ceil
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
 }
 
 // Summarize aggregates records per kind, returned in Kind order with
 // untouched kinds omitted.
 func Summarize(recs []Record) []KindSummary {
 	var agg [numKinds]KindSummary
+	costs := make([][]int64, numKinds)
 	for i := range recs {
 		r := &recs[i]
 		if r.Kind >= numKinds {
@@ -27,12 +54,19 @@ func Summarize(recs []Record) []KindSummary {
 		s.Count++
 		s.Cost += time.Duration(r.Cost)
 		s.Arg += r.Arg
+		costs[r.Kind] = append(costs[r.Kind], r.Cost)
 	}
 	var out []KindSummary
 	for k := Kind(0); k < numKinds; k++ {
 		if agg[k].Count > 0 {
 			s := agg[k]
 			s.Kind = k
+			c := costs[k]
+			sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+			s.P50 = time.Duration(Percentile(c, 0.50))
+			s.P90 = time.Duration(Percentile(c, 0.90))
+			s.P99 = time.Duration(Percentile(c, 0.99))
+			s.Max = time.Duration(c[len(c)-1])
 			out = append(out, s)
 		}
 	}
@@ -45,13 +79,25 @@ func Summarize(recs []Record) []KindSummary {
 // comment), shares can exceed 100% in aggregate and are a relative guide,
 // not a partition.
 func SummaryTable(recs []Record) *report.Table {
+	return summaryTable(recs, 0)
+}
+
+// SummaryTableFor renders like SummaryTable and additionally surfaces the
+// tracer's dropped-record count: when t.Dropped() is nonzero the table
+// carries a warning note, because recs (read back from the sink) then
+// undercount what the run actually emitted. Nil tracers are fine.
+func SummaryTableFor(t *Tracer, recs []Record) *report.Table {
+	return summaryTable(recs, t.Dropped())
+}
+
+func summaryTable(recs []Record, dropped uint64) *report.Table {
 	sums := Summarize(recs)
 	var total time.Duration
 	for _, s := range sums {
 		total += s.Cost
 	}
 	t := report.NewTable("Trace summary: virtual-time cost per event kind",
-		"Kind", "Events", "Total cost", "Mean cost", "Share")
+		"Kind", "Events", "Total cost", "Mean cost", "p50", "p90", "p99", "Max", "Share")
 	for _, s := range sums {
 		mean := time.Duration(0)
 		if s.Count > 0 {
@@ -61,8 +107,12 @@ func SummaryTable(recs []Record) *report.Table {
 		if total > 0 {
 			share = float64(s.Cost) / float64(total) * 100
 		}
-		t.AddRow(s.Kind.String(), s.Count, s.Cost, mean, report.FormatPercent(share))
+		t.AddRow(s.Kind.String(), s.Count, s.Cost, mean, s.P50, s.P90, s.P99, s.Max,
+			report.FormatPercent(share))
 	}
 	t.AddNote("%d records; envelope kinds (hypercall, guest_pf, irq, gc_cycle, ...) include nested kinds' costs", len(recs))
+	if dropped > 0 {
+		t.AddNote("WARNING: %d records dropped at the sink - counts and costs above undercount the run", dropped)
+	}
 	return t
 }

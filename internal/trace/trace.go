@@ -193,6 +193,7 @@ type Tracer struct {
 	sink    Sink
 	err     error // first sink error, sticky
 	emitted uint64
+	dropped uint64
 }
 
 // New returns a tracer writing to sink with all kinds enabled.
@@ -248,12 +249,27 @@ func (t *Tracer) Emit(r Record) {
 // Emitted returns how many records have been emitted since New.
 func (t *Tracer) Emitted() uint64 { return t.emitted }
 
+// Dropped returns how many emitted records never reached the sink because
+// a WriteBatch call failed (the whole failed batch is discarded). A
+// nonzero value means summaries and cross-checks built from the sink's
+// output undercount; CLIs surface it in -summary output and as the
+// trace/records_dropped metric. Nil-receiver safe.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
 func (t *Tracer) flush() {
 	if len(t.buf) == 0 {
 		return
 	}
-	if err := t.sink.WriteBatch(t.buf); err != nil && t.err == nil {
-		t.err = err
+	if err := t.sink.WriteBatch(t.buf); err != nil {
+		t.dropped += uint64(len(t.buf))
+		if t.err == nil {
+			t.err = err
+		}
 	}
 	t.buf = t.buf[:0]
 }

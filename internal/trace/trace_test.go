@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -185,6 +186,111 @@ func TestSummarize(t *testing.T) {
 	out := table.Render()
 	if !strings.Contains(out, "guest_pf") || !strings.Contains(out, "ring_copy") {
 		t.Errorf("summary table missing kinds:\n%s", out)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []int64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	for _, tc := range []struct {
+		q    float64
+		want int64
+	}{
+		{0.50, 50},  // rank ceil(5) = 5
+		{0.90, 90},  // rank ceil(9) = 9
+		{0.99, 100}, // rank ceil(9.9) = 10
+		{1.00, 100},
+		{0.01, 10}, // rank ceil(0.1) -> 1
+	} {
+		if got := Percentile(sorted, tc.q); got != tc.want {
+			t.Errorf("Percentile(q=%v) = %d, want %d", tc.q, got, tc.want)
+		}
+	}
+	if Percentile(nil, 0.5) != 0 || Percentile(sorted, 0) != 0 || Percentile(sorted, 1.1) != 0 {
+		t.Error("edge cases must return 0")
+	}
+	if got := Percentile([]int64{42}, 0.5); got != 42 {
+		t.Errorf("single-element p50 = %d, want 42", got)
+	}
+}
+
+func TestSummarizePercentiles(t *testing.T) {
+	// Hand-built record set (unsorted costs) pinning exact values.
+	var recs []Record
+	for _, c := range []int64{90, 10, 50, 30, 70, 20, 100, 40, 80, 60} {
+		recs = append(recs, Record{Kind: KindRingCopy, Cost: c})
+	}
+	recs = append(recs, Record{Kind: KindPTWalk, Cost: 7})
+	sums := Summarize(recs)
+	if len(sums) != 2 {
+		t.Fatalf("got %d summaries, want 2", len(sums))
+	}
+	rc := sums[0]
+	if rc.Kind != KindRingCopy {
+		t.Fatalf("first summary is %v", rc.Kind)
+	}
+	if int64(rc.P50) != 50 || int64(rc.P90) != 90 || int64(rc.P99) != 100 || int64(rc.Max) != 100 {
+		t.Errorf("ring_copy percentiles: p50=%d p90=%d p99=%d max=%d, want 50/90/100/100",
+			int64(rc.P50), int64(rc.P90), int64(rc.P99), int64(rc.Max))
+	}
+	pw := sums[1]
+	if int64(pw.P50) != 7 || int64(pw.P90) != 7 || int64(pw.P99) != 7 || int64(pw.Max) != 7 {
+		t.Errorf("single-record percentiles all = 7, got %+v", pw)
+	}
+	out := SummaryTable(recs).Render()
+	for _, col := range []string{"p50", "p90", "p99", "Max"} {
+		if !strings.Contains(out, col) {
+			t.Errorf("summary table missing %s column:\n%s", col, out)
+		}
+	}
+}
+
+// errSink fails every write, discarding the batch - the only way the
+// tracer loses records.
+type errSink struct{ n int }
+
+func (s *errSink) WriteBatch(recs []Record) error {
+	s.n += len(recs)
+	return errors.New("sink full")
+}
+
+func TestDroppedCounterOnSinkError(t *testing.T) {
+	tr := New(&errSink{}, 4)
+	if tr.Dropped() != 0 {
+		t.Fatal("fresh tracer reports drops")
+	}
+	// Overflow the ring twice: two failed batches of 4.
+	for i := 0; i < 9; i++ {
+		tr.Emit(Record{Kind: KindVMExit, TS: int64(i)})
+	}
+	if got := tr.Dropped(); got != 8 {
+		t.Fatalf("Dropped = %d after two failed flushes, want 8", got)
+	}
+	if err := tr.Flush(); err == nil {
+		t.Fatal("Flush must surface the sticky sink error")
+	}
+	if got := tr.Dropped(); got != 9 {
+		t.Fatalf("Dropped = %d after final flush, want 9", got)
+	}
+	if tr.Emitted() != 9 {
+		t.Fatalf("Emitted = %d, want 9 (drops do not rewrite history)", tr.Emitted())
+	}
+	// The drop count is visible in the summary rendering.
+	out := SummaryTableFor(tr, nil).Render()
+	if !strings.Contains(out, "9 records dropped") {
+		t.Fatalf("summary does not surface drops:\n%s", out)
+	}
+	// A healthy tracer's summary carries no warning.
+	ok := New(&Memory{}, 4)
+	ok.Emit(Record{Kind: KindVMExit})
+	if err := ok.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if out := SummaryTableFor(ok, nil).Render(); strings.Contains(out, "dropped") {
+		t.Fatalf("healthy summary mentions drops:\n%s", out)
+	}
+	var nilTr *Tracer
+	if nilTr.Dropped() != 0 {
+		t.Fatal("nil tracer must report 0 drops")
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/guestos"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/pgtable"
 	"repro/internal/trace"
 )
@@ -189,10 +190,13 @@ func (r *Resilient) acquire() error {
 		lastErr = err
 		if i+1 < len(r.ladder) {
 			r.rec.Degradations++
+			now := r.w.clock.Nanos()
+			arg := int64(kind)<<8 | int64(r.ladder[i+1])
 			if tr := r.w.vcpu.Tracer; tr.Enabled(trace.KindTrackDegrade) {
 				tr.Emit(trace.Record{Kind: trace.KindTrackDegrade, VM: int32(r.w.vcpu.ID),
-					TS: r.w.clock.Nanos(), Arg: int64(kind)<<8 | int64(r.ladder[i+1])})
+					TS: now, Arg: arg})
 			}
+			r.w.vcpu.Met.Observe(trace.KindTrackDegrade, now, 0, arg)
 		}
 	}
 	return fmt.Errorf("tracking: every ladder rung failed: %w", lastErr)
@@ -214,6 +218,7 @@ func (r *Resilient) withRetry(op func() error) error {
 			tr.Emit(trace.Record{Kind: trace.KindTrackRetry, VM: int32(r.w.vcpu.ID),
 				TS: r.w.clock.Nanos(), Cost: int64(backoff), Arg: int64(attempt)})
 		}
+		r.w.vcpu.Met.Observe(trace.KindTrackRetry, r.w.clock.Nanos(), int64(backoff), int64(attempt))
 		r.w.clock.Advance(backoff)
 		backoff *= 2
 	}
@@ -292,8 +297,8 @@ func (r *Resilient) Collect() ([]mem.GVA, error) {
 // intersection recovers exactly the missing pages.
 func (r *Resilient) rescan(missing []mem.GVA, out *[]mem.GVA) (int, error) {
 	var start int64
-	tr := r.w.vcpu.Tracer
-	if tr != nil {
+	tr, ev := r.w.vcpu.Tracer, r.w.vcpu.Met
+	if tr != nil || ev != nil {
 		start = r.w.clock.Nanos()
 	}
 	sd, err := r.k.SoftDirtyPages(r.proc.Pid)
@@ -317,9 +322,14 @@ func (r *Resilient) rescan(missing []mem.GVA, out *[]mem.GVA) (int, error) {
 			_ = r.proc.PT.ClearFlags(gva.PageFloor(), pgtable.FlagDirty)
 		}
 	}
+	now := r.w.clock.Nanos()
 	if tr.Enabled(trace.KindTrackRescan) {
 		tr.Emit(trace.Record{Kind: trace.KindTrackRescan, VM: int32(r.w.vcpu.ID),
-			TS: start, Cost: r.w.clock.Nanos() - start, Arg: int64(recovered)})
+			TS: start, Cost: now - start, Arg: int64(recovered)})
+	}
+	if ev != nil {
+		ev.Observe(trace.KindTrackRescan, now, now-start, int64(recovered))
+		ev.Count(metrics.SubTracking, "repaired_pages", "", int64(recovered))
 	}
 	return recovered, nil
 }

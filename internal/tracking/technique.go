@@ -14,6 +14,7 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/cpu"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -69,21 +70,26 @@ func (w watch) measure(dst *time.Duration, fn func() error) error {
 func (w watch) phase(dst *time.Duration, kind trace.Kind, tech costmodel.Technique,
 	arg func() int64, fn func() error) error {
 	var tr *trace.Tracer
+	var ev *metrics.Events
 	if w.vcpu != nil {
-		tr = w.vcpu.Tracer
+		tr, ev = w.vcpu.Tracer, w.vcpu.Met
 	}
 	var start int64
-	if tr != nil {
+	if tr != nil || ev != nil {
 		start = w.clock.Nanos()
 	}
 	err := w.measure(dst, fn)
-	if err == nil && tr.Enabled(kind) {
+	if err == nil && (tr != nil || ev != nil) {
 		a := int64(tech)
 		if arg != nil {
 			a = arg()
 		}
-		tr.Emit(trace.Record{Kind: kind, VM: int32(w.vcpu.ID), TS: start,
-			Cost: w.clock.Nanos() - start, Arg: a})
+		now := w.clock.Nanos()
+		if tr.Enabled(kind) {
+			tr.Emit(trace.Record{Kind: kind, VM: int32(w.vcpu.ID), TS: start,
+				Cost: now - start, Arg: a})
+		}
+		ev.Observe(kind, now, now-start, a)
 	}
 	return err
 }

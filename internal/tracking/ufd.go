@@ -59,9 +59,9 @@ func (t *UfdTechnique) Init() error {
 // The userspace handling cost (M6 per fault) is both the tracked thread's
 // suspension and the tracker's own work; it accrues to CollectTime.
 func (t *UfdTechnique) handle(ev guestos.UfdEvent) error {
-	tr := t.k.VCPU.Tracer
+	tr, evm := t.k.VCPU.Tracer, t.k.VCPU.Met
 	var start int64
-	if tr != nil {
+	if tr != nil || evm != nil {
 		start = t.k.Clock.Nanos()
 	}
 	err := t.w.measure(&t.stats.CollectTime, func() error {
@@ -76,13 +76,17 @@ func (t *UfdTechnique) handle(ev guestos.UfdEvent) error {
 		}
 		return ev.Proc.UfdWriteUnprotect(page)
 	})
-	if err == nil && tr.Enabled(trace.KindUfdFault) {
+	if err == nil {
 		arg := int64(0)
 		if ev.Missing {
 			arg = 1
 		}
-		tr.Emit(trace.Record{Kind: trace.KindUfdFault, VM: int32(t.k.VCPU.ID), TS: start,
-			Cost: t.k.Clock.Nanos() - start, Addr: uint64(ev.GVA.PageFloor()), Arg: arg})
+		now := t.k.Clock.Nanos()
+		if tr.Enabled(trace.KindUfdFault) {
+			tr.Emit(trace.Record{Kind: trace.KindUfdFault, VM: int32(t.k.VCPU.ID), TS: start,
+				Cost: now - start, Addr: uint64(ev.GVA.PageFloor()), Arg: arg})
+		}
+		evm.Observe(trace.KindUfdFault, now, now-start, arg)
 	}
 	return err
 }
