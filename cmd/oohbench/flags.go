@@ -6,10 +6,27 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/experiments"
 	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/trace"
 )
+
+// benchOptions assembles experiment options from the parsed CLI flags.
+// SeedSet is always true here: the -seed flag carries a default, so the
+// value it holds was chosen either by the user or by that default - in
+// particular an explicit `-seed 0` is honored as seed zero instead of
+// being remapped to 42.
+func benchOptions(scale int, full bool, workers int, seed uint64, faultSpec string) experiments.Options {
+	return experiments.Options{
+		Scale:     scale,
+		Full:      full,
+		Workers:   workers,
+		Seed:      seed,
+		SeedSet:   true,
+		FaultSpec: faultSpec,
+	}
+}
 
 // parseSpecFlags validates the spec-valued flags. It runs unconditionally
 // at startup - even when -trace is unset or the experiment ignores faults -

@@ -25,111 +25,129 @@ import (
 	"repro/internal/trace"
 )
 
+// benchFlags carries every parsed CLI flag into run.
+type benchFlags struct {
+	exp        string
+	scale      int
+	full       bool
+	workers    int
+	list       bool
+	seed       uint64
+	traceFile  string
+	traceKinds string
+	faultSpec  string
+	metMode    string
+	metIval    string
+	metExport  string
+	jsonPath   string
+	checkJSON  string
+}
+
 func main() {
-	var (
-		exp        = flag.String("exp", "", "experiment id (empty = all)")
-		scale      = flag.Int("scale", 1, "workload scale factor")
-		full       = flag.Bool("full", false, "include the most expensive points (500MB/1GB, all apps, 5 VMs)")
-		workers    = flag.Int("workers", 0, "parallel experiment workers (0 = GOMAXPROCS)")
-		list       = flag.Bool("list", false, "list experiment ids and exit")
-		seed       = flag.Uint64("seed", 42, "workload data seed")
-		traceFile  = flag.String("trace", "", "write a JSONL event trace of the monitored runs to this file")
-		traceKinds = flag.String("trace-kinds", "", "comma-separated event kinds to trace (empty = all)")
-		faultSpec  = flag.String("faults", "", "fault spec for the fault-matrix experiment's custom row (faults.ParseSpec grammar)")
-		metMode    = flag.String("metrics", "", "print a kvm_stat-style metrics table after the run, sorted by 'count' or 'cost'")
-		metIval    = flag.String("metrics-interval", "", "virtual-time sampling interval for metrics time-series (default 1ms)")
-		metExport  = flag.String("metrics-export", "", "write a metrics snapshot to this file (.prom/.txt = Prometheus text, .jsonl = JSON lines)")
-		jsonPath   = flag.String("json", "", "write a machine-readable ooh-bench/v1 report to this .json file (\"-\" = stdout, suppresses tables)")
-		checkJSON  = flag.String("check-json", "", "validate an ooh-bench/v1 report file against the schema and exit")
-	)
+	var bf benchFlags
+	flag.StringVar(&bf.exp, "exp", "", "experiment id (empty = all)")
+	flag.IntVar(&bf.scale, "scale", 1, "workload scale factor")
+	flag.BoolVar(&bf.full, "full", false, "include the most expensive points (500MB/1GB, all apps, 5 VMs)")
+	flag.IntVar(&bf.workers, "workers", 0, "parallel experiment workers (0 = GOMAXPROCS)")
+	flag.BoolVar(&bf.list, "list", false, "list experiment ids and exit")
+	flag.Uint64Var(&bf.seed, "seed", experiments.DefaultSeed, "workload data seed")
+	flag.StringVar(&bf.traceFile, "trace", "", "write a JSONL event trace of the monitored runs to this file")
+	flag.StringVar(&bf.traceKinds, "trace-kinds", "", "comma-separated event kinds to trace (empty = all)")
+	flag.StringVar(&bf.faultSpec, "faults", "", "fault spec for the fault-matrix experiment's custom row (faults.ParseSpec grammar)")
+	flag.StringVar(&bf.metMode, "metrics", "", "print a kvm_stat-style metrics table after the run, sorted by 'count' or 'cost'")
+	flag.StringVar(&bf.metIval, "metrics-interval", "", "virtual-time sampling interval for metrics time-series (default 1ms)")
+	flag.StringVar(&bf.metExport, "metrics-export", "", "write a metrics snapshot to this file (.prom/.txt = Prometheus text, .jsonl = JSON lines)")
+	flag.StringVar(&bf.jsonPath, "json", "", "write a machine-readable ooh-bench/v1 report to this .json file (\"-\" = stdout, suppresses tables)")
+	flag.StringVar(&bf.checkJSON, "check-json", "", "validate an ooh-bench/v1 report file against the schema and exit")
 	flag.Parse()
 
+	// main never exits from inside the work: run returns, so every deferred
+	// cleanup (trace close in particular) fires even on the error paths.
+	if err := run(bf); err != nil {
+		fmt.Fprintf(os.Stderr, "oohbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(bf benchFlags) (err error) {
 	// Validate every parameterized flag up front: a typo must exit non-zero
 	// even when the flag would not be consumed this run.
-	mask, _, err := parseSpecFlags(*traceKinds, *faultSpec)
+	mask, _, err := parseSpecFlags(bf.traceKinds, bf.faultSpec)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "oohbench: %v\n", err)
-		os.Exit(1)
+		return err
 	}
-	sortBy, ival, exportFmt, err := parseMetricsFlags(*metMode, *metIval, *metExport)
+	sortBy, ival, exportFmt, err := parseMetricsFlags(bf.metMode, bf.metIval, bf.metExport)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "oohbench: %v\n", err)
-		os.Exit(1)
+		return err
 	}
-	if err := parseJSONPath(*jsonPath); err != nil {
-		fmt.Fprintf(os.Stderr, "oohbench: %v\n", err)
-		os.Exit(1)
+	if err := parseJSONPath(bf.jsonPath); err != nil {
+		return err
 	}
 
-	if *checkJSON != "" {
-		data, err := os.ReadFile(*checkJSON)
+	if bf.checkJSON != "" {
+		data, err := os.ReadFile(bf.checkJSON)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "oohbench: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		if err := experiments.ValidateBenchReport(data); err != nil {
-			fmt.Fprintf(os.Stderr, "oohbench: %s: %v\n", *checkJSON, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %w", bf.checkJSON, err)
 		}
-		fmt.Printf("%s: valid %s report\n", *checkJSON, experiments.BenchSchema)
-		return
+		fmt.Printf("%s: valid %s report\n", bf.checkJSON, experiments.BenchSchema)
+		return nil
 	}
 
-	if *list {
+	if bf.list {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
 		}
-		return
+		return nil
 	}
 
-	opt := experiments.Options{Scale: *scale, Full: *full, Workers: *workers, Seed: *seed,
-		FaultSpec: *faultSpec}
+	opt := benchOptions(bf.scale, bf.full, bf.workers, bf.seed, bf.faultSpec)
 	var reg *metrics.Registry
 	if sortBy != "" || exportFmt != "" {
 		reg = metrics.NewRegistry()
 		reg.NewSampler(ival)
 		opt.Metrics = reg
-		// A Registry, like a Tracer, is single-goroutine.
-		opt.Workers = 1
 	}
-	if *traceFile != "" {
-		f, err := os.Create(*traceFile)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "oohbench: %v\n", err)
-			os.Exit(1)
+	var tr *trace.Tracer
+	if bf.traceFile != "" {
+		f, ferr := os.Create(bf.traceFile)
+		if ferr != nil {
+			return ferr
 		}
-		tr := trace.New(trace.NewJSONLWriter(f), 0)
+		tr = trace.New(trace.NewJSONLWriter(f), 0)
 		tr.SetMask(mask)
-		defer func() {
-			if err := tr.Close(); err != nil {
-				fmt.Fprintf(os.Stderr, "oohbench: closing trace: %v\n", err)
-				os.Exit(1)
-			}
-		}()
 		opt.Tracer = tr
-		// A Tracer is single-goroutine; serialize the experiment grids.
-		opt.Workers = 1
 	}
+	// Close is idempotent, so this deferred close only settles the file
+	// when an error path skipped the explicit close below - no trace data
+	// is lost on a failed sweep.
+	defer func() {
+		if cerr := tr.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("closing trace: %w", cerr)
+		}
+	}()
+
 	ids := experiments.IDs()
-	if *exp != "" {
-		ids = []string{*exp}
+	if bf.exp != "" {
+		ids = []string{bf.exp}
 	}
-	quiet := *jsonPath == "-" // keep stdout parseable
+	quiet := bf.jsonPath == "-" // keep stdout parseable
 	var results []*experiments.Result
 	for _, id := range ids {
 		start := time.Now()
 		var (
-			res *experiments.Result
-			err error
+			res  *experiments.Result
+			rerr error
 		)
 		if id == "table2" {
-			res, err = experiments.Table2(countRepoLOC())
+			res, rerr = experiments.Table2(countRepoLOC())
 		} else {
-			res, err = experiments.Run(id, opt)
+			res, rerr = experiments.Run(id, opt)
 		}
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "oohbench: %s: %v\n", id, err)
-			os.Exit(1)
+		if rerr != nil {
+			return fmt.Errorf("%s: %w", id, rerr)
 		}
 		results = append(results, res)
 		if !quiet {
@@ -140,9 +158,11 @@ func main() {
 
 	// Fold the trace plane's own loss count into the metrics plane before
 	// any snapshot is rendered or exported.
-	if opt.Tracer != nil {
-		_ = opt.Tracer.Flush()
-		reg.Counter("trace", "records_dropped", "").Add(int64(opt.Tracer.Dropped()))
+	if tr != nil {
+		if cerr := tr.Close(); cerr != nil {
+			return fmt.Errorf("closing trace: %w", cerr)
+		}
+		reg.Counter("trace", "records_dropped", "").Add(int64(tr.Dropped()))
 	}
 
 	if sortBy != "" && !quiet {
@@ -151,34 +171,32 @@ func main() {
 		}
 	}
 	if exportFmt != "" {
-		if err := writeMetricsExport(reg, *metExport, exportFmt); err != nil {
-			fmt.Fprintf(os.Stderr, "oohbench: %v\n", err)
-			os.Exit(1)
+		if err := writeMetricsExport(reg, bf.metExport, exportFmt); err != nil {
+			return err
 		}
 		if !quiet {
-			fmt.Printf("\nmetrics: snapshot written to %s\n", *metExport)
+			fmt.Printf("\nmetrics: snapshot written to %s\n", bf.metExport)
 		}
 	}
-	if *jsonPath != "" {
+	if bf.jsonPath != "" {
 		rep := experiments.NewBenchReport(opt, results, reg)
 		out := os.Stdout
 		if !quiet {
-			f, err := os.Create(*jsonPath)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "oohbench: %v\n", err)
-				os.Exit(1)
+			f, ferr := os.Create(bf.jsonPath)
+			if ferr != nil {
+				return ferr
 			}
 			defer f.Close()
 			out = f
 		}
 		if err := rep.WriteJSON(out); err != nil {
-			fmt.Fprintf(os.Stderr, "oohbench: writing report: %v\n", err)
-			os.Exit(1)
+			return fmt.Errorf("writing report: %w", err)
 		}
 		if !quiet {
-			fmt.Printf("\nbench report (%s) written to %s\n", experiments.BenchSchema, *jsonPath)
+			fmt.Printf("\nbench report (%s) written to %s\n", experiments.BenchSchema, bf.jsonPath)
 		}
 	}
+	return nil
 }
 
 // countRepoLOC counts Go source lines per package directory when oohbench

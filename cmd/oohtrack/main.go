@@ -26,41 +26,67 @@ import (
 	"repro/internal/workloads"
 )
 
+// trackFlags carries every parsed CLI flag into run.
+type trackFlags struct {
+	name       string
+	tech       string
+	size       string
+	scale      int
+	passes     int
+	seed       uint64
+	traceFile  string
+	traceKinds string
+	summary    bool
+	faultSpec  string
+	metMode    string
+	metIval    string
+	metExport  string
+}
+
 func main() {
-	var (
-		name       = flag.String("workload", "micro", "workload: "+strings.Join(workloads.Names(), ", "))
-		tech       = flag.String("tech", "epml", "technique: proc, ufd, spml, epml, oracle")
-		size       = flag.String("size", "small", "config size: small, medium, large")
-		scale      = flag.Int("scale", 1, "workload scale factor")
-		passes     = flag.Int("passes", 3, "workload passes (collection after each)")
-		seed       = flag.Uint64("seed", 42, "workload data seed")
-		traceFile  = flag.String("trace", "", "write a JSONL event trace to this file")
-		traceKinds = flag.String("trace-kinds", "", "comma-separated event kinds to trace (empty = all)")
-		summary    = flag.Bool("summary", false, "print a per-kind cost breakdown of the trace")
-		faultSpec  = flag.String("faults", "", "inject faults per this spec and track through a resilient wrapper")
-		metMode    = flag.String("metrics", "", "print a kvm_stat-style metrics table after the run, sorted by 'count' or 'cost'")
-		metIval    = flag.String("metrics-interval", "", "virtual-time sampling interval for metrics time-series (default 1ms)")
-		metExport  = flag.String("metrics-export", "", "write a metrics snapshot to this file (.prom/.txt = Prometheus text, .jsonl = JSON lines)")
-	)
+	var tf trackFlags
+	flag.StringVar(&tf.name, "workload", "micro", "workload: "+strings.Join(workloads.Names(), ", "))
+	flag.StringVar(&tf.tech, "tech", "epml", "technique: proc, ufd, spml, epml, oracle")
+	flag.StringVar(&tf.size, "size", "small", "config size: small, medium, large")
+	flag.IntVar(&tf.scale, "scale", 1, "workload scale factor")
+	flag.IntVar(&tf.passes, "passes", 3, "workload passes (collection after each)")
+	flag.Uint64Var(&tf.seed, "seed", 42, "workload data seed")
+	flag.StringVar(&tf.traceFile, "trace", "", "write a JSONL event trace to this file")
+	flag.StringVar(&tf.traceKinds, "trace-kinds", "", "comma-separated event kinds to trace (empty = all)")
+	flag.BoolVar(&tf.summary, "summary", false, "print a per-kind cost breakdown of the trace")
+	flag.StringVar(&tf.faultSpec, "faults", "", "inject faults per this spec and track through a resilient wrapper")
+	flag.StringVar(&tf.metMode, "metrics", "", "print a kvm_stat-style metrics table after the run, sorted by 'count' or 'cost'")
+	flag.StringVar(&tf.metIval, "metrics-interval", "", "virtual-time sampling interval for metrics time-series (default 1ms)")
+	flag.StringVar(&tf.metExport, "metrics-export", "", "write a metrics snapshot to this file (.prom/.txt = Prometheus text, .jsonl = JSON lines)")
 	flag.Parse()
 
-	kind, err := parseTech(*tech)
-	if err != nil {
-		fail(err)
+	// main never exits from inside the work: run returns, so every deferred
+	// cleanup (trace close in particular) fires even on the error paths and
+	// a failed run still leaves a complete JSONL file behind.
+	if err := run(tf); err != nil {
+		fmt.Fprintf(os.Stderr, "oohtrack: %v\n", err)
+		os.Exit(1)
 	}
-	sz, err := parseSize(*size)
+}
+
+func run(tf trackFlags) (err error) {
+	kind, err := parseTech(tf.tech)
 	if err != nil {
-		fail(err)
+		return err
+	}
+	sz, err := parseSize(tf.size)
+	if err != nil {
+		return err
 	}
 	// Validate spec flags up front: a typo must exit non-zero even when the
 	// flag would not be consumed this run.
-	mask, spec, err := parseSpecFlags(*traceKinds, *faultSpec)
+	mask, spec, err := parseSpecFlags(tf.traceKinds, tf.faultSpec)
 	if err != nil {
-		fail(err)
+		return err
 	}
-	sortBy, ival, exportFmt, err := parseMetricsFlags(*metMode, *metIval, *metExport)
+	sortBy, ival, exportFmt, err := parseMetricsFlags(tf.metMode, tf.metIval, tf.metExport)
 	if err != nil {
-		fail(err)
+		return err
 	}
 
 	// Trace plumbing: a JSONL file, an in-memory sink for -summary, or a
@@ -69,26 +95,33 @@ func main() {
 		tracer *trace.Tracer
 		memory *trace.Memory
 	)
-	if *traceFile != "" || *summary {
+	if tf.traceFile != "" || tf.summary {
 		var sinks []trace.Sink
-		if *traceFile != "" {
-			f, err := os.Create(*traceFile)
-			if err != nil {
-				fail(err)
+		if tf.traceFile != "" {
+			f, ferr := os.Create(tf.traceFile)
+			if ferr != nil {
+				return ferr
 			}
 			sinks = append(sinks, trace.NewJSONLWriter(f))
 		}
-		if *summary {
+		if tf.summary {
 			memory = &trace.Memory{}
 			sinks = append(sinks, memory)
 		}
 		tracer = trace.New(trace.Tee(sinks...), 0)
 		tracer.SetMask(mask)
 	}
+	// Close is idempotent, so this deferred close only settles the file
+	// when an error path skips the explicit close below.
+	defer func() {
+		if cerr := tracer.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("closing trace: %w", cerr)
+		}
+	}()
 
 	var inj *faults.Injector
 	if !spec.Empty() {
-		inj = faults.New(spec, *seed)
+		inj = faults.New(spec, tf.seed)
 	}
 	var reg *metrics.Registry
 	if sortBy != "" || exportFmt != "" {
@@ -97,16 +130,16 @@ func main() {
 	}
 	m, err := machine.New(machine.Config{Tracer: tracer, Faults: inj, Metrics: reg})
 	if err != nil {
-		fail(err)
+		return err
 	}
 	g := m.Guest(0)
-	proc := g.Kernel.Spawn(*name)
-	w, err := workloads.New(*name, sz, *scale)
+	proc := g.Kernel.Spawn(tf.name)
+	w, err := workloads.New(tf.name, sz, tf.scale)
 	if err != nil {
-		fail(err)
+		return err
 	}
-	if err := w.Setup(workloads.NewRegionAlloc(proc, false), sim.NewRNG(*seed)); err != nil {
-		fail(err)
+	if err := w.Setup(workloads.NewRegionAlloc(proc, false), sim.NewRNG(tf.seed)); err != nil {
+		return err
 	}
 	// Under injected faults, track through the resilient wrapper so transient
 	// failures are retried and missing capabilities degrade down the ladder.
@@ -122,30 +155,30 @@ func main() {
 	} else {
 		t, err = g.NewTechnique(kind, proc)
 		if err != nil {
-			fail(err)
+			return err
 		}
 	}
 	if err := t.Init(); err != nil {
-		fail(err)
+		return err
 	}
 
 	fmt.Printf("tracking %s (%s, scale %d) with %s; working set %s\n\n",
-		*name, sz, *scale, t.Name(), report.FormatBytes(w.WorkingSet()))
-	for pass := 1; pass <= *passes; pass++ {
+		tf.name, sz, tf.scale, t.Name(), report.FormatBytes(w.WorkingSet()))
+	for pass := 1; pass <= tf.passes; pass++ {
 		before := g.Kernel.Clock.Nanos()
 		if err := w.Run(); err != nil {
-			fail(err)
+			return err
 		}
 		runTime := g.Kernel.Clock.Nanos() - before
 		dirty, err := t.Collect()
 		if err != nil {
-			fail(err)
+			return err
 		}
 		fmt.Printf("pass %d: run %-12s dirty pages %d\n",
 			pass, report.FormatDuration(time.Duration(runTime)), len(dirty))
 	}
 	if err := t.Close(); err != nil {
-		fail(err)
+		return err
 	}
 	s := t.Stats()
 	fmt.Printf("\ntracker: init %s, collect %s over %d collections, %d pages reported\n",
@@ -161,8 +194,8 @@ func main() {
 	}
 
 	if tracer != nil {
-		if err := tracer.Close(); err != nil {
-			fail(err)
+		if cerr := tracer.Close(); cerr != nil {
+			return fmt.Errorf("closing trace: %w", cerr)
 		}
 		// The trace plane's own health is a metric too: a lossy sink means
 		// every count above undercounts.
@@ -170,8 +203,8 @@ func main() {
 		if memory != nil {
 			fmt.Printf("\n%s", trace.SummaryTableFor(tracer, memory.Records()).Render())
 		}
-		if *traceFile != "" {
-			fmt.Printf("\ntrace: %d records written to %s\n", tracer.Emitted(), *traceFile)
+		if tf.traceFile != "" {
+			fmt.Printf("\ntrace: %d records written to %s\n", tracer.Emitted(), tf.traceFile)
 		}
 	}
 	if sortBy != "" {
@@ -180,11 +213,12 @@ func main() {
 		}
 	}
 	if exportFmt != "" {
-		if err := writeMetricsExport(reg, *metExport, exportFmt); err != nil {
-			fail(err)
+		if err := writeMetricsExport(reg, tf.metExport, exportFmt); err != nil {
+			return err
 		}
-		fmt.Printf("\nmetrics: snapshot written to %s\n", *metExport)
+		fmt.Printf("\nmetrics: snapshot written to %s\n", tf.metExport)
 	}
+	return nil
 }
 
 func parseTech(s string) (costmodel.Technique, error) {
@@ -213,9 +247,4 @@ func parseSize(s string) (workloads.Size, error) {
 		return workloads.Large, nil
 	}
 	return 0, fmt.Errorf("unknown size %q", s)
-}
-
-func fail(err error) {
-	fmt.Fprintf(os.Stderr, "oohtrack: %v\n", err)
-	os.Exit(1)
 }

@@ -183,11 +183,13 @@ func FaultMatrix(opt Options) (*Result, error) {
 			CannedFaultSpec{Name: "custom", Spec: opt.FaultSpec, Tech: costmodel.EPML})
 	}
 	cells := make([]faultCell, len(specs))
+	ps := opt.newShards(len(specs))
 	err := par.ForEach(len(specs), opt.Workers, func(i int) error {
 		var err error
-		cells[i], err = runFaultCell(specs[i], opt.Seed, opt.probes())
+		cells[i], err = runFaultCell(specs[i], opt.Seed, ps.cell(i))
 		return err
 	})
+	ps.merge()
 	if err != nil {
 		return nil, err
 	}

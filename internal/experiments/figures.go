@@ -14,14 +14,23 @@ import (
 // Reverse mapping must dominate (paper: >68 % of collection time).
 func Fig3(opt Options) (*Result, error) {
 	opt = opt.withDefaults()
+	sizes := opt.microSizes()
+	results := make([]MicroResult, len(sizes))
+	ps := opt.newShards(len(sizes))
+	err := par.ForEach(len(sizes), opt.Workers, func(i int) error {
+		var err error
+		results[i], err = runMicro(costmodel.SPML, sizes[i]<<8, opt.Seed, ps.cell(i))
+		return err
+	})
+	ps.merge()
+	if err != nil {
+		return nil, err
+	}
+
 	out := report.NewTable("Fig. 3: SPML collection phase breakdown",
 		"Memory", "Reverse mapping", "PT walk", "RB copy", "RevMap share")
-	for _, mb := range opt.microSizes() {
-		res, err := runMicro(costmodel.SPML, mb<<8, opt.Seed, opt.probes())
-		if err != nil {
-			return nil, err
-		}
-		bd := res.Fetch
+	for i, mb := range sizes {
+		bd := results[i].Fetch
 		share := 0.0
 		if t := bd.Total(); t > 0 {
 			share = float64(bd.ReverseMap) / float64(t) * 100
@@ -53,11 +62,14 @@ func Fig4(opt Options) (*Result, error) {
 			grid = append(grid, cell{kind: kind, mb: mb})
 		}
 	}
-	if err := par.ForEach(len(grid), opt.Workers, func(i int) error {
-		r, err := runMicro(grid[i].kind, grid[i].mb<<8, opt.Seed, opt.probes())
+	ps := opt.newShards(len(grid))
+	err := par.ForEach(len(grid), opt.Workers, func(i int) error {
+		r, err := runMicro(grid[i].kind, grid[i].mb<<8, opt.Seed, ps.cell(i))
 		grid[i].res = r
 		return err
-	}); err != nil {
+	})
+	ps.merge()
+	if err != nil {
 		return nil, err
 	}
 
@@ -83,17 +95,32 @@ func Fig4(opt Options) (*Result, error) {
 // /proc, SPML and EPML, highlighting the first cycle (SPML's reverse map).
 func Fig5(opt Options) (*Result, error) {
 	opt = opt.withDefaults()
+	grid := boehmGrid(opt, boehmTechniques())
+	ps := opt.newShards(len(grid))
+	err := par.ForEach(len(grid), opt.Workers, func(i int) error {
+		c := &grid[i]
+		r, err := runBoehm(c.app, c.size, opt.Scale, c.kind, opt.Seed, ps.cell(i))
+		if err != nil {
+			return fmt.Errorf("fig5 %s/%s/%s: %w", c.app, c.size, c.kind, err)
+		}
+		c.res = r
+		return nil
+	})
+	ps.merge()
+	if err != nil {
+		return nil, err
+	}
+
 	out := report.NewTable("Fig. 5: Boehm GC time (total, [first cycle]) per technique",
 		"App", "Config", "/proc", "SPML", "EPML", "cycles")
+	i := 0
 	for _, app := range opt.boehmApps() {
 		for _, size := range boehmSizes(opt) {
 			row := []any{app, size.String()}
 			cycles := 0
-			for _, kind := range boehmTechniques() {
-				r, err := runBoehm(app, size, opt.Scale, kind, opt.Seed, opt.probes())
-				if err != nil {
-					return nil, fmt.Errorf("fig5 %s/%s/%s: %w", app, size, kind, err)
-				}
+			for range boehmTechniques() {
+				r := grid[i].res
+				i++
 				row = append(row, fmt.Sprintf("%s [%s]",
 					report.FormatDuration(r.GCTime), report.FormatDuration(r.FirstGC)))
 				cycles = len(r.Cycles)
@@ -110,20 +137,36 @@ func Fig5(opt Options) (*Result, error) {
 // application's execution time, relative to the untracked baseline.
 func Fig6(opt Options) (*Result, error) {
 	opt = opt.withDefaults()
+	// The grid includes the untracked Oracle baseline as a cell of its own
+	// per (app, size), so baselines run in parallel with the tracked cells.
+	kinds := append([]costmodel.Technique{costmodel.Oracle}, boehmTechniques()...)
+	grid := boehmGrid(opt, kinds)
+	ps := opt.newShards(len(grid))
+	err := par.ForEach(len(grid), opt.Workers, func(i int) error {
+		c := &grid[i]
+		r, err := runBoehm(c.app, c.size, opt.Scale, c.kind, opt.Seed, ps.cell(i))
+		if err != nil {
+			return fmt.Errorf("fig6 %s/%s/%s: %w", c.app, c.size, c.kind, err)
+		}
+		c.res = r
+		return nil
+	})
+	ps.merge()
+	if err != nil {
+		return nil, err
+	}
+
 	out := report.NewTable("Fig. 6: overhead (%) of Boehm GC tracking on the application",
 		"App", "Config", "/proc", "SPML", "EPML")
+	i := 0
 	for _, app := range opt.boehmApps() {
 		for _, size := range boehmSizes(opt) {
-			base, err := runBoehm(app, size, opt.Scale, costmodel.Oracle, opt.Seed, opt.probes())
-			if err != nil {
-				return nil, err
-			}
+			base := grid[i].res // the Oracle cell leads each (app, size) group
+			i++
 			row := []any{app, size.String()}
-			for _, kind := range boehmTechniques() {
-				r, err := runBoehm(app, size, opt.Scale, kind, opt.Seed, opt.probes())
-				if err != nil {
-					return nil, err
-				}
+			for range boehmTechniques() {
+				r := grid[i].res
+				i++
 				r.Ideal = base.AppTime
 				row = append(row, report.FormatPercent(r.TrackedOverheadPct()))
 			}
@@ -132,6 +175,28 @@ func Fig6(opt Options) (*Result, error) {
 	}
 	out.AddNote("paper: /proc <=232%%, SPML <=273%% (string-match), EPML <=24%%, avg ~3%%")
 	return &Result{ID: "fig6", Title: "Fig. 6: Boehm impact on Tracked", Tables: []*report.Table{out}}, nil
+}
+
+// boehmCell is one (app, size, technique) cell of a Boehm figure's grid.
+type boehmCell struct {
+	app  string
+	size workloads.Size
+	kind costmodel.Technique
+	res  BoehmResult
+}
+
+// boehmGrid enumerates a Boehm figure's grid in row order: apps, then
+// sizes, then kinds innermost. Renderers walk the same order.
+func boehmGrid(opt Options, kinds []costmodel.Technique) []boehmCell {
+	var grid []boehmCell
+	for _, app := range opt.boehmApps() {
+		for _, size := range boehmSizes(opt) {
+			for _, kind := range kinds {
+				grid = append(grid, boehmCell{app: app, size: size, kind: kind})
+			}
+		}
+	}
+	return grid
 }
 
 func boehmSizes(opt Options) []workloads.Size {
@@ -181,11 +246,14 @@ func criuFigure(opt Options, id, title string, cell func(CRIUResult) string, not
 			grid = append(grid, item{app: app, kind: kind})
 		}
 	}
-	if err := par.ForEach(len(grid), opt.Workers, func(i int) error {
-		r, err := runCRIU(grid[i].app, workloads.Large, opt.Scale, grid[i].kind, opt.Seed, opt.probes())
+	ps := opt.newShards(len(grid))
+	err := par.ForEach(len(grid), opt.Workers, func(i int) error {
+		r, err := runCRIU(grid[i].app, workloads.Large, opt.Scale, grid[i].kind, opt.Seed, ps.cell(i))
 		grid[i].res = r
 		return err
-	}); err != nil {
+	})
+	ps.merge()
+	if err != nil {
 		return nil, err
 	}
 

@@ -33,20 +33,26 @@ type Options struct {
 	// Full includes the most expensive points (500 MB / 1 GB micro sizes,
 	// all Boehm applications) that are skipped by default.
 	Full bool
-	// Seed for workload data generation.
+	// Seed for workload data generation. A zero Seed is substituted with
+	// DefaultSeed unless SeedSet says it was chosen deliberately.
 	Seed uint64
+	// SeedSet marks Seed as explicitly chosen, so an explicit 0 is honored
+	// instead of being treated as "unset". CLIs set this whenever a -seed
+	// flag was parsed.
+	SeedSet bool
 	// Tracer, when non-nil, is attached to each scenario's monitored
 	// machine (never the ideal baseline) so every simulated layer emits
-	// trace records. Tracers are single-goroutine; drivers must force
-	// Workers to 1 when setting this.
+	// trace records. Parallel grids give each cell its own trace.Shard and
+	// merge into this tracer after the barrier, so any Workers value
+	// observes the same deterministic stream.
 	Tracer *trace.Tracer
 	// FaultSpec, when non-empty, adds a custom row to the fault-matrix
 	// experiment (faults.ParseSpec grammar). Other experiments ignore it.
 	FaultSpec string
 	// Metrics, when non-nil, is attached to each scenario's monitored
 	// machine (never the ideal baseline) so every layer feeds the metrics
-	// registry. Like the Tracer it is single-goroutine; drivers must force
-	// Workers to 1 when setting it.
+	// registry. Parallel grids give each cell its own registry and fold
+	// them into this one with Registry.Merge after the barrier.
 	Metrics *metrics.Registry
 }
 
@@ -59,6 +65,10 @@ type probes struct {
 
 func (o Options) probes() probes { return probes{tr: o.Tracer, reg: o.Metrics} }
 
+// DefaultSeed is the seed used when none was chosen (Seed == 0 and
+// !SeedSet).
+const DefaultSeed uint64 = 42
+
 func (o Options) withDefaults() Options {
 	if o.Scale <= 0 {
 		o.Scale = 1
@@ -66,11 +76,8 @@ func (o Options) withDefaults() Options {
 	if o.Runs <= 0 {
 		o.Runs = 1
 	}
-	if o.Seed == 0 {
-		o.Seed = 42
-	}
-	if o.Tracer != nil || o.Metrics != nil {
-		o.Workers = 1 // probes are single-goroutine
+	if o.Seed == 0 && !o.SeedSet {
+		o.Seed = DefaultSeed
 	}
 	return o
 }

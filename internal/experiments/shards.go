@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// probeShards fans the observation plane out over a parallel experiment
+// grid: one tracer shard and one metrics registry per grid cell, handed to
+// the cell's worker goroutine, then folded into the destination probes
+// after the par.ForEach barrier.
+//
+// Sharding is per cell, not per worker slot, on purpose: par.ForEach hands
+// out indices dynamically, so which cells share a worker is a scheduling
+// accident. A per-cell shard's contents depend only on the cell's seeded
+// simulation, and the merge walks cells in grid order, so the merged
+// stream and snapshot are byte-identical at any worker count - Workers=8
+// observes exactly what Workers=1 does.
+type probeShards struct {
+	dst    probes
+	shards []*trace.Shard
+	regs   []*metrics.Registry
+}
+
+// newShards builds per-cell probes for an n-cell grid. Disabled planes
+// stay disabled: a nil destination tracer/registry yields nil per-cell
+// probes, so unobserved sweeps pay nothing.
+func (o Options) newShards(n int) *probeShards {
+	ps := &probeShards{dst: o.probes()}
+	if ps.dst.tr != nil {
+		ps.shards = make([]*trace.Shard, n)
+		for i := range ps.shards {
+			ps.shards[i] = trace.NewShard(i, ps.dst.tr.Mask())
+		}
+	}
+	if ps.dst.reg != nil {
+		ps.regs = make([]*metrics.Registry, n)
+		for i := range ps.regs {
+			ps.regs[i] = metrics.NewRegistry()
+			if s := ps.dst.reg.Sampler(); s != nil {
+				ps.regs[i].NewSampler(s.Interval())
+			}
+		}
+	}
+	return ps
+}
+
+// cell returns grid cell i's probes.
+func (ps *probeShards) cell(i int) probes {
+	var p probes
+	if ps.shards != nil {
+		p.tr = ps.shards[i].Tracer
+	}
+	if ps.regs != nil {
+		p.reg = ps.regs[i]
+	}
+	return p
+}
+
+// merge folds every cell's observations into the destination probes, in
+// grid order. Call it after the fan-out barrier - including on error, so a
+// failed sweep still surfaces what the completed cells observed.
+func (ps *probeShards) merge() {
+	if ps.dst.tr != nil {
+		trace.Merge(ps.dst.tr, ps.shards...)
+	}
+	if ps.dst.reg != nil {
+		for _, r := range ps.regs {
+			ps.dst.reg.Merge(r)
+		}
+	}
+}

@@ -44,12 +44,14 @@ func Table1(opt Options) (*Result, error) {
 			grid = append(grid, cell{kind: kind, mb: mb})
 		}
 	}
+	ps := opt.newShards(len(grid))
 	err := par.ForEach(len(grid), opt.Workers, func(i int) error {
 		pages := grid[i].mb << 8 // 1 MiB = 256 pages
-		r, err := runMicro(grid[i].kind, pages, opt.Seed, opt.probes())
+		r, err := runMicro(grid[i].kind, pages, opt.Seed, ps.cell(i))
 		grid[i].res = r
 		return err
 	})
+	ps.merge()
 	if err != nil {
 		return nil, err
 	}

@@ -31,7 +31,8 @@ type Config struct {
 	DisablePreemption bool
 	// Tracer, when non-nil, is attached to every vCPU so all layers emit
 	// trace records. A Tracer is single-goroutine (like sim.Clock): only
-	// set it on machines driven by one goroutine.
+	// set it on machines driven by one goroutine. Parallel experiment
+	// sweeps give each machine its own trace.Shard and merge afterwards.
 	Tracer *trace.Tracer
 	// Faults, when non-nil, is attached to every vCPU so all layers'
 	// fault-injection points can fire. Like the Tracer it is
@@ -39,7 +40,8 @@ type Config struct {
 	Faults *faults.Injector
 	// Metrics, when non-nil, receives counters/histograms from every layer
 	// via a per-vCPU metrics.Events bridge. Like the Tracer it is
-	// single-goroutine; nil disables metrics at zero cost.
+	// single-goroutine; parallel sweeps give each machine its own registry
+	// and fold them with Registry.Merge. Nil disables metrics at zero cost.
 	Metrics *metrics.Registry
 }
 

@@ -1,6 +1,9 @@
 package metrics
 
-import "math/bits"
+import (
+	"math"
+	"math/bits"
+)
 
 // Histogram is a log-linear (HDR-style) histogram of non-negative int64
 // values - virtual-time durations in nanoseconds, typically. Each octave
@@ -26,7 +29,7 @@ const (
 
 	// Values below 2^subBits get one exact bucket each; each octave above
 	// that contributes 2^subBits buckets. For int64 (63 usable bits) the
-	// top index is bucketIndex(MaxInt64) = 975.
+	// top index is bucketIndex(MaxInt64) = 959.
 	numBuckets = (64 - subBits) << subBits
 )
 
@@ -40,14 +43,20 @@ func bucketIndex(v int64) int {
 }
 
 // bucketUpper returns the largest value mapping to bucket idx, so quantile
-// estimates never undershoot the true value.
+// estimates never undershoot the true value. The top octaves exceed int64
+// (e.g. bucket 975's bound is 2^64-1), so the bound is computed in uint64
+// and saturated at MaxInt64 - no recordable value is larger anyway.
 func bucketUpper(idx int) int64 {
 	if idx < 1<<subBits {
 		return int64(idx)
 	}
 	shift := uint(idx>>subBits - 1)
-	base := int64(idx&subMask|1<<subBits) << shift
-	return base + (1 << shift) - 1
+	base := uint64(idx&subMask|1<<subBits) << shift
+	upper := base + (1 << shift) - 1
+	if upper > math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return int64(upper)
 }
 
 // Observe records one value. Negative values are clamped to zero (virtual

@@ -1,6 +1,10 @@
 package metrics
 
-import "testing"
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
 
 func TestBucketIndex(t *testing.T) {
 	for _, tc := range []struct {
@@ -112,6 +116,81 @@ func TestHistogramQuantileEdgeCases(t *testing.T) {
 	}
 	if got := h.Quantile(0.5); got != 42 {
 		t.Errorf("single-value p50 = %d, want 42", got)
+	}
+}
+
+// TestBucketUpperSaturates is the regression test for the top-octave
+// overflow: bucketUpper used to compute the bound in int64, where the
+// intermediate base+(1<<shift) wraps for the highest buckets. Every bucket
+// bound must be a non-negative value that still maps into its own bucket,
+// across the whole index range (including the uint64-only octaves Quantile
+// could reach through corrupted state).
+func TestBucketUpperSaturates(t *testing.T) {
+	for idx := 0; idx < numBuckets; idx++ {
+		u := bucketUpper(idx)
+		if u < 0 {
+			t.Fatalf("bucketUpper(%d) = %d, negative", idx, u)
+		}
+	}
+	// The top int64 bucket's bound is exactly MaxInt64.
+	top := bucketIndex(math.MaxInt64)
+	if u := bucketUpper(top); u != math.MaxInt64 {
+		t.Errorf("bucketUpper(%d) = %d, want MaxInt64", top, u)
+	}
+}
+
+// TestHistogramQuantileHugeValues pins Quantile on observations >= 2^60:
+// with the old int64 bound computation the reported quantile could go
+// negative for top-octave values.
+func TestHistogramQuantileHugeValues(t *testing.T) {
+	for _, v := range []int64{1 << 60, 1 << 62, math.MaxInt64 / 2, math.MaxInt64 - 1, math.MaxInt64} {
+		var h Histogram
+		for i := 0; i < 10; i++ {
+			h.Observe(v)
+		}
+		for _, q := range []float64{0.5, 0.9, 0.99, 1} {
+			got := h.Quantile(q)
+			if got < 0 {
+				t.Fatalf("Quantile(%v) = %d for value %d: negative", q, got, v)
+			}
+			if got < v {
+				t.Errorf("Quantile(%v) = %d undershoots %d", q, got, v)
+			}
+		}
+	}
+}
+
+// TestHistogramQuantileNeverNegative is the property test: for any mix of
+// recordable (>= 0) values, every quantile is non-negative and never
+// undershoots the minimum nor overshoots the maximum.
+func TestHistogramQuantileNeverNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		var h Histogram
+		n := 1 + rng.Intn(64)
+		min, max := int64(math.MaxInt64), int64(0)
+		for i := 0; i < n; i++ {
+			// Bias toward huge values: uniform draws almost always land in
+			// the top octaves where the overflow lived.
+			v := int64(rng.Uint64() >> uint(1+rng.Intn(8)))
+			h.Observe(v)
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		for _, q := range []float64{0.01, 0.25, 0.5, 0.9, 0.99, 1} {
+			got := h.Quantile(q)
+			if got < 0 {
+				t.Fatalf("trial %d: Quantile(%v) = %d, negative", trial, q, got)
+			}
+			if got < min || got > max {
+				t.Fatalf("trial %d: Quantile(%v) = %d outside observed [%d, %d]",
+					trial, q, got, min, max)
+			}
+		}
 	}
 }
 

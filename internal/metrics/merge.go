@@ -1,0 +1,118 @@
+package metrics
+
+// Merge folds another registry's metrics into r: counters and gauges add,
+// histograms add bucket-by-bucket, and sampler series merge by timestamp
+// under the sampler's one-point-per-interval rule. Missing metrics are
+// created on r, so merging into a fresh registry copies other.
+//
+// Parallel experiment grids use this after the fan-out barrier: each grid
+// cell records into its own registry on its worker goroutine, then the
+// driver merges the cells into the destination registry in grid order.
+// Because every per-cell aggregate is a deterministic function of the
+// cell's seed - never of worker scheduling - and the merge sequence is
+// fixed, the merged registry's snapshot is byte-identical at any worker
+// count. Nil receiver and nil other are no-ops.
+func (r *Registry) Merge(other *Registry) {
+	if r == nil || other == nil {
+		return
+	}
+	for _, k := range other.CounterKeys() {
+		r.Counter(k.Subsystem, k.Name, k.Label).Add(other.counters[k].Value())
+	}
+	for _, k := range other.GaugeKeys() {
+		r.Gauge(k.Subsystem, k.Name, k.Label).Add(other.gauges[k].Value())
+	}
+	for _, k := range other.HistogramKeys() {
+		r.Histogram(k.Subsystem, k.Name, k.Label).Merge(other.hists[k])
+	}
+	if os := other.sampler; os != nil && r.sampler != nil {
+		r.sampler.merge(os)
+	}
+}
+
+// Merge adds another histogram's distribution into h: buckets, count and
+// sum add; max takes the larger; last takes other's when other is
+// non-empty (the merge source is the more recent recording). Nil receiver
+// and nil other are no-ops.
+func (h *Histogram) Merge(other *Histogram) {
+	if h == nil || other == nil {
+		return
+	}
+	for i := range other.buckets {
+		h.buckets[i] += other.buckets[i]
+	}
+	h.count += other.count
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+	if other.count > 0 {
+		h.last = other.last
+	}
+}
+
+// merge folds another sampler's series into s. Same-named series have their
+// points merge-sorted by timestamp (s's point first on ties) and then
+// re-thinned to at most one point per interval, anchored at the merged
+// series' first point - the same rule tick applies while recording. Series
+// s does not have yet are created (without a valuer; Watch can rebind one).
+func (s *Sampler) merge(other *Sampler) {
+	for _, ose := range other.series {
+		var dst *Series
+		for _, se := range s.series {
+			if se.Name == ose.Name {
+				dst = se
+				break
+			}
+		}
+		if dst == nil {
+			dst = &Series{Name: ose.Name}
+			s.series = append(s.series, dst)
+		}
+		dst.Points = thinPoints(mergePoints(dst.Points, ose.Points), s.interval)
+	}
+}
+
+// mergePoints merge-sorts two timestamp-ordered point slices, preferring a
+// on ties.
+func mergePoints(a, b []Point) []Point {
+	if len(a) == 0 {
+		return append([]Point(nil), b...)
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]Point, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i].TS <= b[j].TS {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// thinPoints keeps at most one point per interval: the first point anchors
+// the schedule, and each kept point advances the threshold past every
+// interval boundary it covers (mirroring tick's no-catch-up-burst rule).
+func thinPoints(pts []Point, interval int64) []Point {
+	if len(pts) == 0 || interval <= 0 {
+		return pts
+	}
+	out := pts[:1]
+	next := pts[0].TS + interval
+	for _, p := range pts[1:] {
+		if p.TS < next {
+			continue
+		}
+		out = append(out, p)
+		next = next + ((p.TS-next)/interval+1)*interval
+	}
+	return out
+}

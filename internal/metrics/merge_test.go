@@ -1,0 +1,150 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRegistryMergeAggregates(t *testing.T) {
+	a := NewRegistry()
+	a.Counter("cpu", "vmexits", "").Add(3)
+	a.Gauge("cpu", "occ", "").Set(5)
+	a.Histogram("cpu", "lat", "").Observe(10)
+	a.Histogram("cpu", "lat", "").Observe(30)
+
+	b := NewRegistry()
+	b.Counter("cpu", "vmexits", "").Add(4)
+	b.Counter("guestos", "faults", "").Add(2) // only in b: created on a
+	b.Gauge("cpu", "occ", "").Set(7)
+	b.Histogram("cpu", "lat", "").Observe(50)
+
+	a.Merge(b)
+
+	if got := a.Counter("cpu", "vmexits", "").Value(); got != 7 {
+		t.Errorf("merged counter = %d, want 7", got)
+	}
+	if got := a.Counter("guestos", "faults", "").Value(); got != 2 {
+		t.Errorf("created counter = %d, want 2", got)
+	}
+	if got := a.Gauge("cpu", "occ", "").Value(); got != 12 {
+		t.Errorf("merged gauge = %d, want 12", got)
+	}
+	h := a.Histogram("cpu", "lat", "")
+	if h.Count() != 3 || h.Sum() != 90 || h.Max() != 50 || h.Last() != 50 {
+		t.Errorf("merged histogram: count=%d sum=%d max=%d last=%d",
+			h.Count(), h.Sum(), h.Max(), h.Last())
+	}
+	// b is untouched.
+	if b.Counter("cpu", "vmexits", "").Value() != 4 {
+		t.Error("merge mutated the source registry")
+	}
+}
+
+func TestHistogramMergeBuckets(t *testing.T) {
+	var a, b Histogram
+	for _, v := range []int64{1, 10, 1 << 40} {
+		a.Observe(v)
+	}
+	for _, v := range []int64{2, 10, 1 << 62} {
+		b.Observe(v)
+	}
+	a.Merge(&b)
+	if a.Count() != 6 {
+		t.Fatalf("count = %d, want 6", a.Count())
+	}
+	// Quantiles read the merged buckets: the median of {1,2,10,10,2^40,2^62}
+	// is 10, which sits in an exact bucket.
+	if got := a.P50(); got != 10 {
+		t.Errorf("merged p50 = %d, want 10", got)
+	}
+	if got := a.Quantile(1); got != 1<<62 {
+		t.Errorf("merged p100 = %d, want 2^62", got)
+	}
+	a.Merge(nil) // no-op
+	var nilH *Histogram
+	nilH.Merge(&b) // no-op
+	if a.Count() != 6 {
+		t.Error("nil merges must not change the histogram")
+	}
+}
+
+// TestSamplerMergeInvariant pins the post-merge sampler invariant: merged
+// series have monotonically non-decreasing timestamps and at most one
+// point per interval, the same rule tick enforces while recording.
+func TestSamplerMergeInvariant(t *testing.T) {
+	const ival = time.Millisecond // 1e6 virtual ns
+	mkReg := func(ticks []int64) *Registry {
+		r := NewRegistry()
+		c := r.Counter("cpu", "events", "")
+		s := r.NewSampler(ival)
+		s.Watch("events", c)
+		for _, ts := range ticks {
+			c.Inc()
+			r.Tick(ts)
+		}
+		return r
+	}
+	dst := NewRegistry()
+	dst.NewSampler(ival)
+	// Three cells whose virtual times overlap and interleave, the way
+	// same-seed grid cells do.
+	for _, ticks := range [][]int64{
+		{0, 1_000_000, 2_000_000},
+		{500, 1_500_000, 2_500_000},
+		{250_000, 3_000_000},
+	} {
+		dst.Merge(mkReg(ticks))
+	}
+	series := dst.Sampler().SeriesList()
+	if len(series) != 1 {
+		t.Fatalf("series = %d, want 1", len(series))
+	}
+	pts := series[0].Points
+	if len(pts) == 0 {
+		t.Fatal("merged series is empty")
+	}
+	last := pts[0]
+	for _, p := range pts[1:] {
+		if p.TS < last.TS {
+			t.Fatalf("timestamps not monotone: %d after %d", p.TS, last.TS)
+		}
+		if p.TS-last.TS < int64(ival) {
+			t.Fatalf("points %d and %d are closer than one interval", last.TS, p.TS)
+		}
+		last = p
+	}
+}
+
+func TestRegistryMergeNilAndSamplerless(t *testing.T) {
+	var nilReg *Registry
+	nilReg.Merge(NewRegistry()) // no panic
+	a := NewRegistry()
+	a.Merge(nil) // no panic
+
+	// Merging a sampled registry into a sampler-less one keeps aggregates
+	// and drops the series (there is no interval to thin against).
+	src := NewRegistry()
+	c := src.Counter("cpu", "events", "")
+	s := src.NewSampler(time.Millisecond)
+	s.Watch("events", c)
+	c.Inc()
+	src.Tick(100)
+	a.Merge(src)
+	if a.Sampler() != nil {
+		t.Fatal("merge must not install a sampler")
+	}
+	if got := a.Counter("cpu", "events", "").Value(); got != 1 {
+		t.Errorf("counter = %d, want 1", got)
+	}
+
+	// A merge-created series has no valuer; ticking the destination must
+	// not panic and must not extend that series.
+	dst := NewRegistry()
+	dst.NewSampler(time.Millisecond)
+	dst.Merge(src)
+	dst.Tick(5_000_000)
+	pts := dst.Sampler().SeriesList()[0].Points
+	if len(pts) != 1 {
+		t.Errorf("valuer-less series grew to %d points", len(pts))
+	}
+}

@@ -23,7 +23,9 @@
 //     clock, so instrumented and uninstrumented runs are bit-identical in
 //     virtual time.
 //   - Single-goroutine: like sim.Clock, trace.Tracer and faults.Injector,
-//     one Registry belongs to one simulation goroutine.
+//     one Registry belongs to one simulation goroutine. Parallel experiment
+//     grids give each cell its own registry and fold them into one with
+//     Registry.Merge after the fan-out barrier - see merge.go.
 //
 // The registry and the trace plane are two views of one ground truth: for
 // every trace kind, the per-kind event counter equals the count

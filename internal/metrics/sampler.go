@@ -111,6 +111,11 @@ func (s *Sampler) tick(now int64) {
 
 func (s *Sampler) sample(now int64) {
 	for _, se := range s.series {
+		if se.valuer == nil {
+			// A merge-created series carries points but no live source until
+			// Watch rebinds one; skip it rather than panic.
+			continue
+		}
 		se.Points = append(se.Points, Point{TS: now, V: se.valuer.Value()})
 	}
 }

@@ -56,6 +56,39 @@ func TestSamplerScheduleStaysAligned(t *testing.T) {
 	}
 }
 
+// TestSamplerReAnchorsOnBackwardsTime pins the re-anchor path: when the
+// registry is re-attached to a fresh machine whose virtual clock restarts
+// near zero, the sampler takes an immediate sample and restarts its
+// schedule from the new time instead of going quiet until the old deadline.
+func TestSamplerReAnchorsOnBackwardsTime(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("cpu", "events", "")
+	s := r.NewSampler(time.Millisecond) // 1e6 virtual ns
+	s.Watch("events", c)
+
+	c.Inc()
+	r.Tick(500) // anchor + first sample; next = 1_000_500
+	c.Inc()
+	r.Tick(5_000_000) // sample; next = 5_000_500
+	c.Inc()
+	r.Tick(700) // backwards: re-anchor + sample; next = 1_000_700
+	c.Inc()
+	r.Tick(900_000) // inside the re-anchored window: no sample
+	c.Inc()
+	r.Tick(1_000_700) // new deadline: sample
+
+	pts := s.SeriesList()[0].Points
+	want := []Point{{TS: 500, V: 1}, {TS: 5_000_000, V: 2}, {TS: 700, V: 3}, {TS: 1_000_700, V: 5}}
+	if len(pts) != len(want) {
+		t.Fatalf("points = %+v, want %+v", pts, want)
+	}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Fatalf("point[%d] = %+v, want %+v", i, pts[i], want[i])
+		}
+	}
+}
+
 func TestSamplerDefaultsAndNil(t *testing.T) {
 	var s *Sampler
 	s.Watch("x", ValuerFunc(func() int64 { return 1 })) // no panic

@@ -57,6 +57,43 @@ func TestForEachStopsOnError(t *testing.T) {
 	}
 }
 
+// TestForEachStopsSchedulingAfterFirstError pins the stop-scheduling
+// guarantee: once any call fails, no worker grabs another index, so at
+// most one in-flight call per worker runs after the failure.
+func TestForEachStopsSchedulingAfterFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	const workers = 4
+	var ran atomic.Int32
+	err := ForEach(1000, workers, func(i int) error {
+		ran.Add(1)
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	// Every call fails, so each worker completes at most the one index it
+	// grabbed before the first error was recorded.
+	if got := ran.Load(); got > workers {
+		t.Errorf("ran %d calls after universal failure, want <= %d", got, workers)
+	}
+
+	// With one worker the cut is exact: the failing index is the last run.
+	ran.Store(0)
+	err = ForEach(1000, 1, func(i int) error {
+		ran.Add(1)
+		if i == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := ran.Load(); got != 3 {
+		t.Errorf("single worker ran %d calls, want exactly 3 (indices 0..2)", got)
+	}
+}
+
 func TestMapOrder(t *testing.T) {
 	got, err := Map(50, 4, func(i int) (int, error) { return i * i, nil })
 	if err != nil {

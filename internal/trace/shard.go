@@ -1,0 +1,85 @@
+package trace
+
+import "sort"
+
+// Shard is a Tracer bound to one cell of a parallel experiment grid. Like
+// PML giving each vCPU its own 512-entry buffer so logging scales with
+// cores, sharding gives each grid cell its own single-goroutine tracer so
+// instrumented sweeps scale with workers: every cell records into its
+// shard on the worker goroutine that runs it, and after the fan-out
+// barrier Merge folds the shards into one destination tracer as a single
+// deterministic stream.
+//
+// A Shard embeds its Tracer, so instrumentation sites hold it exactly like
+// a plain *Tracer. Records are retained in memory (not streamed) until
+// Merge runs; a sweep tracing high-volume kinds should bound the mask the
+// same way a streaming run would.
+type Shard struct {
+	*Tracer
+	grid int
+	mem  Memory
+}
+
+// NewShard returns a shard for grid cell `grid` recording with the given
+// enable mask (normally the destination tracer's mask).
+func NewShard(grid int, mask uint64) *Shard {
+	s := &Shard{grid: grid}
+	s.Tracer = New(&s.mem, 0)
+	s.Tracer.SetMask(mask)
+	return s
+}
+
+// Grid returns the grid index this shard was created for.
+func (s *Shard) Grid() int { return s.grid }
+
+// Records flushes the shard's ring and returns its records in emission
+// order. Nil-receiver safe.
+func (s *Shard) Records() []Record {
+	if s == nil {
+		return nil
+	}
+	_ = s.Flush()
+	return s.mem.Records()
+}
+
+// Merge folds the shards' records into dst as one stream ordered by
+// (virtual timestamp, grid index, emission sequence). The key is total -
+// (grid, seq) uniquely identifies a record - and every component is a
+// deterministic function of the cell's seeded simulation, never of which
+// worker ran the cell or when. A Workers=8 sweep therefore merges to the
+// byte-identical stream a Workers=1 sweep produces.
+//
+// Merge emits on the caller's goroutine; call it only after the fan-out
+// barrier (all workers joined). Nil dst and nil shards are no-ops.
+func Merge(dst *Tracer, shards ...*Shard) {
+	if dst == nil {
+		return
+	}
+	type item struct {
+		rec  Record
+		grid int
+		seq  int
+	}
+	var items []item
+	for _, s := range shards {
+		if s == nil {
+			continue
+		}
+		for seq, rec := range s.Records() {
+			items = append(items, item{rec: rec, grid: s.grid, seq: seq})
+		}
+	}
+	sort.Slice(items, func(i, j int) bool {
+		a, b := &items[i], &items[j]
+		if a.rec.TS != b.rec.TS {
+			return a.rec.TS < b.rec.TS
+		}
+		if a.grid != b.grid {
+			return a.grid < b.grid
+		}
+		return a.seq < b.seq
+	})
+	for i := range items {
+		dst.Emit(items[i].rec)
+	}
+}

@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestMergeOrdersByTSGridSeq(t *testing.T) {
+	// Shard 1 holds an envelope kind emitted after an inner event with an
+	// earlier start TS - shard streams are not TS-sorted, so Merge must
+	// fully sort, not just interleave.
+	s0 := NewShard(0, AllKinds)
+	s0.Emit(Record{TS: 10, Kind: KindVMExit, Arg: 1})
+	s0.Emit(Record{TS: 30, Kind: KindVMExit, Arg: 2})
+	s1 := NewShard(1, AllKinds)
+	s1.Emit(Record{TS: 20, Kind: KindPMLDrain, Arg: 3})
+	s1.Emit(Record{TS: 10, Kind: KindHypercall, Arg: 4}) // envelope: earlier TS, later seq
+
+	var mem Memory
+	dst := New(&mem, 0)
+	Merge(dst, s1, s0) // shard argument order must not matter
+	if err := dst.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	var gotArgs []int64
+	for _, r := range mem.Records() {
+		gotArgs = append(gotArgs, r.Arg)
+	}
+	// TS 10: grid 0 (arg 1) before grid 1 (arg 4); then TS 20 (arg 3), TS 30 (arg 2).
+	want := []int64{1, 4, 3, 2}
+	if len(gotArgs) != len(want) {
+		t.Fatalf("merged args = %v, want %v", gotArgs, want)
+	}
+	for i := range want {
+		if gotArgs[i] != want[i] {
+			t.Fatalf("merged args = %v, want %v", gotArgs, want)
+		}
+	}
+	if got := dst.Emitted(); got != 4 {
+		t.Errorf("dst emitted = %d, want 4", got)
+	}
+}
+
+func TestMergeSeqBreaksTiesWithinShard(t *testing.T) {
+	s := NewShard(3, AllKinds)
+	for i := int64(0); i < 5; i++ {
+		s.Emit(Record{TS: 100, Arg: i}) // all tied on (TS, grid)
+	}
+	var mem Memory
+	dst := New(&mem, 0)
+	Merge(dst, s)
+	_ = dst.Flush()
+	for i, r := range mem.Records() {
+		if r.Arg != int64(i) {
+			t.Fatalf("tied records reordered: pos %d has arg %d", i, r.Arg)
+		}
+	}
+}
+
+func TestShardMaskAndNilSafety(t *testing.T) {
+	s := NewShard(0, 1<<uint(KindVMExit))
+	if !s.Enabled(KindVMExit) || s.Enabled(KindHypercall) {
+		t.Fatal("shard mask not honored")
+	}
+	if s.Grid() != 0 {
+		t.Fatalf("grid = %d", s.Grid())
+	}
+	var nilShard *Shard
+	if nilShard.Records() != nil {
+		t.Error("nil shard must have no records")
+	}
+	Merge(nil, s)                      // nil dst: no-op
+	Merge(New(&Memory{}, 0), nil, nil) // nil shards: no-op
+}
+
+// closeCountSink counts Close calls and can fail them.
+type closeCountSink struct {
+	Memory
+	closes int
+	err    error
+}
+
+func (c *closeCountSink) Close() error {
+	c.closes++
+	return c.err
+}
+
+func TestTracerCloseIdempotent(t *testing.T) {
+	sink := &closeCountSink{}
+	tr := New(sink, 0)
+	tr.Emit(Record{TS: 1})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.closes != 1 {
+		t.Fatalf("sink closed %d times, want 1", sink.closes)
+	}
+	if len(sink.Records()) != 1 {
+		t.Fatalf("records = %d, want 1", len(sink.Records()))
+	}
+}
+
+func TestTracerCloseStickyError(t *testing.T) {
+	boom := errors.New("boom")
+	sink := &closeCountSink{err: boom}
+	tr := New(sink, 0)
+	if err := tr.Close(); !errors.Is(err, boom) {
+		t.Fatalf("first close err = %v, want boom", err)
+	}
+	// The second close reports the same error without re-closing the sink.
+	if err := tr.Close(); !errors.Is(err, boom) {
+		t.Fatalf("second close err = %v, want boom", err)
+	}
+	if sink.closes != 1 {
+		t.Fatalf("sink closed %d times, want 1", sink.closes)
+	}
+}

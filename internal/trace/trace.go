@@ -21,7 +21,8 @@
 //
 // Like sim.Clock, a Tracer is not safe for concurrent use: one tracer
 // belongs to one simulation goroutine. Experiment drivers that fan out
-// must either trace sequentially or give each machine its own tracer.
+// give each grid cell its own Shard and fold them into the destination
+// tracer with Merge after the barrier - see shard.go.
 //
 // Record kinds are hierarchical, not a partition: envelope kinds (e.g.
 // KindHypercall, KindGuestPF, KindIRQ) measure a whole service span and
@@ -194,6 +195,7 @@ type Tracer struct {
 	err     error // first sink error, sticky
 	emitted uint64
 	dropped uint64
+	closed  bool
 }
 
 // New returns a tracer writing to sink with all kinds enabled.
@@ -284,16 +286,26 @@ func (t *Tracer) Flush() error {
 	return t.err
 }
 
-// Close flushes and closes the sink when it implements io.Closer.
+// Close flushes and closes the sink when it implements io.Closer. Close is
+// idempotent: a second call returns the sticky error without touching the
+// sink again, so callers may both defer Close (to survive error paths) and
+// call it explicitly on the happy path before reading the sink's output.
 func (t *Tracer) Close() error {
 	if t == nil {
 		return nil
 	}
+	if t.closed {
+		return t.err
+	}
+	t.closed = true
 	err := t.Flush()
 	if c, ok := t.sink.(interface{ Close() error }); ok {
 		if cerr := c.Close(); err == nil {
 			err = cerr
 		}
+	}
+	if err != nil && t.err == nil {
+		t.err = err
 	}
 	return err
 }
