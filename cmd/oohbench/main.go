@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/prof"
 	"repro/internal/trace"
 )
 
@@ -41,6 +42,9 @@ type benchFlags struct {
 	metExport  string
 	jsonPath   string
 	checkJSON  string
+	profTop    bool
+	flamePath  string
+	pprofPath  string
 }
 
 func main() {
@@ -52,13 +56,16 @@ func main() {
 	flag.BoolVar(&bf.list, "list", false, "list experiment ids and exit")
 	flag.Uint64Var(&bf.seed, "seed", experiments.DefaultSeed, "workload data seed")
 	flag.StringVar(&bf.traceFile, "trace", "", "write a JSONL event trace of the monitored runs to this file")
-	flag.StringVar(&bf.traceKinds, "trace-kinds", "", "comma-separated event kinds to trace (empty = all)")
+	flag.StringVar(&bf.traceKinds, "trace-kinds", "", "comma-separated event kinds to trace (empty or \"all\" = every kind)")
 	flag.StringVar(&bf.faultSpec, "faults", "", "fault spec for the fault-matrix experiment's custom row (faults.ParseSpec grammar)")
 	flag.StringVar(&bf.metMode, "metrics", "", "print a kvm_stat-style metrics table after the run, sorted by 'count' or 'cost'")
 	flag.StringVar(&bf.metIval, "metrics-interval", "", "virtual-time sampling interval for metrics time-series (default 1ms)")
 	flag.StringVar(&bf.metExport, "metrics-export", "", "write a metrics snapshot to this file (.prom/.txt = Prometheus text, .jsonl = JSON lines)")
 	flag.StringVar(&bf.jsonPath, "json", "", "write a machine-readable ooh-bench/v1 report to this .json file (\"-\" = stdout, suppresses tables)")
 	flag.StringVar(&bf.checkJSON, "check-json", "", "validate an ooh-bench/v1 report file against the schema and exit")
+	flag.BoolVar(&bf.profTop, "prof", false, "profile the monitored runs and print top-frame and critical-path tables")
+	flag.StringVar(&bf.flamePath, "flame", "", "write a folded-stack virtual-time profile (flamegraph.pl input) to this file")
+	flag.StringVar(&bf.pprofPath, "profile", "", "write a gzipped pprof profile of virtual time to this .pb.gz file")
 	flag.Parse()
 
 	// main never exits from inside the work: run returns, so every deferred
@@ -81,6 +88,9 @@ func run(bf benchFlags) (err error) {
 		return err
 	}
 	if err := parseJSONPath(bf.jsonPath); err != nil {
+		return err
+	}
+	if err := parsePprofPath(bf.pprofPath); err != nil {
 		return err
 	}
 
@@ -109,6 +119,11 @@ func run(bf benchFlags) (err error) {
 		reg = metrics.NewRegistry()
 		reg.NewSampler(ival)
 		opt.Metrics = reg
+	}
+	var profiler *prof.Profiler
+	if bf.profTop || bf.flamePath != "" || bf.pprofPath != "" {
+		profiler = prof.New()
+		opt.Profiler = profiler
 	}
 	var tr *trace.Tracer
 	if bf.traceFile != "" {
@@ -168,6 +183,21 @@ func run(bf benchFlags) (err error) {
 	if sortBy != "" && !quiet {
 		for _, tab := range metrics.StatTables(reg, sortBy) {
 			fmt.Printf("\n%s", tab.Render())
+		}
+	}
+	if profiler != nil {
+		if bf.profTop && !quiet {
+			fmt.Printf("\n%s", profiler.TopTable(20).Render())
+			if tab := profiler.CriticalPathTable(); tab != nil {
+				fmt.Printf("\n%s", tab.Render())
+			}
+		}
+		written, err := writeProfExports(profiler, bf.flamePath, bf.pprofPath)
+		if err != nil {
+			return err
+		}
+		if !quiet && len(written) > 0 {
+			fmt.Printf("\nprofile: written to %s\n", strings.Join(written, ", "))
 		}
 	}
 	if exportFmt != "" {

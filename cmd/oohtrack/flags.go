@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/faults"
 	"repro/internal/metrics"
+	"repro/internal/prof"
 	"repro/internal/trace"
 )
 
@@ -60,6 +61,49 @@ func writeMetricsExport(reg *metrics.Registry, path, format string) error {
 		return snap.WriteJSONL(f)
 	}
 	return snap.WritePrometheus(f)
+}
+
+// parsePprofPath validates a -profile flag value: empty disables the
+// export, anything else must end in .pb.gz (the suffix `go tool pprof`
+// and pprof web UIs expect for gzipped protobuf profiles).
+func parsePprofPath(p string) error {
+	p = strings.TrimSpace(p)
+	if p == "" || strings.HasSuffix(p, ".pb.gz") {
+		return nil
+	}
+	return fmt.Errorf("pprof profile path %q must end in .pb.gz", p)
+}
+
+// writeProfExports writes the requested profile exports (folded stacks
+// and/or gzipped pprof protobuf), returning the paths written.
+func writeProfExports(p *prof.Profiler, flamePath, pprofPath string) ([]string, error) {
+	var written []string
+	write := func(path string, fn func(*os.File) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return fmt.Errorf("writing profile %s: %w", path, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		written = append(written, path)
+		return nil
+	}
+	if flamePath != "" {
+		if err := write(flamePath, func(f *os.File) error { return p.WriteFolded(f) }); err != nil {
+			return written, err
+		}
+	}
+	if pprofPath != "" {
+		if err := write(pprofPath, func(f *os.File) error { return p.WritePprof(f) }); err != nil {
+			return written, err
+		}
+	}
+	return written, nil
 }
 
 // renderCounts formats per-point fault firing counts as "point:count"

@@ -19,6 +19,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/machine"
 	"repro/internal/metrics"
+	"repro/internal/prof"
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -41,6 +42,9 @@ type trackFlags struct {
 	metMode    string
 	metIval    string
 	metExport  string
+	profTop    bool
+	flamePath  string
+	pprofPath  string
 }
 
 func main() {
@@ -52,12 +56,15 @@ func main() {
 	flag.IntVar(&tf.passes, "passes", 3, "workload passes (collection after each)")
 	flag.Uint64Var(&tf.seed, "seed", 42, "workload data seed")
 	flag.StringVar(&tf.traceFile, "trace", "", "write a JSONL event trace to this file")
-	flag.StringVar(&tf.traceKinds, "trace-kinds", "", "comma-separated event kinds to trace (empty = all)")
+	flag.StringVar(&tf.traceKinds, "trace-kinds", "", "comma-separated event kinds to trace (empty or \"all\" = every kind)")
 	flag.BoolVar(&tf.summary, "summary", false, "print a per-kind cost breakdown of the trace")
 	flag.StringVar(&tf.faultSpec, "faults", "", "inject faults per this spec and track through a resilient wrapper")
 	flag.StringVar(&tf.metMode, "metrics", "", "print a kvm_stat-style metrics table after the run, sorted by 'count' or 'cost'")
 	flag.StringVar(&tf.metIval, "metrics-interval", "", "virtual-time sampling interval for metrics time-series (default 1ms)")
 	flag.StringVar(&tf.metExport, "metrics-export", "", "write a metrics snapshot to this file (.prom/.txt = Prometheus text, .jsonl = JSON lines)")
+	flag.BoolVar(&tf.profTop, "prof", false, "profile the run and print top-frame and critical-path tables")
+	flag.StringVar(&tf.flamePath, "flame", "", "write a folded-stack virtual-time profile (flamegraph.pl input) to this file")
+	flag.StringVar(&tf.pprofPath, "profile", "", "write a gzipped pprof profile of virtual time to this .pb.gz file")
 	flag.Parse()
 
 	// main never exits from inside the work: run returns, so every deferred
@@ -86,6 +93,9 @@ func run(tf trackFlags) (err error) {
 	}
 	sortBy, ival, exportFmt, err := parseMetricsFlags(tf.metMode, tf.metIval, tf.metExport)
 	if err != nil {
+		return err
+	}
+	if err := parsePprofPath(tf.pprofPath); err != nil {
 		return err
 	}
 
@@ -128,7 +138,11 @@ func run(tf trackFlags) (err error) {
 		reg = metrics.NewRegistry()
 		reg.NewSampler(ival)
 	}
-	m, err := machine.New(machine.Config{Tracer: tracer, Faults: inj, Metrics: reg})
+	var profiler *prof.Profiler
+	if tf.profTop || tf.flamePath != "" || tf.pprofPath != "" {
+		profiler = prof.New()
+	}
+	m, err := machine.New(machine.Config{Tracer: tracer, Faults: inj, Metrics: reg, Profiler: profiler})
 	if err != nil {
 		return err
 	}
@@ -217,6 +231,21 @@ func run(tf trackFlags) (err error) {
 			return err
 		}
 		fmt.Printf("\nmetrics: snapshot written to %s\n", tf.metExport)
+	}
+	if profiler != nil {
+		if tf.profTop {
+			fmt.Printf("\n%s", profiler.TopTable(20).Render())
+			if tab := profiler.CriticalPathTable(); tab != nil {
+				fmt.Printf("\n%s", tab.Render())
+			}
+		}
+		written, werr := writeProfExports(profiler, tf.flamePath, tf.pprofPath)
+		if werr != nil {
+			return werr
+		}
+		if len(written) > 0 {
+			fmt.Printf("\nprofile: written to %s\n", strings.Join(written, ", "))
+		}
 	}
 	return nil
 }

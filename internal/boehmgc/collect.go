@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/mem"
+	"repro/internal/prof"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -44,18 +45,24 @@ func (g *GC) Collect() (CycleStats, error) {
 		cycleStart = g.clock.Nanos()
 	}
 	total := sim.StartWatch(g.clock)
+	tap := g.Proc.Kernel().VCPU.Prof
+	cySp := tap.Begin(prof.SubGC, "cycle")
+	defer cySp.End()
 
 	// --- mark phase -------------------------------------------------------
 	mark := sim.StartWatch(g.clock)
+	markSp := tap.Begin(prof.SubGC, "mark")
 
 	dirty := make(map[mem.GVA]struct{})
 	full := g.Tech == nil || !g.tracking
 	if !full {
 		tw := sim.StartWatch(g.clock)
+		trackSp := tap.Begin(prof.SubGC, "track")
 		pages, err := g.Tech.Collect()
 		if err != nil {
 			return stats, err
 		}
+		trackSp.End()
 		stats.TrackTime = tw.Elapsed()
 		for _, p := range pages {
 			dirty[p.PageFloor()] = struct{}{}
@@ -90,6 +97,7 @@ func (g *GC) Collect() (CycleStats, error) {
 		}
 		stack = append(stack, edges...)
 	}
+	markSp.End()
 	stats.MarkTime = mark.Elapsed()
 	if tr.Enabled(trace.KindGCMark) {
 		tr.Emit(trace.Record{Kind: trace.KindGCMark, VM: int32(g.Proc.Kernel().VCPU.ID),
@@ -104,6 +112,7 @@ func (g *GC) Collect() (CycleStats, error) {
 		sweepStart = g.clock.Nanos()
 	}
 	sweep := sim.StartWatch(g.clock)
+	sweepSp := tap.Begin(prof.SubGC, "sweep")
 	var dead []mem.GVA
 	g.Heap.Blocks(func(addr mem.GVA, size uint64) bool {
 		if _, live := marked[addr]; !live {
@@ -123,6 +132,7 @@ func (g *GC) Collect() (CycleStats, error) {
 			return stats, err
 		}
 	}
+	sweepSp.End()
 	stats.SweepTime = sweep.Elapsed()
 	stats.Freed = len(dead)
 	stats.Live = len(marked)

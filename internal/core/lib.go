@@ -8,6 +8,7 @@ import (
 	"repro/internal/hypervisor"
 	"repro/internal/mem"
 	"repro/internal/pgtable"
+	"repro/internal/prof"
 	"repro/internal/trace"
 )
 
@@ -92,6 +93,8 @@ func (s *Session) Fetch() ([]mem.GVA, error) {
 	k := mod.K
 	clock := k.Clock
 	s.LastBreakdown = FetchBreakdown{}
+	fetchSp := k.VCPU.Prof.Begin(prof.SubCore, "fetch")
+	defer fetchSp.End()
 
 	switch mod.Mode {
 	case ModeSPML:
@@ -101,11 +104,13 @@ func (s *Session) Fetch() ([]mem.GVA, error) {
 			return nil, err
 		}
 		tr, ev := k.VCPU.Tracer, k.VCPU.Met
+		sp := k.VCPU.Prof.Begin(prof.SubCore, "ring_copy")
 		w := startSpan(clock)
 		raw := s.s.ring.Drain(nil)
 		perEntry := k.Model.RBCopy.PerPage(s.s.proc.ReservedBytes())
 		clock.Advance(perEntry * time.Duration(len(raw)))
 		s.LastBreakdown.RingCopy = w.stop()
+		sp.End()
 		if tr.Enabled(trace.KindRingCopy) {
 			tr.Emit(trace.Record{Kind: trace.KindRingCopy, VM: int32(k.VCPU.ID), TS: w.start,
 				Cost: int64(s.LastBreakdown.RingCopy), Arg: int64(len(raw))})
@@ -125,9 +130,11 @@ func (s *Session) Fetch() ([]mem.GVA, error) {
 		if cached {
 			index = s.revIndex
 		} else {
+			sp := k.VCPU.Prof.Begin(prof.SubCore, "pt_walk")
 			w = startSpan(clock)
 			entries, err := k.Pagemap(s.pid)
 			if err != nil {
+				sp.End()
 				return nil, err
 			}
 			index = make(map[mem.GPA]mem.GVA, len(entries))
@@ -145,8 +152,10 @@ func (s *Session) Fetch() ([]mem.GVA, error) {
 			if s.ReuseReverseIndex {
 				s.revIndex = index
 			}
+			sp.End()
 		}
 
+		rmSp := k.VCPU.Prof.Begin(prof.SubCore, "reverse_map")
 		w = startSpan(clock)
 		perLookup := k.Model.ReverseMap.PerPage(s.s.proc.ReservedBytes())
 		if cached {
@@ -167,6 +176,7 @@ func (s *Session) Fetch() ([]mem.GVA, error) {
 			out = append(out, gva)
 		}
 		s.LastBreakdown.ReverseMap = w.stop()
+		rmSp.End()
 		s.LastBreakdown.Entries = len(out)
 		if tr.Enabled(trace.KindReverseMap) {
 			tr.Emit(trace.Record{Kind: trace.KindReverseMap, VM: int32(k.VCPU.ID), TS: w.start,
@@ -178,6 +188,7 @@ func (s *Session) Fetch() ([]mem.GVA, error) {
 	case ModeEPML:
 		// Pull in anything still sitting in the guest-level buffer.
 		s.s.drainGuestBuffer()
+		sp := k.VCPU.Prof.Begin(prof.SubCore, "ring_copy")
 		w := startSpan(clock)
 		raw := s.s.ring.Drain(nil)
 		perEntry := k.Model.RBCopy.PerPage(s.s.proc.ReservedBytes())
@@ -206,6 +217,7 @@ func (s *Session) Fetch() ([]mem.GVA, error) {
 			clock.Advance(k.Model.KernelPageOp)
 		}
 		s.LastBreakdown.RingCopy = w.stop()
+		sp.End()
 		s.LastBreakdown.Entries = len(out)
 		if tr := k.VCPU.Tracer; tr.Enabled(trace.KindRingCopy) {
 			tr.Emit(trace.Record{Kind: trace.KindRingCopy, VM: int32(k.VCPU.ID), TS: w.start,

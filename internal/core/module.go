@@ -24,6 +24,7 @@ import (
 	"repro/internal/hypervisor"
 	"repro/internal/mem"
 	"repro/internal/pgtable"
+	"repro/internal/prof"
 	"repro/internal/ringbuf"
 	"repro/internal/trace"
 	"repro/internal/vmcs"
@@ -287,6 +288,8 @@ func (s *session) drainGuestBuffer() {
 	if cur := k.Current(); cur != nil && cur != s.proc {
 		return
 	}
+	sp := k.VCPU.Prof.Begin(prof.SubCore, "ring_drain")
+	defer sp.End()
 	tr, ev := k.VCPU.Tracer, k.VCPU.Met
 	var start int64
 	if tr != nil || ev != nil {

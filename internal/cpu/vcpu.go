@@ -15,6 +15,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/metrics"
 	"repro/internal/pgtable"
+	"repro/internal/prof"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/vmcs"
@@ -110,6 +111,14 @@ type VCPU struct {
 	// same run. Like Tracer, a nil bridge costs one branch per site.
 	Met *metrics.Events
 
+	// Prof, when non-nil, is the span-profiler tap for this vCPU's
+	// goroutine: hot paths here (and in the layers reached through this
+	// vCPU) open virtual-time spans on it, building the call-path tree
+	// behind flamegraph/pprof exports. Like Tracer it only observes (never
+	// advances the clock) and is single-goroutine; nil disables profiling
+	// at zero cost.
+	Prof *prof.Tap
+
 	// EPMLVector is the self-IPI vector raised when the guest-level PML
 	// buffer fills (EPML only).
 	EPMLVector int
@@ -194,12 +203,14 @@ func (v *VCPU) exit(e *Exit) (uint64, error) {
 	if tr != nil || ev != nil {
 		start = v.Clock.Nanos()
 	}
+	sp := v.Prof.Begin(prof.SubCPU, exitOp(e))
 	v.Clock.Advance(v.Costs.VMExit)
 	prev := v.mode
 	v.mode = VMXRoot
 	ret, err := v.Exits.HandleExit(v, e)
 	v.mode = prev
 	v.Clock.Advance(v.Costs.VMEntry)
+	sp.End()
 	if tr != nil || ev != nil {
 		k, arg := exitTrace(e)
 		now := v.Clock.Nanos()
@@ -230,6 +241,20 @@ func exitTrace(e *Exit) (trace.Kind, int64) {
 		return trace.KindEPTViolation, 0
 	}
 	return trace.KindVMExit, int64(e.Reason)
+}
+
+// exitOp names the profiler span for a vmexit, mirroring exitTrace's
+// kind split so profiles and per-kind trace summaries line up.
+func exitOp(e *Exit) string {
+	switch e.Reason {
+	case ExitHypercall:
+		return "hypercall"
+	case ExitPMLFull:
+		return "pml_full"
+	case ExitEPTViolation:
+		return "ept_violation"
+	}
+	return "vmexit"
 }
 
 // Hypercall issues a hypercall from the guest (a vmexit with ExitHypercall).
@@ -316,6 +341,8 @@ func (v *VCPU) translateGPA(gpa mem.GPA, write bool) (mem.HPA, error) {
 // SDM: an invalid index exits first, then the entry is logged and the index
 // decremented.
 func (v *VCPU) pmlLog(gpa mem.GPA) error {
+	sp := v.Prof.Begin(prof.SubCPU, "pml_log")
+	defer sp.End()
 	if v.Inj.Fire(faults.PMLFullExit) {
 		// Spurious buffer-full exit: the hypervisor drains a partial
 		// buffer. Nothing is lost - entries already logged reach the ring
@@ -384,6 +411,8 @@ func (v *VCPU) epmlFields() *vmcs.VMCS {
 // full the CPU raises a posted self-IPI into the guest - no vmexit - which
 // the OoH module handles by draining the buffer into the per-process ring.
 func (v *VCPU) epmlLog(gva mem.GVA) error {
+	sp := v.Prof.Begin(prof.SubCPU, "epml_log")
+	defer sp.End()
 	fields := v.epmlFields()
 	for try := 0; ; try++ {
 		idx, err := fields.Read(vmcs.FieldGuestPMLIndex)
@@ -408,6 +437,7 @@ func (v *VCPU) epmlLog(gva mem.GVA) error {
 			if tr != nil || ev != nil {
 				start = v.Clock.Nanos()
 			}
+			irqSp := v.Prof.Begin(prof.SubCPU, "epml_full_irq")
 			v.Clock.Advance(v.Costs.IRQDeliver)
 			if v.IRQ == nil {
 				return errors.New("cpu: EPML buffer full with no IRQ sink")
@@ -430,6 +460,7 @@ func (v *VCPU) epmlLog(gva mem.GVA) error {
 				})
 			}
 			ev.Observe(trace.KindEPMLFullIRQ, now, now-start, int64(v.EPMLVector))
+			irqSp.End()
 			continue
 		}
 		bufRaw, err := fields.Read(vmcs.FieldGuestPMLAddress)
@@ -480,6 +511,8 @@ func (v *VCPU) walkForWrite(gva mem.GVA) (mem.HPA, error) {
 	if v.GuestPT == nil {
 		return 0, ErrNoAddressSpace
 	}
+	sp := v.Prof.Begin(prof.SubCPU, "page_walk")
+	defer sp.End()
 	for try := 0; try < maxFaultRetries; try++ {
 		pte, ok := v.GuestPT.Lookup(gva)
 		if !ok || !pte.Writable() {
@@ -566,9 +599,12 @@ func (v *VCPU) tracedFault(gva mem.GVA, write bool) error {
 	if tr != nil || ev != nil {
 		start = v.Clock.Nanos()
 	}
+	sp := v.Prof.Begin(prof.SubCPU, "guest_pf")
 	if err := v.Fault.HandlePageFault(v, gva, write); err != nil {
+		sp.End()
 		return err
 	}
+	sp.End()
 	arg := int64(0)
 	if write {
 		arg = 1
@@ -589,6 +625,8 @@ func (v *VCPU) walkForRead(gva mem.GVA) (mem.HPA, error) {
 	if v.GuestPT == nil {
 		return 0, ErrNoAddressSpace
 	}
+	sp := v.Prof.Begin(prof.SubCPU, "page_walk")
+	defer sp.End()
 	for try := 0; try < maxFaultRetries; try++ {
 		pte, ok := v.GuestPT.Lookup(gva)
 		if !ok {

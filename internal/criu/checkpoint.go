@@ -9,6 +9,7 @@ import (
 	"repro/internal/guestos"
 	"repro/internal/mem"
 	"repro/internal/pgtable"
+	"repro/internal/prof"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/tracking"
@@ -93,29 +94,41 @@ func (c *Checkpointer) Run(runBetween func(round int) error) (*Image, Stats, err
 	stats := Stats{Technique: c.Tech.Kind()}
 	img := NewImage(c.Proc)
 	total := sim.StartWatch(c.clock)
+	tap := c.Proc.Kernel().VCPU.Prof
+	ckSp := tap.Begin(prof.SubCRIU, "checkpoint")
+	defer ckSp.End()
 
 	// Initialization phase. The paper's CRIU patch point 1: with OoH the
 	// tracked process is not paused for clear_refs; the technique's Init
 	// carries whatever cost its mechanism has.
 	w := sim.StartWatch(c.clock)
+	initSp := tap.Begin(prof.SubCRIU, "init")
 	if err := c.Tech.Init(); err != nil {
 		return nil, stats, fmt.Errorf("criu: tracker init: %w", err)
 	}
+	initSp.End()
 	stats.Init = w.Elapsed()
 
-	// Round 0: full dump of every present page.
+	// Round 0: full dump of every present page. The round span wraps only
+	// the dump itself (page enumeration is not MD/MW work), so a round
+	// span's inclusive time always equals that round's MD+MW delta.
 	pages := c.presentPages()
+	r0Sp := tap.Begin(prof.SubCRIU, prof.RoundOp(0))
 	if err := c.dumpRound(img, &stats, pages); err != nil {
 		return nil, stats, err
 	}
+	r0Sp.End()
 
 	// Pre-copy rounds: let the workload run, then dump what it dirtied.
+	// Each round's collect+dump pair runs under a RoundOp span (the
+	// workload pass stays outside it), which is what CriticalPath walks.
 	for round := 1; round <= c.Opts.MaxRounds; round++ {
 		if runBetween != nil {
 			if err := runBetween(round); err != nil {
 				return nil, stats, fmt.Errorf("criu: workload (round %d): %w", round, err)
 			}
 		}
+		rSp := tap.Begin(prof.SubCRIU, prof.RoundOp(round))
 		dirty, err := c.collect(&stats)
 		if err != nil {
 			return nil, stats, err
@@ -123,6 +136,7 @@ func (c *Checkpointer) Run(runBetween func(round int) error) (*Image, Stats, err
 		if err := c.dumpRound(img, &stats, dirty); err != nil {
 			return nil, stats, err
 		}
+		rSp.End()
 		if len(dirty) <= c.Opts.Threshold {
 			break
 		}
@@ -130,6 +144,7 @@ func (c *Checkpointer) Run(runBetween func(round int) error) (*Image, Stats, err
 
 	// Final stop-and-copy: pause the process, drain the last dirty set.
 	c.Proc.Pause()
+	sacSp := tap.Begin(prof.SubCRIU, "stop_and_copy")
 	dirty, err := c.collect(&stats)
 	if err != nil {
 		c.Proc.Resume()
@@ -139,6 +154,7 @@ func (c *Checkpointer) Run(runBetween func(round int) error) (*Image, Stats, err
 		c.Proc.Resume()
 		return nil, stats, err
 	}
+	sacSp.End()
 	if err := c.Tech.Close(); err != nil {
 		c.Proc.Resume()
 		return nil, stats, fmt.Errorf("criu: tracker close: %w", err)
@@ -164,6 +180,8 @@ func (c *Checkpointer) collect(stats *Stats) ([]mem.GVA, error) {
 	if tr != nil || ev != nil {
 		start = c.clock.Nanos()
 	}
+	sp := c.Proc.Kernel().VCPU.Prof.Begin(prof.SubCRIU, "collect")
+	defer sp.End()
 	w := sim.StartWatch(c.clock)
 	dirty, err := c.Tech.Collect()
 	if err != nil {
@@ -192,6 +210,8 @@ func (c *Checkpointer) dumpRound(img *Image, stats *Stats, pages []mem.GVA) erro
 	if tr != nil || ev != nil {
 		start = c.clock.Nanos()
 	}
+	sp := c.Proc.Kernel().VCPU.Prof.Begin(prof.SubCRIU, "dump")
+	defer sp.End()
 	w := sim.StartWatch(c.clock)
 	model := c.Proc.Kernel().Model
 	n := 0

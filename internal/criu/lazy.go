@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/guestos"
 	"repro/internal/mem"
+	"repro/internal/prof"
 )
 
 // Lazy (post-copy) restore: CRIU's userfaultfd-based restore mode. The
@@ -48,6 +49,8 @@ func LazyRestore(k *guestos.Kernel, img *Image) (*LazyRestorer, error) {
 // handle services a missing-page fault: install the image's content, or a
 // zero page when the image has none.
 func (lr *LazyRestorer) handle(ev guestos.UfdEvent) error {
+	sp := ev.Proc.Kernel().VCPU.Prof.Begin(prof.SubCRIU, "lazy_fetch")
+	defer sp.End()
 	page := ev.GVA.PageFloor()
 	if err := ev.Proc.UfdCopyZero(page); err != nil {
 		return err

@@ -15,6 +15,7 @@ import (
 	"repro/internal/guestos"
 	"repro/internal/machine"
 	"repro/internal/metrics"
+	"repro/internal/prof"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/tracking"
@@ -54,16 +55,25 @@ type Options struct {
 	// registry. Parallel grids give each cell its own registry and fold
 	// them into this one with Registry.Merge after the barrier.
 	Metrics *metrics.Registry
+	// Profiler, when non-nil, is attached to each scenario's monitored
+	// machine (never the ideal baseline) so hot paths fold virtual-time
+	// spans into its call-path tree. Parallel grids give each cell its own
+	// Profiler and fold them into this one with Profiler.Merge after the
+	// barrier, so any Workers value yields the same profile.
+	Profiler *prof.Profiler
 }
 
 // probes bundles the observation-plane attachments (tracer + metrics
-// registry) threaded into a scenario's monitored machine.
+// registry + profiler) threaded into a scenario's monitored machine.
 type probes struct {
-	tr  *trace.Tracer
-	reg *metrics.Registry
+	tr   *trace.Tracer
+	reg  *metrics.Registry
+	prof *prof.Profiler
 }
 
-func (o Options) probes() probes { return probes{tr: o.Tracer, reg: o.Metrics} }
+func (o Options) probes() probes {
+	return probes{tr: o.Tracer, reg: o.Metrics, prof: o.Profiler}
+}
 
 // DefaultSeed is the seed used when none was chosen (Seed == 0 and
 // !SeedSet).
@@ -152,7 +162,7 @@ func runMicro(kind costmodel.Technique, pages int, seed uint64, p probes) (Micro
 	res.Ideal = ideal
 
 	// Monitored run.
-	m, err := machine.New(machine.Config{Tracer: p.tr, Metrics: p.reg})
+	m, err := machine.New(machine.Config{Tracer: p.tr, Metrics: p.reg, Profiler: p.prof})
 	if err != nil {
 		return res, err
 	}
@@ -293,7 +303,7 @@ func runCRIU(name string, size workloads.Size, scale int, kind costmodel.Techniq
 	}
 
 	// Monitored: same passes with a pre-copy checkpoint interleaved.
-	m, err := machine.New(machine.Config{Tracer: p.tr, Metrics: p.reg})
+	m, err := machine.New(machine.Config{Tracer: p.tr, Metrics: p.reg, Profiler: p.prof})
 	if err != nil {
 		return res, err
 	}
@@ -376,7 +386,7 @@ const boehmPasses = 4
 // no dirty technique), the paper's baseline. p's probes (either may be
 // nil) observe the run.
 func runBoehm(app string, size workloads.Size, scale int, kind costmodel.Technique, seed uint64, p probes) (BoehmResult, error) {
-	m, err := machine.New(machine.Config{Tracer: p.tr, Metrics: p.reg})
+	m, err := machine.New(machine.Config{Tracer: p.tr, Metrics: p.reg, Profiler: p.prof})
 	if err != nil {
 		return BoehmResult{App: app, Size: size, Technique: kind}, err
 	}

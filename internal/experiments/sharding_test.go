@@ -6,20 +6,23 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/prof"
 	"repro/internal/trace"
 )
 
 // observedRun is everything a probed experiment run leaves behind: the
-// rendered tables, the JSONL trace stream, and both metrics snapshot
-// export formats.
+// rendered tables, the JSONL trace stream, both metrics snapshot export
+// formats, and both profiler export formats.
 type observedRun struct {
-	table string
-	jsonl []byte
-	prom  []byte
-	mjson []byte
+	table  string
+	jsonl  []byte
+	prom   []byte
+	mjson  []byte
+	folded []byte
+	pprof  []byte
 }
 
-// runObserved drives one experiment with both probes attached at the given
+// runObserved drives one experiment with every probe attached at the given
 // worker count and captures every output byte.
 func runObserved(t *testing.T, id string, workers int, mask uint64) observedRun {
 	t.Helper()
@@ -28,8 +31,9 @@ func runObserved(t *testing.T, id string, workers int, mask uint64) observedRun 
 	tr.SetMask(mask)
 	reg := metrics.NewRegistry()
 	reg.NewSampler(250 * time.Microsecond)
+	profiler := prof.New()
 
-	opt := Options{Workers: workers, Seed: 11, Tracer: tr, Metrics: reg}
+	opt := Options{Workers: workers, Seed: 11, Tracer: tr, Metrics: reg, Profiler: profiler}
 	res, err := Run(id, opt)
 	if err != nil {
 		t.Fatalf("%s (workers=%d): %v", id, workers, err)
@@ -38,14 +42,21 @@ func runObserved(t *testing.T, id string, workers int, mask uint64) observedRun 
 		t.Fatalf("%s (workers=%d): closing trace: %v", id, workers, err)
 	}
 	snap := reg.Snapshot()
-	var prom, mjson bytes.Buffer
+	var prom, mjson, folded, pb bytes.Buffer
 	if err := snap.WritePrometheus(&prom); err != nil {
 		t.Fatal(err)
 	}
 	if err := snap.WriteJSONL(&mjson); err != nil {
 		t.Fatal(err)
 	}
-	return observedRun{table: res.Render(), jsonl: traceBuf.Bytes(), prom: prom.Bytes(), mjson: mjson.Bytes()}
+	if err := profiler.WriteFolded(&folded); err != nil {
+		t.Fatal(err)
+	}
+	if err := profiler.WritePprof(&pb); err != nil {
+		t.Fatal(err)
+	}
+	return observedRun{table: res.Render(), jsonl: traceBuf.Bytes(), prom: prom.Bytes(),
+		mjson: mjson.Bytes(), folded: folded.Bytes(), pprof: pb.Bytes()}
 }
 
 // checkByteIdentical compares a Workers=8 run against the Workers=1 run of
@@ -69,8 +80,19 @@ func checkByteIdentical(t *testing.T, id string, mask uint64) {
 	if !bytes.Equal(serial.mjson, parallel.mjson) {
 		t.Errorf("%s: JSONL snapshots differ", id)
 	}
+	if !bytes.Equal(serial.folded, parallel.folded) {
+		t.Errorf("%s: folded-stack profiles differ:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			id, serial.folded, parallel.folded)
+	}
+	if !bytes.Equal(serial.pprof, parallel.pprof) {
+		t.Errorf("%s: pprof profiles differ (serial %d bytes, parallel %d bytes)",
+			id, len(serial.pprof), len(parallel.pprof))
+	}
 	if len(serial.jsonl) == 0 {
 		t.Errorf("%s: trace stream is empty - the probes were not attached", id)
+	}
+	if len(serial.folded) == 0 {
+		t.Errorf("%s: folded profile is empty - the profiler was not attached", id)
 	}
 }
 

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"repro/internal/metrics"
+	"repro/internal/prof"
 	"repro/internal/trace"
 )
 
@@ -20,6 +21,7 @@ type probeShards struct {
 	dst    probes
 	shards []*trace.Shard
 	regs   []*metrics.Registry
+	profs  []*prof.Profiler
 }
 
 // newShards builds per-cell probes for an n-cell grid. Disabled planes
@@ -42,6 +44,12 @@ func (o Options) newShards(n int) *probeShards {
 			}
 		}
 	}
+	if ps.dst.prof != nil {
+		ps.profs = make([]*prof.Profiler, n)
+		for i := range ps.profs {
+			ps.profs[i] = prof.New()
+		}
+	}
 	return ps
 }
 
@@ -53,6 +61,9 @@ func (ps *probeShards) cell(i int) probes {
 	}
 	if ps.regs != nil {
 		p.reg = ps.regs[i]
+	}
+	if ps.profs != nil {
+		p.prof = ps.profs[i]
 	}
 	return p
 }
@@ -67,6 +78,11 @@ func (ps *probeShards) merge() {
 	if ps.dst.reg != nil {
 		for _, r := range ps.regs {
 			ps.dst.reg.Merge(r)
+		}
+	}
+	if ps.dst.prof != nil {
+		for _, p := range ps.profs {
+			ps.dst.prof.Merge(p)
 		}
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/cpu"
 	"repro/internal/mem"
+	"repro/internal/prof"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -176,7 +177,9 @@ func (k *Kernel) DeliverIRQ(vector int) {
 	if tr != nil || ev != nil {
 		start = k.Clock.Nanos()
 	}
+	sp := k.VCPU.Prof.Begin(prof.SubGuestOS, "irq")
 	h()
+	sp.End()
 	now := k.Clock.Nanos()
 	if tr.Enabled(trace.KindIRQ) {
 		tr.Emit(trace.Record{Kind: trace.KindIRQ, VM: int32(k.VCPU.ID),

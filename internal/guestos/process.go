@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/mem"
 	"repro/internal/pgtable"
+	"repro/internal/prof"
 	"repro/internal/trace"
 )
 
@@ -179,6 +180,7 @@ func (p *Process) handleFault(gva mem.GVA, write bool) error {
 
 	if !present {
 		// Ordinary demand paging.
+		sp := p.k.VCPU.Prof.Begin(prof.SubGuestOS, "demand_fault")
 		p.k.VCPU.Counters.Inc(CtrDemandFaults)
 		p.k.Clock.Advance(p.k.Model.DemandFault)
 		cost := int64(p.k.Model.DemandFault)
@@ -187,13 +189,16 @@ func (p *Process) handleFault(gva mem.GVA, write bool) error {
 				TS: p.k.Clock.Nanos() - cost, Cost: cost, Addr: uint64(gva.PageFloor())})
 		}
 		p.k.VCPU.Met.Observe(trace.KindDemandFault, p.k.Clock.Nanos(), cost, 0)
-		return p.mapPage(gva)
+		err := p.mapPage(gva)
+		sp.End()
+		return err
 	}
 
 	if write && !pte.Writable() {
 		// Soft-dirty write-protect fault: the handler sets the soft-dirty
 		// bit and restores write permission (§III-B). The cost is the
 		// kernel-space page fault handling metric M5.
+		sp := p.k.VCPU.Prof.Begin(prof.SubGuestOS, "softdirty_fault")
 		p.k.VCPU.Counters.Inc(CtrSoftDirtyFaults)
 		cost := int64(p.k.Model.PFHKernel.PerPage(p.curveSize()))
 		p.k.Clock.Advance(time.Duration(cost))
@@ -202,7 +207,9 @@ func (p *Process) handleFault(gva mem.GVA, write bool) error {
 				TS: p.k.Clock.Nanos() - cost, Cost: cost, Addr: uint64(gva.PageFloor())})
 		}
 		p.k.VCPU.Met.Observe(trace.KindSoftDirtyFault, p.k.Clock.Nanos(), cost, 0)
-		return p.PT.SetFlags(gva, pgtable.FlagWritable|pgtable.FlagSoftDirty)
+		err := p.PT.SetFlags(gva, pgtable.FlagWritable|pgtable.FlagSoftDirty)
+		sp.End()
+		return err
 	}
 
 	return fmt.Errorf("%w: unexpected fault pid %d at %v (write=%v, pte=%#x)",

@@ -7,6 +7,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/metrics"
 	"repro/internal/pgtable"
+	"repro/internal/prof"
 	"repro/internal/trace"
 )
 
@@ -30,6 +31,8 @@ func (k *Kernel) ClearRefs(pid Pid) error {
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrNoSuchProcess, pid)
 	}
+	sp := k.VCPU.Prof.Begin(prof.SubGuestOS, "clear_refs")
+	defer sp.End()
 	k.VCPU.Counters.Inc(CtrClearRefs)
 	perPage := k.Model.ClearRefs.PerPage(p.curveSize())
 	pages := 0
@@ -64,6 +67,8 @@ func (k *Kernel) Pagemap(pid Pid) ([]PagemapEntry, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", ErrNoSuchProcess, pid)
 	}
+	sp := k.VCPU.Prof.Begin(prof.SubGuestOS, "pagemap_walk")
+	defer sp.End()
 	perPage := k.Model.PTWalkUser.PerPage(p.curveSize())
 	var entries []PagemapEntry
 	pages := 0

@@ -8,6 +8,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/mem"
 	"repro/internal/pgtable"
+	"repro/internal/prof"
 )
 
 // UfdMode selects a userfaultfd monitoring mode (§III-A).
@@ -77,6 +78,8 @@ func (u *ufdState) covers(gva mem.GVA, mode UfdMode) bool {
 // raise delivers a fault to the tracker and verifies it was resolved.
 func (u *ufdState) raise(p *Process, gva mem.GVA, write, missing bool) error {
 	k := p.k
+	sp := k.VCPU.Prof.Begin(prof.SubGuestOS, "ufd_fault")
+	defer sp.End()
 	k.VCPU.Counters.Inc(CtrUfdFaults)
 	// The faulting thread context-switches to the handler and back (2 x
 	// M1). The userspace handling cost itself (M6) is charged by the

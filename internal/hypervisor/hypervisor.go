@@ -17,6 +17,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/mem"
 	"repro/internal/metrics"
+	"repro/internal/prof"
 	"repro/internal/ringbuf"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -192,6 +193,8 @@ func (vm *VM) HandleExit(v *cpu.VCPU, e *cpu.Exit) (uint64, error) {
 
 // handleEPTViolation demand-allocates a host frame for the faulting GPA.
 func (vm *VM) handleEPTViolation(gpa mem.GPA) error {
+	sp := vm.VCPU.Prof.Begin(prof.SubHypervisor, "ept_map")
+	defer sp.End()
 	vm.Clock.Advance(vm.Hyp.Model.EPTViolation)
 	hpa, err := vm.Hyp.Phys.AllocFrame()
 	if err != nil {
@@ -210,6 +213,8 @@ func (vm *VM) handlePMLFull() error {
 // drainPMLBuffer copies every logged GPA out of the hardware buffer and
 // resets the PML index to 511.
 func (vm *VM) drainPMLBuffer() error {
+	sp := vm.VCPU.Prof.Begin(prof.SubHypervisor, "pml_drain")
+	defer sp.End()
 	idx, err := vm.VMCS.Read(vmcs.FieldPMLIndex)
 	if err != nil {
 		return fmt.Errorf("hypervisor: PML drain: %w", err)
@@ -281,6 +286,8 @@ func (vm *VM) wsOrDefault() uint64 {
 // --- hypercalls --------------------------------------------------------------
 
 func (vm *VM) handleHypercall(nr int, args []uint64) (uint64, error) {
+	sp := vm.VCPU.Prof.Begin(prof.SubHypervisor, hypercallName(nr))
+	defer sp.End()
 	m := vm.Hyp.Model
 	if ev := vm.VCPU.Met; ev != nil {
 		ev.Count(metrics.SubHypervisor, "hypercalls_by_type", hypercallName(nr), 1)

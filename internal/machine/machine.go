@@ -14,6 +14,7 @@ import (
 	"repro/internal/hypervisor"
 	"repro/internal/mem"
 	"repro/internal/metrics"
+	"repro/internal/prof"
 	"repro/internal/trace"
 	"repro/internal/tracking"
 )
@@ -43,6 +44,13 @@ type Config struct {
 	// single-goroutine; parallel sweeps give each machine its own registry
 	// and fold them with Registry.Merge. Nil disables metrics at zero cost.
 	Metrics *metrics.Registry
+	// Profiler, when non-nil, receives virtual-time call-path spans from
+	// every layer via a per-vCPU prof.Tap bound to that VM's clock. Like
+	// the Tracer it is single-goroutine: only set it on machines driven by
+	// one goroutine. Parallel sweeps give each machine its own Profiler
+	// and fold them with Profiler.Merge. Nil disables profiling at zero
+	// cost.
+	Profiler *prof.Profiler
 }
 
 // Machine is a booted host: one hypervisor, n VMs each running a guest
@@ -90,6 +98,7 @@ func New(cfg Config) (*Machine, error) {
 		vm.VCPU.Tracer = cfg.Tracer
 		vm.VCPU.Inj = cfg.Faults
 		vm.VCPU.Met = metrics.NewEvents(cfg.Metrics)
+		vm.VCPU.Prof = cfg.Profiler.Tap(vm.VCPU.Clock)
 		if i == 0 {
 			// Only the first guest feeds the sampler's default series;
 			// duplicate registrations from later guests would shadow them.

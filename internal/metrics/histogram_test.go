@@ -119,6 +119,46 @@ func TestHistogramQuantileEdgeCases(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileTable pins Quantile across the degenerate shapes a
+// metrics consumer actually hits: an empty histogram (no observations at
+// all - every quantile is 0, never a bucket bound), a single sample, and
+// many samples collapsed into one bucket (identical values).
+func TestHistogramQuantileTable(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		observe []int64
+		q       float64
+		want    int64
+	}{
+		{name: "empty p50", q: 0.5, want: 0},
+		{name: "empty p99", q: 0.99, want: 0},
+		{name: "empty p100", q: 1, want: 0},
+		{name: "single sample p50", observe: []int64{42}, q: 0.5, want: 42},
+		{name: "single sample p100", observe: []int64{42}, q: 1, want: 42},
+		{name: "all in one bucket p01", observe: []int64{7, 7, 7, 7}, q: 0.01, want: 7},
+		{name: "all in one bucket p50", observe: []int64{7, 7, 7, 7}, q: 0.5, want: 7},
+		{name: "all in one bucket p100", observe: []int64{7, 7, 7, 7}, q: 1, want: 7},
+		// Out-of-range q is 0 regardless of contents.
+		{name: "q zero", observe: []int64{42}, q: 0, want: 0},
+		{name: "q above one", observe: []int64{42}, q: 1.01, want: 0},
+	} {
+		var h Histogram
+		for _, v := range tc.observe {
+			h.Observe(v)
+		}
+		if got := h.Quantile(tc.q); got != tc.want {
+			t.Errorf("%s: Quantile(%v) = %d, want %d", tc.name, tc.q, got, tc.want)
+		}
+	}
+	// The nil receiver behaves like empty for every accessor.
+	var nilH *Histogram
+	for _, q := range []float64{0.5, 0.99, 1} {
+		if got := nilH.Quantile(q); got != 0 {
+			t.Errorf("nil histogram Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+}
+
 // TestBucketUpperSaturates is the regression test for the top-octave
 // overflow: bucketUpper used to compute the bound in int64, where the
 // intermediate base+(1<<shift) wraps for the highest buckets. Every bucket

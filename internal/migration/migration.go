@@ -17,6 +17,7 @@ import (
 	"repro/internal/ept"
 	"repro/internal/hypervisor"
 	"repro/internal/mem"
+	"repro/internal/prof"
 	"repro/internal/sim"
 )
 
@@ -69,6 +70,9 @@ func Migrate(vm *hypervisor.VM, opts Options, runBetween func(round int) error) 
 	stats := Stats{}
 	clock := vm.Clock
 	total := sim.StartWatch(clock)
+	tap := vm.VCPU.Prof
+	migSp := tap.Begin(prof.SubMigration, "migrate")
+	defer migSp.End()
 	image := make(map[mem.GPA][]byte)
 
 	perPage := time.Millisecond / time.Duration(opts.BandwidthPagesPerMS)
@@ -83,9 +87,11 @@ func Migrate(vm *hypervisor.VM, opts Options, runBetween func(round int) error) 
 	if len(all) == 0 {
 		return nil, stats, ErrNoMemory
 	}
+	r0Sp := tap.Begin(prof.SubMigration, prof.RoundOp(0))
 	if err := sendPages(vm, image, all, perPage, &stats); err != nil {
 		return nil, stats, err
 	}
+	r0Sp.End()
 
 	// Dirty-only rounds. On convergence the freshly collected (small)
 	// dirty set is carried into the stop-and-copy transfer - dropping it
@@ -97,35 +103,47 @@ func Migrate(vm *hypervisor.VM, opts Options, runBetween func(round int) error) 
 				return nil, stats, fmt.Errorf("migration: guest (round %d): %w", round, err)
 			}
 		}
-		dirty, err := vm.CollectDirty()
+		rSp := tap.Begin(prof.SubMigration, prof.RoundOp(round))
+		dirty, err := collectDirty(vm)
 		if err != nil {
 			return nil, stats, err
 		}
 		if len(dirty) <= opts.DowntimeTargetPages {
 			stats.Converged = true
 			pending = dirty
+			rSp.End()
 			break
 		}
 		if err := sendPages(vm, image, dirty, perPage, &stats); err != nil {
 			return nil, stats, err
 		}
+		rSp.End()
 	}
 
 	// Stop-and-copy: the guest is paused (no runBetween), transfer the
 	// pending set plus anything dirtied since it was collected. The
 	// transfer time is the migration downtime.
 	down := sim.StartWatch(clock)
-	last, err := vm.CollectDirty()
+	sacSp := tap.Begin(prof.SubMigration, "stop_and_copy")
+	last, err := collectDirty(vm)
 	if err != nil {
 		return nil, stats, err
 	}
 	if err := sendPages(vm, image, append(pending, last...), perPage, &stats); err != nil {
 		return nil, stats, err
 	}
+	sacSp.End()
 	stats.Downtime = down.Elapsed()
 	stats.TotalTime = total.Elapsed()
 	stats.UniquePages = len(image)
 	return image, stats, nil
+}
+
+// collectDirty drains one pre-copy round's dirty log under a span.
+func collectDirty(vm *hypervisor.VM) ([]mem.GPA, error) {
+	sp := vm.VCPU.Prof.Begin(prof.SubMigration, "collect")
+	defer sp.End()
+	return vm.CollectDirty()
 }
 
 // mappedGPAs enumerates the VM's mapped guest frames.
@@ -140,6 +158,8 @@ func mappedGPAs(vm *hypervisor.VM) []mem.GPA {
 
 // sendPages copies the given frames into the image, charging transfer time.
 func sendPages(vm *hypervisor.VM, image map[mem.GPA][]byte, pages []mem.GPA, perPage time.Duration, stats *Stats) error {
+	sp := vm.VCPU.Prof.Begin(prof.SubMigration, "send")
+	defer sp.End()
 	for _, gpa := range pages {
 		buf := make([]byte, mem.PageSize)
 		if err := vm.VCPU.KernelReadGPA(gpa.PageFloor(), buf); err != nil {

@@ -1,0 +1,171 @@
+package prof
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/report"
+)
+
+// Iterative checkpoint/migration drivers wrap each pre-copy round in a
+// span whose op is RoundOp(n); CriticalPath later finds those spans and
+// names the dominant path inside each round (the paper's Fig. 5/6
+// story). Round ops are interned so the hot path never formats strings.
+
+const roundPrefix = "round"
+
+// maxInternedRounds bounds the pre-built round-op strings; rounds beyond
+// it (far past any realistic MaxRounds) fall back to fmt.Sprintf.
+const maxInternedRounds = 64
+
+var roundOps [maxInternedRounds]string
+
+func init() {
+	for i := range roundOps {
+		roundOps[i] = roundPrefix + strconv.Itoa(i)
+	}
+}
+
+// RoundOp returns the span op naming pre-copy round n ("round0",
+// "round1", ...). Allocation-free for n < 64.
+func RoundOp(n int) string {
+	if n >= 0 && n < maxInternedRounds {
+		return roundOps[n]
+	}
+	return fmt.Sprintf("%s%d", roundPrefix, n)
+}
+
+// RoundNumber parses a RoundOp-shaped op, reporting ok=false for any
+// other op.
+func RoundNumber(op string) (int, bool) {
+	s, found := strings.CutPrefix(op, roundPrefix)
+	if !found || s == "" {
+		return 0, false
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// PathStep is one frame on a critical path, with its inclusive time.
+type PathStep struct {
+	Frame Frame
+	Incl  int64
+}
+
+// RoundPath describes the dominant (critical) path of one round span:
+// the chain of maximum-inclusive-time children from the round node down
+// to a leaf.
+type RoundPath struct {
+	Sub   string // subsystem of the round span ("criu", "migration")
+	Round int
+	Total int64 // inclusive ns of the round span itself
+	Count int64 // completed round spans folded into this node
+	Steps []PathStep
+}
+
+// Dominant renders the critical path as "collect > tracking/collect >
+// core/ring_drain", eliding the subsystem while it repeats.
+func (r RoundPath) Dominant() string {
+	var b strings.Builder
+	last := r.Sub
+	for i, s := range r.Steps {
+		if i > 0 {
+			b.WriteString(" > ")
+		}
+		if s.Frame.Sub == last {
+			b.WriteString(s.Frame.Op)
+		} else {
+			b.WriteString(s.Frame.String())
+		}
+		last = s.Frame.Sub
+	}
+	return b.String()
+}
+
+// Share returns the fraction of the round spent on the critical path's
+// first step (the dominant direct child), in [0, 1].
+func (r RoundPath) Share() float64 {
+	if r.Total == 0 || len(r.Steps) == 0 {
+		return 0
+	}
+	return float64(r.Steps[0].Incl) / float64(r.Total)
+}
+
+// CriticalPath scans the call-path tree for round spans (ops shaped like
+// RoundOp) and, for each, descends the maximum-inclusive-time child
+// chain. Results are sorted by (subsystem, round). Deterministic: ties
+// break toward the lexicographically smaller frame.
+func (p *Profiler) CriticalPath() []RoundPath {
+	if p == nil {
+		return nil
+	}
+	var out []RoundPath
+	var walk func(n *node)
+	walk = func(n *node) {
+		for _, c := range sortedChildren(n) {
+			if round, ok := RoundNumber(c.frame.Op); ok && c.count > 0 {
+				out = append(out, RoundPath{
+					Sub:   c.frame.Sub,
+					Round: round,
+					Total: c.incl,
+					Count: c.count,
+					Steps: descend(c),
+				})
+				continue // rounds do not nest
+			}
+			walk(c)
+		}
+	}
+	walk(&p.root)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Sub != out[j].Sub {
+			return out[i].Sub < out[j].Sub
+		}
+		return out[i].Round < out[j].Round
+	})
+	return out
+}
+
+// descend follows the max-inclusive child chain below n.
+func descend(n *node) []PathStep {
+	var steps []PathStep
+	for {
+		var best *node
+		for _, c := range sortedChildren(n) {
+			if c.count == 0 {
+				continue
+			}
+			if best == nil || c.incl > best.incl {
+				best = c
+			}
+		}
+		if best == nil {
+			return steps
+		}
+		steps = append(steps, PathStep{Frame: best.frame, Incl: best.incl})
+		n = best
+	}
+}
+
+// CriticalPathTable renders the per-round critical paths; nil when the
+// profile contains no round spans.
+func (p *Profiler) CriticalPathTable() *report.Table {
+	rounds := p.CriticalPath()
+	if len(rounds) == 0 {
+		return nil
+	}
+	t := report.NewTable("Critical path per pre-copy round",
+		"phase", "round", "total", "share", "dominant path")
+	for _, r := range rounds {
+		t.AddRow(r.Sub, r.Round, time.Duration(r.Total),
+			report.FormatPercent(100*r.Share()), r.Dominant())
+	}
+	t.AddNote("share = dominant direct child's inclusive time / round total")
+	return t
+}

@@ -1,0 +1,207 @@
+package prof
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// parseFields decodes the top-level fields of a protobuf message into
+// field-number keyed raw payloads (varint values or byte slices). A
+// minimal wire-format reader - just enough to sanity-check our encoder
+// without a proto dependency.
+func parseFields(t *testing.T, b []byte) map[int][][]byte {
+	t.Helper()
+	out := make(map[int][][]byte)
+	for len(b) > 0 {
+		key, n := binary.Uvarint(b)
+		if n <= 0 {
+			t.Fatalf("bad varint key at %d bytes from end", len(b))
+		}
+		b = b[n:]
+		field, wire := int(key>>3), int(key&7)
+		switch wire {
+		case 0:
+			_, n := binary.Uvarint(b)
+			if n <= 0 {
+				t.Fatalf("bad varint value for field %d", field)
+			}
+			out[field] = append(out[field], b[:n])
+			b = b[n:]
+		case 2:
+			l, n := binary.Uvarint(b)
+			if n <= 0 || uint64(len(b[n:])) < l {
+				t.Fatalf("bad length for field %d", field)
+			}
+			out[field] = append(out[field], b[n:n+int(l)])
+			b = b[n+int(l):]
+		default:
+			t.Fatalf("unexpected wire type %d for field %d", wire, field)
+		}
+	}
+	return out
+}
+
+func uvarint(t *testing.T, b []byte) uint64 {
+	t.Helper()
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		t.Fatalf("bad varint %v", b)
+	}
+	return v
+}
+
+func TestWritePprofStructure(t *testing.T) {
+	p := New()
+	var clock sim.Clock
+	tap := p.Tap(&clock)
+	sp := tap.Begin("criu", "checkpoint")
+	inner := tap.Begin("criu", "dump")
+	clock.AdvanceNanos(7)
+	inner.End()
+	clock.AdvanceNanos(3)
+	sp.End()
+
+	var buf bytes.Buffer
+	if err := p.WritePprof(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	gz, err := gzip.NewReader(&buf)
+	if err != nil {
+		t.Fatalf("export is not gzip: %v", err)
+	}
+	raw, err := io.ReadAll(gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fields := parseFields(t, raw)
+
+	if got := len(fields[fSampleType]); got != 2 {
+		t.Errorf("sample_type count = %d, want 2", got)
+	}
+	if got := len(fields[fSample]); got != 2 {
+		t.Errorf("sample count = %d, want 2 (one per path)", got)
+	}
+	if got, want := len(fields[fLocation]), 2; got != want {
+		t.Errorf("location count = %d, want %d", got, want)
+	}
+	if got, want := len(fields[fFunction]), 2; got != want {
+		t.Errorf("function count = %d, want %d", got, want)
+	}
+
+	// String table must hold the frame names.
+	var strs []string
+	for _, b := range fields[fStringTable] {
+		strs = append(strs, string(b))
+	}
+	if len(strs) == 0 || strs[0] != "" {
+		t.Fatalf("string table must start with \"\": %q", strs)
+	}
+	want := map[string]bool{
+		"criu/checkpoint": false, "criu/dump": false,
+		"samples": false, "count": false, "time": false, "nanoseconds": false,
+	}
+	for _, s := range strs {
+		if _, ok := want[s]; ok {
+			want[s] = true
+		}
+	}
+	for s, seen := range want {
+		if !seen {
+			t.Errorf("string table missing %q (table: %q)", s, strs)
+		}
+	}
+
+	// The deepest sample ("criu/checkpoint;criu/dump") must carry two
+	// leaf-first location ids and values [count=1, excl=7].
+	var found bool
+	for _, sb := range fields[fSample] {
+		sf := parseFields(t, sb)
+		locs := decodePacked(t, sf[fSampleLocationID][0])
+		vals := decodePacked(t, sf[fSampleValue][0])
+		if len(locs) == 2 {
+			found = true
+			if vals[0] != 1 || vals[1] != 7 {
+				t.Errorf("deep sample values = %v, want [1 7]", vals)
+			}
+			// Leaf-first: first location must be criu/dump's.
+			leafFn := locationFunction(t, fields[fLocation], locs[0])
+			if name := functionName(t, fields[fFunction], leafFn, strs); name != "criu/dump" {
+				t.Errorf("leaf location resolves to %q, want criu/dump", name)
+			}
+		}
+	}
+	if !found {
+		t.Error("no two-frame sample found")
+	}
+
+	if got := uvarint(t, fields[fDurationNanos][0]); got != 10 {
+		t.Errorf("duration_nanos = %d, want 10", got)
+	}
+}
+
+func decodePacked(t *testing.T, b []byte) []uint64 {
+	t.Helper()
+	var out []uint64
+	for len(b) > 0 {
+		v, n := binary.Uvarint(b)
+		if n <= 0 {
+			t.Fatalf("bad packed varint")
+		}
+		out = append(out, v)
+		b = b[n:]
+	}
+	return out
+}
+
+func locationFunction(t *testing.T, locs [][]byte, id uint64) uint64 {
+	t.Helper()
+	for _, lb := range locs {
+		lf := parseFields(t, lb)
+		if uvarint(t, lf[fLocID][0]) == id {
+			line := parseFields(t, lf[fLocLine][0])
+			return uvarint(t, line[fLineFunctionID][0])
+		}
+	}
+	t.Fatalf("location %d not found", id)
+	return 0
+}
+
+func functionName(t *testing.T, fns [][]byte, id uint64, strs []string) string {
+	t.Helper()
+	for _, fb := range fns {
+		ff := parseFields(t, fb)
+		if uvarint(t, ff[fFnID][0]) == id {
+			return strs[uvarint(t, ff[fFnName][0])]
+		}
+	}
+	t.Fatalf("function %d not found", id)
+	return ""
+}
+
+func TestWritePprofDeterministic(t *testing.T) {
+	mk := func() []byte {
+		p := New()
+		var clock sim.Clock
+		tap := p.Tap(&clock)
+		for i := 0; i < 5; i++ {
+			sp := tap.Begin("cpu", fmt.Sprintf("op%d", i))
+			clock.AdvanceNanos(int64(i + 1))
+			sp.End()
+		}
+		var buf bytes.Buffer
+		if err := p.WritePprof(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(mk(), mk()) {
+		t.Error("identical profiles produced different pprof bytes")
+	}
+}

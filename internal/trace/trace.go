@@ -147,7 +147,9 @@ func KindByName(name string) (Kind, bool) {
 
 // ParseKinds converts a comma-separated list of kind names (the CLI
 // -trace-kinds syntax) into an enable mask. An empty string means all
-// kinds.
+// kinds; the token "all" does the same explicitly and composes with named
+// kinds ("all,hypercall" is just every kind). Blank elements (trailing or
+// doubled commas) are skipped; duplicate names are harmless.
 func ParseKinds(csv string) (uint64, error) {
 	if strings.TrimSpace(csv) == "" {
 		return AllKinds, nil
@@ -158,9 +160,13 @@ func ParseKinds(csv string) (uint64, error) {
 		if name == "" {
 			continue
 		}
+		if name == "all" {
+			mask |= AllKinds
+			continue
+		}
 		k, ok := KindByName(name)
 		if !ok {
-			return 0, fmt.Errorf("trace: unknown kind %q (have %s)", name, strings.Join(kindNames[:], ", "))
+			return 0, fmt.Errorf("trace: unknown kind %q (have all, %s)", name, strings.Join(kindNames[:], ", "))
 		}
 		mask |= 1 << uint(k)
 	}
@@ -240,7 +246,16 @@ func (t *Tracer) Enabled(k Kind) bool {
 
 // Emit appends one record, flushing the ring to the sink when full. Callers
 // are expected to have checked Enabled; Emit itself does not filter.
+//
+// Emitting after Close is a safe no-op counted as a drop: the sink is
+// already settled, so the record can never reach it, and silently buffering
+// it would make Emitted() overcount what the sink saw without any
+// records_dropped signal.
 func (t *Tracer) Emit(r Record) {
+	if t.closed {
+		t.dropped++
+		return
+	}
 	t.buf = append(t.buf, r)
 	t.emitted++
 	if len(t.buf) == cap(t.buf) {

@@ -148,20 +148,72 @@ func TestKindNamesComplete(t *testing.T) {
 }
 
 func TestParseKinds(t *testing.T) {
-	mask, err := ParseKinds("")
-	if err != nil || mask != AllKinds {
-		t.Errorf("ParseKinds(\"\") = %x, %v", mask, err)
+	hcPF := uint64(1)<<uint(KindHypercall) | uint64(1)<<uint(KindGuestPF)
+	for _, tc := range []struct {
+		in      string
+		want    uint64
+		wantErr bool
+	}{
+		{in: "", want: AllKinds},
+		{in: "   ", want: AllKinds},
+		{in: "all", want: AllKinds},
+		{in: "hypercall, guest_pf", want: hcPF},
+		// Blank elements from trailing or doubled commas are skipped.
+		{in: "hypercall,guest_pf,", want: hcPF},
+		{in: "hypercall,,guest_pf", want: hcPF},
+		// A bare comma has only blank elements: nothing enabled.
+		{in: ",", want: 0},
+		// Duplicates are idempotent bit-ors.
+		{in: "hypercall,hypercall,guest_pf", want: hcPF},
+		// "all" composes with (and subsumes) named kinds.
+		{in: "all,hypercall", want: AllKinds},
+		{in: "hypercall,all", want: AllKinds},
+		{in: "no_such_kind", wantErr: true},
+		{in: "hypercall,no_such_kind", wantErr: true},
+	} {
+		mask, err := ParseKinds(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParseKinds(%q) accepted, want error", tc.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseKinds(%q): %v", tc.in, err)
+			continue
+		}
+		if mask != tc.want {
+			t.Errorf("ParseKinds(%q) = %x, want %x", tc.in, mask, tc.want)
+		}
 	}
-	mask, err = ParseKinds("hypercall, guest_pf")
-	if err != nil {
+}
+
+func TestEmitAfterCloseIsDroppedNoOp(t *testing.T) {
+	mem := &Memory{}
+	tr := New(mem, 4)
+	tr.Emit(Record{Kind: KindVMExit, TS: 1})
+	if err := tr.Close(); err != nil {
 		t.Fatal(err)
 	}
-	want := uint64(1)<<uint(KindHypercall) | uint64(1)<<uint(KindGuestPF)
-	if mask != want {
-		t.Errorf("mask = %x, want %x", mask, want)
+	if got := len(mem.Records()); got != 1 {
+		t.Fatalf("sink has %d records after Close, want 1", got)
 	}
-	if _, err := ParseKinds("no_such_kind"); err == nil {
-		t.Error("unknown kind accepted")
+	// Late emits (an error path firing after the CLI settled the trace
+	// file) must not reach the sink, corrupt the ring, or go unaccounted.
+	for i := 0; i < 6; i++ { // more than the ring, so a buggy Emit would flush
+		tr.Emit(Record{Kind: KindVMExit, TS: int64(100 + i)})
+	}
+	if got := len(mem.Records()); got != 1 {
+		t.Fatalf("post-Close emits reached the sink: %d records, want 1", got)
+	}
+	if got := tr.Dropped(); got != 6 {
+		t.Fatalf("Dropped = %d after 6 post-Close emits, want 6", got)
+	}
+	if got := tr.Emitted(); got != 1 {
+		t.Fatalf("Emitted = %d, want 1 (dropped emits never counted as emitted)", got)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/metrics"
 	"repro/internal/pgtable"
+	"repro/internal/prof"
 	"repro/internal/trace"
 )
 
@@ -170,6 +171,8 @@ func (r *Resilient) Init() error {
 
 // acquire walks the ladder until one rung's Init succeeds.
 func (r *Resilient) acquire() error {
+	sp := r.w.tap().Begin(prof.SubTracking, "acquire")
+	defer sp.End()
 	var lastErr error
 	for i, kind := range r.ladder {
 		inner, err := r.factory(kind)
@@ -219,7 +222,9 @@ func (r *Resilient) withRetry(op func() error) error {
 				TS: r.w.clock.Nanos(), Cost: int64(backoff), Arg: int64(attempt)})
 		}
 		r.w.vcpu.Met.Observe(trace.KindTrackRetry, r.w.clock.Nanos(), int64(backoff), int64(attempt))
+		sp := r.w.tap().Begin(prof.SubTracking, "retry")
 		r.w.clock.Advance(backoff)
+		sp.End()
 		backoff *= 2
 	}
 }
@@ -301,6 +306,8 @@ func (r *Resilient) rescan(missing []mem.GVA, out *[]mem.GVA) (int, error) {
 	if tr != nil || ev != nil {
 		start = r.w.clock.Nanos()
 	}
+	sp := r.w.tap().Begin(prof.SubTracking, "rescan")
+	defer sp.End()
 	sd, err := r.k.SoftDirtyPages(r.proc.Pid)
 	if err != nil {
 		return 0, err

@@ -15,6 +15,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/mem"
 	"repro/internal/metrics"
+	"repro/internal/prof"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -78,6 +79,8 @@ func (w watch) phase(dst *time.Duration, kind trace.Kind, tech costmodel.Techniq
 	if tr != nil || ev != nil {
 		start = w.clock.Nanos()
 	}
+	sp := w.tap().Begin(prof.SubTracking, phaseOp(kind))
+	defer sp.End()
 	err := w.measure(dst, fn)
 	if err == nil && (tr != nil || ev != nil) {
 		a := int64(tech)
@@ -92,4 +95,25 @@ func (w watch) phase(dst *time.Duration, kind trace.Kind, tech costmodel.Techniq
 		ev.Observe(kind, now, now-start, a)
 	}
 	return err
+}
+
+// tap returns the profiler tap, nil when the watch has no vCPU bound.
+func (w watch) tap() *prof.Tap {
+	if w.vcpu == nil {
+		return nil
+	}
+	return w.vcpu.Prof
+}
+
+// phaseOp maps a tracking-phase trace kind to its profiler span op.
+func phaseOp(kind trace.Kind) string {
+	switch kind {
+	case trace.KindTrackInit:
+		return "init"
+	case trace.KindTrackCollect:
+		return "collect"
+	case trace.KindTrackClose:
+		return "close"
+	}
+	return kind.String()
 }
