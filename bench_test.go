@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/costmodel"
 	"repro/internal/experiments"
+	"repro/internal/tracking"
 	"repro/internal/workloads"
 )
 
@@ -21,9 +22,14 @@ func benchOpt() experiments.Options {
 	return experiments.Options{Scale: 1, Runs: 1}
 }
 
-// runExperiment executes one experiment per benchmark iteration.
+// runExperiment executes one experiment per benchmark iteration. Besides
+// ns/op it reports pages-tracked/s: simulated dirty page addresses the
+// tracking techniques delivered per host second - the throughput number
+// the MMU/PML hot-path optimizations are gated on (see BENCH_*.json).
 func runExperiment(b *testing.B, id string) {
 	b.Helper()
+	tracking.ResetPagesReported()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Run(id, benchOpt())
 		if err != nil {
@@ -32,6 +38,9 @@ func runExperiment(b *testing.B, id string) {
 		if len(res.Tables) == 0 {
 			b.Fatalf("%s: no tables", id)
 		}
+	}
+	if pages, secs := tracking.PagesReported(), b.Elapsed().Seconds(); pages > 0 && secs > 0 {
+		b.ReportMetric(float64(pages)/secs, "pages-tracked/s")
 	}
 }
 

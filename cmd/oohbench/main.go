@@ -45,6 +45,9 @@ type benchFlags struct {
 	profTop    bool
 	flamePath  string
 	pprofPath  string
+	perf       bool
+	checkBench string
+	benchTol   float64
 }
 
 func main() {
@@ -66,6 +69,9 @@ func main() {
 	flag.BoolVar(&bf.profTop, "prof", false, "profile the monitored runs and print top-frame and critical-path tables")
 	flag.StringVar(&bf.flamePath, "flame", "", "write a folded-stack virtual-time profile (flamegraph.pl input) to this file")
 	flag.StringVar(&bf.pprofPath, "profile", "", "write a gzipped pprof profile of virtual time to this .pb.gz file")
+	flag.BoolVar(&bf.perf, "perf", false, "measure host throughput per experiment (cached vs cache-disabled wall-clock, pages-tracked/sec) and add a perf section to the -json report")
+	flag.StringVar(&bf.checkBench, "check-bench", "", "comma-separated baseline BENCH_*.json files: regenerate each and fail if the output diverges or the speedup regresses past -bench-tolerance")
+	flag.Float64Var(&bf.benchTol, "bench-tolerance", 0.5, "fraction of the baseline speedup_vs_uncached a -check-bench candidate may lose before the gate fails")
 	flag.Parse()
 
 	// main never exits from inside the work: run returns, so every deferred
@@ -92,6 +98,13 @@ func run(bf benchFlags) (err error) {
 	}
 	if err := parsePprofPath(bf.pprofPath); err != nil {
 		return err
+	}
+	if err := parseBenchTolerance(bf.benchTol); err != nil {
+		return err
+	}
+
+	if bf.checkBench != "" {
+		return checkBench(bf.checkBench, bf.benchTol, bf.workers)
 	}
 
 	if bf.checkJSON != "" {
@@ -150,15 +163,23 @@ func run(bf benchFlags) (err error) {
 	}
 	quiet := bf.jsonPath == "-" // keep stdout parseable
 	var results []*experiments.Result
+	var perf []experiments.BenchPerf
 	for _, id := range ids {
 		start := time.Now()
 		var (
 			res  *experiments.Result
 			rerr error
 		)
-		if id == "table2" {
+		switch {
+		case id == "table2":
 			res, rerr = experiments.Table2(countRepoLOC())
-		} else {
+		case bf.perf:
+			var p experiments.BenchPerf
+			res, p, rerr = experiments.MeasurePerf(id, opt)
+			if rerr == nil {
+				perf = append(perf, p)
+			}
+		default:
 			res, rerr = experiments.Run(id, opt)
 		}
 		if rerr != nil {
@@ -168,6 +189,14 @@ func run(bf benchFlags) (err error) {
 		if !quiet {
 			fmt.Printf("=== %s (%s, took %v) ===\n\n", res.ID, res.Title, time.Since(start).Round(time.Millisecond))
 			fmt.Print(res.Render())
+		}
+	}
+	if bf.perf && !quiet {
+		for _, p := range perf {
+			fmt.Printf("perf: %s cached %v, uncached %v, %.2fx, %.0f pages-tracked/s\n",
+				p.ID, time.Duration(p.WallNS).Round(time.Millisecond),
+				time.Duration(p.UncachedWallNS).Round(time.Millisecond),
+				p.SpeedupVsUncached, p.PagesPerSec)
 		}
 	}
 
@@ -210,6 +239,7 @@ func run(bf benchFlags) (err error) {
 	}
 	if bf.jsonPath != "" {
 		rep := experiments.NewBenchReport(opt, results, reg)
+		rep.Perf = perf
 		out := os.Stdout
 		if !quiet {
 			f, ferr := os.Create(bf.jsonPath)

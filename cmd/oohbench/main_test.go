@@ -91,6 +91,20 @@ func TestParseMetricsFlags(t *testing.T) {
 	}
 }
 
+// TestParseBenchTolerance pins the -bench-tolerance range check.
+func TestParseBenchTolerance(t *testing.T) {
+	for _, tol := range []float64{0, 0.35, 0.5, 0.99} {
+		if err := parseBenchTolerance(tol); err != nil {
+			t.Errorf("parseBenchTolerance(%v) = %v, want nil", tol, err)
+		}
+	}
+	for _, tol := range []float64{-0.1, 1, 1.5} {
+		if err := parseBenchTolerance(tol); err == nil {
+			t.Errorf("parseBenchTolerance(%v) accepted", tol)
+		}
+	}
+}
+
 // TestParseJSONPath pins the -json path validation: stdout, .json files,
 // or nothing.
 func TestParseJSONPath(t *testing.T) {

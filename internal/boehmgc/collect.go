@@ -1,7 +1,7 @@
 package boehmgc
 
 import (
-	"sort"
+	"slices"
 	"time"
 
 	"repro/internal/mem"
@@ -53,7 +53,8 @@ func (g *GC) Collect() (CycleStats, error) {
 	mark := sim.StartWatch(g.clock)
 	markSp := tap.Begin(prof.SubGC, "mark")
 
-	dirty := make(map[mem.GVA]struct{})
+	clear(g.dirty)
+	dirty := g.dirty
 	full := g.Tech == nil || !g.tracking
 	if !full {
 		tw := sim.StartWatch(g.clock)
@@ -71,11 +72,19 @@ func (g *GC) Collect() (CycleStats, error) {
 		stats.DirtyPages = len(dirty)
 	}
 
-	marked := make(map[mem.GVA]struct{})
+	clear(g.marked)
+	marked := g.marked
+	// Seed the stack in sorted address order: root map iteration order is
+	// randomized per process, and since per-object scan costs differ (shadow
+	// hits vs word-by-word reads), a different visit order changes the
+	// clock's intermediate values - enough to move metric sampler ticks
+	// between identically-seeded runs, even though the cycle total is
+	// order-invariant.
 	var stack []mem.GVA
 	for root := range g.roots {
 		stack = append(stack, root)
 	}
+	slices.Sort(stack)
 	for len(stack) > 0 {
 		addr := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -113,7 +122,7 @@ func (g *GC) Collect() (CycleStats, error) {
 	}
 	sweep := sim.StartWatch(g.clock)
 	sweepSp := tap.Begin(prof.SubGC, "sweep")
-	var dead []mem.GVA
+	dead := g.dead[:0]
 	g.Heap.Blocks(func(addr mem.GVA, size uint64) bool {
 		if _, live := marked[addr]; !live {
 			dead = append(dead, addr)
@@ -124,14 +133,14 @@ func (g *GC) Collect() (CycleStats, error) {
 	// Free in address order: map iteration order must not leak into the
 	// free list, or allocation addresses (and thus page-dirty patterns)
 	// would differ between identically-seeded runs.
-	sort.Slice(dead, func(i, j int) bool { return dead[i] < dead[j] })
+	slices.Sort(dead)
 	for _, addr := range dead {
 		delete(g.shadow, addr)
-		delete(g.newSinceGC, addr)
 		if err := g.Heap.Free(addr); err != nil {
 			return stats, err
 		}
 	}
+	g.dead = dead
 	sweepSp.End()
 	stats.SweepTime = sweep.Elapsed()
 	stats.Freed = len(dead)
@@ -149,7 +158,6 @@ func (g *GC) Collect() (CycleStats, error) {
 		}
 		g.tracking = true
 	}
-	g.newSinceGC = make(map[mem.GVA]struct{})
 	g.bytesSinceGC = 0
 
 	stats.Total = total.Elapsed()
@@ -162,19 +170,26 @@ func (g *GC) Collect() (CycleStats, error) {
 	return stats, nil
 }
 
+// shadowEntry is one old object's cached state: its outgoing edges as of
+// the last scan and its block size (header included), so the dirty-page
+// probe needs no heap lookup.
+type shadowEntry struct {
+	edges []mem.GVA
+	size  uint64
+}
+
 // objectEdges returns the outgoing pointers of the object at addr. During
 // incremental cycles, clean old objects come from the shadow graph (no
 // guest memory reads); dirty or new objects are re-read and the shadow is
 // refreshed.
 func (g *GC) objectEdges(addr mem.GVA, full bool, dirty map[mem.GVA]struct{}, stats *CycleStats) ([]mem.GVA, error) {
 	if !full {
-		_, isNew := g.newSinceGC[addr]
-		if !isNew && !g.objectDirty(addr, dirty) {
-			if edges, ok := g.shadow[addr]; ok {
-				stats.SkippedScan++
-				g.clock.Advance(g.markEntryCost)
-				return edges, nil
-			}
+		// Only old objects can have a shadow entry (see the field comment),
+		// so its presence subsumes the new-since-GC check.
+		if se, ok := g.shadow[addr]; ok && !blockDirty(addr, se.size, dirty) {
+			stats.SkippedScan++
+			g.clock.Advance(g.markEntryCost)
+			return se.edges, nil
 		}
 	}
 	// Scan from guest memory.
@@ -182,7 +197,7 @@ func (g *GC) objectEdges(addr mem.GVA, full bool, dirty map[mem.GVA]struct{}, st
 	if err != nil {
 		return nil, err
 	}
-	_, nptrs := decodeHeader(h)
+	size, nptrs := decodeHeader(h)
 	edges := make([]mem.GVA, 0, nptrs)
 	for i := 0; i < nptrs; i++ {
 		v, err := g.Proc.ReadU64(addr.Add(headerBytes + uint64(i)*8))
@@ -195,17 +210,15 @@ func (g *GC) objectEdges(addr mem.GVA, full bool, dirty map[mem.GVA]struct{}, st
 		g.clock.Advance(g.scanWordCost)
 	}
 	stats.Scanned++
-	g.shadow[addr] = edges
+	// The header's size field is the aligned payload size Alloc passed to
+	// the heap, so headerBytes+size is exactly Heap.BlockSize(addr).
+	g.shadow[addr] = shadowEntry{edges: edges, size: headerBytes + size}
 	return edges, nil
 }
 
-// objectDirty reports whether any page the object's header or pointer
-// slots touch is in the dirty set.
-func (g *GC) objectDirty(addr mem.GVA, dirty map[mem.GVA]struct{}) bool {
-	size, ok := g.Heap.BlockSize(addr)
-	if !ok {
-		return true
-	}
+// blockDirty reports whether any page a block of size bytes at addr
+// touches is in the dirty set.
+func blockDirty(addr mem.GVA, size uint64, dirty map[mem.GVA]struct{}) bool {
 	for page := addr.PageFloor(); page < addr.Add(size); page = page.Add(mem.PageSize) {
 		if _, yes := dirty[page]; yes {
 			return true

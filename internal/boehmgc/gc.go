@@ -72,14 +72,21 @@ type GC struct {
 
 	roots map[mem.GVA]struct{}
 
-	// shadow caches each old object's outgoing edges as of the last cycle;
-	// objects on clean pages are traced from the shadow without touching
-	// guest memory, which is precisely the work incremental collection
-	// saves.
-	shadow map[mem.GVA][]mem.GVA
-	// newSinceGC lists objects allocated since the previous cycle; they
-	// are always scanned.
-	newSinceGC map[mem.GVA]struct{}
+	// shadow caches each old object's outgoing edges (and block size, for
+	// the dirty-page probe) as of the last cycle; objects on clean pages
+	// are traced from the shadow without touching guest memory, which is
+	// precisely the work incremental collection saves. Shadow presence
+	// also distinguishes old objects from new ones: sweep deletes an entry
+	// before its block can be reused, so an object allocated since the
+	// previous cycle never has one and is always scanned.
+	shadow map[mem.GVA]shadowEntry
+
+	// Cycle-scratch structures, reused across cycles so the mark and dirty
+	// sets are not re-grown from empty maps every cycle. Neither map is
+	// ever iterated, so reuse cannot leak map order into the simulation.
+	marked map[mem.GVA]struct{}
+	dirty  map[mem.GVA]struct{}
+	dead   []mem.GVA
 
 	// TriggerBytes starts a cycle automatically once this many bytes have
 	// been allocated since the previous cycle (0 disables auto cycles).
@@ -104,8 +111,9 @@ func New(proc *guestos.Process, heapBytes uint64, tech tracking.Technique) (*GC,
 		Proc:          proc,
 		Tech:          tech,
 		roots:         make(map[mem.GVA]struct{}),
-		shadow:        make(map[mem.GVA][]mem.GVA),
-		newSinceGC:    make(map[mem.GVA]struct{}),
+		shadow:        make(map[mem.GVA]shadowEntry),
+		marked:        make(map[mem.GVA]struct{}),
+		dirty:         make(map[mem.GVA]struct{}),
 		clock:         proc.Kernel().Clock,
 		scanWordCost:  model.ReadPerPageOp,
 		markEntryCost: model.KernelPageOp,
@@ -143,7 +151,6 @@ func (g *GC) Alloc(size uint64, nptrs int) (Object, error) {
 			return Object{}, err
 		}
 	}
-	g.newSinceGC[addr] = struct{}{}
 	g.bytesSinceGC += headerBytes + sizeAligned(size)
 	return Object{Addr: addr}, nil
 }

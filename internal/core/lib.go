@@ -121,15 +121,24 @@ func (s *Session) Fetch() ([]mem.GVA, error) {
 			return nil, nil
 		}
 
-		// Reverse mapping: one pagemap pass builds the GPA->GVA index
-		// (charged as the userspace PT walk, M16), then each logged GPA
-		// is resolved (charged as M17). With ReuseReverseIndex the index
-		// survives across fetches and only the first call pays.
-		var index map[mem.GPA]mem.GVA
+		// Reverse mapping: one pagemap pass over the address space (charged
+		// as the userspace PT walk, M16), then each logged GPA is resolved
+		// (charged as M17). With ReuseReverseIndex a materialized index
+		// survives across fetches and only the first call pays. Without it,
+		// the walk's cost and observability are charged via PagemapWalkCharge
+		// and each GPA resolves through the page table's own reverse index -
+		// the simulated work is identical, the host work drops from
+		// O(pages) to O(logged entries).
+		var lookup func(gpa mem.GPA) (mem.GVA, bool)
 		cached := s.ReuseReverseIndex && s.revIndex != nil
-		if cached {
-			index = s.revIndex
-		} else {
+		switch {
+		case cached:
+			index := s.revIndex
+			lookup = func(gpa mem.GPA) (mem.GVA, bool) {
+				gva, ok := index[gpa.PageFloor()]
+				return gva, ok
+			}
+		case s.ReuseReverseIndex:
 			sp := k.VCPU.Prof.Begin(prof.SubCore, "pt_walk")
 			w = startSpan(clock)
 			entries, err := k.Pagemap(s.pid)
@@ -137,7 +146,7 @@ func (s *Session) Fetch() ([]mem.GVA, error) {
 				sp.End()
 				return nil, err
 			}
-			index = make(map[mem.GPA]mem.GVA, len(entries))
+			index := make(map[mem.GPA]mem.GVA, len(entries))
 			for _, e := range entries {
 				if e.Present {
 					index[e.GPA.PageFloor()] = e.GVA
@@ -149,10 +158,32 @@ func (s *Session) Fetch() ([]mem.GVA, error) {
 					Cost: int64(s.LastBreakdown.PTWalk), Arg: int64(len(entries))})
 			}
 			ev.Observe(trace.KindPTWalk, clock.Nanos(), int64(s.LastBreakdown.PTWalk), int64(len(entries)))
-			if s.ReuseReverseIndex {
-				s.revIndex = index
-			}
+			s.revIndex = index
 			sp.End()
+			lookup = func(gpa mem.GPA) (mem.GVA, bool) {
+				gva, ok := index[gpa.PageFloor()]
+				return gva, ok
+			}
+		default:
+			sp := k.VCPU.Prof.Begin(prof.SubCore, "pt_walk")
+			w = startSpan(clock)
+			pages, err := k.PagemapWalkCharge(s.pid)
+			if err != nil {
+				sp.End()
+				return nil, err
+			}
+			s.LastBreakdown.PTWalk = w.stop()
+			if tr.Enabled(trace.KindPTWalk) {
+				tr.Emit(trace.Record{Kind: trace.KindPTWalk, VM: int32(k.VCPU.ID), TS: w.start,
+					Cost: int64(s.LastBreakdown.PTWalk), Arg: int64(pages)})
+			}
+			ev.Observe(trace.KindPTWalk, clock.Nanos(), int64(s.LastBreakdown.PTWalk), int64(pages))
+			sp.End()
+			pt := s.s.proc.PT
+			lookup = func(gpa mem.GPA) (mem.GVA, bool) {
+				gva, ok := pt.ReverseLookup(gpa.PageFloor())
+				return gva, ok
+			}
 		}
 
 		rmSp := k.VCPU.Prof.Begin(prof.SubCore, "reverse_map")
@@ -165,7 +196,7 @@ func (s *Session) Fetch() ([]mem.GVA, error) {
 		var out []mem.GVA
 		for _, r := range raw {
 			clock.Advance(perLookup)
-			gva, ok := index[mem.GPA(r).PageFloor()]
+			gva, ok := lookup(mem.GPA(r))
 			if !ok {
 				continue // page unmapped since it was logged
 			}

@@ -152,6 +152,45 @@ type VCPU struct {
 	// guest-kernel accesses to its own physical pages (ring buffers, PML
 	// buffers); see KernelWriteGPA.
 	kernelMode bool
+
+	// tlb is the host-side software TLB and arm the cached VMCS arming
+	// state; both are invisible to the simulation (see tlb.go for the
+	// invalidation contract).
+	tlb tlbState
+	arm armCache
+	// pmlBuf/epmlBuf cache the backing frames of the two log buffers so
+	// per-logged-page buffer writes skip PhysMem's lock (see physWriteU64).
+	pmlBuf  bufCache
+	epmlBuf bufCache
+
+	// ctr caches sim.Counters refs for the hot-path counters, resolved
+	// lazily on first increment so untouched counters stay absent from
+	// snapshots exactly as before.
+	ctr hotCounters
+}
+
+// hotCounters holds lazily resolved refs for counters incremented on the
+// per-access and per-exit hot paths, keeping the map hash out of them.
+type hotCounters struct {
+	vmexits       *int64
+	hypercalls    *int64
+	guestFaults   *int64
+	eptViolations *int64
+	pmlLogs       *int64
+	pmlFullExits  *int64
+	epmlLogs      *int64
+	vmreads       *int64
+	vmwrites      *int64
+	writeOps      *int64
+	readOps       *int64
+}
+
+// inc bumps a lazily resolved counter ref.
+func (v *VCPU) inc(p **int64, name string) {
+	if *p == nil {
+		*p = v.Counters.Ref(name)
+	}
+	**p++
 }
 
 // Mode returns the current VMX mode.
@@ -173,11 +212,16 @@ func (v *VCPU) AddWriteHook(fn func(gva mem.GVA)) int {
 
 // RemoveWriteHook detaches the hook with the given id. Removal is
 // position-independent: observers stacked on top of the removed one keep
-// firing, so trackers and verifiers can stop in any order.
+// firing, so trackers and verifiers can stop in any order. Removal is
+// copy-on-write so a hook may remove itself (or any other hook) while a
+// dispatch is iterating a snapshot of the old slice.
 func (v *VCPU) RemoveWriteHook(id int) {
 	for i, h := range v.writeHooks {
 		if h.id == id {
-			v.writeHooks = append(v.writeHooks[:i], v.writeHooks[i+1:]...)
+			nw := make([]writeHook, 0, len(v.writeHooks)-1)
+			nw = append(nw, v.writeHooks[:i]...)
+			nw = append(nw, v.writeHooks[i+1:]...)
+			v.writeHooks = nw
 			return
 		}
 	}
@@ -186,8 +230,23 @@ func (v *VCPU) RemoveWriteHook(id int) {
 // WriteHookCount reports how many write observers are attached.
 func (v *VCPU) WriteHookCount() int { return len(v.writeHooks) }
 
-// SetAddressSpace installs a guest page table as the active address space.
-func (v *VCPU) SetAddressSpace(pt *pgtable.Table) { v.GuestPT = pt }
+// SetAddressSpace installs a guest page table as the active address space
+// and, like a real CR3 write, flushes the software TLB.
+func (v *VCPU) SetAddressSpace(pt *pgtable.Table) {
+	v.GuestPT = pt
+	v.tlb.flush()
+}
+
+// fireWriteHooks dispatches the write observers over a stable snapshot of
+// the hook slice: hooks may add or remove hooks reentrantly (removal
+// reallocates, appends never alias the snapshot's prefix), and every hook
+// registered at dispatch time still fires exactly once.
+func (v *VCPU) fireWriteHooks(gva mem.GVA) {
+	hooks := v.writeHooks
+	for i := range hooks {
+		hooks[i].fn(gva)
+	}
+}
 
 // --- vmexit plumbing -------------------------------------------------------
 
@@ -197,7 +256,7 @@ func (v *VCPU) exit(e *Exit) (uint64, error) {
 	if v.Exits == nil {
 		return 0, fmt.Errorf("cpu: unhandled vmexit %v", e.Reason)
 	}
-	v.Counters.Inc(CtrVMExits)
+	v.inc(&v.ctr.vmexits, CtrVMExits)
 	tr, ev := v.Tracer, v.Met
 	var start int64
 	if tr != nil || ev != nil {
@@ -259,7 +318,7 @@ func exitOp(e *Exit) string {
 
 // Hypercall issues a hypercall from the guest (a vmexit with ExitHypercall).
 func (v *VCPU) Hypercall(nr int, args ...uint64) (uint64, error) {
-	v.Counters.Inc(CtrHypercalls)
+	v.inc(&v.ctr.hypercalls, CtrHypercalls)
 	return v.exit(&Exit{Reason: ExitHypercall, Nr: nr, Args: args})
 }
 
@@ -284,7 +343,7 @@ func (v *VCPU) FaultRecord(p faults.Point, addr uint64) {
 // GuestVMRead executes vmread in vmx non-root mode. Shadowed fields return
 // without a vmexit; others trap to the hypervisor.
 func (v *VCPU) GuestVMRead(f vmcs.Field) (uint64, error) {
-	v.Counters.Inc(CtrVMReads)
+	v.inc(&v.ctr.vmreads, CtrVMReads)
 	v.Clock.Advance(v.Costs.VMRead)
 	val, err := v.VMCS.GuestRead(f)
 	if errors.Is(err, vmcs.ErrExitRequired) {
@@ -298,7 +357,7 @@ func (v *VCPU) GuestVMRead(f vmcs.Field) (uint64, error) {
 // to an HPA through the EPT (the paper's VMX ISA extension, §IV-D), so the
 // logging circuit can write directly to RAM.
 func (v *VCPU) GuestVMWrite(f vmcs.Field, val uint64) error {
-	v.Counters.Inc(CtrVMWrites)
+	v.inc(&v.ctr.vmwrites, CtrVMWrites)
 	v.Clock.Advance(v.Costs.VMWrite)
 	if v.Inj.Fire(faults.VMWriteFail) {
 		v.FaultRecord(faults.VMWriteFail, uint64(f))
@@ -326,7 +385,7 @@ func (v *VCPU) translateGPA(gpa mem.GPA, write bool) (mem.HPA, error) {
 		if err == nil {
 			return hpa, nil
 		}
-		v.Counters.Inc(CtrEPTViolations)
+		v.inc(&v.ctr.eptViolations, CtrEPTViolations)
 		if _, err := v.exit(&Exit{Reason: ExitEPTViolation, GPA: gpa, Write: write}); err != nil {
 			return 0, err
 		}
@@ -347,7 +406,7 @@ func (v *VCPU) pmlLog(gpa mem.GPA) error {
 		// Spurious buffer-full exit: the hypervisor drains a partial
 		// buffer. Nothing is lost - entries already logged reach the ring
 		// early - but the exit and drain costs land mid-monitoring.
-		v.Counters.Inc(CtrPMLFullExits)
+		v.inc(&v.ctr.pmlFullExits, CtrPMLFullExits)
 		v.FaultRecord(faults.PMLFullExit, uint64(gpa))
 		if _, err := v.exit(&Exit{Reason: ExitPMLFull}); err != nil {
 			return err
@@ -359,7 +418,7 @@ func (v *VCPU) pmlLog(gpa mem.GPA) error {
 			return err
 		}
 		if idx > vmcs.PMLResetIndex { // 0xFFFF after decrementing past 0
-			v.Counters.Inc(CtrPMLFullExits)
+			v.inc(&v.ctr.pmlFullExits, CtrPMLFullExits)
 			if _, err := v.exit(&Exit{Reason: ExitPMLFull}); err != nil {
 				return err
 			}
@@ -370,28 +429,30 @@ func (v *VCPU) pmlLog(gpa mem.GPA) error {
 			return err
 		}
 		buf := mem.HPA(bufRaw)
-		if err := v.Phys.WriteU64(buf+mem.HPA(idx*8), uint64(gpa)); err != nil {
+		if err := v.physWriteU64(&v.pmlBuf, buf+mem.HPA(idx*8), uint64(gpa)); err != nil {
 			return fmt.Errorf("cpu: PML buffer write: %w", err)
 		}
 		if err := v.VMCS.Write(vmcs.FieldPMLIndex, (idx-1)&0xFFFF); err != nil {
 			return err
 		}
-		v.Counters.Inc(CtrPMLLogs)
+		v.inc(&v.ctr.pmlLogs, CtrPMLLogs)
 		v.Clock.Advance(v.Costs.PMLLog)
-		now := v.Clock.Nanos()
-		if tr := v.Tracer; tr.Enabled(trace.KindPMLLog) {
-			tr.Emit(trace.Record{
-				Kind: trace.KindPMLLog, VM: int32(v.ID),
-				TS:   now - int64(v.Costs.PMLLog),
-				Cost: int64(v.Costs.PMLLog), Addr: uint64(gpa),
-			})
-		}
-		if ev := v.Met; ev != nil {
-			ev.Observe(trace.KindPMLLog, now, int64(v.Costs.PMLLog), 0)
-			// Entries logged since the last drain: the index counts down
-			// from PMLResetIndex, so occupancy is the distance walked.
-			ev.SetGauge(metrics.SubCPU, "pml_buffer_occupancy", "",
-				int64(vmcs.PMLResetIndex-idx)+1)
+		if tr, ev := v.Tracer, v.Met; tr != nil || ev != nil {
+			now := v.Clock.Nanos()
+			if tr.Enabled(trace.KindPMLLog) {
+				tr.Emit(trace.Record{
+					Kind: trace.KindPMLLog, VM: int32(v.ID),
+					TS:   now - int64(v.Costs.PMLLog),
+					Cost: int64(v.Costs.PMLLog), Addr: uint64(gpa),
+				})
+			}
+			if ev != nil {
+				ev.Observe(trace.KindPMLLog, now, int64(v.Costs.PMLLog), 0)
+				// Entries logged since the last drain: the index counts down
+				// from PMLResetIndex, so occupancy is the distance walked.
+				ev.SetGauge(metrics.SubCPU, "pml_buffer_occupancy", "",
+					int64(vmcs.PMLResetIndex-idx)+1)
+			}
 		}
 		return nil
 	}
@@ -468,26 +529,28 @@ func (v *VCPU) epmlLog(gva mem.GVA) error {
 			return err
 		}
 		buf := mem.HPA(bufRaw)
-		if err := v.Phys.WriteU64(buf+mem.HPA(idx*8), uint64(gva)); err != nil {
+		if err := v.physWriteU64(&v.epmlBuf, buf+mem.HPA(idx*8), uint64(gva)); err != nil {
 			return fmt.Errorf("cpu: EPML buffer write: %w", err)
 		}
 		if err := fields.Write(vmcs.FieldGuestPMLIndex, (idx-1)&0xFFFF); err != nil {
 			return err
 		}
-		v.Counters.Inc(CtrEPMLLogs)
+		v.inc(&v.ctr.epmlLogs, CtrEPMLLogs)
 		v.Clock.Advance(v.Costs.PMLLog)
-		now := v.Clock.Nanos()
-		if tr := v.Tracer; tr.Enabled(trace.KindEPMLLog) {
-			tr.Emit(trace.Record{
-				Kind: trace.KindEPMLLog, VM: int32(v.ID),
-				TS:   now - int64(v.Costs.PMLLog),
-				Cost: int64(v.Costs.PMLLog), Addr: uint64(gva),
-			})
-		}
-		if ev := v.Met; ev != nil {
-			ev.Observe(trace.KindEPMLLog, now, int64(v.Costs.PMLLog), 0)
-			ev.SetGauge(metrics.SubCPU, "pml_buffer_occupancy", "guest",
-				int64(vmcs.PMLResetIndex-idx)+1)
+		if tr, ev := v.Tracer, v.Met; tr != nil || ev != nil {
+			now := v.Clock.Nanos()
+			if tr.Enabled(trace.KindEPMLLog) {
+				tr.Emit(trace.Record{
+					Kind: trace.KindEPMLLog, VM: int32(v.ID),
+					TS:   now - int64(v.Costs.PMLLog),
+					Cost: int64(v.Costs.PMLLog), Addr: uint64(gva),
+				})
+			}
+			if ev != nil {
+				ev.Observe(trace.KindEPMLLog, now, int64(v.Costs.PMLLog), 0)
+				ev.SetGauge(metrics.SubCPU, "pml_buffer_occupancy", "guest",
+					int64(vmcs.PMLResetIndex-idx)+1)
+			}
 		}
 		return nil
 	}
@@ -514,9 +577,9 @@ func (v *VCPU) walkForWrite(gva mem.GVA) (mem.HPA, error) {
 	sp := v.Prof.Begin(prof.SubCPU, "page_walk")
 	defer sp.End()
 	for try := 0; try < maxFaultRetries; try++ {
-		pte, ok := v.GuestPT.Lookup(gva)
+		slot, pte, ok := v.GuestPT.LookupSlot(gva)
 		if !ok || !pte.Writable() {
-			v.Counters.Inc(CtrGuestFaults)
+			v.inc(&v.ctr.guestFaults, CtrGuestFaults)
 			if v.Fault == nil {
 				return 0, fmt.Errorf("cpu: unhandled #PF (write) at %v", gva)
 			}
@@ -553,7 +616,7 @@ func (v *VCPU) walkForWrite(gva mem.GVA) (mem.HPA, error) {
 		}
 		hpa, eptDirtied, err := v.EPT.WalkWrite(gpa)
 		if err != nil {
-			v.Counters.Inc(CtrEPTViolations)
+			v.inc(&v.ctr.eptViolations, CtrEPTViolations)
 			if _, err := v.exit(&Exit{Reason: ExitEPTViolation, GPA: gpa, Write: true}); err != nil {
 				return 0, err
 			}
@@ -565,15 +628,19 @@ func (v *VCPU) walkForWrite(gva mem.GVA) (mem.HPA, error) {
 		// extension logs the GVA on the guest-PTE dirty transition ("we
 		// modify the page walk circuit to make the processor log the GVA").
 		guestDirtied := !pte.Dirty()
-		if err := v.GuestPT.SetFlags(gva, pgtable.FlagAccessed|pgtable.FlagDirty); err != nil {
+		slot.OrFlags(pgtable.FlagAccessed | pgtable.FlagDirty)
+		pml, _, err := v.armState()
+		if err != nil {
 			return 0, err
 		}
-		if eptDirtied && v.VMCS.PMLEnabled() {
+		if eptDirtied && pml {
 			if err := v.pmlLog(gpa.PageFloor()); err != nil {
 				return 0, err
 			}
 		}
-		armed, err := v.epmlArmed()
+		// Re-read the arming state after pmlLog: a PML-full drain writes
+		// the VMCS, which bumps its generation and refreshes the cache.
+		_, armed, err := v.armState()
 		if err != nil {
 			return 0, err
 		}
@@ -582,9 +649,8 @@ func (v *VCPU) walkForWrite(gva mem.GVA) (mem.HPA, error) {
 				return 0, err
 			}
 		}
-		for i := range v.writeHooks {
-			v.writeHooks[i].fn(gva.PageFloor())
-		}
+		v.tlbFill(gva, slot)
+		v.fireWriteHooks(gva.PageFloor())
 		return hpa, nil
 	}
 	return 0, fmt.Errorf("cpu: fault loop on write at %v", gva)
@@ -628,9 +694,9 @@ func (v *VCPU) walkForRead(gva mem.GVA) (mem.HPA, error) {
 	sp := v.Prof.Begin(prof.SubCPU, "page_walk")
 	defer sp.End()
 	for try := 0; try < maxFaultRetries; try++ {
-		pte, ok := v.GuestPT.Lookup(gva)
+		slot, pte, ok := v.GuestPT.LookupSlot(gva)
 		if !ok {
-			v.Counters.Inc(CtrGuestFaults)
+			v.inc(&v.ctr.guestFaults, CtrGuestFaults)
 			if v.Fault == nil {
 				return 0, fmt.Errorf("cpu: unhandled #PF (read) at %v", gva)
 			}
@@ -639,23 +705,25 @@ func (v *VCPU) walkForRead(gva mem.GVA) (mem.HPA, error) {
 			}
 			continue
 		}
-		if err := v.GuestPT.SetFlags(gva, pgtable.FlagAccessed); err != nil {
-			return 0, err
-		}
 		gpa := pte.GPA() + mem.GPA(gva.PageOffset())
 		hpa, accessed, err := v.EPT.WalkRead(gpa)
 		if err != nil {
-			v.Counters.Inc(CtrEPTViolations)
+			v.inc(&v.ctr.eptViolations, CtrEPTViolations)
 			if _, err := v.exit(&Exit{Reason: ExitEPTViolation, GPA: gpa, Write: false}); err != nil {
 				return 0, err
 			}
 			continue
 		}
+		// The accessed flag commits only once the full two-level walk
+		// succeeds, matching the write path's A/D protocol: an
+		// EPT-violation retry must not leave a premature accessed bit.
+		slot.OrFlags(pgtable.FlagAccessed)
 		if accessed && v.PMLLogReads && v.VMCS.PMLEnabled() {
 			if err := v.pmlLog(gpa.PageFloor()); err != nil {
 				return 0, err
 			}
 		}
+		v.tlbFill(gva, slot)
 		return hpa, nil
 	}
 	return 0, fmt.Errorf("cpu: fault loop on read at %v", gva)
@@ -669,14 +737,39 @@ func (v *VCPU) Write(gva mem.GVA, b []byte) error {
 		if n > len(b) {
 			n = len(b)
 		}
-		v.Counters.Inc(CtrWriteOps)
+		v.inc(&v.ctr.writeOps, CtrWriteOps)
 		v.Clock.Advance(v.Costs.WriteOp)
-		hpa, err := v.walkForWrite(gva)
-		if err != nil {
-			return err
-		}
-		if err := v.Phys.Write(hpa, b[:n]); err != nil {
-			return err
+		if fr, ok := v.tlbWriteFrame(gva); ok {
+			// A TLB hit proves no A/D, PML, EPML or SPP transition is
+			// possible (see tlb.go), so the walk reduces to the zero-cost
+			// write observers plus a write into the cached host frame,
+			// bypassing PhysMem's lock and lookup. The walk span is still
+			// emitted - its virtual time is zero either way - and the hooks
+			// fire inside it, keeping profiles identical to the slow path.
+			sp := v.Prof.Begin(prof.SubCPU, "page_walk")
+			v.fireWriteHooks(gva.PageFloor())
+			sp.End()
+			off := gva.PageOffset()
+			if d := fr.Data(); d != nil {
+				copy(d[off:], b[:n])
+			} else if !fr.Put(off, b[:n]) {
+				copy(v.Phys.Materialize(fr)[off:], b[:n])
+			}
+		} else {
+			hpa, err := v.walkForWrite(gva)
+			if err != nil {
+				return err
+			}
+			if fr, ok := v.tlbFilledFrame(gva, hpa); ok {
+				off := gva.PageOffset()
+				if d := fr.Data(); d != nil {
+					copy(d[off:], b[:n])
+				} else if !fr.Put(off, b[:n]) {
+					copy(v.Phys.Materialize(fr)[off:], b[:n])
+				}
+			} else if err := v.Phys.Write(hpa, b[:n]); err != nil {
+				return err
+			}
 		}
 		gva = gva.Add(uint64(n))
 		b = b[n:]
@@ -691,14 +784,22 @@ func (v *VCPU) Read(gva mem.GVA, b []byte) error {
 		if n > len(b) {
 			n = len(b)
 		}
-		v.Counters.Inc(CtrReadOps)
+		v.inc(&v.ctr.readOps, CtrReadOps)
 		v.Clock.Advance(v.Costs.ReadOp)
-		hpa, err := v.walkForRead(gva)
-		if err != nil {
-			return err
-		}
-		if err := v.Phys.Read(hpa, b[:n]); err != nil {
-			return err
+		if fr, ok := v.tlbReadFrame(gva); ok {
+			sp := v.Prof.Begin(prof.SubCPU, "page_walk")
+			sp.End()
+			fr.ReadAt(b[:n], gva.PageOffset())
+		} else {
+			hpa, err := v.walkForRead(gva)
+			if err != nil {
+				return err
+			}
+			if fr, ok := v.tlbFilledFrame(gva, hpa); ok {
+				fr.ReadAt(b[:n], gva.PageOffset())
+			} else if err := v.Phys.Read(hpa, b[:n]); err != nil {
+				return err
+			}
 		}
 		gva = gva.Add(uint64(n))
 		b = b[n:]

@@ -15,7 +15,10 @@ import (
 	"repro/internal/mem"
 )
 
-// Errors returned by EPT operations.
+// Errors returned by EPT operations. ErrNoMapping is returned bare from the
+// translation paths: an EPT violation is expected control flow (every first
+// touch of a guest frame takes one), so the hot paths must not allocate an
+// error message per miss.
 var (
 	ErrNoMapping     = errors.New("ept: EPT violation (no mapping)")
 	ErrAlreadyMapped = errors.New("ept: gpa already mapped")
@@ -49,17 +52,54 @@ func (e Entry) HPA() mem.HPA { return mem.HPA(e & addrMask) }
 
 // Table is one VM's EPT. It is not safe for concurrent use; each VM's
 // single vCPU owns it (the paper's setup uses 1 vCPU per VM).
+//
+// Guest frame numbers are dense (the guest kernel hands out GPAs
+// sequentially from its frame allocator), so entries live in a slice
+// indexed by guest frame number. A zero entry means unmapped: Map always
+// grants R|W|X, so every present entry is non-zero.
 type Table struct {
-	entries map[uint64]Entry // guest frame number -> entry
+	entries []Entry // guest frame number -> entry (0 = unmapped)
+	mapped  int
 	// DirtySet counts dirty-flag 0->1 transitions, one per PML log event.
 	DirtySet int64
 	// Violations counts EPT violations (first touch of a guest frame).
 	Violations int64
+	// gen counts structural and flag-clearing mutations (Map, Unmap,
+	// ClearDirty*, ClearAccessed). The vCPU's software TLB keys cached EPT
+	// state on it; WalkWrite/WalkRead's own 0->1 flag sets do not bump it,
+	// since they only strengthen what a cache entry recorded.
+	gen uint64
 }
+
+// Gen returns the mutation generation; see the field comment.
+func (t *Table) Gen() uint64 { return t.gen }
 
 // New returns an empty EPT.
 func New() *Table {
-	return &Table{entries: make(map[uint64]Entry)}
+	return &Table{}
+}
+
+// entry returns the entry for a guest frame number (0 when out of range).
+func (t *Table) entry(page uint64) Entry {
+	if page < uint64(len(t.entries)) {
+		return t.entries[page]
+	}
+	return 0
+}
+
+// slot returns a pointer to the entry for page, growing the slice on demand
+// (spare capacity is already zeroed, so extending exposes unmapped entries).
+func (t *Table) slot(page uint64) *Entry {
+	if page >= uint64(len(t.entries)) {
+		if page < uint64(cap(t.entries)) {
+			t.entries = t.entries[:page+1]
+		} else {
+			grown := make([]Entry, page+1, (page+1)*2)
+			copy(grown, t.entries)
+			t.entries = grown
+		}
+	}
+	return &t.entries[page]
 }
 
 // Map installs gpa -> hpa with read/write/exec permissions. Both addresses
@@ -68,10 +108,13 @@ func (t *Table) Map(gpa mem.GPA, hpa mem.HPA) error {
 	if gpa.PageOffset() != 0 || hpa.PageOffset() != 0 {
 		return fmt.Errorf("%w: %v -> %v", ErrMisaligned, gpa, hpa)
 	}
-	if _, ok := t.entries[gpa.Page()]; ok {
+	s := t.slot(gpa.Page())
+	if s.Present() {
 		return fmt.Errorf("%w: %v", ErrAlreadyMapped, gpa)
 	}
-	t.entries[gpa.Page()] = (FlagRead | FlagWrite | FlagExec).WithHPA(hpa)
+	*s = (FlagRead | FlagWrite | FlagExec).WithHPA(hpa)
+	t.mapped++
+	t.gen++
 	return nil
 }
 
@@ -82,27 +125,30 @@ func (e Entry) WithHPA(hpa mem.HPA) Entry {
 
 // Unmap removes the mapping for gpa and returns the removed entry.
 func (t *Table) Unmap(gpa mem.GPA) (Entry, error) {
-	e, ok := t.entries[gpa.Page()]
-	if !ok {
+	page := gpa.Page()
+	e := t.entry(page)
+	if !e.Present() {
 		return 0, fmt.Errorf("%w: %v", ErrNoMapping, gpa)
 	}
-	delete(t.entries, gpa.Page())
+	t.entries[page] = 0
+	t.mapped--
+	t.gen++
 	return e, nil
 }
 
 // Lookup returns the entry covering gpa without touching A/D flags.
 func (t *Table) Lookup(gpa mem.GPA) (Entry, bool) {
-	e, ok := t.entries[gpa.Page()]
-	return e, ok
+	e := t.entry(gpa.Page())
+	return e, e.Present()
 }
 
 // Translate converts gpa to an hpa, preserving the page offset. It returns
 // ErrNoMapping (an EPT violation) when the guest frame has no host frame.
 func (t *Table) Translate(gpa mem.GPA) (mem.HPA, error) {
-	e, ok := t.entries[gpa.Page()]
-	if !ok {
+	e := t.entry(gpa.Page())
+	if !e.Present() {
 		t.Violations++
-		return 0, fmt.Errorf("%w: %v", ErrNoMapping, gpa)
+		return 0, ErrNoMapping
 	}
 	return e.HPA() + mem.HPA(gpa.PageOffset()), nil
 }
@@ -114,10 +160,10 @@ func (t *Table) Translate(gpa mem.GPA) (mem.HPA, error) {
 // maps a host frame and the vCPU retries.
 func (t *Table) WalkWrite(gpa mem.GPA) (hpa mem.HPA, dirtied bool, err error) {
 	page := gpa.Page()
-	e, ok := t.entries[page]
-	if !ok {
+	e := t.entry(page)
+	if !e.Present() {
 		t.Violations++
-		return 0, false, fmt.Errorf("%w: %v", ErrNoMapping, gpa)
+		return 0, false, ErrNoMapping
 	}
 	dirtied = !e.Dirty()
 	e |= FlagAccessed | FlagDirty
@@ -133,10 +179,10 @@ func (t *Table) WalkWrite(gpa mem.GPA) (hpa mem.HPA, dirtied bool, err error) {
 // read-logging PML extension used for working-set-size estimation).
 func (t *Table) WalkRead(gpa mem.GPA) (hpa mem.HPA, accessed bool, err error) {
 	page := gpa.Page()
-	e, ok := t.entries[page]
-	if !ok {
+	e := t.entry(page)
+	if !e.Present() {
 		t.Violations++
-		return 0, false, fmt.Errorf("%w: %v", ErrNoMapping, gpa)
+		return 0, false, ErrNoMapping
 	}
 	accessed = !e.Accessed()
 	t.entries[page] = e | FlagAccessed
@@ -146,6 +192,7 @@ func (t *Table) WalkRead(gpa mem.GPA) (hpa mem.HPA, accessed bool, err error) {
 // ClearAccessed clears every accessed flag and returns how many were set,
 // re-arming PML-R for a new working-set sampling interval.
 func (t *Table) ClearAccessed() int {
+	t.gen++
 	n := 0
 	for page, e := range t.entries {
 		if e.Accessed() {
@@ -160,6 +207,7 @@ func (t *Table) ClearAccessed() int {
 // dirty. The hypervisor does this when it re-arms dirty logging for a new
 // live-migration round.
 func (t *Table) ClearDirty() int {
+	t.gen++
 	n := 0
 	for page, e := range t.entries {
 		if e.Dirty() {
@@ -173,19 +221,24 @@ func (t *Table) ClearDirty() int {
 // ClearDirtyPage clears the dirty flag of one page, re-arming PML logging
 // for it. Used between tracking rounds so that re-writes are re-logged.
 func (t *Table) ClearDirtyPage(gpa mem.GPA) {
-	if e, ok := t.entries[gpa.Page()]; ok {
-		t.entries[gpa.Page()] = e &^ FlagDirty
+	page := gpa.Page()
+	if e := t.entry(page); e.Present() {
+		t.entries[page] = e &^ FlagDirty
+		t.gen++
 	}
 }
 
 // Mapped returns the number of mapped guest frames.
-func (t *Table) Mapped() int { return len(t.entries) }
+func (t *Table) Mapped() int { return t.mapped }
 
-// Range calls fn for every mapping until fn returns false. Iteration order
-// is unspecified.
+// Range calls fn for every mapping until fn returns false, in ascending
+// GPA order.
 func (t *Table) Range(fn func(gpa mem.GPA, e Entry) bool) {
 	for page, e := range t.entries {
-		if !fn(mem.GPA(page<<mem.PageShift), e) {
+		if !e.Present() {
+			continue
+		}
+		if !fn(mem.GPA(uint64(page)<<mem.PageShift), e) {
 			return
 		}
 	}

@@ -4,9 +4,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
+	"reflect"
+	"time"
 
 	"repro/internal/metrics"
 	"repro/internal/report"
+	"repro/internal/simcache"
+	"repro/internal/tracking"
 )
 
 // BenchSchema identifies the machine-readable bench report format. Bump it
@@ -31,15 +36,35 @@ type BenchExperiment struct {
 	Tables []BenchTable `json:"tables"`
 }
 
+// BenchPerf is one experiment's host-side throughput measurement: the
+// wall-clock cost of regenerating it with every simcache acceleration
+// enabled versus with simcache.DisableAll, and the simulated
+// pages-tracked/sec the cached run sustained. PagesTracked is
+// deterministic (it counts simulated events); the wall-clock fields and
+// the ratios derived from them are the one machine-dependent part of a
+// bench report, which is why the section is opt-in (-perf).
+type BenchPerf struct {
+	ID                string  `json:"id"`
+	WallNS            int64   `json:"wall_ns"`
+	UncachedWallNS    int64   `json:"uncached_wall_ns"`
+	PagesTracked      int64   `json:"pages_tracked"`
+	PagesPerSec       float64 `json:"pages_per_sec"`
+	SpeedupVsUncached float64 `json:"speedup_vs_uncached"`
+}
+
 // BenchReport is the stable machine-readable output of `oohbench -json`.
 // Two runs with identical options produce byte-identical reports (the
-// determinism tests pin this); downstream tooling may diff them directly.
+// determinism tests pin this) except for the opt-in Perf section, whose
+// wall-clock fields necessarily vary; downstream tooling may diff the
+// deterministic sections directly.
 type BenchReport struct {
 	Schema      string            `json:"schema"`
 	Seed        uint64            `json:"seed"`
 	Scale       int               `json:"scale"`
 	Full        bool              `json:"full"`
 	Experiments []BenchExperiment `json:"experiments"`
+	// Perf holds the -perf throughput measurements, one per experiment.
+	Perf []BenchPerf `json:"perf,omitempty"`
 	// Metrics is the end-of-run registry snapshot, present only when the
 	// run had -metrics attached.
 	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
@@ -83,6 +108,93 @@ func (r *BenchReport) WriteJSON(w io.Writer) error {
 	return enc.Encode(r)
 }
 
+// MeasurePerf runs experiment id twice - once with the acceleration caches
+// enabled (the default) and once under simcache.DisableAll - and returns
+// the first run's result plus the wall-clock/throughput comparison. The
+// cached-vs-uncached outputs are byte-identical (the cross-check suite
+// pins this), so the second run is purely a timing reference.
+func MeasurePerf(id string, opt Options) (*Result, BenchPerf, error) {
+	tracking.ResetPagesReported()
+	t0 := time.Now()
+	res, err := Run(id, opt)
+	wall := time.Since(t0)
+	if err != nil {
+		return nil, BenchPerf{}, err
+	}
+	pages := tracking.PagesReported()
+
+	restore := simcache.DisableAll()
+	t1 := time.Now()
+	_, uerr := Run(id, opt)
+	uncached := time.Since(t1)
+	restore()
+	if uerr != nil {
+		return nil, BenchPerf{}, fmt.Errorf("uncached rerun: %w", uerr)
+	}
+
+	p := BenchPerf{
+		ID:             id,
+		WallNS:         wall.Nanoseconds(),
+		UncachedWallNS: uncached.Nanoseconds(),
+		PagesTracked:   pages,
+	}
+	if wall > 0 {
+		p.PagesPerSec = math.Round(float64(pages) / wall.Seconds())
+		p.SpeedupVsUncached = math.Round(float64(uncached)/float64(wall)*100) / 100
+	}
+	return res, p, nil
+}
+
+// CompareBenchReports checks a freshly regenerated candidate report
+// against a committed baseline. The deterministic sections must match
+// exactly: same options, same experiments, byte-equal tables, equal
+// pages-tracked counts. The machine-dependent throughput is gated only on
+// the cached-vs-uncached speedup ratio, which must not regress below
+// baseline*(1-tol); absolute wall-clock numbers are recorded for the
+// trajectory but never compared across machines.
+func CompareBenchReports(baseline, candidate *BenchReport, tol float64) error {
+	if baseline.Schema != candidate.Schema {
+		return fmt.Errorf("schema %q vs %q", candidate.Schema, baseline.Schema)
+	}
+	if baseline.Seed != candidate.Seed || baseline.Scale != candidate.Scale || baseline.Full != candidate.Full {
+		return fmt.Errorf("options differ: baseline seed=%d scale=%d full=%v, candidate seed=%d scale=%d full=%v",
+			baseline.Seed, baseline.Scale, baseline.Full, candidate.Seed, candidate.Scale, candidate.Full)
+	}
+	if len(baseline.Experiments) != len(candidate.Experiments) {
+		return fmt.Errorf("%d experiments, baseline has %d", len(candidate.Experiments), len(baseline.Experiments))
+	}
+	for i, be := range baseline.Experiments {
+		ce := candidate.Experiments[i]
+		if be.ID != ce.ID {
+			return fmt.Errorf("experiment %d is %q, baseline has %q", i, ce.ID, be.ID)
+		}
+		if !reflect.DeepEqual(be.Tables, ce.Tables) {
+			return fmt.Errorf("%s: result tables diverge from the committed baseline - the simulation output changed", be.ID)
+		}
+	}
+	for _, bp := range baseline.Perf {
+		var cp *BenchPerf
+		for i := range candidate.Perf {
+			if candidate.Perf[i].ID == bp.ID {
+				cp = &candidate.Perf[i]
+				break
+			}
+		}
+		if cp == nil {
+			return fmt.Errorf("%s: baseline has a perf entry, candidate does not", bp.ID)
+		}
+		if cp.PagesTracked != bp.PagesTracked {
+			return fmt.Errorf("%s: pages_tracked %d, baseline %d - the simulated workload changed",
+				bp.ID, cp.PagesTracked, bp.PagesTracked)
+		}
+		if floor := bp.SpeedupVsUncached * (1 - tol); cp.SpeedupVsUncached < floor {
+			return fmt.Errorf("%s: speedup_vs_uncached %.2f regressed below %.2f (baseline %.2f, tolerance %.0f%%)",
+				bp.ID, cp.SpeedupVsUncached, floor, bp.SpeedupVsUncached, tol*100)
+		}
+	}
+	return nil
+}
+
 // ValidateBenchReport checks a serialized report against the ooh-bench/v1
 // schema: correct schema tag, at least one experiment, every table
 // rectangular with non-empty headers. CI runs this over the emitted
@@ -115,6 +227,18 @@ func ValidateBenchReport(data []byte) error {
 						exp.ID, ti, ri, len(row), len(t.Headers))
 				}
 			}
+		}
+	}
+	for _, p := range r.Perf {
+		if p.ID == "" {
+			return fmt.Errorf("bench report: perf entry with empty id")
+		}
+		if p.WallNS <= 0 || p.UncachedWallNS <= 0 {
+			return fmt.Errorf("bench report: perf %s has non-positive wall times (%d, %d)",
+				p.ID, p.WallNS, p.UncachedWallNS)
+		}
+		if p.PagesTracked < 0 || p.PagesPerSec < 0 || p.SpeedupVsUncached <= 0 {
+			return fmt.Errorf("bench report: perf %s has invalid throughput fields", p.ID)
 		}
 	}
 	return nil

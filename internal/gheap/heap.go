@@ -52,11 +52,18 @@ func New(proc *guestos.Process, size uint64, eager bool) (*Heap, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Presize the block table: GC-driven workloads keep tens of thousands
+	// of live blocks, and growing the map from empty re-hashes every block
+	// several times per heap. The hint is bounded so tiny heaps stay cheap.
+	hint := size / 4096
+	if hint > 1<<15 {
+		hint = 1 << 15
+	}
 	return &Heap{
 		Proc:   proc,
 		Region: region,
 		free:   []span{{start: region.Start, size: region.Size()}},
-		blocks: make(map[mem.GVA]uint64),
+		blocks: make(map[mem.GVA]uint64, hint),
 	}, nil
 }
 

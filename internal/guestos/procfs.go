@@ -95,6 +95,35 @@ func (k *Kernel) Pagemap(pid Pid) ([]PagemapEntry, error) {
 	return entries, nil
 }
 
+// PagemapWalkCharge charges the exact cost and observability of a full
+// Pagemap read - the per-page M16 clock advance, the pagemap_walk profiler
+// span, the CtrPagemapPages counter and the pagemap_walks/pagemap_pages
+// metrics - without materializing the entries. Callers that resolve frames
+// through the page table's own reverse index (the SPML fetch path) use it:
+// the simulated guest still pays the full userspace walk, but the host does
+// O(#regions) work instead of O(pages). It returns the page count the walk
+// covered (present and absent alike, as Pagemap reads zero entries too).
+func (k *Kernel) PagemapWalkCharge(pid Pid) (int, error) {
+	p, ok := k.procs[pid]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrNoSuchProcess, pid)
+	}
+	sp := k.VCPU.Prof.Begin(prof.SubGuestOS, "pagemap_walk")
+	defer sp.End()
+	perPage := k.Model.PTWalkUser.PerPage(p.curveSize())
+	pages := 0
+	for _, r := range p.regions {
+		pages += int(mem.PagesFor(uint64(r.End - r.Start)))
+	}
+	k.VCPU.Counters.Add(CtrPagemapPages, int64(pages))
+	k.Clock.Advance(perPage * time.Duration(pages))
+	if ev := k.VCPU.Met; ev != nil {
+		ev.Count(metrics.SubGuestOS, "pagemap_walks", "", 1)
+		ev.Count(metrics.SubGuestOS, "pagemap_pages", "", int64(pages))
+	}
+	return pages, nil
+}
+
 // SoftDirtyPages returns just the soft-dirty page addresses of pid,
 // charging the same walk cost as Pagemap.
 func (k *Kernel) SoftDirtyPages(pid Pid) ([]mem.GVA, error) {

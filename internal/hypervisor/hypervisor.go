@@ -20,6 +20,7 @@ import (
 	"repro/internal/prof"
 	"repro/internal/ringbuf"
 	"repro/internal/sim"
+	"repro/internal/simcache"
 	"repro/internal/trace"
 	"repro/internal/vmcs"
 )
@@ -235,10 +236,28 @@ func (vm *VM) drainPMLBuffer() error {
 	}
 	copied := int64(0)
 	perEntry := vm.Hyp.Model.RBCopy.PerPage(vm.wsOrDefault())
+	// Resolve the buffer's backing frame once per drain instead of paying
+	// PhysMem's lock and lookup per entry. The frame pointer stays valid for
+	// the whole drain (single goroutine, nothing frees frames mid-drain).
+	var frame *mem.Frame
+	if simcache.TLBEnabled() {
+		if f, err := vm.Hyp.Phys.FrameRef(vm.pmlBuf); err == nil {
+			frame = f
+		}
+	}
+	// Counter refs resolved lazily per drain so untouched counters stay
+	// absent from snapshots while the per-entry map hash disappears.
+	var migCtr, ringCtr *int64
 	for slot := first; slot < vmcs.PMLBufferEntries; slot++ {
-		raw, err := vm.Hyp.Phys.ReadU64(vm.pmlBuf + mem.HPA(slot*8))
-		if err != nil {
-			return fmt.Errorf("hypervisor: PML drain: %w", err)
+		var raw uint64
+		if frame != nil {
+			raw = frame.U64At(uint64(slot) * 8)
+		} else {
+			r, err := vm.Hyp.Phys.ReadU64(vm.pmlBuf + mem.HPA(slot*8))
+			if err != nil {
+				return fmt.Errorf("hypervisor: PML drain: %w", err)
+			}
+			raw = r
 		}
 		gpa := mem.GPA(raw)
 		if vm.VCPU.Inj.Fire(faults.PMLEntryLoss) {
@@ -251,12 +270,18 @@ func (vm *VM) drainPMLBuffer() error {
 		}
 		if vm.enabledByHyp {
 			vm.migLog[gpa] = struct{}{}
-			vm.VCPU.Counters.Inc(CtrMigLogged)
+			if migCtr == nil {
+				migCtr = vm.VCPU.Counters.Ref(CtrMigLogged)
+			}
+			*migCtr++
 		}
 		if slot := vm.rings[vm.activeTag]; vm.enabledByGuest && slot != nil {
 			slot.ring.Push(uint64(gpa))
 			slot.armedClear = append(slot.armedClear, gpa)
-			vm.VCPU.Counters.Inc(CtrRingCopied)
+			if ringCtr == nil {
+				ringCtr = vm.VCPU.Counters.Ref(CtrRingCopied)
+			}
+			*ringCtr++
 			vm.Clock.Advance(perEntry)
 			copied++
 		}

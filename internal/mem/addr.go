@@ -62,6 +62,9 @@ func (h HPA) PageFloor() HPA { return h &^ HPA(PageMask) }
 // PageOffset returns the offset of h within its page.
 func (h HPA) PageOffset() uint64 { return uint64(h) & PageMask }
 
+// Page returns the host frame number of h.
+func (h HPA) Page() uint64 { return uint64(h) >> PageShift }
+
 func (h HPA) String() string { return fmt.Sprintf("hpa:%#x", uint64(h)) }
 
 // PagesFor returns the number of pages needed to hold n bytes.

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Errors returned by PhysMem.
@@ -14,16 +15,140 @@ var (
 	ErrCrossesFrame = errors.New("mem: access crosses a frame boundary")
 )
 
+// slabFrames is how many frames one backing allocation holds. Handing
+// backing arrays out of slabs keeps a workload touching gigabytes at
+// hundreds of allocator calls instead of millions; 2 MiB slabs also let the
+// Go allocator hand back freshly mapped (pre-zeroed) spans for most of the
+// volume.
+const slabFrames = 512
+
+// Sparse-frame tuning: a frame buffers up to sparseWritesMax small writes
+// (each at most sparseWriteBytes long) before its 4 KiB backing array is
+// materialized. The dominant dirty-tracking access pattern - one word
+// written per page per pass, rewritten in place - fits entirely in the
+// buffer, so such frames never allocate, zero, or cache-miss 4 KiB of
+// backing.
+const (
+	sparseWriteBytes = 16
+	sparseWritesMax  = 6
+)
+
+// sparseWrite is one buffered small write. Buffered writes never overlap
+// (an overlapping write materializes the frame), so replay order within the
+// buffer does not matter; exact (off, n) rewrites update in place.
+type sparseWrite struct {
+	off uint16
+	n   uint16
+	val [sparseWriteBytes]byte
+}
+
+// Frame is one 4 KiB host frame. A frame starts as implicit zeros: small
+// writes are buffered sparsely and reads overlay them on zeros. The first
+// large or overlapping write, or overflow of the buffer, materializes the
+// backing array (pre-zeroed, from the slab) and replays the buffer into it.
+//
+// Mutating methods follow PhysMem's ownership model: a frame is only ever
+// mutated by the goroutine driving the VM it is mapped into (materialization
+// itself locks PhysMem for the slab). The vCPU software TLB caches *Frame
+// pointers under the Epoch contract.
+type Frame struct {
+	data *[PageSize]byte
+	sw   []sparseWrite
+}
+
+// Data returns the materialized backing array, or nil while the frame is
+// still sparse.
+func (f *Frame) Data() *[PageSize]byte { return f.data }
+
+// Put tries to apply a write as a buffered sparse write, reporting whether
+// it succeeded. It fails - and the caller must materialize - when the frame
+// is already materialized, the write is large, it overlaps a buffered
+// write without matching it exactly, or the buffer is full.
+func (f *Frame) Put(off uint64, b []byte) bool {
+	if f.data != nil || len(b) > sparseWriteBytes {
+		return false
+	}
+	end := off + uint64(len(b))
+	for i := range f.sw {
+		w := &f.sw[i]
+		if uint64(w.off) == off && int(w.n) == len(b) {
+			copy(w.val[:], b)
+			return true
+		}
+		if uint64(w.off) < end && off < uint64(w.off)+uint64(w.n) {
+			return false
+		}
+	}
+	if len(f.sw) >= sparseWritesMax {
+		return false
+	}
+	var w sparseWrite
+	w.off = uint16(off)
+	w.n = uint16(len(b))
+	copy(w.val[:], b)
+	f.sw = append(f.sw, w)
+	return true
+}
+
+// ReadAt copies len(b) bytes starting at off into b, overlaying buffered
+// writes on zeros when the frame is sparse.
+func (f *Frame) ReadAt(b []byte, off uint64) {
+	if f.data != nil {
+		copy(b, f.data[off:off+uint64(len(b))])
+		return
+	}
+	for i := range b {
+		b[i] = 0
+	}
+	end := off + uint64(len(b))
+	for i := range f.sw {
+		w := &f.sw[i]
+		ws, we := uint64(w.off), uint64(w.off)+uint64(w.n)
+		if we <= off || ws >= end {
+			continue
+		}
+		cs, ce := ws, we
+		if cs < off {
+			cs = off
+		}
+		if ce > end {
+			ce = end
+		}
+		copy(b[cs-off:ce-off], w.val[cs-ws:ce-ws])
+	}
+}
+
+// U64At loads the little-endian word at off (off+8 must stay in the frame).
+func (f *Frame) U64At(off uint64) uint64 {
+	if f.data != nil {
+		return binary.LittleEndian.Uint64(f.data[off : off+8])
+	}
+	var b [8]byte
+	f.ReadAt(b[:], off)
+	return binary.LittleEndian.Uint64(b[:])
+}
+
 // PhysMem is the simulated host DRAM: a set of 4 KiB frames allocated on
 // demand. Frames are identified by their HPA (always page aligned). PhysMem
 // is safe for concurrent use; in multi-VM experiments all VMs share one
 // PhysMem, exactly as all guests share the host's DRAM.
+//
+// HPAs are dense (sequential from PageSize, recycling freed addresses), so
+// frames live in a slice indexed by host frame number rather than a map:
+// frame resolution is on the per-memory-op hot path.
 type PhysMem struct {
 	mu       sync.Mutex
-	frames   map[HPA]*[PageSize]byte
+	frames   []*Frame // host frame number -> frame (nil = unallocated)
+	live     int
 	next     HPA
 	free     []HPA
-	maxBytes uint64 // 0 means unlimited
+	fslab    []Frame          // frame structs for upcoming allocations
+	slab     [][PageSize]byte // pre-zeroed backing for materializations
+	maxBytes uint64           // 0 means unlimited
+	// epoch counts the events after which an externally cached frame pointer
+	// may be stale (FreeFrame, Reset). The vCPU software TLB compares it
+	// before trusting a cached FrameRef.
+	epoch atomic.Uint64
 }
 
 // NewPhysMem returns an empty physical memory. If maxBytes is non-zero,
@@ -31,7 +156,6 @@ type PhysMem struct {
 // live, modelling a host with finite DRAM.
 func NewPhysMem(maxBytes uint64) *PhysMem {
 	return &PhysMem{
-		frames:   make(map[HPA]*[PageSize]byte),
 		next:     PageSize, // keep HPA 0 invalid, like a null frame
 		maxBytes: maxBytes,
 	}
@@ -41,7 +165,7 @@ func NewPhysMem(maxBytes uint64) *PhysMem {
 func (p *PhysMem) AllocFrame() (HPA, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.maxBytes != 0 && uint64(len(p.frames)+1)*PageSize > p.maxBytes {
+	if p.maxBytes != 0 && uint64(p.live+1)*PageSize > p.maxBytes {
 		return 0, ErrOutOfMemory
 	}
 	var hpa HPA
@@ -52,7 +176,23 @@ func (p *PhysMem) AllocFrame() (HPA, error) {
 		hpa = p.next
 		p.next += PageSize
 	}
-	p.frames[hpa] = new([PageSize]byte)
+	if len(p.fslab) == 0 {
+		p.fslab = make([]Frame, slabFrames)
+	}
+	f := &p.fslab[0]
+	p.fslab = p.fslab[1:]
+	idx := int(hpa.Page())
+	if idx >= len(p.frames) {
+		if idx < cap(p.frames) {
+			p.frames = p.frames[:idx+1]
+		} else {
+			grown := make([]*Frame, idx+1, (idx+1)*2)
+			copy(grown, p.frames)
+			p.frames = grown
+		}
+	}
+	p.frames[idx] = f
+	p.live++
 	return hpa, nil
 }
 
@@ -61,11 +201,14 @@ func (p *PhysMem) AllocFrame() (HPA, error) {
 func (p *PhysMem) FreeFrame(hpa HPA) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if _, ok := p.frames[hpa]; !ok {
+	idx := int(hpa.Page())
+	if idx >= len(p.frames) || p.frames[idx] == nil {
 		return fmt.Errorf("%w: free of %v", ErrUnmappedHPA, hpa)
 	}
-	delete(p.frames, hpa)
+	p.frames[idx] = nil
+	p.live--
 	p.free = append(p.free, hpa)
+	p.epoch.Add(1)
 	return nil
 }
 
@@ -73,15 +216,57 @@ func (p *PhysMem) FreeFrame(hpa HPA) error {
 func (p *PhysMem) FrameCount() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return len(p.frames)
+	return p.live
 }
 
-// frame returns the backing array for the frame containing hpa.
-func (p *PhysMem) frame(hpa HPA) (*[PageSize]byte, error) {
+// Epoch returns the frame-invalidation epoch; it advances whenever a
+// previously returned FrameRef may have become stale (FreeFrame, Reset).
+func (p *PhysMem) Epoch() uint64 { return p.epoch.Load() }
+
+// FrameRef returns the frame containing hpa. The pointer stays valid while
+// Epoch is unchanged; the vCPU software TLB caches it under that contract.
+func (p *PhysMem) FrameRef(hpa HPA) (*Frame, error) {
+	return p.frame(hpa)
+}
+
+// Materialize builds (if needed) and returns the frame's backing array,
+// replaying any buffered sparse writes into the pre-zeroed array.
+func (p *PhysMem) Materialize(f *Frame) *[PageSize]byte {
+	if f.data != nil {
+		return f.data
+	}
 	p.mu.Lock()
-	f, ok := p.frames[hpa.PageFloor()]
+	defer p.mu.Unlock()
+	return p.materializeLocked(f)
+}
+
+func (p *PhysMem) materializeLocked(f *Frame) *[PageSize]byte {
+	if f.data == nil {
+		if len(p.slab) == 0 {
+			p.slab = make([][PageSize]byte, slabFrames)
+		}
+		d := &p.slab[0]
+		p.slab = p.slab[1:]
+		for i := range f.sw {
+			w := &f.sw[i]
+			copy(d[w.off:], w.val[:w.n])
+		}
+		f.sw = nil
+		f.data = d
+	}
+	return f.data
+}
+
+// frame returns the frame containing hpa.
+func (p *PhysMem) frame(hpa HPA) (*Frame, error) {
+	idx := int(hpa.Page())
+	p.mu.Lock()
+	var f *Frame
+	if idx < len(p.frames) {
+		f = p.frames[idx]
+	}
 	p.mu.Unlock()
-	if !ok {
+	if f == nil {
 		return nil, fmt.Errorf("%w: %v", ErrUnmappedHPA, hpa)
 	}
 	return f, nil
@@ -98,7 +283,11 @@ func (p *PhysMem) Write(hpa HPA, b []byte) error {
 	if err != nil {
 		return err
 	}
-	copy(f[off:], b)
+	if d := f.data; d != nil {
+		copy(d[off:], b)
+	} else if !f.Put(off, b) {
+		copy(p.Materialize(f)[off:], b)
+	}
 	return nil
 }
 
@@ -113,7 +302,7 @@ func (p *PhysMem) Read(hpa HPA, b []byte) error {
 	if err != nil {
 		return err
 	}
-	copy(b, f[off:off+uint64(len(b))])
+	f.ReadAt(b, off)
 	return nil
 }
 
@@ -140,7 +329,7 @@ func (p *PhysMem) FrameBytes(hpa HPA) ([]byte, error) {
 		return nil, err
 	}
 	out := make([]byte, PageSize)
-	copy(out, f[:])
+	f.ReadAt(out, 0)
 	return out, nil
 }
 
@@ -148,7 +337,11 @@ func (p *PhysMem) FrameBytes(hpa HPA) ([]byte, error) {
 func (p *PhysMem) Reset() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.frames = make(map[HPA]*[PageSize]byte)
+	p.frames = nil
+	p.fslab = nil
+	p.slab = nil
+	p.live = 0
 	p.free = nil
 	p.next = PageSize
+	p.epoch.Add(1)
 }

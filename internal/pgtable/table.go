@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/mem"
+	"repro/internal/simcache"
 )
 
 // Errors returned by Table operations.
@@ -37,12 +38,47 @@ type node struct {
 type Table struct {
 	root    *node
 	present int   // number of mapped pages
+	nodes   int   // number of allocated radix nodes (root included)
 	walkOps int64 // cumulative levels touched, for cost accounting
 	Walks   int64 // number of full translations performed
+
+	// rev is the incrementally maintained GPA-page -> GVA-page inverse
+	// index behind ReverseLookup's O(1) host-work path. The virtual-time
+	// cost of a reverse lookup (the paper's M17) is charged by the caller
+	// regardless; this index only removes the simulator's own
+	// O(present-pages) scan. Frames mapped by more than one GVA drop out
+	// of the index into revAliased and fall back to the scan, which is the
+	// source of truth for lookup order.
+	rev        map[uint64]mem.GVA
+	revAliased map[uint64]struct{}
 }
 
 // New returns an empty page table.
-func New() *Table { return &Table{root: &node{}} }
+func New() *Table { return &Table{root: &node{}, nodes: 1} }
+
+// Slot is a direct handle on one leaf PTE slot, used by the vCPU's software
+// TLB to re-read a cached translation's flags without repeating the radix
+// walk. A Slot stays loadable forever: unmapping zeroes the entry (and
+// pruning detaches the node with all entries already zero), so a stale Slot
+// reads as non-present rather than dangling.
+type Slot struct {
+	leaf *node
+	idx  int
+}
+
+// Load returns the slot's current PTE (zero when the slot was never filled
+// or the page was unmapped).
+func (s Slot) Load() PTE {
+	if s.leaf == nil {
+		return 0
+	}
+	return s.leaf.entries[s.idx]
+}
+
+// OrFlags ORs flag bits into the slot's PTE, the MMU's A/D commit. It must
+// only be used with flag bits (never address bits, which would bypass the
+// reverse index) and only on a slot whose PTE is present.
+func (s Slot) OrFlags(flags PTE) { s.leaf.entries[s.idx] |= flags }
 
 // indexAt extracts the radix index for the given level (0 = root).
 func indexAt(gva mem.GVA, level int) int {
@@ -67,6 +103,7 @@ func (t *Table) walk(gva mem.GVA, alloc bool) (*node, int) {
 			child = &node{}
 			n.children[idx] = child
 			n.live++
+			t.nodes++
 		}
 		n = child
 	}
@@ -95,19 +132,43 @@ func (t *Table) Map(gva mem.GVA, gpa mem.GPA, flags PTE) error {
 	leaf.entries[idx] = (flags | FlagPresent).WithGPA(gpa)
 	leaf.live++
 	t.present++
+	t.revAdd(gva, gpa)
 	return nil
 }
 
-// Unmap removes the translation for gva and returns the old entry.
+// Unmap removes the translation for gva and returns the old entry. Interior
+// nodes left without any live entry are pruned, so map/unmap churn (GC
+// workloads, migration rounds) does not leak the radix interior.
 func (t *Table) Unmap(gva mem.GVA) (PTE, error) {
-	leaf, idx := t.walk(gva.PageFloor(), false)
-	if leaf == nil || !leaf.entries[idx].Present() {
+	gva = gva.PageFloor()
+	var path [Levels - 1]*node
+	n := t.root
+	t.Walks++
+	for level := 0; level < Levels-1; level++ {
+		t.walkOps++
+		path[level] = n
+		n = n.children[indexAt(gva, level)]
+		if n == nil {
+			return 0, fmt.Errorf("%w: %v", ErrNotMapped, gva)
+		}
+	}
+	t.walkOps++
+	idx := indexAt(gva, Levels-1)
+	if !n.entries[idx].Present() {
 		return 0, fmt.Errorf("%w: %v", ErrNotMapped, gva)
 	}
-	old := leaf.entries[idx]
-	leaf.entries[idx] = 0
-	leaf.live--
+	old := n.entries[idx]
+	n.entries[idx] = 0
+	n.live--
 	t.present--
+	t.revDel(gva, old.GPA())
+	for level := Levels - 2; level >= 0 && n.live == 0; level-- {
+		parent := path[level]
+		parent.children[indexAt(gva, level)] = nil
+		parent.live--
+		t.nodes--
+		n = parent
+	}
 	return old, nil
 }
 
@@ -121,6 +182,17 @@ func (t *Table) Lookup(gva mem.GVA) (PTE, bool) {
 	return pte, pte.Present()
 }
 
+// LookupSlot is Lookup returning, additionally, a Slot handle on the leaf
+// entry so the caller can re-read the PTE later without another walk.
+func (t *Table) LookupSlot(gva mem.GVA) (Slot, PTE, bool) {
+	leaf, idx := t.walk(gva.PageFloor(), false)
+	if leaf == nil {
+		return Slot{}, 0, false
+	}
+	pte := leaf.entries[idx]
+	return Slot{leaf: leaf, idx: idx}, pte, pte.Present()
+}
+
 // Update applies fn to the PTE covering gva and stores the result. It
 // returns ErrNotMapped when the page is absent.
 func (t *Table) Update(gva mem.GVA, fn func(PTE) PTE) error {
@@ -128,7 +200,15 @@ func (t *Table) Update(gva mem.GVA, fn func(PTE) PTE) error {
 	if leaf == nil || !leaf.entries[idx].Present() {
 		return fmt.Errorf("%w: %v", ErrNotMapped, gva)
 	}
-	leaf.entries[idx] = fn(leaf.entries[idx])
+	old := leaf.entries[idx]
+	nw := fn(old)
+	leaf.entries[idx] = nw
+	if old&addrMask != nw&addrMask || old.Present() != nw.Present() {
+		t.revDel(gva.PageFloor(), old.GPA())
+		if nw.Present() {
+			t.revAdd(gva.PageFloor(), nw.GPA())
+		}
+	}
 	return nil
 }
 
@@ -155,6 +235,44 @@ func (t *Table) Translate(gva mem.GVA) (mem.GPA, error) {
 
 // Present returns the number of mapped pages.
 func (t *Table) Present() int { return t.present }
+
+// Nodes returns the number of allocated radix nodes, root included. Churn
+// tests use it to assert that Unmap prunes the interior back down.
+func (t *Table) Nodes() int { return t.nodes }
+
+// revAdd records gva as the (sole) mapper of gpa's frame. A second mapper
+// moves the frame to revAliased: the index can no longer answer which GVA
+// the scan would find first, so ReverseLookup falls back to the scan for it.
+func (t *Table) revAdd(gva mem.GVA, gpa mem.GPA) {
+	key := uint64(gpa.PageFloor())
+	if _, aliased := t.revAliased[key]; aliased {
+		return
+	}
+	if old, ok := t.rev[key]; ok {
+		if old == gva {
+			return
+		}
+		if t.revAliased == nil {
+			t.revAliased = make(map[uint64]struct{})
+		}
+		t.revAliased[key] = struct{}{}
+		delete(t.rev, key)
+		return
+	}
+	if t.rev == nil {
+		t.rev = make(map[uint64]mem.GVA)
+	}
+	t.rev[key] = gva
+}
+
+// revDel drops gva's claim on gpa's frame. Aliased frames stay on the scan
+// path: the index has lost track of the surviving mappers, and falling back
+// is always correct.
+func (t *Table) revDel(gva mem.GVA, gpa mem.GPA) {
+	if cur, ok := t.rev[uint64(gpa.PageFloor())]; ok && cur == gva {
+		delete(t.rev, uint64(gpa.PageFloor()))
+	}
+}
 
 // Range calls fn for every present page, in ascending GVA order, until fn
 // returns false. It reports whether the iteration ran to completion.
@@ -197,12 +315,23 @@ func (t *Table) RangeSpan(start, end mem.GVA, fn func(gva mem.GVA, pte PTE) bool
 	})
 }
 
-// ReverseLookup scans the whole table for the page mapping gpa's frame and
-// returns its GVA. This is the expensive operation SPML must perform for
-// every logged GPA (the paper's M17); the scan cost is charged by the
-// caller from the cost model, but the work here is real.
+// ReverseLookup returns the GVA of the page mapping gpa's frame. This is
+// the operation SPML performs for every logged GPA (the paper's M17); its
+// virtual-time cost is charged by the caller from the cost model regardless
+// of how the answer is computed here. With the incremental index enabled
+// (the default) the host work is an O(1) map probe; otherwise - or for
+// frames that ever had two mappers - it is the full table scan.
 func (t *Table) ReverseLookup(gpa mem.GPA) (mem.GVA, bool) {
 	target := gpa.PageFloor()
+	if simcache.ReverseIndexEnabled() {
+		if _, aliased := t.revAliased[uint64(target)]; !aliased {
+			gva, ok := t.rev[uint64(target)]
+			if !ok {
+				return 0, false
+			}
+			return gva + mem.GVA(gpa.PageOffset()), true
+		}
+	}
 	var found mem.GVA
 	ok := false
 	t.Range(func(gva mem.GVA, pte PTE) bool {

@@ -10,23 +10,42 @@ import (
 // to record how often each modelled event occurred (page faults, vmexits,
 // hypercalls, ...). The zero value is ready to use. Counters is not safe
 // for concurrent use.
+//
+// Counters are stored behind stable pointers so hot paths can resolve a
+// name once with Ref and increment through the pointer, keeping the map
+// hash out of per-memory-op code.
 type Counters struct {
-	m map[string]int64
+	m map[string]*int64
+}
+
+// Ref returns a stable pointer to the named counter, creating it at zero.
+// The pointer stays valid for the lifetime of the Counters (Reset detaches
+// it: callers caching refs must re-resolve after Reset).
+func (c *Counters) Ref(name string) *int64 {
+	if c.m == nil {
+		c.m = make(map[string]*int64)
+	}
+	p := c.m[name]
+	if p == nil {
+		p = new(int64)
+		c.m[name] = p
+	}
+	return p
 }
 
 // Add increments the named counter by n.
-func (c *Counters) Add(name string, n int64) {
-	if c.m == nil {
-		c.m = make(map[string]int64)
-	}
-	c.m[name] += n
-}
+func (c *Counters) Add(name string, n int64) { *c.Ref(name) += n }
 
 // Inc increments the named counter by one.
 func (c *Counters) Inc(name string) { c.Add(name, 1) }
 
 // Get returns the value of the named counter (zero if never incremented).
-func (c *Counters) Get(name string) int64 { return c.m[name] }
+func (c *Counters) Get(name string) int64 {
+	if p := c.m[name]; p != nil {
+		return *p
+	}
+	return 0
+}
 
 // Reset clears all counters.
 func (c *Counters) Reset() { c.m = nil }
@@ -45,7 +64,7 @@ func (c *Counters) Names() []string {
 func (c *Counters) Snapshot() map[string]int64 {
 	out := make(map[string]int64, len(c.m))
 	for k, v := range c.m {
-		out[k] = v
+		out[k] = *v
 	}
 	return out
 }
@@ -53,7 +72,7 @@ func (c *Counters) Snapshot() map[string]int64 {
 // Merge adds every counter from other into c.
 func (c *Counters) Merge(other *Counters) {
 	for k, v := range other.m {
-		c.Add(k, v)
+		c.Add(k, *v)
 	}
 }
 
@@ -64,7 +83,7 @@ func (c *Counters) String() string {
 		if i > 0 {
 			b.WriteByte(' ')
 		}
-		fmt.Fprintf(&b, "%s=%d", name, c.m[name])
+		fmt.Fprintf(&b, "%s=%d", name, *c.m[name])
 	}
 	return b.String()
 }

@@ -9,6 +9,7 @@
 package tracking
 
 import (
+	"sync/atomic"
 	"time"
 
 	"repro/internal/costmodel"
@@ -19,6 +20,20 @@ import (
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
+
+// pagesReported counts dirty page addresses delivered by Collect across
+// every technique in the process - the numerator of the benchmark
+// harness's pages-tracked/sec throughput metric. One atomic add per
+// collection round (not per page), so the hot path never sees it.
+var pagesReported atomic.Int64
+
+// PagesReported returns the number of dirty page addresses Collect calls
+// have delivered process-wide since the last reset.
+func PagesReported() int64 { return pagesReported.Load() }
+
+// ResetPagesReported zeroes the process-wide page counter. Benchmark
+// harnesses call it before a measured run.
+func ResetPagesReported() { pagesReported.Store(0) }
 
 // Stats accumulates the technique-attributed virtual time and counts: the
 // measured E(C_x) the formula engine cross-checks in Table IV.
@@ -82,6 +97,9 @@ func (w watch) phase(dst *time.Duration, kind trace.Kind, tech costmodel.Techniq
 	sp := w.tap().Begin(prof.SubTracking, phaseOp(kind))
 	defer sp.End()
 	err := w.measure(dst, fn)
+	if err == nil && kind == trace.KindTrackCollect && arg != nil {
+		pagesReported.Add(arg())
+	}
 	if err == nil && (tr != nil || ev != nil) {
 		a := int64(tech)
 		if arg != nil {

@@ -61,20 +61,56 @@ var (
 	ErrExitRequired = errors.New("vmcs: access requires vmexit")
 )
 
-var knownFields = map[Field]string{
-	FieldPMLAddress:      "PML_ADDRESS",
-	FieldPMLIndex:        "PML_INDEX",
-	FieldExecControls:    "EXEC_CONTROLS",
-	FieldGuestPMLAddress: "GUEST_PML_ADDRESS",
-	FieldGuestPMLIndex:   "GUEST_PML_INDEX",
-	FieldGuestPMLEnable:  "GUEST_PML_ENABLE",
-	FieldVMCSLinkPointer: "VMCS_LINK_POINTER",
+// Dense storage indices for the modelled fields. The VMCS sits on the PML
+// logging hot path (two index reads and a write per logged page), so the
+// fields live in a flat array indexed through fieldIndex rather than a map.
+const (
+	idxPMLAddress = iota
+	idxPMLIndex
+	idxExecControls
+	idxGuestPMLAddress
+	idxGuestPMLIndex
+	idxGuestPMLEnable
+	idxVMCSLinkPointer
+	numFields
+)
+
+// fieldIndex maps a field encoding to its dense slot, or -1 when the field
+// is not modelled.
+func fieldIndex(f Field) int {
+	switch f {
+	case FieldPMLAddress:
+		return idxPMLAddress
+	case FieldPMLIndex:
+		return idxPMLIndex
+	case FieldExecControls:
+		return idxExecControls
+	case FieldGuestPMLAddress:
+		return idxGuestPMLAddress
+	case FieldGuestPMLIndex:
+		return idxGuestPMLIndex
+	case FieldGuestPMLEnable:
+		return idxGuestPMLEnable
+	case FieldVMCSLinkPointer:
+		return idxVMCSLinkPointer
+	}
+	return -1
+}
+
+var fieldNames = [numFields]string{
+	idxPMLAddress:      "PML_ADDRESS",
+	idxPMLIndex:        "PML_INDEX",
+	idxExecControls:    "EXEC_CONTROLS",
+	idxGuestPMLAddress: "GUEST_PML_ADDRESS",
+	idxGuestPMLIndex:   "GUEST_PML_INDEX",
+	idxGuestPMLEnable:  "GUEST_PML_ENABLE",
+	idxVMCSLinkPointer: "VMCS_LINK_POINTER",
 }
 
 // String returns the field's mnemonic.
 func (f Field) String() string {
-	if s, ok := knownFields[f]; ok {
-		return s
+	if i := fieldIndex(f); i >= 0 {
+		return fieldNames[i]
 	}
 	return fmt.Sprintf("FIELD_%#x", uint32(f))
 }
@@ -82,28 +118,32 @@ func (f Field) String() string {
 // VMCS is a control structure for one vCPU. The zero value is unusable;
 // create with New.
 type VMCS struct {
-	fields map[Field]uint64
+	fields [numFields]uint64
 	// shadow is the linked shadow VMCS (nil when shadowing is off).
 	shadow *VMCS
 	// readBitmap/writeBitmap list the fields the guest may access on the
 	// shadow VMCS without a vmexit (true = no exit, matching the inverted
 	// sense of the hardware bitmaps for simplicity).
-	readBitmap  map[Field]bool
-	writeBitmap map[Field]bool
+	readBitmap  [numFields]bool
+	writeBitmap [numFields]bool
+	// gen counts every mutation (Write, arming toggles, shadow link and
+	// unlink). The vCPU keys its cached arming state on it; any vmwrite -
+	// root or guest mode, direct or through the shadow - lands in Write and
+	// bumps it.
+	gen uint64
 }
 
 // New returns an empty VMCS with the PML index at its architectural reset
 // value (511).
 func New() *VMCS {
-	v := &VMCS{
-		fields:      make(map[Field]uint64),
-		readBitmap:  make(map[Field]bool),
-		writeBitmap: make(map[Field]bool),
-	}
-	v.fields[FieldPMLIndex] = PMLResetIndex
-	v.fields[FieldGuestPMLIndex] = PMLResetIndex
+	v := &VMCS{}
+	v.fields[idxPMLIndex] = PMLResetIndex
+	v.fields[idxGuestPMLIndex] = PMLResetIndex
 	return v
 }
+
+// Gen returns the mutation generation; see the field comment.
+func (v *VMCS) Gen() uint64 { return v.gen }
 
 // PMLBufferEntries is the number of 8-byte slots in a 4 KiB PML buffer.
 const PMLBufferEntries = mem.PageSize / 8 // 512
@@ -114,18 +154,21 @@ const PMLResetIndex = PMLBufferEntries - 1 // 511
 // Read returns a field's value. This is the vmx-root-mode path (hypervisor);
 // the guest path is GuestRead.
 func (v *VMCS) Read(f Field) (uint64, error) {
-	if _, ok := knownFields[f]; !ok {
+	i := fieldIndex(f)
+	if i < 0 {
 		return 0, fmt.Errorf("%w: %v", ErrUnknownField, f)
 	}
-	return v.fields[f], nil
+	return v.fields[i], nil
 }
 
 // Write sets a field's value (vmx root mode).
 func (v *VMCS) Write(f Field, val uint64) error {
-	if _, ok := knownFields[f]; !ok {
+	i := fieldIndex(f)
+	if i < 0 {
 		return fmt.Errorf("%w: %v", ErrUnknownField, f)
 	}
-	v.fields[f] = val
+	v.fields[i] = val
+	v.gen++
 	return nil
 }
 
@@ -133,19 +176,23 @@ func (v *VMCS) Write(f Field, val uint64) error {
 // expose lists the fields the guest may vmread AND vmwrite exit-free.
 func (v *VMCS) LinkShadow(shadow *VMCS, expose ...Field) {
 	v.shadow = shadow
-	v.fields[FieldExecControls] |= CtrlEnableShadowing
+	v.fields[idxExecControls] |= CtrlEnableShadowing
 	for _, f := range expose {
-		v.readBitmap[f] = true
-		v.writeBitmap[f] = true
+		if i := fieldIndex(f); i >= 0 {
+			v.readBitmap[i] = true
+			v.writeBitmap[i] = true
+		}
 	}
+	v.gen++
 }
 
 // UnlinkShadow detaches the shadow VMCS and disables shadowing.
 func (v *VMCS) UnlinkShadow() {
 	v.shadow = nil
-	v.fields[FieldExecControls] &^= CtrlEnableShadowing
-	v.readBitmap = make(map[Field]bool)
-	v.writeBitmap = make(map[Field]bool)
+	v.fields[idxExecControls] &^= CtrlEnableShadowing
+	v.readBitmap = [numFields]bool{}
+	v.writeBitmap = [numFields]bool{}
+	v.gen++
 }
 
 // Shadow returns the linked shadow VMCS, or nil.
@@ -153,7 +200,7 @@ func (v *VMCS) Shadow() *VMCS { return v.shadow }
 
 // ShadowingEnabled reports whether VMCS shadowing is active.
 func (v *VMCS) ShadowingEnabled() bool {
-	return v.fields[FieldExecControls]&CtrlEnableShadowing != 0 && v.shadow != nil
+	return v.fields[idxExecControls]&CtrlEnableShadowing != 0 && v.shadow != nil
 }
 
 // GuestRead performs a vmread issued in vmx non-root mode. If shadowing
@@ -161,7 +208,7 @@ func (v *VMCS) ShadowingEnabled() bool {
 // otherwise ErrExitRequired is returned and the caller must emulate a
 // vmexit.
 func (v *VMCS) GuestRead(f Field) (uint64, error) {
-	if v.ShadowingEnabled() && v.readBitmap[f] {
+	if i := fieldIndex(f); i >= 0 && v.ShadowingEnabled() && v.readBitmap[i] {
 		return v.shadow.Read(f)
 	}
 	return 0, fmt.Errorf("%w: vmread %v", ErrExitRequired, f)
@@ -170,7 +217,7 @@ func (v *VMCS) GuestRead(f Field) (uint64, error) {
 // GuestWrite performs a vmwrite issued in vmx non-root mode, writing the
 // shadow VMCS when the bitmaps allow it.
 func (v *VMCS) GuestWrite(f Field, val uint64) error {
-	if v.ShadowingEnabled() && v.writeBitmap[f] {
+	if i := fieldIndex(f); i >= 0 && v.ShadowingEnabled() && v.writeBitmap[i] {
 		return v.shadow.Write(f, val)
 	}
 	return fmt.Errorf("%w: vmwrite %v", ErrExitRequired, f)
@@ -178,28 +225,30 @@ func (v *VMCS) GuestWrite(f Field, val uint64) error {
 
 // PMLEnabled reports whether hypervisor-level PML logging is armed.
 func (v *VMCS) PMLEnabled() bool {
-	return v.fields[FieldExecControls]&CtrlEnablePML != 0
+	return v.fields[idxExecControls]&CtrlEnablePML != 0
 }
 
 // SetPMLEnabled arms or disarms hypervisor-level PML.
 func (v *VMCS) SetPMLEnabled(on bool) {
 	if on {
-		v.fields[FieldExecControls] |= CtrlEnablePML
+		v.fields[idxExecControls] |= CtrlEnablePML
 	} else {
-		v.fields[FieldExecControls] &^= CtrlEnablePML
+		v.fields[idxExecControls] &^= CtrlEnablePML
 	}
+	v.gen++
 }
 
 // EPMLEnabled reports whether the EPML hardware extension is armed.
 func (v *VMCS) EPMLEnabled() bool {
-	return v.fields[FieldExecControls]&CtrlEnableEPML != 0
+	return v.fields[idxExecControls]&CtrlEnableEPML != 0
 }
 
 // SetEPMLEnabled arms or disarms the EPML extension.
 func (v *VMCS) SetEPMLEnabled(on bool) {
 	if on {
-		v.fields[FieldExecControls] |= CtrlEnableEPML
+		v.fields[idxExecControls] |= CtrlEnableEPML
 	} else {
-		v.fields[FieldExecControls] &^= CtrlEnableEPML
+		v.fields[idxExecControls] &^= CtrlEnableEPML
 	}
+	v.gen++
 }
