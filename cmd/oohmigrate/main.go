@@ -2,20 +2,27 @@
 // hypervisor-level PML dirty log (the feature's original purpose), and
 // reports rounds, retransmissions and downtime. With -spml it keeps a
 // guest SPML session tracking the workload during the migration, proving
-// the two PML users coexist (§IV-C).
+// the two PML users coexist (§IV-C). With -faults the transport runs
+// under injected failures and the transactional pipeline retries,
+// resumes from its round journal after crashes, and aborts cleanly when
+// the -budget downtime SLO is unattainable.
 //
 // Usage:
 //
 //	oohmigrate -workload stdhash -rounds 4
 //	oohmigrate -workload histogram -spml
+//	oohmigrate -faults send-fail:0.2,round-crash:0.3 -budget 200us -metrics count
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
+	"repro/internal/cliflags"
 	"repro/internal/costmodel"
 	"repro/internal/machine"
 	"repro/internal/migration"
@@ -25,67 +32,144 @@ import (
 	"repro/internal/workloads"
 )
 
+// migrateFlags carries every parsed CLI flag into run.
+type migrateFlags struct {
+	name    string
+	size    string
+	scale   int
+	rounds  int
+	bw      int
+	budget  time.Duration
+	retries int
+	resumes int
+	spml    bool
+	seed    uint64
+	obs     cliflags.ObsFlags
+}
+
 func main() {
-	var (
-		name   = flag.String("workload", "stdhash", "workload: "+strings.Join(workloads.Names(), ", "))
-		size   = flag.String("size", "medium", "config size: small, medium, large")
-		scale  = flag.Int("scale", 1, "workload scale factor")
-		rounds = flag.Int("rounds", 4, "max pre-copy rounds")
-		bw     = flag.Int("bw", 256, "bandwidth in pages per virtual ms")
-		spml   = flag.Bool("spml", false, "run a guest SPML session during the migration")
-		seed   = flag.Uint64("seed", 42, "workload data seed")
-	)
+	var mf migrateFlags
+	flag.StringVar(&mf.name, "workload", "stdhash", "workload: "+strings.Join(workloads.Names(), ", "))
+	flag.StringVar(&mf.size, "size", "medium", "config size: small, medium, large")
+	flag.IntVar(&mf.scale, "scale", 1, "workload scale factor")
+	flag.IntVar(&mf.rounds, "rounds", 4, "max pre-copy rounds")
+	flag.IntVar(&mf.bw, "bw", 256, "bandwidth in pages per virtual ms")
+	flag.DurationVar(&mf.budget, "budget", 0, "downtime SLO: abort rather than stop-and-copy beyond this (0 = no budget)")
+	flag.IntVar(&mf.retries, "send-retries", 0, "per-page transient-send retry budget (0 = default)")
+	flag.IntVar(&mf.resumes, "resumes", 3, "max journal resumes after injected round crashes")
+	flag.BoolVar(&mf.spml, "spml", false, "run a guest SPML session during the migration")
+	flag.Uint64Var(&mf.seed, "seed", 42, "workload data seed")
+	mf.obs.Register()
 	flag.Parse()
 
-	sz, err := parseSize(*size)
-	if err != nil {
-		fail(err)
+	// main never exits from inside the work: run returns, so deferred
+	// cleanup (the trace close in particular) fires even on error paths.
+	if err := run(mf); err != nil {
+		fmt.Fprintf(os.Stderr, "oohmigrate: %v\n", err)
+		os.Exit(1)
 	}
-	m, err := machine.New(machine.Config{})
+}
+
+func run(mf migrateFlags) (err error) {
+	sz, err := cliflags.ParseSize(mf.size)
 	if err != nil {
-		fail(err)
+		return err
+	}
+	// Build (and thereby validate) the observability flags before any
+	// work: a typo exits non-zero even if the flag would go unused.
+	obs, err := mf.obs.Build(mf.seed)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := obs.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+
+	m, err := machine.New(machine.Config{Tracer: obs.Tracer, Faults: obs.Faults, Metrics: obs.Metrics})
+	if err != nil {
+		return err
 	}
 	g := m.Guest(0)
-	proc := g.Kernel.Spawn(*name)
-	w, err := workloads.New(*name, sz, *scale)
+	proc := g.Kernel.Spawn(mf.name)
+	w, err := workloads.New(mf.name, sz, mf.scale)
 	if err != nil {
-		fail(err)
+		return err
 	}
-	if err := w.Setup(workloads.NewRegionAlloc(proc, false), sim.NewRNG(*seed)); err != nil {
-		fail(err)
+	if err := w.Setup(workloads.NewRegionAlloc(proc, false), sim.NewRNG(mf.seed)); err != nil {
+		return err
 	}
 	if err := w.Run(); err != nil {
-		fail(err)
+		return err
 	}
 
 	var tech tracking.Technique
-	if *spml {
-		tech, err = g.NewTechnique(costmodel.SPML, proc)
-		if err != nil {
-			fail(err)
+	if mf.spml {
+		// Under injected faults the guest session tracks through the
+		// resilient wrapper, like oohtrack, so transient hypercall faults
+		// are retried rather than killing the migration's runBetween.
+		if obs.Faults.Armed() {
+			tech = g.NewResilient(costmodel.SPML, proc)
+		} else {
+			tech, err = g.NewTechnique(costmodel.SPML, proc)
+			if err != nil {
+				return err
+			}
 		}
 		if err := tech.Init(); err != nil {
-			fail(err)
+			return err
 		}
 		fmt.Println("guest SPML session armed; migrating underneath it...")
 	}
 
-	image, stats, err := migration.Migrate(g.VM, migration.Options{
-		MaxRounds:           *rounds,
-		BandwidthPagesPerMS: *bw,
-	}, func(round int) error {
+	opts := migration.Options{
+		MaxRounds:           mf.rounds,
+		BandwidthPagesPerMS: mf.bw,
+		DowntimeBudget:      mf.budget,
+		MaxSendRetries:      mf.retries,
+	}
+	image, stats, err := migration.Migrate(g.VM, opts, func(round int) error {
 		fmt.Printf("pre-copy round %d: guest keeps running\n", round)
 		return w.Run()
 	})
+	// An injected round crash leaves a journal; re-attach and send only
+	// the delta, up to -resumes times.
+	for attempts := 0; err != nil && attempts < mf.resumes; attempts++ {
+		var ce *migration.CrashError
+		if !errors.As(err, &ce) {
+			break
+		}
+		fmt.Printf("round crash after round %d: resuming from journal (%d frames banked)\n",
+			ce.Round, ce.Journal.ImagePages())
+		image, stats, err = migration.Resume(g.VM, ce.Journal, func(round int) error {
+			fmt.Printf("pre-copy round %d (resumed): guest keeps running\n", round)
+			return w.Run()
+		})
+	}
 	if err != nil {
-		fail(err)
+		// Out of resume attempts or a non-crash failure: abandon the
+		// migration cleanly (logging disarmed, partial image discarded,
+		// source untouched) and report why.
+		var ce *migration.CrashError
+		if errors.As(err, &ce) {
+			migration.Abort(g.VM, ce.Journal)
+		}
+		if rerr := obs.Report(os.Stdout); rerr != nil {
+			return rerr
+		}
+		return fmt.Errorf("migration aborted (source still running): %w", err)
 	}
 
 	fmt.Printf("\nmigration of %s (%s): %d frames, %d sent (%.2fx amplification)\n",
-		*name, sz, stats.UniquePages, stats.PagesSent,
+		mf.name, sz, stats.UniquePages, stats.PagesSent,
 		float64(stats.PagesSent)/float64(max(stats.UniquePages, 1)))
 	fmt.Printf("rounds %d (pages per round: %v), converged=%v\n",
 		stats.Rounds, stats.PerRoundPages, stats.Converged)
+	if stats.Retries+stats.Resends+stats.Stalls+stats.Resumes > 0 {
+		fmt.Printf("transport recovery: %d retries, %d resends, %d stalls, %d resumes\n",
+			stats.Retries, stats.Resends, stats.Stalls, stats.Resumes)
+	}
 	fmt.Printf("total %s, downtime %s\n",
 		report.FormatDuration(stats.TotalTime), report.FormatDuration(stats.Downtime))
 	_ = image
@@ -93,28 +177,15 @@ func main() {
 	if tech != nil {
 		dirty, err := tech.Collect()
 		if err != nil {
-			fail(err)
+			return err
 		}
 		fmt.Printf("\nguest SPML collected %d dirty pages across the migration - both PML users stayed correct\n", len(dirty))
 		if err := tech.Close(); err != nil {
-			fail(err)
+			return err
 		}
 	}
-}
-
-func parseSize(s string) (workloads.Size, error) {
-	switch strings.ToLower(s) {
-	case "small":
-		return workloads.Small, nil
-	case "medium":
-		return workloads.Medium, nil
-	case "large":
-		return workloads.Large, nil
+	if err := obs.Close(); err != nil {
+		return err
 	}
-	return 0, fmt.Errorf("unknown size %q", s)
-}
-
-func fail(err error) {
-	fmt.Fprintf(os.Stderr, "oohmigrate: %v\n", err)
-	os.Exit(1)
+	return obs.Report(os.Stdout)
 }

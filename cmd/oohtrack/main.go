@@ -15,6 +15,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cliflags"
 	"repro/internal/costmodel"
 	"repro/internal/faults"
 	"repro/internal/machine"
@@ -77,25 +78,25 @@ func main() {
 }
 
 func run(tf trackFlags) (err error) {
-	kind, err := parseTech(tf.tech)
+	kind, err := cliflags.ParseTech(tf.tech)
 	if err != nil {
 		return err
 	}
-	sz, err := parseSize(tf.size)
+	sz, err := cliflags.ParseSize(tf.size)
 	if err != nil {
 		return err
 	}
 	// Validate spec flags up front: a typo must exit non-zero even when the
 	// flag would not be consumed this run.
-	mask, spec, err := parseSpecFlags(tf.traceKinds, tf.faultSpec)
+	mask, spec, err := cliflags.ParseSpecFlags(tf.traceKinds, tf.faultSpec)
 	if err != nil {
 		return err
 	}
-	sortBy, ival, exportFmt, err := parseMetricsFlags(tf.metMode, tf.metIval, tf.metExport)
+	sortBy, ival, exportFmt, err := cliflags.ParseMetricsFlags(tf.metMode, tf.metIval, tf.metExport)
 	if err != nil {
 		return err
 	}
-	if err := parsePprofPath(tf.pprofPath); err != nil {
+	if err := cliflags.ParsePprofPath(tf.pprofPath); err != nil {
 		return err
 	}
 
@@ -201,7 +202,7 @@ func run(tf trackFlags) (err error) {
 	fmt.Printf("guest events: %s\n", g.Kernel.VCPU.Counters.String())
 	if res != nil {
 		rec := res.Recovery()
-		fmt.Printf("faults injected: %d (%s)\n", inj.Total(), renderCounts(inj.Counts()))
+		fmt.Printf("faults injected: %d (%s)\n", inj.Total(), cliflags.RenderCounts(inj.Counts()))
 		fmt.Printf("recovery: %d retries (%s backoff), %d degradations, %d rescans (%d pages rescued), %d stalls; active rung %s\n",
 			rec.Retries, report.FormatDuration(rec.BackoffTime), rec.Degradations,
 			rec.Rescans, rec.RescuedPages, rec.Stalls, res.Active())
@@ -227,7 +228,7 @@ func run(tf trackFlags) (err error) {
 		}
 	}
 	if exportFmt != "" {
-		if err := writeMetricsExport(reg, tf.metExport, exportFmt); err != nil {
+		if err := cliflags.WriteMetricsExport(reg, tf.metExport, exportFmt); err != nil {
 			return err
 		}
 		fmt.Printf("\nmetrics: snapshot written to %s\n", tf.metExport)
@@ -239,7 +240,7 @@ func run(tf trackFlags) (err error) {
 				fmt.Printf("\n%s", tab.Render())
 			}
 		}
-		written, werr := writeProfExports(profiler, tf.flamePath, tf.pprofPath)
+		written, werr := cliflags.WriteProfExports(profiler, tf.flamePath, tf.pprofPath)
 		if werr != nil {
 			return werr
 		}
@@ -248,32 +249,4 @@ func run(tf trackFlags) (err error) {
 		}
 	}
 	return nil
-}
-
-func parseTech(s string) (costmodel.Technique, error) {
-	switch strings.ToLower(s) {
-	case "proc", "/proc":
-		return costmodel.Proc, nil
-	case "ufd":
-		return costmodel.Ufd, nil
-	case "spml":
-		return costmodel.SPML, nil
-	case "epml":
-		return costmodel.EPML, nil
-	case "oracle":
-		return costmodel.Oracle, nil
-	}
-	return 0, fmt.Errorf("unknown technique %q", s)
-}
-
-func parseSize(s string) (workloads.Size, error) {
-	switch strings.ToLower(s) {
-	case "small":
-		return workloads.Small, nil
-	case "medium":
-		return workloads.Medium, nil
-	case "large":
-		return workloads.Large, nil
-	}
-	return 0, fmt.Errorf("unknown size %q", s)
 }

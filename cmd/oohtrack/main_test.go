@@ -2,144 +2,44 @@ package main
 
 import (
 	"testing"
-	"time"
-
-	"repro/internal/costmodel"
-	"repro/internal/metrics"
-	"repro/internal/workloads"
 )
 
-func TestParseTech(t *testing.T) {
+// TestRunRejectsBadFlags pins the CLI contract: every malformed flag
+// value makes run return an error (so main exits non-zero), including
+// spec-valued flags that would not be consumed this run. The parsing
+// helpers themselves are covered in internal/cliflags.
+func TestRunRejectsBadFlags(t *testing.T) {
+	good := trackFlags{name: "micro", tech: "epml", size: "small", scale: 1, passes: 1, seed: 1}
 	cases := []struct {
-		in      string
-		want    costmodel.Technique
-		wantErr bool
+		name   string
+		mutate func(*trackFlags)
 	}{
-		{in: "proc", want: costmodel.Proc},
-		{in: "/proc", want: costmodel.Proc},
-		{in: "ufd", want: costmodel.Ufd},
-		{in: "spml", want: costmodel.SPML},
-		{in: "EPML", want: costmodel.EPML},
-		{in: "oracle", want: costmodel.Oracle},
-		{in: "pml", wantErr: true},
-		{in: "", wantErr: true},
-	}
-	for _, c := range cases {
-		got, err := parseTech(c.in)
-		if (err != nil) != c.wantErr {
-			t.Errorf("parseTech(%q) err = %v, wantErr %v", c.in, err, c.wantErr)
-			continue
-		}
-		if err == nil && got != c.want {
-			t.Errorf("parseTech(%q) = %v, want %v", c.in, got, c.want)
-		}
-	}
-}
-
-func TestParseSize(t *testing.T) {
-	cases := []struct {
-		in      string
-		want    workloads.Size
-		wantErr bool
-	}{
-		{in: "small", want: workloads.Small},
-		{in: "Medium", want: workloads.Medium},
-		{in: "large", want: workloads.Large},
-		{in: "xl", wantErr: true},
-	}
-	for _, c := range cases {
-		got, err := parseSize(c.in)
-		if (err != nil) != c.wantErr {
-			t.Errorf("parseSize(%q) err = %v, wantErr %v", c.in, err, c.wantErr)
-			continue
-		}
-		if err == nil && got != c.want {
-			t.Errorf("parseSize(%q) = %v, want %v", c.in, got, c.want)
-		}
-	}
-}
-
-// TestParseSpecFlags pins the always-on validation: unknown -trace-kinds or
-// -faults tokens are rejected even when no trace sink or injector is built.
-func TestParseSpecFlags(t *testing.T) {
-	cases := []struct {
-		name       string
-		traceKinds string
-		faultSpec  string
-		wantErr    bool
-	}{
-		{name: "both empty", traceKinds: "", faultSpec: ""},
-		{name: "valid kinds", traceKinds: "track_init,track_collect"},
-		{name: "unknown kind", traceKinds: "page_party", wantErr: true},
-		{name: "valid fault spec", faultSpec: "hc-enable-fail:0.3,ufd-absent"},
-		{name: "unknown fault point", faultSpec: "cosmic-ray", wantErr: true},
-		{name: "bad fault rate", faultSpec: "ipi-drop:-1", wantErr: true},
-		{name: "both valid", traceKinds: "fault", faultSpec: "collect-stall:0.1"},
+		{"bad tech", func(tf *trackFlags) { tf.tech = "pml" }},
+		{"bad size", func(tf *trackFlags) { tf.size = "xl" }},
+		{"bad trace kind", func(tf *trackFlags) { tf.traceKinds = "page_party" }},
+		{"bad fault point", func(tf *trackFlags) { tf.faultSpec = "cosmic-ray" }},
+		{"bad fault rate", func(tf *trackFlags) { tf.faultSpec = "ipi-drop:2" }},
+		{"bad metrics mode", func(tf *trackFlags) { tf.metMode = "vibes" }},
+		{"bad metrics interval", func(tf *trackFlags) { tf.metIval = "-3ms" }},
+		{"bad export path", func(tf *trackFlags) { tf.metExport = "m.csv" }},
+		{"bad pprof path", func(tf *trackFlags) { tf.pprofPath = "p.gz" }},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			_, spec, err := parseSpecFlags(c.traceKinds, c.faultSpec)
-			if (err != nil) != c.wantErr {
-				t.Fatalf("parseSpecFlags(%q, %q) err = %v, wantErr %v", c.traceKinds, c.faultSpec, err, c.wantErr)
-			}
-			if err == nil && c.faultSpec != "" && spec.Empty() {
-				t.Errorf("non-empty fault spec %q parsed to an empty spec", c.faultSpec)
+			tf := good
+			c.mutate(&tf)
+			if err := run(tf); err == nil {
+				t.Fatalf("run(%+v) = nil error, want validation failure", tf)
 			}
 		})
 	}
 }
 
-// TestParseMetricsFlags pins the always-on validation of the metrics
-// flags: bad sort modes, intervals or export paths must be rejected up
-// front so the CLI exits non-zero before running anything.
-func TestParseMetricsFlags(t *testing.T) {
-	cases := []struct {
-		name     string
-		mode     string
-		interval string
-		export   string
-		wantSort string
-		wantIval time.Duration
-		wantFmt  string
-		wantErr  bool
-	}{
-		{name: "all empty", wantIval: time.Millisecond},
-		{name: "sort by count", mode: "count", wantSort: metrics.SortByCount, wantIval: time.Millisecond},
-		{name: "sort by cost", mode: "cost", wantSort: metrics.SortByCost, wantIval: time.Millisecond},
-		{name: "bad sort mode", mode: "vibes", wantErr: true},
-		{name: "custom interval", mode: "count", interval: "250us", wantSort: metrics.SortByCount, wantIval: 250 * time.Microsecond},
-		{name: "bad interval", interval: "fast", wantErr: true},
-		{name: "negative interval", interval: "-1ms", wantErr: true},
-		{name: "zero interval", interval: "0s", wantErr: true},
-		{name: "prom export", export: "m.prom", wantIval: time.Millisecond, wantFmt: metrics.ExportProm},
-		{name: "txt export", export: "m.txt", wantIval: time.Millisecond, wantFmt: metrics.ExportProm},
-		{name: "jsonl export", export: "m.jsonl", wantIval: time.Millisecond, wantFmt: metrics.ExportJSONL},
-		{name: "bad export extension", export: "m.csv", wantErr: true},
-	}
-	for _, c := range cases {
-		t.Run(c.name, func(t *testing.T) {
-			sortBy, ival, format, err := parseMetricsFlags(c.mode, c.interval, c.export)
-			if (err != nil) != c.wantErr {
-				t.Fatalf("parseMetricsFlags(%q, %q, %q) err = %v, wantErr %v",
-					c.mode, c.interval, c.export, err, c.wantErr)
-			}
-			if err != nil {
-				return
-			}
-			if sortBy != c.wantSort || ival != c.wantIval || format != c.wantFmt {
-				t.Errorf("parseMetricsFlags(%q, %q, %q) = (%q, %v, %q), want (%q, %v, %q)",
-					c.mode, c.interval, c.export, sortBy, ival, format, c.wantSort, c.wantIval, c.wantFmt)
-			}
-		})
-	}
-}
-
-func TestRenderCounts(t *testing.T) {
-	if got := renderCounts(nil); got != "-" {
-		t.Errorf("renderCounts(nil) = %q, want \"-\"", got)
-	}
-	got := renderCounts(map[string]uint64{"ipi-drop": 3, "collect-stall": 1})
-	if want := "collect-stall:1 ipi-drop:3"; got != want {
-		t.Errorf("renderCounts = %q, want %q", got, want)
+// TestRunCleanPass is the smoke path: a fault-free single-pass run of the
+// micro workload succeeds end to end.
+func TestRunCleanPass(t *testing.T) {
+	tf := trackFlags{name: "micro", tech: "epml", size: "small", scale: 1, passes: 1, seed: 1}
+	if err := run(tf); err != nil {
+		t.Fatal(err)
 	}
 }

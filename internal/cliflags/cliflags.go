@@ -1,4 +1,10 @@
-package main
+// Package cliflags holds the flag parsing, validation and export helpers
+// shared by the ooh* commands. Every command validates its spec-valued
+// flags unconditionally at startup - a typo in -faults or -trace-kinds
+// exits non-zero even when the flag would not be consumed that run - and
+// this package is where that contract lives, so the commands cannot
+// drift apart.
+package cliflags
 
 import (
 	"fmt"
@@ -7,17 +13,49 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/costmodel"
 	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/prof"
 	"repro/internal/trace"
+	"repro/internal/workloads"
 )
 
-// parseSpecFlags validates the spec-valued flags. It runs unconditionally
-// at startup - even when neither -trace nor -summary is set - so a typo in
+// ParseTech maps a -tech flag value to a technique.
+func ParseTech(s string) (costmodel.Technique, error) {
+	switch strings.ToLower(s) {
+	case "proc", "/proc":
+		return costmodel.Proc, nil
+	case "ufd":
+		return costmodel.Ufd, nil
+	case "spml":
+		return costmodel.SPML, nil
+	case "epml":
+		return costmodel.EPML, nil
+	case "oracle":
+		return costmodel.Oracle, nil
+	}
+	return 0, fmt.Errorf("unknown technique %q", s)
+}
+
+// ParseSize maps a -size flag value to a workload config size.
+func ParseSize(s string) (workloads.Size, error) {
+	switch strings.ToLower(s) {
+	case "small":
+		return workloads.Small, nil
+	case "medium":
+		return workloads.Medium, nil
+	case "large":
+		return workloads.Large, nil
+	}
+	return 0, fmt.Errorf("unknown size %q", s)
+}
+
+// ParseSpecFlags validates the spec-valued flags. It runs unconditionally
+// at startup - even when no trace sink is built - so a typo in
 // -trace-kinds or -faults exits non-zero instead of silently running
 // without the events or faults the user asked for.
-func parseSpecFlags(traceKinds, faultSpec string) (mask uint64, spec faults.Spec, err error) {
+func ParseSpecFlags(traceKinds, faultSpec string) (mask uint64, spec faults.Spec, err error) {
 	mask, err = trace.ParseKinds(traceKinds)
 	if err != nil {
 		return 0, faults.Spec{}, err
@@ -29,10 +67,11 @@ func parseSpecFlags(traceKinds, faultSpec string) (mask uint64, spec faults.Spec
 	return mask, spec, nil
 }
 
-// parseMetricsFlags validates the metrics-valued flags. Like the spec
-// flags, validation is unconditional: a bad -metrics sort mode, interval or
-// export path exits non-zero even when the flag would be ignored this run.
-func parseMetricsFlags(mode, interval, export string) (sortBy string, ival time.Duration, format string, err error) {
+// ParseMetricsFlags validates the metrics-valued flags. Like the spec
+// flags, validation is unconditional: a bad -metrics sort mode, interval
+// or export path exits non-zero even when the flag would be ignored this
+// run.
+func ParseMetricsFlags(mode, interval, export string) (sortBy string, ival time.Duration, format string, err error) {
 	sortBy, err = metrics.ParseSortMode(mode)
 	if err != nil {
 		return "", 0, "", err
@@ -48,9 +87,9 @@ func parseMetricsFlags(mode, interval, export string) (sortBy string, ival time.
 	return sortBy, ival, format, nil
 }
 
-// writeMetricsExport writes the registry snapshot to path in the format
+// WriteMetricsExport writes the registry snapshot to path in the format
 // ParseExportPath derived from its extension.
-func writeMetricsExport(reg *metrics.Registry, path, format string) error {
+func WriteMetricsExport(reg *metrics.Registry, path, format string) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -63,10 +102,10 @@ func writeMetricsExport(reg *metrics.Registry, path, format string) error {
 	return snap.WritePrometheus(f)
 }
 
-// parsePprofPath validates a -profile flag value: empty disables the
+// ParsePprofPath validates a -profile flag value: empty disables the
 // export, anything else must end in .pb.gz (the suffix `go tool pprof`
 // and pprof web UIs expect for gzipped protobuf profiles).
-func parsePprofPath(p string) error {
+func ParsePprofPath(p string) error {
 	p = strings.TrimSpace(p)
 	if p == "" || strings.HasSuffix(p, ".pb.gz") {
 		return nil
@@ -74,9 +113,9 @@ func parsePprofPath(p string) error {
 	return fmt.Errorf("pprof profile path %q must end in .pb.gz", p)
 }
 
-// writeProfExports writes the requested profile exports (folded stacks
+// WriteProfExports writes the requested profile exports (folded stacks
 // and/or gzipped pprof protobuf), returning the paths written.
-func writeProfExports(p *prof.Profiler, flamePath, pprofPath string) ([]string, error) {
+func WriteProfExports(p *prof.Profiler, flamePath, pprofPath string) ([]string, error) {
 	var written []string
 	write := func(path string, fn func(*os.File) error) error {
 		f, err := os.Create(path)
@@ -106,9 +145,9 @@ func writeProfExports(p *prof.Profiler, flamePath, pprofPath string) ([]string, 
 	return written, nil
 }
 
-// renderCounts formats per-point fault firing counts as "point:count"
+// RenderCounts formats per-point fault firing counts as "point:count"
 // pairs in name order.
-func renderCounts(counts map[string]uint64) string {
+func RenderCounts(counts map[string]uint64) string {
 	if len(counts) == 0 {
 		return "-"
 	}

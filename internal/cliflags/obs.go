@@ -1,0 +1,126 @@
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/faults"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// ObsFlags bundles the observability and fault-injection flags every ooh*
+// command exposes with the same names and semantics: -faults, -trace,
+// -trace-kinds, -metrics, -metrics-interval and -metrics-export.
+type ObsFlags struct {
+	FaultSpec  string
+	TraceFile  string
+	TraceKinds string
+	MetMode    string
+	MetIval    string
+	MetExport  string
+}
+
+// Register installs the shared flags on the default flag set. Call before
+// flag.Parse.
+func (of *ObsFlags) Register() {
+	flag.StringVar(&of.FaultSpec, "faults", "", "inject faults per this spec (e.g. \"send-fail:0.2,wire-corrupt:0.1\")")
+	flag.StringVar(&of.TraceFile, "trace", "", "write a JSONL event trace to this file")
+	flag.StringVar(&of.TraceKinds, "trace-kinds", "", "comma-separated event kinds to trace (empty or \"all\" = every kind)")
+	flag.StringVar(&of.MetMode, "metrics", "", "print a kvm_stat-style metrics table after the run, sorted by 'count' or 'cost'")
+	flag.StringVar(&of.MetIval, "metrics-interval", "", "virtual-time sampling interval for metrics time-series (default 1ms)")
+	flag.StringVar(&of.MetExport, "metrics-export", "", "write a metrics snapshot to this file (.prom/.txt = Prometheus text, .jsonl = JSON lines)")
+}
+
+// Obs is the built observability plane: wire Tracer/Faults/Metrics into
+// machine.Config, then Close and Report when the run ends. Any of the
+// three may be nil when the corresponding flags are unset; the machine
+// config and the methods here tolerate that.
+type Obs struct {
+	Tracer  *trace.Tracer
+	Faults  *faults.Injector
+	Metrics *metrics.Registry
+
+	traceFile string
+	sortBy    string
+	exportFmt string
+	exportTo  string
+}
+
+// Build validates every ObsFlags value (unconditionally - a typo exits
+// non-zero even if the flag would be unused) and constructs the planes
+// the flags ask for.
+func (of ObsFlags) Build(seed uint64) (*Obs, error) {
+	mask, spec, err := ParseSpecFlags(of.TraceKinds, of.FaultSpec)
+	if err != nil {
+		return nil, err
+	}
+	sortBy, ival, exportFmt, err := ParseMetricsFlags(of.MetMode, of.MetIval, of.MetExport)
+	if err != nil {
+		return nil, err
+	}
+	o := &Obs{traceFile: of.TraceFile, sortBy: sortBy, exportFmt: exportFmt, exportTo: of.MetExport}
+	if of.TraceFile != "" {
+		f, err := os.Create(of.TraceFile)
+		if err != nil {
+			return nil, err
+		}
+		o.Tracer = trace.New(trace.NewJSONLWriter(f), 0)
+		o.Tracer.SetMask(mask)
+	}
+	if !spec.Empty() {
+		o.Faults = faults.New(spec, seed)
+	}
+	if sortBy != "" || exportFmt != "" {
+		o.Metrics = metrics.NewRegistry()
+		o.Metrics.NewSampler(ival)
+	}
+	return o, nil
+}
+
+// Close settles the trace file. Idempotent and nil-tolerant, so commands
+// can both defer it (to cover error paths) and call it explicitly before
+// reporting.
+func (o *Obs) Close() error {
+	if o == nil {
+		return nil
+	}
+	if err := o.Tracer.Close(); err != nil {
+		return fmt.Errorf("closing trace: %w", err)
+	}
+	return nil
+}
+
+// Report prints the post-run observability summary: injected fault
+// counts, the trace-file line, metrics tables and the metrics export.
+// Call after Close so the trace file is complete before it is announced.
+func (o *Obs) Report(w io.Writer) error {
+	if o == nil {
+		return nil
+	}
+	if o.Faults.Armed() {
+		fmt.Fprintf(w, "\nfaults injected: %d (%s)\n", o.Faults.Total(), RenderCounts(o.Faults.Counts()))
+	}
+	if o.Tracer != nil {
+		// The trace plane's own health matters: a lossy sink means every
+		// count above undercounts.
+		if o.Metrics != nil {
+			o.Metrics.Counter("trace", "records_dropped", "").Add(int64(o.Tracer.Dropped()))
+		}
+		fmt.Fprintf(w, "\ntrace: %d records written to %s\n", o.Tracer.Emitted(), o.traceFile)
+	}
+	if o.sortBy != "" {
+		for _, tab := range metrics.StatTables(o.Metrics, o.sortBy) {
+			fmt.Fprintf(w, "\n%s", tab.Render())
+		}
+	}
+	if o.exportFmt != "" {
+		if err := WriteMetricsExport(o.Metrics, o.exportTo, o.exportFmt); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nmetrics: snapshot written to %s\n", o.exportTo)
+	}
+	return nil
+}

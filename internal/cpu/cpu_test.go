@@ -268,11 +268,22 @@ func TestEPMLDualLogging(t *testing.T) {
 	if err := h.vcpu.WriteU64(0x4000, 1); err != nil {
 		t.Fatal(err)
 	}
-	if n := h.vcpu.Counters.Get(CtrPMLLogs); n != 1 {
-		t.Errorf("hypervisor-level logs = %d, want 1 (dual logging)", n)
+	// Hypervisor-level PML logs two frames: the data page, and the EPML
+	// guest buffer frame the walk circuit appended to (its store runs the
+	// EPT dirty protocol too, so live migration resends the log page).
+	if n := h.vcpu.Counters.Get(CtrPMLLogs); n != 2 {
+		t.Errorf("hypervisor-level logs = %d, want 2 (data page + guest log buffer)", n)
 	}
 	if n := h.vcpu.Counters.Get(CtrEPMLLogs); n != 1 {
 		t.Errorf("guest-level logs = %d, want 1 (dual logging)", n)
+	}
+	// A second write to the same page: its EPT dirty flag (and the
+	// buffer's) are already set, so nothing new reaches either log.
+	if err := h.vcpu.WriteU64(0x4000, 2); err != nil {
+		t.Fatal(err)
+	}
+	if n := h.vcpu.Counters.Get(CtrPMLLogs); n != 2 {
+		t.Errorf("hypervisor-level logs after rewrite = %d, want still 2", n)
 	}
 	// The guest buffer holds the GVA, the hypervisor buffer the GPA.
 	gbuf := mem.HPA(mustRead(t, shadow, vmcs.FieldGuestPMLAddress))

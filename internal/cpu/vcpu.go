@@ -162,6 +162,13 @@ type VCPU struct {
 	// per-logged-page buffer writes skip PhysMem's lock (see physWriteU64).
 	pmlBuf  bufCache
 	epmlBuf bufCache
+	// epmlBufGPA is the guest-physical address of the armed EPML guest
+	// buffer, captured when the extended vmwrite micro-op translates
+	// GUEST_PML_ADDRESS. The walk circuit's buffer stores are guest-
+	// physical writes, so they run the EPT dirty-flag protocol against
+	// this frame (hypervisor-level PML must see the buffer page change,
+	// or live migration ships a stale log page).
+	epmlBufGPA mem.GPA
 
 	// ctr caches sim.Counters refs for the hot-path counters, resolved
 	// lazily on first increment so untouched counters stay absent from
@@ -368,6 +375,7 @@ func (v *VCPU) GuestVMWrite(f vmcs.Field, val uint64) error {
 		if err != nil {
 			return fmt.Errorf("cpu: EPML buffer translation: %w", err)
 		}
+		v.epmlBufGPA = mem.GPA(val)
 		val = uint64(hpa)
 	}
 	err := v.VMCS.GuestWrite(f, val)
@@ -531,6 +539,20 @@ func (v *VCPU) epmlLog(gva mem.GVA) error {
 		buf := mem.HPA(bufRaw)
 		if err := v.physWriteU64(&v.epmlBuf, buf+mem.HPA(idx*8), uint64(gva)); err != nil {
 			return fmt.Errorf("cpu: EPML buffer write: %w", err)
+		}
+		// The store above is a guest-physical write by the walk circuit:
+		// it runs the EPT dirty-flag protocol against the buffer frame, so
+		// hypervisor-level PML logs the buffer page the first time it
+		// changes between drains. Without this, live migration's dirty
+		// rounds never resend the log page and the destination image holds
+		// a stale copy of it. The frame was demand-mapped when the buffer
+		// was armed, so a walk failure here cannot raise a fresh exit.
+		if _, eptDirtied, err := v.EPT.WalkWrite(v.epmlBufGPA); err == nil && eptDirtied {
+			if pml, _, err := v.armState(); err == nil && pml {
+				if err := v.pmlLog(v.epmlBufGPA.PageFloor()); err != nil {
+					return err
+				}
+			}
 		}
 		if err := fields.Write(vmcs.FieldGuestPMLIndex, (idx-1)&0xFFFF); err != nil {
 			return err

@@ -6,8 +6,10 @@ import (
 	"time"
 
 	"repro/internal/costmodel"
+	"repro/internal/faults"
 	"repro/internal/guestos"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/pgtable"
 	"repro/internal/prof"
 	"repro/internal/sim"
@@ -26,6 +28,20 @@ type Options struct {
 	// KeepRunning resumes the process after the final round instead of
 	// leaving it stopped (CRIU's --leave-running).
 	KeepRunning bool
+	// DowntimeBudget, when non-zero, is the stop-and-copy SLO: the final
+	// round is refused while the last dirty set's estimated dump time
+	// exceeds it (pre-copy continues instead), and once MaxRounds are
+	// exhausted the checkpoint aborts with ErrSLOAbort - process still
+	// running, tracker closed - rather than blow the budget.
+	DowntimeBudget time.Duration
+	// MaxCollectRetries bounds the retries of a transient
+	// (faults.ErrTransient) collection failure before the checkpoint
+	// aborts (default 2). Each retry charges CollectBackoff of virtual
+	// time, doubling per attempt.
+	MaxCollectRetries int
+	// CollectBackoff is the charged wait before the first collect retry
+	// (default 50us).
+	CollectBackoff time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -34,6 +50,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Threshold == 0 {
 		o.Threshold = 64
+	}
+	if o.MaxCollectRetries == 0 {
+		o.MaxCollectRetries = 2
+	}
+	if o.CollectBackoff <= 0 {
+		o.CollectBackoff = 50 * time.Microsecond
 	}
 	return o
 }
@@ -60,6 +82,12 @@ type Stats struct {
 	PagesPer []int // pages dumped per round
 	Dumped   int   // total page dumps (pre-copy amplification)
 	Final    int   // pages in the final image
+	// CollectRetries counts transient collection failures retried with
+	// charged backoff before succeeding.
+	CollectRetries int
+	// Aborted reports a checkpoint abandoned on an error or SLO path: the
+	// tracker was closed, the process left running, no image produced.
+	Aborted bool
 }
 
 // Checkpointer performs iterative pre-copy checkpoints of one process
@@ -87,9 +115,31 @@ func New(proc *guestos.Process, tech tracking.Technique, opts Options) *Checkpoi
 // this is informational and never returned by Run.
 var ErrNotConverging = errors.New("criu: pre-copy did not converge")
 
+// ErrSLOAbort reports a checkpoint whose last dirty set could not be
+// dumped within Options.DowntimeBudget even after MaxRounds: rather than
+// pause the process past its SLO, the checkpoint aborted cleanly.
+var ErrSLOAbort = errors.New("criu: downtime SLO unattainable")
+
+// abort abandons a failed checkpoint cleanly: the tracker session is torn
+// down (best-effort - the failure that got us here may also fail Close)
+// and the process is left running, never stopped. Every Run error path
+// funnels through here, so a failed checkpoint can never leak a paused
+// process or an armed tracking session.
+func (c *Checkpointer) abort(stats *Stats, closeTech bool) {
+	stats.Aborted = true
+	if c.Proc.Paused() {
+		c.Proc.Resume()
+	}
+	if closeTech {
+		_ = c.Tech.Close()
+	}
+}
+
 // Run performs a complete checkpoint: full first dump, dirty-only pre-copy
 // rounds with the workload running between rounds (runBetween, may be nil),
-// and a final stop-and-copy round with the process paused.
+// and a final stop-and-copy round with the process paused. On any error
+// the checkpoint aborts cleanly: profiler spans are unwound, the tracker
+// is closed, and the process keeps running.
 func (c *Checkpointer) Run(runBetween func(round int) error) (*Image, Stats, error) {
 	stats := Stats{Technique: c.Tech.Kind()}
 	img := NewImage(c.Proc)
@@ -104,6 +154,8 @@ func (c *Checkpointer) Run(runBetween func(round int) error) (*Image, Stats, err
 	w := sim.StartWatch(c.clock)
 	initSp := tap.Begin(prof.SubCRIU, "init")
 	if err := c.Tech.Init(); err != nil {
+		initSp.End()
+		c.abort(&stats, false) // never initialized: nothing to close
 		return nil, stats, fmt.Errorf("criu: tracker init: %w", err)
 	}
 	initSp.End()
@@ -115,6 +167,8 @@ func (c *Checkpointer) Run(runBetween func(round int) error) (*Image, Stats, err
 	pages := c.presentPages()
 	r0Sp := tap.Begin(prof.SubCRIU, prof.RoundOp(0))
 	if err := c.dumpRound(img, &stats, pages); err != nil {
+		r0Sp.End()
+		c.abort(&stats, true)
 		return nil, stats, err
 	}
 	r0Sp.End()
@@ -122,24 +176,42 @@ func (c *Checkpointer) Run(runBetween func(round int) error) (*Image, Stats, err
 	// Pre-copy rounds: let the workload run, then dump what it dirtied.
 	// Each round's collect+dump pair runs under a RoundOp span (the
 	// workload pass stays outside it), which is what CriticalPath walks.
+	// lastDirty feeds the downtime estimator; -1 until a round has run.
+	lastDirty := -1
 	for round := 1; round <= c.Opts.MaxRounds; round++ {
 		if runBetween != nil {
 			if err := runBetween(round); err != nil {
+				c.abort(&stats, true)
 				return nil, stats, fmt.Errorf("criu: workload (round %d): %w", round, err)
 			}
 		}
 		rSp := tap.Begin(prof.SubCRIU, prof.RoundOp(round))
 		dirty, err := c.collect(&stats)
 		if err != nil {
+			rSp.End()
+			c.abort(&stats, true)
 			return nil, stats, err
 		}
 		if err := c.dumpRound(img, &stats, dirty); err != nil {
+			rSp.End()
+			c.abort(&stats, true)
 			return nil, stats, err
 		}
 		rSp.End()
-		if len(dirty) <= c.Opts.Threshold {
+		lastDirty = len(dirty)
+		// Converged only when the dirty set is small enough AND its
+		// estimated stop-and-copy dump fits the budget; a small-but-slow
+		// set keeps pre-copying instead of pausing the process too early.
+		if len(dirty) <= c.Opts.Threshold &&
+			(c.Opts.DowntimeBudget <= 0 || c.estimatedDowntime(len(dirty)) <= c.Opts.DowntimeBudget) {
 			break
 		}
+	}
+	if c.Opts.DowntimeBudget > 0 && lastDirty >= 0 &&
+		c.estimatedDowntime(lastDirty) > c.Opts.DowntimeBudget {
+		c.abort(&stats, true)
+		return nil, stats, fmt.Errorf("criu: ~%d pending pages need %v, budget %v: %w",
+			lastDirty, c.estimatedDowntime(lastDirty), c.Opts.DowntimeBudget, ErrSLOAbort)
 	}
 
 	// Final stop-and-copy: pause the process, drain the last dirty set.
@@ -147,16 +219,18 @@ func (c *Checkpointer) Run(runBetween func(round int) error) (*Image, Stats, err
 	sacSp := tap.Begin(prof.SubCRIU, "stop_and_copy")
 	dirty, err := c.collect(&stats)
 	if err != nil {
-		c.Proc.Resume()
+		sacSp.End()
+		c.abort(&stats, true)
 		return nil, stats, err
 	}
 	if err := c.dumpRound(img, &stats, dirty); err != nil {
-		c.Proc.Resume()
+		sacSp.End()
+		c.abort(&stats, true)
 		return nil, stats, err
 	}
 	sacSp.End()
 	if err := c.Tech.Close(); err != nil {
-		c.Proc.Resume()
+		c.abort(&stats, false) // Close already failed; don't close twice
 		return nil, stats, fmt.Errorf("criu: tracker close: %w", err)
 	}
 	if c.Opts.KeepRunning {
@@ -168,6 +242,12 @@ func (c *Checkpointer) Run(runBetween func(round int) error) (*Image, Stats, err
 	stats.Total = stats.Init + stats.MD + stats.MW
 	stats.Final = len(img.Pages)
 	return img, stats, nil
+}
+
+// estimatedDowntime is the stop-and-copy estimate for n pending pages:
+// the per-page image write is what dominates the paused window.
+func (c *Checkpointer) estimatedDowntime(n int) time.Duration {
+	return time.Duration(n) * c.Proc.Kernel().Model.DiskWritePage
 }
 
 // collect runs the technique's collection, attributing its time to MD for
@@ -183,7 +263,18 @@ func (c *Checkpointer) collect(stats *Stats) ([]mem.GVA, error) {
 	sp := c.Proc.Kernel().VCPU.Prof.Begin(prof.SubCRIU, "collect")
 	defer sp.End()
 	w := sim.StartWatch(c.clock)
+	// A transient collection failure is retried a bounded number of times
+	// with doubling charged backoff (the wait lands inside this round's
+	// MD/MW stopwatch); anything else, or exhaustion, aborts the round.
 	dirty, err := c.Tech.Collect()
+	backoff := c.Opts.CollectBackoff
+	for retry := 0; err != nil && errors.Is(err, faults.ErrTransient) && retry < c.Opts.MaxCollectRetries; retry++ {
+		stats.CollectRetries++
+		ev.Count(metrics.SubCRIU, "collect_retries_total", "", 1)
+		c.clock.Advance(backoff)
+		backoff *= 2
+		dirty, err = c.Tech.Collect()
+	}
 	if err != nil {
 		return nil, fmt.Errorf("criu: collect: %w", err)
 	}

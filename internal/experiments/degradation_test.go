@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestDegradationSurfaceOutcomes runs the standing degradation-surface
+// experiment once and checks the acceptance property: under every canned
+// transport mix, each cell either completed with an oracle-exact image or
+// aborted/resumed cleanly (any violation fails the cell, and the run).
+func TestDegradationSurfaceOutcomes(t *testing.T) {
+	res, err := Run("degradation-surface", Options{Workers: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "converged") {
+		t.Error("no cell converged - the clean mixes should")
+	}
+	if !strings.Contains(out, "slo-abort") {
+		t.Error("no cell SLO-aborted - the storm workload should blow the budget")
+	}
+	if strings.Contains(out, "NO") {
+		t.Errorf("an oracle-exactness check failed:\n%s", out)
+	}
+	// The crashy mixes must exercise the resume path somewhere in the grid.
+	if !strings.Contains(out, "crashy") {
+		t.Fatalf("crashy mix missing from the grid:\n%s", out)
+	}
+}
+
+// TestDegradationSurfaceDeterministic is the sharding guarantee for the
+// degradation surface: a fully probed Workers=8 sweep produces
+// byte-identical trace, metrics and profile output to Workers=1 at the
+// same seed - even though cells retry, resend, crash and resume.
+func TestDegradationSurfaceDeterministic(t *testing.T) {
+	checkByteIdentical(t, "degradation-surface", trace.AllKinds)
+}

@@ -29,6 +29,8 @@ var runners = map[string]Runner{
 	"ablation-slice": func(opt Options) (*Result, error) { return AblationTimeSlice() },
 	// Robustness: the fault-injection matrix (not from the paper).
 	"fault-matrix": FaultMatrix,
+	// Robustness: transactional migration under transport faults.
+	"degradation-surface": DegradationSurface,
 }
 
 // Run regenerates the experiment with the given id.

@@ -60,6 +60,12 @@ const (
 	// --- internal/tracking: the Tracker itself --------------------------
 	CollectStall // a Collect stalls for extra virtual time before running
 
+	// --- internal/migration: transport and destination faults -----------
+	SendFail    // transient page-send failure toward the destination
+	WireCorrupt // page payload corrupted in flight; the destination's per-page checksum catches it and NACKs
+	DestStall   // destination stalls before acking a page (extra charged virtual time)
+	RoundCrash  // transport session crashes between pre-copy rounds
+
 	numPoints // sentinel; keep last
 )
 
@@ -77,6 +83,10 @@ var pointNames = [numPoints]string{
 	SPMLAbsent:    "spml-absent",
 	UfdAbsent:     "ufd-absent",
 	CollectStall:  "collect-stall",
+	SendFail:      "send-fail",
+	WireCorrupt:   "wire-corrupt",
+	DestStall:     "dest-stall",
+	RoundCrash:    "round-crash",
 }
 
 // NumPoints returns how many fault points are defined.
@@ -219,7 +229,10 @@ func ParseSpec(csv string) (Spec, error) {
 		if hasRate {
 			var err error
 			rate, err = strconv.ParseFloat(rateStr, 64)
-			if err != nil || rate < 0 || rate > 1 {
+			// rate != rate rejects NaN, which would otherwise slip past
+			// both range checks and break the parse/format round trip
+			// (String omits non-positive rates).
+			if err != nil || rate != rate || rate < 0 || rate > 1 {
 				return Spec{}, fmt.Errorf("faults: bad rate %q for %s (want 0..1)", rateStr, name)
 			}
 		}

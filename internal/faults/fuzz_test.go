@@ -1,0 +1,75 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseSpec fuzzes the CLI fault-spec grammar. Two properties:
+//
+//  1. ParseSpec never panics, whatever the input.
+//  2. Parse-then-format round trip: any spec ParseSpec accepts renders
+//     (Spec.String) back into a string that reparses to the identical
+//     Spec. This is what lets reports and bench JSON quote a spec and
+//     have a later run reproduce it exactly.
+//
+// The seed corpus covers every documented form of the grammar: bare point
+// names (rate 1), point:rate tokens, the seed=N token, the empty spec,
+// whitespace, blank elements, and the canned experiment mixes.
+func FuzzParseSpec(f *testing.F) {
+	seeds := []string{
+		"",
+		" ",
+		"ipi-drop",
+		"ipi-drop:0.5",
+		"pml-entry-loss:0.2,pml-full-exit:0.01",
+		"epml-absent,spml-absent,ufd-absent",
+		"seed=7",
+		"hc-enable-fail:0.4,hc-disable-fail:0.4,hc-drain-fail:0.6,hc-init-fail:0.5,seed=7",
+		"collect-stall:1",
+		"collect-stall:0",
+		"vmwrite-fail:0.2, collect-stall:0.3",
+		"send-fail:0.25,wire-corrupt:0.2,dest-stall:0.4,round-crash:0.3",
+		"round-crash",
+		"ipi-drop,,ipi-dup,",
+		"ipi-drop:1e-9",
+		"ipi-drop:NaN",
+		"ipi-drop:+Inf",
+		"seed=18446744073709551615",
+		"seed=-1",
+		"unknown-point:0.5",
+		"ipi-drop:2",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, csv string) {
+		spec, err := ParseSpec(csv)
+		if err != nil {
+			return // rejected inputs only need to not panic
+		}
+		rendered := spec.String()
+		again, err := ParseSpec(rendered)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q) accepted, but its rendering %q does not reparse: %v",
+				csv, rendered, err)
+		}
+		if again != spec {
+			t.Fatalf("round trip diverged for %q:\n first: %+v\nsecond: %+v (via %q)",
+				csv, spec, again, rendered)
+		}
+		// Rendering must be a fixed point: String of the reparse is String
+		// of the original.
+		if again.String() != rendered {
+			t.Fatalf("String not a fixed point for %q: %q then %q", csv, rendered, again.String())
+		}
+		// Accepted rates stay in range and are never NaN.
+		for p := Point(0); p < numPoints; p++ {
+			r := spec.Rate(p)
+			if r != r || r < 0 || r > 1 {
+				t.Fatalf("ParseSpec(%q) accepted out-of-range rate %v for %s", csv, r, p)
+			}
+		}
+		_ = strings.TrimSpace(rendered)
+	})
+}

@@ -14,6 +14,7 @@ const (
 	SubCRIU       = "criu"
 	SubGC         = "gc"
 	SubFaults     = "faults"
+	SubMigration  = "migration"
 )
 
 // kindSubsystem maps every trace kind to the subsystem that owns its
@@ -51,6 +52,10 @@ var kindSubsystem = map[trace.Kind]string{
 	trace.KindTrackRetry:     SubTracking,
 	trace.KindTrackDegrade:   SubTracking,
 	trace.KindTrackRescan:    SubTracking,
+	trace.KindMigRetry:       SubMigration,
+	trace.KindMigNack:        SubMigration,
+	trace.KindMigAbort:       SubMigration,
+	trace.KindMigResume:      SubMigration,
 }
 
 // KindSubsystem returns the subsystem owning metrics for kind k.

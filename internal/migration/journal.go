@@ -1,0 +1,127 @@
+package migration
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Phase is one state of the migration state machine. Transitions:
+//
+//	Init -> FullCopy -> PreCopy -> StopAndCopy -> Completed
+//	                     |  ^
+//	                     |  '-- Resume(journal) after a round crash
+//	                     '----> Aborted (fatal error, SLO abort, or Abort)
+type Phase int
+
+const (
+	PhaseInit        Phase = iota // journal created, dirty logging not yet armed
+	PhaseFullCopy                 // round 0: every mapped frame in flight
+	PhasePreCopy                  // dirty-only rounds
+	PhaseStopAndCopy              // guest paused, final transfer
+	PhaseCompleted                // destination image is complete and verified acked
+	PhaseAborted                  // partial image discarded, source still authoritative
+)
+
+var phaseNames = [...]string{
+	PhaseInit:        "init",
+	PhaseFullCopy:    "full-copy",
+	PhasePreCopy:     "pre-copy",
+	PhaseStopAndCopy: "stop-and-copy",
+	PhaseCompleted:   "completed",
+	PhaseAborted:     "aborted",
+}
+
+// String returns the phase's stable name.
+func (p Phase) String() string {
+	if p >= 0 && int(p) < len(phaseNames) {
+		return phaseNames[p]
+	}
+	return "unknown"
+}
+
+// Journal is the migration's per-round transaction log: everything needed
+// to resume after the transport crashes between pre-copy rounds. The
+// source keeps running (and keeps being dirty-logged) across the outage,
+// so a Resume sends only the delta instead of restarting the full copy.
+type Journal struct {
+	// Phase is the state the machine was in when the journal was last
+	// written.
+	Phase Phase
+	// NextRound is the first pre-copy round a Resume will run.
+	NextRound int
+	// Opts are the options the migration started with; Resume reuses them
+	// so a resumed migration is governed by the same SLO.
+	Opts Options
+	// Stats accumulates across the original run and every resume.
+	Stats Stats
+
+	// dest is the destination side: the pages it has acked so far. It is
+	// discarded on abort - a partial image must never look restorable.
+	dest *dest
+	// pending is a converged dirty set carried into stop-and-copy.
+	pending []mem.GPA
+}
+
+// ImagePages returns how many distinct frames the destination has acked -
+// the progress a Resume preserves.
+func (j *Journal) ImagePages() int {
+	if j == nil || j.dest == nil {
+		return 0
+	}
+	return len(j.dest.image)
+}
+
+// CrashError wraps ErrRoundCrash and carries the journal a Resume needs.
+// Callers extract it with errors.As and either Resume or Abort:
+//
+//	var ce *migration.CrashError
+//	if errors.As(err, &ce) {
+//	    image, stats, err = migration.Resume(vm, ce.Journal, runBetween)
+//	}
+type CrashError struct {
+	Journal *Journal
+	// Round is the pre-copy round the transport died in front of.
+	Round int
+}
+
+func (e *CrashError) Error() string {
+	return fmt.Sprintf("migration: transport crashed before round %d (%d frames journaled)",
+		e.Round, e.Journal.ImagePages())
+}
+
+// Unwrap classifies every crash as ErrRoundCrash for errors.Is.
+func (e *CrashError) Unwrap() error { return ErrRoundCrash }
+
+// dest models the destination host: it verifies every page against the
+// sender's checksum before acking it, so a payload corrupted on the wire
+// is NACKed (and resent) instead of silently landing in the image.
+type dest struct {
+	image map[mem.GPA][]byte
+}
+
+func newDest() *dest { return &dest{image: make(map[mem.GPA][]byte)} }
+
+// receive acks one page: false means the checksum did not match and the
+// page was discarded (NACK).
+func (d *dest) receive(gpa mem.GPA, payload []byte, sum uint64) bool {
+	if checksum(payload) != sum {
+		return false
+	}
+	d.image[gpa] = payload
+	return true
+}
+
+// checksum is the per-page FNV-1a the destination verifies transfers with.
+func checksum(b []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}

@@ -86,6 +86,12 @@ const (
 	KindTrackDegrade // ladder descent; Arg = from<<8 | to (costmodel.Technique)
 	KindTrackRescan  // soft-dirty rescan of a lossy epoch; Arg = pages recovered
 
+	// --- internal/migration: transport recovery and transactions --------
+	KindMigRetry  // one page-send retry backoff wait; Arg = attempt, Addr = GPA
+	KindMigNack   // destination checksum NACK -> resend; Addr = GPA
+	KindMigAbort  // migration aborted (partial image discarded); Arg = round
+	KindMigResume // migration resumed from a journal; Arg = first live round
+
 	numKinds // sentinel; keep last
 )
 
@@ -122,6 +128,10 @@ var kindNames = [numKinds]string{
 	KindTrackRetry:     "track_retry",
 	KindTrackDegrade:   "track_degrade",
 	KindTrackRescan:    "track_rescan",
+	KindMigRetry:       "mig_retry",
+	KindMigNack:        "mig_nack",
+	KindMigAbort:       "mig_abort",
+	KindMigResume:      "mig_resume",
 }
 
 // NumKinds returns how many kinds are defined.

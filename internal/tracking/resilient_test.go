@@ -191,6 +191,54 @@ func TestResilientLadderExhausted(t *testing.T) {
 	}
 }
 
+// TestResilientAllTechniquesAbsent walks a full ladder that excludes the
+// always-available /proc rung while every capability is absent: Init must
+// descend every rung, then surface the typed capability error - no panic,
+// no half-armed tracker - and leave the process trackable by a later
+// healthy session.
+func TestResilientAllTechniquesAbsent(t *testing.T) {
+	parsed, err := faults.ParseSpec("epml-absent,spml-absent,ufd-absent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faults.New(parsed, 1)
+	m, err := machine.New(machine.Config{Faults: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := m.Guest(0)
+	proc := g.Kernel.Spawn("victim")
+	if _, err := proc.Mmap(4*mem.PageSize, true); err != nil {
+		t.Fatal(err)
+	}
+	factory := func(kind costmodel.Technique) (tracking.Technique, error) {
+		return g.NewTechnique(kind, proc)
+	}
+	r := tracking.NewResilient(proc, inj, factory,
+		costmodel.EPML, costmodel.SPML, costmodel.Ufd) // no /proc safety rung
+	if err := r.Init(); !errors.Is(err, faults.ErrUnsupported) {
+		t.Fatalf("Init with every capability absent: %v, want ErrUnsupported", err)
+	}
+	if got := r.Recovery().Degradations; got != 2 {
+		t.Errorf("degradations = %d, want 2 (EPML->SPML->ufd)", got)
+	}
+	// The failed ladder walk must not leave dirty logging armed.
+	if g.VM.EnabledByHyp() {
+		t.Error("dirty logging still armed after exhausted ladder")
+	}
+	// And the host is still usable: an unrestricted ladder lands on /proc.
+	r2 := tracking.NewResilient(proc, inj, factory)
+	if err := r2.Init(); err != nil {
+		t.Fatalf("follow-up default-ladder session: %v", err)
+	}
+	if got := r2.Active(); got != costmodel.Proc {
+		t.Errorf("follow-up session active rung = %v, want Proc", got)
+	}
+	if err := r2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestResilientExactUnderFaultMatrix is the core acceptance property: under
 // every canned fault mix, each collection's report equals the independent
 // oracle's truth exactly.
