@@ -117,6 +117,48 @@ func writeProfExports(p *prof.Profiler, flamePath, pprofPath string) ([]string, 
 	return written, nil
 }
 
+// parseTrajectoryFlags validates the -trajectory flag: empty disables it,
+// otherwise the path must end in .jsonl and the run must measure perf
+// (the trajectory records pages-tracked/sec and speedups, which only a
+// -perf run produces).
+func parseTrajectoryFlags(path string, perf bool) error {
+	path = strings.TrimSpace(path)
+	if path == "" {
+		return nil
+	}
+	if !strings.HasSuffix(path, ".jsonl") {
+		return fmt.Errorf("trajectory path %q must end in .jsonl", path)
+	}
+	if !perf {
+		return fmt.Errorf("-trajectory requires -perf (it records throughput measurements)")
+	}
+	return nil
+}
+
+// appendTrajectory validates the existing trajectory file (a corrupt file
+// is an error, not something to extend) and appends one line per perf
+// result.
+func appendTrajectory(path, commit string, perf []experiments.BenchPerf) error {
+	if prev, err := os.Open(path); err == nil {
+		verr := experiments.ValidateTrajectory(prev)
+		prev.Close()
+		if verr != nil {
+			return fmt.Errorf("%s: %w", path, verr)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	err = experiments.AppendTrajectory(f, commit, perf)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
 // writeMetricsExport writes the registry snapshot to path in the format
 // ParseExportPath derived from its extension.
 func writeMetricsExport(reg *metrics.Registry, path, format string) error {

@@ -20,8 +20,10 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cliflags"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/monitor"
 	"repro/internal/prof"
 	"repro/internal/trace"
 )
@@ -48,6 +50,11 @@ type benchFlags struct {
 	perf       bool
 	checkBench string
 	benchTol   float64
+	mon        bool
+	rules      string
+	explainTo  string
+	trajectory string
+	commit     string
 }
 
 func main() {
@@ -72,6 +79,11 @@ func main() {
 	flag.BoolVar(&bf.perf, "perf", false, "measure host throughput per experiment (cached vs cache-disabled wall-clock, pages-tracked/sec) and add a perf section to the -json report")
 	flag.StringVar(&bf.checkBench, "check-bench", "", "comma-separated baseline BENCH_*.json files: regenerate each and fail if the output diverges or the speedup regresses past -bench-tolerance")
 	flag.Float64Var(&bf.benchTol, "bench-tolerance", 0.5, "fraction of the baseline speedup_vs_uncached a -check-bench candidate may lose before the gate fails")
+	flag.BoolVar(&bf.mon, "mon", false, "enable the online monitor plane (dirty-rate estimators, convergence predictor, alert timeline)")
+	flag.StringVar(&bf.rules, "rules", "", "alert rules evaluated online (e.g. \"monitor/dirty_rate_pps{vm0/pml} > 50000 for 2ms\"); implies -mon")
+	flag.StringVar(&bf.explainTo, "explain", "", "write a run-explain report to this file (.md or .json); implies -mon")
+	flag.StringVar(&bf.trajectory, "trajectory", "", "append one ooh-trajectory/v1 JSONL line per -perf result to this file")
+	flag.StringVar(&bf.commit, "commit", "", "commit id recorded in -trajectory lines")
 	flag.Parse()
 
 	// main never exits from inside the work: run returns, so every deferred
@@ -100,6 +112,17 @@ func run(bf benchFlags) (err error) {
 		return err
 	}
 	if err := parseBenchTolerance(bf.benchTol); err != nil {
+		return err
+	}
+	// The rule spec and report paths validate unconditionally too.
+	rules, err := monitor.ParseRules(bf.rules)
+	if err != nil {
+		return err
+	}
+	if err := cliflags.ParseExplainPath(bf.explainTo); err != nil {
+		return err
+	}
+	if err := parseTrajectoryFlags(bf.trajectory, bf.perf); err != nil {
 		return err
 	}
 
@@ -134,9 +157,20 @@ func run(bf benchFlags) (err error) {
 		opt.Metrics = reg
 	}
 	var profiler *prof.Profiler
-	if bf.profTop || bf.flamePath != "" || bf.pprofPath != "" {
+	if bf.profTop || bf.flamePath != "" || bf.pprofPath != "" || bf.explainTo != "" {
 		profiler = prof.New()
 		opt.Profiler = profiler
+	}
+	var mon *monitor.Monitor
+	if bf.mon || bf.rules != "" || bf.explainTo != "" {
+		if reg == nil {
+			// The monitor publishes gauges and evaluates rules against a
+			// registry; make one even when no metrics output was asked for.
+			reg = metrics.NewRegistry()
+			opt.Metrics = reg
+		}
+		mon = monitor.New(monitor.Config{Rules: rules})
+		opt.Monitor = mon
 	}
 	var tr *trace.Tracer
 	if bf.traceFile != "" {
@@ -235,6 +269,34 @@ func run(bf benchFlags) (err error) {
 		}
 		if !quiet {
 			fmt.Printf("\nmetrics: snapshot written to %s\n", bf.metExport)
+		}
+	}
+	if mon != nil && !quiet {
+		alerts := mon.Alerts()
+		fmt.Printf("\nmonitor: %d alert(s), %d prediction(s)\n", len(alerts), len(mon.Predictions()))
+		for _, a := range alerts {
+			fmt.Printf("  [%12d ns] %-8s %s (value %d, threshold %d)\n",
+				a.TS, a.State, a.Rule, a.Value, a.Threshold)
+		}
+	}
+	if bf.explainTo != "" {
+		title := "oohbench"
+		if bf.exp != "" {
+			title = "oohbench " + bf.exp
+		}
+		if err := cliflags.WriteExplain(bf.explainTo, title, mon, reg, profiler); err != nil {
+			return err
+		}
+		if !quiet {
+			fmt.Printf("\nexplain: report written to %s\n", bf.explainTo)
+		}
+	}
+	if bf.trajectory != "" {
+		if err := appendTrajectory(bf.trajectory, bf.commit, perf); err != nil {
+			return err
+		}
+		if !quiet {
+			fmt.Printf("\ntrajectory: %d line(s) appended to %s\n", len(perf), bf.trajectory)
 		}
 	}
 	if bf.jsonPath != "" {

@@ -85,7 +85,9 @@ func run(cf criuFlags) (err error) {
 		}
 	}()
 
-	m, err := machine.New(machine.Config{Tracer: obs.Tracer, Faults: obs.Faults, Metrics: obs.Metrics})
+	obs.ExplainTitle = fmt.Sprintf("oohcriu %s/%s (%s)", cf.name, sz, kind)
+	m, err := machine.New(machine.Config{Tracer: obs.Tracer, Faults: obs.Faults,
+		Metrics: obs.Metrics, Profiler: obs.Profiler, Monitor: obs.Monitor})
 	if err != nil {
 		return err
 	}

@@ -87,7 +87,9 @@ func run(mf migrateFlags) (err error) {
 		}
 	}()
 
-	m, err := machine.New(machine.Config{Tracer: obs.Tracer, Faults: obs.Faults, Metrics: obs.Metrics})
+	obs.ExplainTitle = fmt.Sprintf("oohmigrate %s/%s", mf.name, sz)
+	m, err := machine.New(machine.Config{Tracer: obs.Tracer, Faults: obs.Faults,
+		Metrics: obs.Metrics, Profiler: obs.Profiler, Monitor: obs.Monitor})
 	if err != nil {
 		return err
 	}

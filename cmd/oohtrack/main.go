@@ -20,6 +20,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/machine"
 	"repro/internal/metrics"
+	"repro/internal/monitor"
 	"repro/internal/prof"
 	"repro/internal/report"
 	"repro/internal/sim"
@@ -46,6 +47,9 @@ type trackFlags struct {
 	profTop    bool
 	flamePath  string
 	pprofPath  string
+	mon        bool
+	rules      string
+	explainTo  string
 }
 
 func main() {
@@ -66,6 +70,9 @@ func main() {
 	flag.BoolVar(&tf.profTop, "prof", false, "profile the run and print top-frame and critical-path tables")
 	flag.StringVar(&tf.flamePath, "flame", "", "write a folded-stack virtual-time profile (flamegraph.pl input) to this file")
 	flag.StringVar(&tf.pprofPath, "profile", "", "write a gzipped pprof profile of virtual time to this .pb.gz file")
+	flag.BoolVar(&tf.mon, "mon", false, "enable the online monitor plane (dirty-rate estimators, alert timeline)")
+	flag.StringVar(&tf.rules, "rules", "", "alert rules evaluated online (e.g. \"monitor/dirty_rate_pps{vm0/pml} > 50000 for 2ms\"); implies -mon")
+	flag.StringVar(&tf.explainTo, "explain", "", "write a run-explain report to this file (.md or .json); implies -mon")
 	flag.Parse()
 
 	// main never exits from inside the work: run returns, so every deferred
@@ -97,6 +104,15 @@ func run(tf trackFlags) (err error) {
 		return err
 	}
 	if err := cliflags.ParsePprofPath(tf.pprofPath); err != nil {
+		return err
+	}
+	// The rule spec and explain path validate unconditionally, like the
+	// specs above: a typo exits non-zero even when unused this run.
+	rules, err := monitor.ParseRules(tf.rules)
+	if err != nil {
+		return err
+	}
+	if err := cliflags.ParseExplainPath(tf.explainTo); err != nil {
 		return err
 	}
 
@@ -140,10 +156,18 @@ func run(tf trackFlags) (err error) {
 		reg.NewSampler(ival)
 	}
 	var profiler *prof.Profiler
-	if tf.profTop || tf.flamePath != "" || tf.pprofPath != "" {
+	if tf.profTop || tf.flamePath != "" || tf.pprofPath != "" || tf.explainTo != "" {
 		profiler = prof.New()
 	}
-	m, err := machine.New(machine.Config{Tracer: tracer, Faults: inj, Metrics: reg, Profiler: profiler})
+	var mon *monitor.Monitor
+	if tf.mon || tf.rules != "" || tf.explainTo != "" {
+		if reg == nil {
+			reg = metrics.NewRegistry()
+		}
+		mon = monitor.New(monitor.Config{Rules: rules})
+	}
+	m, err := machine.New(machine.Config{Tracer: tracer, Faults: inj, Metrics: reg,
+		Profiler: profiler, Monitor: mon})
 	if err != nil {
 		return err
 	}
@@ -247,6 +271,21 @@ func run(tf trackFlags) (err error) {
 		if len(written) > 0 {
 			fmt.Printf("\nprofile: written to %s\n", strings.Join(written, ", "))
 		}
+	}
+	if mon != nil {
+		alerts := mon.Alerts()
+		fmt.Printf("\nmonitor: %d alert(s), %d prediction(s)\n", len(alerts), len(mon.Predictions()))
+		for _, a := range alerts {
+			fmt.Printf("  [%12d ns] %-8s %s (value %d, threshold %d)\n",
+				a.TS, a.State, a.Rule, a.Value, a.Threshold)
+		}
+	}
+	if tf.explainTo != "" {
+		title := fmt.Sprintf("oohtrack %s/%s (%s)", tf.name, sz, kind)
+		if err := cliflags.WriteExplain(tf.explainTo, title, mon, reg, profiler); err != nil {
+			return err
+		}
+		fmt.Printf("\nexplain: report written to %s\n", tf.explainTo)
 	}
 	return nil
 }

@@ -1,0 +1,51 @@
+package cliflags
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/monitor"
+	"repro/internal/monitor/explain"
+	"repro/internal/prof"
+)
+
+// ParseExplainPath validates a -explain flag value: empty disables the
+// report, otherwise the extension picks the format (.md = markdown,
+// .json = ooh-explain/v1 JSON).
+func ParseExplainPath(p string) error {
+	if p == "" || strings.HasSuffix(p, ".md") || strings.HasSuffix(p, ".json") {
+		return nil
+	}
+	return fmt.Errorf("explain report path %q must end in .md or .json", p)
+}
+
+// WriteExplain builds the run-explain report from the run's observation
+// planes (any may be nil) and writes it to path in the format the
+// extension selects. The same planes always produce byte-identical
+// reports.
+func WriteExplain(path, title string, mon *monitor.Monitor, reg *metrics.Registry, p *prof.Profiler) error {
+	rep := explain.Build(explain.Input{
+		Title:        title,
+		Monitor:      mon.Snapshot(),
+		Metrics:      reg.Snapshot(),
+		CriticalPath: p.CriticalPath(),
+	})
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".json") {
+		err = rep.WriteJSON(f)
+	} else {
+		err = rep.WriteMarkdown(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("writing explain report %s: %w", path, err)
+	}
+	return nil
+}

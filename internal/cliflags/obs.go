@@ -8,12 +8,15 @@ import (
 
 	"repro/internal/faults"
 	"repro/internal/metrics"
+	"repro/internal/monitor"
+	"repro/internal/prof"
 	"repro/internal/trace"
 )
 
 // ObsFlags bundles the observability and fault-injection flags every ooh*
 // command exposes with the same names and semantics: -faults, -trace,
-// -trace-kinds, -metrics, -metrics-interval and -metrics-export.
+// -trace-kinds, -metrics, -metrics-interval, -metrics-export, -mon,
+// -rules and -explain.
 type ObsFlags struct {
 	FaultSpec  string
 	TraceFile  string
@@ -21,6 +24,9 @@ type ObsFlags struct {
 	MetMode    string
 	MetIval    string
 	MetExport  string
+	Mon        bool
+	Rules      string
+	Explain    string
 }
 
 // Register installs the shared flags on the default flag set. Call before
@@ -32,21 +38,32 @@ func (of *ObsFlags) Register() {
 	flag.StringVar(&of.MetMode, "metrics", "", "print a kvm_stat-style metrics table after the run, sorted by 'count' or 'cost'")
 	flag.StringVar(&of.MetIval, "metrics-interval", "", "virtual-time sampling interval for metrics time-series (default 1ms)")
 	flag.StringVar(&of.MetExport, "metrics-export", "", "write a metrics snapshot to this file (.prom/.txt = Prometheus text, .jsonl = JSON lines)")
+	flag.BoolVar(&of.Mon, "mon", false, "enable the online monitor plane (dirty-rate estimators, convergence predictor, alert timeline)")
+	flag.StringVar(&of.Rules, "rules", "", "alert rules evaluated online (e.g. \"monitor/dirty_rate_pps{vm0/pml} > 50000 for 2ms\"); implies -mon")
+	flag.StringVar(&of.Explain, "explain", "", "write a run-explain report to this file (.md = markdown, .json = ooh-explain/v1); implies -mon")
 }
 
-// Obs is the built observability plane: wire Tracer/Faults/Metrics into
-// machine.Config, then Close and Report when the run ends. Any of the
-// three may be nil when the corresponding flags are unset; the machine
-// config and the methods here tolerate that.
+// Obs is the built observability plane: wire Tracer/Faults/Metrics/
+// Profiler/Monitor into machine.Config, then Close and Report when the
+// run ends. Any plane may be nil when the corresponding flags are unset;
+// the machine config and the methods here tolerate that.
 type Obs struct {
 	Tracer  *trace.Tracer
 	Faults  *faults.Injector
 	Metrics *metrics.Registry
+	Monitor *monitor.Monitor
+	// Profiler exists when -explain was requested: the report's round
+	// attribution comes from its critical-path analysis.
+	Profiler *prof.Profiler
+	// ExplainTitle names the run in the explain report; commands set it
+	// to their workload/scenario description before calling Report.
+	ExplainTitle string
 
 	traceFile string
 	sortBy    string
 	exportFmt string
 	exportTo  string
+	explainTo string
 }
 
 // Build validates every ObsFlags value (unconditionally - a typo exits
@@ -61,7 +78,17 @@ func (of ObsFlags) Build(seed uint64) (*Obs, error) {
 	if err != nil {
 		return nil, err
 	}
-	o := &Obs{traceFile: of.TraceFile, sortBy: sortBy, exportFmt: exportFmt, exportTo: of.MetExport}
+	// Like -faults and -trace-kinds, the rule spec and explain path are
+	// validated whether or not the monitor ends up used this run.
+	rules, err := monitor.ParseRules(of.Rules)
+	if err != nil {
+		return nil, err
+	}
+	if err := ParseExplainPath(of.Explain); err != nil {
+		return nil, err
+	}
+	o := &Obs{traceFile: of.TraceFile, sortBy: sortBy, exportFmt: exportFmt,
+		exportTo: of.MetExport, explainTo: of.Explain}
 	if of.TraceFile != "" {
 		f, err := os.Create(of.TraceFile)
 		if err != nil {
@@ -76,6 +103,17 @@ func (of ObsFlags) Build(seed uint64) (*Obs, error) {
 	if sortBy != "" || exportFmt != "" {
 		o.Metrics = metrics.NewRegistry()
 		o.Metrics.NewSampler(ival)
+	}
+	if of.Mon || of.Rules != "" || of.Explain != "" {
+		if o.Metrics == nil {
+			// The monitor publishes gauges and evaluates rules against a
+			// registry; make one even when no metrics output was asked for.
+			o.Metrics = metrics.NewRegistry()
+		}
+		o.Monitor = monitor.New(monitor.Config{Rules: rules})
+	}
+	if of.Explain != "" {
+		o.Profiler = prof.New()
 	}
 	return o, nil
 }
@@ -121,6 +159,21 @@ func (o *Obs) Report(w io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(w, "\nmetrics: snapshot written to %s\n", o.exportTo)
+	}
+	if o.Monitor != nil {
+		alerts := o.Monitor.Alerts()
+		fmt.Fprintf(w, "\nmonitor: %d alert(s), %d prediction(s)\n",
+			len(alerts), len(o.Monitor.Predictions()))
+		for _, a := range alerts {
+			fmt.Fprintf(w, "  [%12d ns] %-8s %s (value %d, threshold %d)\n",
+				a.TS, a.State, a.Rule, a.Value, a.Threshold)
+		}
+	}
+	if o.explainTo != "" {
+		if err := WriteExplain(o.explainTo, o.ExplainTitle, o.Monitor, o.Metrics, o.Profiler); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nexplain: report written to %s\n", o.explainTo)
 	}
 	return nil
 }

@@ -14,6 +14,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/mem"
 	"repro/internal/metrics"
+	"repro/internal/monitor"
 	"repro/internal/pgtable"
 	"repro/internal/prof"
 	"repro/internal/sim"
@@ -118,6 +119,13 @@ type VCPU struct {
 	// advances the clock) and is single-goroutine; nil disables profiling
 	// at zero cost.
 	Prof *prof.Tap
+
+	// Mon, when non-nil, is the online monitor plane. The vCPU itself only
+	// carries the handle: event-stream feeds arrive through Met's observer
+	// hook, and the checkpoint/migration drivers call Mon.Round at each
+	// pre-copy round boundary. Like the other planes it only observes and
+	// is single-goroutine; nil disables monitoring at zero cost.
+	Mon *monitor.Monitor
 
 	// EPMLVector is the self-IPI vector raised when the guest-level PML
 	// buffer fills (EPML only).

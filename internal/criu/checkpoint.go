@@ -10,6 +10,7 @@ import (
 	"repro/internal/guestos"
 	"repro/internal/mem"
 	"repro/internal/metrics"
+	"repro/internal/monitor"
 	"repro/internal/pgtable"
 	"repro/internal/prof"
 	"repro/internal/sim"
@@ -192,6 +193,14 @@ func (c *Checkpointer) Run(runBetween func(round int) error) (*Image, Stats, err
 			c.abort(&stats, true)
 			return nil, stats, err
 		}
+		// Feed the round boundary to the online monitor; its predictor
+		// extrapolates the dirty-set series and can flag non-convergence
+		// before the SLO guard below can trip.
+		v := c.Proc.Kernel().VCPU
+		v.Mon.Round(int32(v.ID), monitor.SubCRIU, round, len(dirty),
+			c.Opts.Threshold, c.Opts.MaxRounds,
+			int64(c.estimatedDowntime(len(dirty))), int64(c.Opts.DowntimeBudget),
+			c.clock.Nanos())
 		if err := c.dumpRound(img, &stats, dirty); err != nil {
 			rSp.End()
 			c.abort(&stats, true)

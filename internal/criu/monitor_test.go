@@ -1,0 +1,91 @@
+package criu
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/metrics"
+	"repro/internal/monitor"
+	"repro/internal/sim"
+)
+
+// TestCheckpointMonitorPredictsBeforeSLOAbort mirrors the migration-side
+// acceptance test for the checkpoint driver: a workload whose dirty set
+// never shrinks below the threshold must be flagged by the predictor at a
+// round strictly before the ErrSLOAbort the run ends in.
+func TestCheckpointMonitorPredictsBeforeSLOAbort(t *testing.T) {
+	reg := metrics.NewRegistry()
+	mon := monitor.New(monitor.Config{})
+	m, err := machine.New(machine.Config{Metrics: reg, Monitor: mon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := m.Guest(0)
+	proc := g.Kernel.Spawn("app")
+	region, err := proc.Mmap(256*mem.PageSize, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(11)
+	for p := 0; p < 256; p++ {
+		if err := proc.WriteU64(region.Start.Add(uint64(p)*mem.PageSize), rng.Uint64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tech, err := g.NewTechnique(costmodel.EPML, proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := g.Kernel.Model
+	ck := New(proc, tech, Options{
+		MaxRounds:      3,
+		Threshold:      16,
+		DowntimeBudget: 4 * model.DiskWritePage, // ~4 pages' worth
+	})
+	_, stats, err := ck.Run(func(round int) error {
+		// 64 fresh dirty pages every round: over the 16-page threshold,
+		// over the 4-page budget, never shrinking.
+		for i := 0; i < 64; i++ {
+			if err := proc.WriteU64(region.Start.Add(uint64(i)*mem.PageSize), uint64(round)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if !errors.Is(err, ErrSLOAbort) {
+		t.Fatalf("err = %v, want ErrSLOAbort", err)
+	}
+	abortTime := g.Kernel.Clock.Nanos()
+
+	preds := mon.Predictions()
+	if len(preds) != 1 {
+		t.Fatalf("predictions = %+v, want one flag", preds)
+	}
+	p := preds[0]
+	if p.Sub != monitor.SubCRIU {
+		t.Errorf("prediction sub = %q, want criu", p.Sub)
+	}
+	if p.Round >= stats.Rounds {
+		t.Errorf("flagged at round %d, want before the abort round %d", p.Round, stats.Rounds)
+	}
+	if p.TS >= abortTime {
+		t.Errorf("flagged at %d ns, abort at %d ns: want strictly earlier", p.TS, abortTime)
+	}
+	// The flag also lives on the alert timeline as a predict entry.
+	alerts := mon.Alerts()
+	var predicts int
+	for _, a := range alerts {
+		if a.State == monitor.StatePredict {
+			predicts++
+		}
+	}
+	if predicts != 1 {
+		t.Errorf("timeline has %d predict entries, want 1: %+v", predicts, alerts)
+	}
+	if g := reg.LookupGauge(metrics.SubMonitor, "predicted_rounds_to_converge", "vm0/criu"); g.Value() != monitor.NeverConverges {
+		t.Errorf("predicted_rounds_to_converge gauge = %d, want %d", g.Value(), monitor.NeverConverges)
+	}
+}

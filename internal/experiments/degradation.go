@@ -94,7 +94,7 @@ func runDegradationCell(mix TransportFaultMix, tech costmodel.Technique, writes 
 		return fail(err)
 	}
 	inj := faults.New(parsed, seed^0xDE67AD^uint64(cellIdx)*0x9E37)
-	m, err := machine.New(machine.Config{Faults: inj, Tracer: p.tr, Metrics: p.reg, Profiler: p.prof})
+	m, err := machine.New(machine.Config{Faults: inj, Tracer: p.tr, Metrics: p.reg, Profiler: p.prof, Monitor: p.mon})
 	if err != nil {
 		return fail(err)
 	}

@@ -77,7 +77,7 @@ func runFaultCell(c CannedFaultSpec, seed uint64, p probes) (faultCell, error) {
 		return cell, err
 	}
 	inj := faults.New(parsed, seed^0xFA177)
-	m, err := machine.New(machine.Config{Faults: inj, Tracer: p.tr, Metrics: p.reg, Profiler: p.prof})
+	m, err := machine.New(machine.Config{Faults: inj, Tracer: p.tr, Metrics: p.reg, Profiler: p.prof, Monitor: p.mon})
 	if err != nil {
 		return cell, err
 	}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/guestos"
 	"repro/internal/machine"
 	"repro/internal/metrics"
+	"repro/internal/monitor"
 	"repro/internal/prof"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -61,18 +62,27 @@ type Options struct {
 	// Profiler and fold them into this one with Profiler.Merge after the
 	// barrier, so any Workers value yields the same profile.
 	Profiler *prof.Profiler
+	// Monitor, when non-nil, is the online monitoring plane attached to
+	// each scenario's monitored machine: live dirty-rate estimators, alert
+	// rules and the convergence predictor. Parallel grids Fork one monitor
+	// per cell and fold them into this one with Monitor.Merge after the
+	// barrier, so the alert timeline and estimator series are byte-
+	// identical at any Workers value.
+	Monitor *monitor.Monitor
 }
 
 // probes bundles the observation-plane attachments (tracer + metrics
-// registry + profiler) threaded into a scenario's monitored machine.
+// registry + profiler + monitor) threaded into a scenario's monitored
+// machine.
 type probes struct {
 	tr   *trace.Tracer
 	reg  *metrics.Registry
 	prof *prof.Profiler
+	mon  *monitor.Monitor
 }
 
 func (o Options) probes() probes {
-	return probes{tr: o.Tracer, reg: o.Metrics, prof: o.Profiler}
+	return probes{tr: o.Tracer, reg: o.Metrics, prof: o.Profiler, mon: o.Monitor}
 }
 
 // DefaultSeed is the seed used when none was chosen (Seed == 0 and
@@ -162,7 +172,7 @@ func runMicro(kind costmodel.Technique, pages int, seed uint64, p probes) (Micro
 	res.Ideal = ideal
 
 	// Monitored run.
-	m, err := machine.New(machine.Config{Tracer: p.tr, Metrics: p.reg, Profiler: p.prof})
+	m, err := machine.New(machine.Config{Tracer: p.tr, Metrics: p.reg, Profiler: p.prof, Monitor: p.mon})
 	if err != nil {
 		return res, err
 	}
@@ -303,7 +313,7 @@ func runCRIU(name string, size workloads.Size, scale int, kind costmodel.Techniq
 	}
 
 	// Monitored: same passes with a pre-copy checkpoint interleaved.
-	m, err := machine.New(machine.Config{Tracer: p.tr, Metrics: p.reg, Profiler: p.prof})
+	m, err := machine.New(machine.Config{Tracer: p.tr, Metrics: p.reg, Profiler: p.prof, Monitor: p.mon})
 	if err != nil {
 		return res, err
 	}
@@ -386,7 +396,7 @@ const boehmPasses = 4
 // no dirty technique), the paper's baseline. p's probes (either may be
 // nil) observe the run.
 func runBoehm(app string, size workloads.Size, scale int, kind costmodel.Technique, seed uint64, p probes) (BoehmResult, error) {
-	m, err := machine.New(machine.Config{Tracer: p.tr, Metrics: p.reg, Profiler: p.prof})
+	m, err := machine.New(machine.Config{Tracer: p.tr, Metrics: p.reg, Profiler: p.prof, Monitor: p.mon})
 	if err != nil {
 		return BoehmResult{App: app, Size: size, Technique: kind}, err
 	}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"repro/internal/metrics"
+	"repro/internal/monitor"
 	"repro/internal/prof"
 	"repro/internal/trace"
 )
@@ -22,6 +23,7 @@ type probeShards struct {
 	shards []*trace.Shard
 	regs   []*metrics.Registry
 	profs  []*prof.Profiler
+	mons   []*monitor.Monitor
 }
 
 // newShards builds per-cell probes for an n-cell grid. Disabled planes
@@ -50,6 +52,12 @@ func (o Options) newShards(n int) *probeShards {
 			ps.profs[i] = prof.New()
 		}
 	}
+	if ps.dst.mon != nil {
+		ps.mons = make([]*monitor.Monitor, n)
+		for i := range ps.mons {
+			ps.mons[i] = ps.dst.mon.Fork(i)
+		}
+	}
 	return ps
 }
 
@@ -64,6 +72,9 @@ func (ps *probeShards) cell(i int) probes {
 	}
 	if ps.profs != nil {
 		p.prof = ps.profs[i]
+	}
+	if ps.mons != nil {
+		p.mon = ps.mons[i]
 	}
 	return p
 }
@@ -83,6 +94,11 @@ func (ps *probeShards) merge() {
 	if ps.dst.prof != nil {
 		for _, p := range ps.profs {
 			ps.dst.prof.Merge(p)
+		}
+	}
+	if ps.dst.mon != nil {
+		for _, m := range ps.mons {
+			ps.dst.mon.Merge(m)
 		}
 	}
 }

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// TrajectorySchema identifies the bench-trajectory line format: one JSON
+// object per line, appended per CI run, tracking host throughput over the
+// repo's history. Bump only on breaking changes.
+const TrajectorySchema = "ooh-trajectory/v1"
+
+// TrajectoryPoint is one experiment's perf measurement pinned to a commit.
+// It is the append-only longitudinal view of BenchPerf: CI appends one
+// line per perf-measured experiment per run to BENCH_trajectory.jsonl, so
+// regressions show up as a trend rather than a single gate flip.
+type TrajectoryPoint struct {
+	Schema            string  `json:"schema"`
+	Commit            string  `json:"commit"`
+	ID                string  `json:"id"`
+	PagesTracked      int64   `json:"pages_tracked"`
+	PagesPerSec       float64 `json:"pages_per_sec"`
+	SpeedupVsUncached float64 `json:"speedup_vs_uncached"`
+}
+
+// AppendTrajectory writes one trajectory line per perf result to w.
+// Commit may be empty (recorded as such); CI passes the current SHA.
+func AppendTrajectory(w io.Writer, commit string, perf []BenchPerf) error {
+	enc := json.NewEncoder(w)
+	for _, p := range perf {
+		pt := TrajectoryPoint{
+			Schema:            TrajectorySchema,
+			Commit:            commit,
+			ID:                p.ID,
+			PagesTracked:      p.PagesTracked,
+			PagesPerSec:       p.PagesPerSec,
+			SpeedupVsUncached: p.SpeedupVsUncached,
+		}
+		if err := enc.Encode(pt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ValidateTrajectory checks every non-blank line of r against the
+// trajectory schema. Used by tests and by CI before appending, so a
+// corrupt file is caught rather than extended.
+func ValidateTrajectory(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var pt TrajectoryPoint
+		if err := json.Unmarshal(sc.Bytes(), &pt); err != nil {
+			return fmt.Errorf("trajectory line %d: %w", line, err)
+		}
+		if pt.Schema != TrajectorySchema {
+			return fmt.Errorf("trajectory line %d: schema %q, want %q", line, pt.Schema, TrajectorySchema)
+		}
+		if pt.ID == "" {
+			return fmt.Errorf("trajectory line %d: missing experiment id", line)
+		}
+	}
+	return sc.Err()
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestTrajectoryRoundTrip: lines written by AppendTrajectory must satisfy
+// ValidateTrajectory - the contract between the CI appender and the
+// pre-append corruption check.
+func TestTrajectoryRoundTrip(t *testing.T) {
+	perf := []BenchPerf{
+		{ID: "fig3", PagesTracked: 1 << 20, PagesPerSec: 2.5e6, SpeedupVsUncached: 3.2},
+		{ID: "table1", PagesTracked: 1 << 18, PagesPerSec: 1.1e6, SpeedupVsUncached: 1.9},
+	}
+	var buf bytes.Buffer
+	if err := AppendTrajectory(&buf, "deadbeef", perf); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), "\n"); n != 2 {
+		t.Fatalf("wrote %d lines, want 2:\n%s", n, buf.String())
+	}
+	if err := ValidateTrajectory(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Errorf("round trip failed validation: %v", err)
+	}
+	// Appending again (a later CI run) keeps the file valid.
+	if err := AppendTrajectory(&buf, "cafef00d", perf[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateTrajectory(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Errorf("second append broke validation: %v", err)
+	}
+}
+
+// TestValidateTrajectoryRejectsCorruption: the validator must catch the
+// ways an append-only file rots - wrong schema, truncated JSON, missing
+// experiment id - and tolerate blank lines.
+func TestValidateTrajectoryRejectsCorruption(t *testing.T) {
+	good := `{"schema":"ooh-trajectory/v1","commit":"c1","id":"fig3","pages_tracked":1024,"pages_per_sec":100,"speedup_vs_uncached":2}`
+	cases := []struct {
+		name, body string
+		ok         bool
+	}{
+		{"good line", good + "\n", true},
+		{"blank lines tolerated", "\n" + good + "\n\n", true},
+		{"wrong schema", `{"schema":"ooh-bench/v1","commit":"c","experiment":"fig3"}` + "\n", false},
+		{"truncated json", good[:40] + "\n", false},
+		{"missing experiment", `{"schema":"ooh-trajectory/v1","commit":"c"}` + "\n", false},
+	}
+	for _, tc := range cases {
+		err := ValidateTrajectory(strings.NewReader(tc.body))
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: corruption accepted", tc.name)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/hypervisor"
 	"repro/internal/mem"
 	"repro/internal/metrics"
+	"repro/internal/monitor"
 	"repro/internal/prof"
 	"repro/internal/trace"
 	"repro/internal/tracking"
@@ -51,6 +52,16 @@ type Config struct {
 	// and fold them with Profiler.Merge. Nil disables profiling at zero
 	// cost.
 	Profiler *prof.Profiler
+	// Monitor, when non-nil, is the online monitoring plane: it observes
+	// every event the metrics bridge sees (via the bridge's observer hook)
+	// plus the checkpoint/migration round boundaries, maintaining live
+	// dirty-rate estimators, alert rules and the convergence predictor.
+	// It needs a registry to publish gauges and evaluate rules against; if
+	// Metrics is nil a private registry is created for it. Like the other
+	// planes it is single-goroutine; parallel sweeps Fork one monitor per
+	// cell and fold them with Monitor.Merge. Nil disables monitoring at
+	// zero cost.
+	Monitor *monitor.Monitor
 }
 
 // Machine is a booted host: one hypervisor, n VMs each running a guest
@@ -90,6 +101,16 @@ func New(cfg Config) (*Machine, error) {
 	}
 	// The hypervisor owns the canonical PhysMem; keep one reference.
 	m.Phys = m.Hyp.Phys
+	reg := cfg.Metrics
+	if cfg.Monitor != nil {
+		if reg == nil {
+			// The monitor publishes gauges and evaluates rules against a
+			// registry; give it a private one when the caller didn't ask
+			// for metrics themselves.
+			reg = metrics.NewRegistry()
+		}
+		cfg.Monitor.Attach(cfg.Tracer, reg)
+	}
 	for i := 0; i < n; i++ {
 		vm, err := m.Hyp.CreateVM()
 		if err != nil {
@@ -97,8 +118,12 @@ func New(cfg Config) (*Machine, error) {
 		}
 		vm.VCPU.Tracer = cfg.Tracer
 		vm.VCPU.Inj = cfg.Faults
-		vm.VCPU.Met = metrics.NewEvents(cfg.Metrics)
+		vm.VCPU.Met = metrics.NewEvents(reg)
 		vm.VCPU.Prof = cfg.Profiler.Tap(vm.VCPU.Clock)
+		if cfg.Monitor != nil {
+			vm.VCPU.Met.SetObserver(int32(i), cfg.Monitor)
+			vm.VCPU.Mon = cfg.Monitor
+		}
 		if i == 0 {
 			// Only the first guest feeds the sampler's default series;
 			// duplicate registrations from later guests would shadow them.

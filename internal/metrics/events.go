@@ -15,6 +15,7 @@ const (
 	SubGC         = "gc"
 	SubFaults     = "faults"
 	SubMigration  = "migration"
+	SubMonitor    = "monitor"
 )
 
 // kindSubsystem maps every trace kind to the subsystem that owns its
@@ -56,6 +57,8 @@ var kindSubsystem = map[trace.Kind]string{
 	trace.KindMigNack:        SubMigration,
 	trace.KindMigAbort:       SubMigration,
 	trace.KindMigResume:      SubMigration,
+	trace.KindMonAlert:       SubMonitor,
+	trace.KindMonPredict:     SubMonitor,
 }
 
 // KindSubsystem returns the subsystem owning metrics for kind k.
@@ -82,6 +85,15 @@ const (
 	NameVMExitsTotal = "vmexits_total"
 )
 
+// EventObserver receives a copy of every observation a bridge records,
+// tagged with the VM the bridge belongs to. It is the feed for online
+// consumers (internal/monitor's rate estimators) that need the event
+// stream, not just its aggregates, without adding instrumentation sites.
+// Implementations must be deterministic and must never advance the clock.
+type EventObserver interface {
+	ObserveKind(vm int32, k trace.Kind, now, cost, arg int64)
+}
+
 // Events is the hot-path bridge from instrumentation sites to a Registry.
 // It pre-resolves one (counter, cost histogram, arg counter) triple per
 // trace kind so Observe is array indexing plus integer updates - no map
@@ -94,6 +106,9 @@ type Events struct {
 	costs   [64]*Histogram
 	args    [64]*Counter
 	vmexits *Counter // exit-kind records, all reasons pooled
+
+	vm  int32         // VM id stamped onto forwarded observations
+	obs EventObserver // optional online consumer; nil when absent
 }
 
 // NewEvents returns the bridge for r, or nil when r is nil (disabled).
@@ -138,6 +153,19 @@ func (e *Events) Observe(k trace.Kind, now, cost, arg int64) {
 		e.vmexits.Inc()
 	}
 	e.reg.Tick(now)
+	if e.obs != nil {
+		e.obs.ObserveKind(e.vm, k, now, cost, arg)
+	}
+}
+
+// SetObserver installs an online consumer that is forwarded every
+// observation, tagged with vm. A nil observer detaches. Nil-receiver safe.
+func (e *Events) SetObserver(vm int32, o EventObserver) {
+	if e == nil {
+		return
+	}
+	e.vm = vm
+	e.obs = o
 }
 
 // Count bumps a labeled counter by n - the slow(er) path for metrics that

@@ -166,6 +166,26 @@ func (r *Registry) Gauge(subsystem, name, label string) *Gauge {
 	return g
 }
 
+// LookupCounter returns the counter for (subsystem, name, label) if it
+// already exists, nil otherwise - a read-only probe that never pollutes
+// the registry with empty series (rule evaluation in internal/monitor
+// reads metrics it must not create). Nil-receiver safe.
+func (r *Registry) LookupCounter(subsystem, name, label string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.counters[Key{Subsystem: subsystem, Name: name, Label: label}]
+}
+
+// LookupGauge returns the gauge for (subsystem, name, label) if it
+// already exists, nil otherwise. Nil-receiver safe.
+func (r *Registry) LookupGauge(subsystem, name, label string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.gauges[Key{Subsystem: subsystem, Name: name, Label: label}]
+}
+
 // Histogram returns the histogram for (subsystem, name, label), creating
 // it on first use. Nil-receiver safe.
 func (r *Registry) Histogram(subsystem, name, label string) *Histogram {

@@ -29,6 +29,7 @@ import (
 	"repro/internal/hypervisor"
 	"repro/internal/mem"
 	"repro/internal/metrics"
+	"repro/internal/monitor"
 	"repro/internal/prof"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -273,6 +274,14 @@ func (m *Migration) converge(total sim.Stopwatch, runBetween func(round int) err
 			rSp.End()
 			return fail(round, err)
 		}
+		// Feed the round boundary to the online monitor: dirty-set size,
+		// convergence target and SLO terms. Its predictor extrapolates the
+		// series and can flag non-convergence rounds before the guard above
+		// would trip ErrSLOAbort.
+		vm.VCPU.Mon.Round(int32(vm.VCPU.ID), monitor.SubMigration, round,
+			len(dirty), opts.DowntimeTargetPages, opts.MaxRounds,
+			int64(m.estimatedDowntime(len(dirty))), int64(opts.DowntimeBudget),
+			vm.Clock.Nanos())
 		if len(dirty) <= opts.DowntimeTargetPages &&
 			(opts.DowntimeBudget <= 0 || m.estimatedDowntime(len(dirty)) <= opts.DowntimeBudget) {
 			j.Stats.Converged = true

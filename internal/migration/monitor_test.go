@@ -1,0 +1,145 @@
+package migration
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/metrics"
+	"repro/internal/monitor"
+	"repro/internal/sim"
+)
+
+// setupMonitored is setupPlain with an online monitor attached to the
+// machine.
+func setupMonitored(t *testing.T, pages int) (*monitor.Monitor, *metrics.Registry, *machine.Guest, mem.GVA) {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	mon := monitor.New(monitor.Config{})
+	m, err := machine.New(machine.Config{Metrics: reg, Monitor: mon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := m.Guest(0)
+	proc := g.Kernel.Spawn("app")
+	region, err := proc.Mmap(uint64(pages)*mem.PageSize, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(77)
+	for p := 0; p < pages; p++ {
+		if err := proc.WriteU64(region.Start.Add(uint64(p)*mem.PageSize), rng.Uint64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return mon, reg, g, region.Start
+}
+
+// TestMonitorPredictsBeforeSLOAbort is the acceptance property: under a
+// dirty-rate storm the convergence predictor must flag the migration as
+// non-converging strictly before the driver's SLO guard trips ErrSLOAbort
+// - at an earlier round and an earlier virtual time.
+func TestMonitorPredictsBeforeSLOAbort(t *testing.T) {
+	mon, reg, g, base := setupMonitored(t, 256)
+	proc, _ := g.Kernel.Process(1)
+	_, stats, err := Migrate(g.VM, Options{
+		MaxRounds:           3,
+		BandwidthPagesPerMS: 1,
+		DowntimeTargetPages: 8,
+		DowntimeBudget:      5 * time.Millisecond,
+	}, func(round int) error {
+		// The storm: 48 fresh dirty pages every round, never shrinking.
+		for i := 0; i < 48; i++ {
+			if err := proc.WriteU64(base.Add(uint64(i)*mem.PageSize), uint64(round)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if !errors.Is(err, ErrSLOAbort) {
+		t.Fatalf("err = %v, want ErrSLOAbort", err)
+	}
+	abortTime := g.Kernel.Clock.Nanos()
+
+	preds := mon.Predictions()
+	if len(preds) != 1 {
+		t.Fatalf("predictions = %+v, want exactly one non-convergence flag", preds)
+	}
+	p := preds[0]
+	if p.Sub != monitor.SubMigration || p.VM != 0 {
+		t.Errorf("prediction = %+v, want migration/vm0", p)
+	}
+	// Strictly before the guard: the guard can only trip after the final
+	// round (round > MaxRounds); the flag must land on an earlier round
+	// and at an earlier virtual time.
+	if p.Round >= stats.Rounds {
+		t.Errorf("flagged at round %d, want before the final round %d", p.Round, stats.Rounds)
+	}
+	if p.TS >= abortTime {
+		t.Errorf("flagged at %d ns, abort at %d ns: want strictly earlier", p.TS, abortTime)
+	}
+	if p.RoundsToConverge != monitor.NeverConverges {
+		t.Errorf("RoundsToConverge = %d, want NeverConverges", p.RoundsToConverge)
+	}
+	// The estimators saw the storm through the PML log feed.
+	snap := mon.Snapshot()
+	var sawPML bool
+	for _, e := range snap.Estimators {
+		if e.Name == "vm0/pml" && e.Pages > 0 {
+			sawPML = true
+		}
+	}
+	if !sawPML {
+		t.Errorf("no vm0/pml estimator pages; estimators = %+v", snap.Estimators)
+	}
+	// The live gauges carry the verdict for rules and dashboards.
+	if g := reg.LookupGauge(metrics.SubMonitor, "predicted_rounds_to_converge", "vm0/migration"); g.Value() != monitor.NeverConverges {
+		t.Errorf("predicted_rounds_to_converge gauge = %d, want %d", g.Value(), monitor.NeverConverges)
+	}
+	if g := reg.LookupGauge(metrics.SubMonitor, "downtime_burn_permille", "vm0/migration"); g.Value() <= 1000 {
+		t.Errorf("downtime_burn_permille gauge = %d, want > 1000 (over budget)", g.Value())
+	}
+}
+
+// TestMonitorQuietOnConvergingMigration: a migration that converges inside
+// its round budget must produce no predictions and record a converging
+// round series.
+func TestMonitorQuietOnConvergingMigration(t *testing.T) {
+	mon, _, g, base := setupMonitored(t, 128)
+	proc, _ := g.Kernel.Process(1)
+	_, stats, err := Migrate(g.VM, Options{
+		MaxRounds:           6,
+		BandwidthPagesPerMS: 64,
+		DowntimeTargetPages: 8,
+	}, func(round int) error {
+		// Shrinking write set: 32, 16, 8, ...
+		n := 32 >> uint(round-1)
+		if n < 1 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			if err := proc.WriteU64(base.Add(uint64(i)*mem.PageSize), uint64(round)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Converged {
+		t.Fatalf("stats = %+v, want converged", stats)
+	}
+	if preds := mon.Predictions(); len(preds) != 0 {
+		t.Errorf("converging migration flagged: %+v", preds)
+	}
+	snap := mon.Snapshot()
+	if len(snap.Rounds) != 1 {
+		t.Fatalf("rounds = %+v, want one migration series", snap.Rounds)
+	}
+	if snap.Rounds[0].Flagged {
+		t.Error("round series flagged on a converged run")
+	}
+}

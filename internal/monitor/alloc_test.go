@@ -1,0 +1,63 @@
+package monitor
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestDisabledMonitorZeroAlloc guards the disabled hot path: a nil
+// *Monitor must make every feed a single-branch no-op with zero
+// allocations - the same contract trace/metrics/prof honor, and what lets
+// machine wiring hold the monitor unconditionally.
+func TestDisabledMonitorZeroAlloc(t *testing.T) {
+	var m *Monitor
+	allocs := testing.AllocsPerRun(1000, func() {
+		m.ObserveKind(0, trace.KindPMLLog, 1000, 10, 1)
+		m.Round(0, SubMigration, 1, 100, 64, 4, 0, 0, 1000)
+		m.Merge(nil)
+		if m.Fork(1) != nil {
+			t.Fatal("nil fork")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("disabled monitor allocated %.1f/op, want 0", allocs)
+	}
+}
+
+// TestDisabledMonitorAccessorsSafe: the read side of a nil monitor returns
+// empty values rather than panicking.
+func TestDisabledMonitorAccessorsSafe(t *testing.T) {
+	var m *Monitor
+	if a := m.Alerts(); a != nil {
+		t.Errorf("Alerts() = %v, want nil", a)
+	}
+	if p := m.Predictions(); p != nil {
+		t.Errorf("Predictions() = %v, want nil", p)
+	}
+	if r := m.Rules(); r != nil {
+		t.Errorf("Rules() = %v, want nil", r)
+	}
+	snap := m.Snapshot()
+	if snap.IntervalNs != 0 || len(snap.Estimators) != 0 {
+		t.Errorf("Snapshot() = %+v, want zero", snap)
+	}
+	m.Attach(nil, nil) // must not panic
+}
+
+// TestEnabledObserveSteadyStateAllocFree: once an estimator and the tick
+// schedule exist, the per-event path (bump + off-tick return) allocates
+// nothing; allocations happen only on evaluation ticks that extend the
+// sampled series.
+func TestEnabledObserveSteadyStateAllocFree(t *testing.T) {
+	m := New(Config{})
+	m.ObserveKind(0, trace.KindPMLLog, 0, 0, 0) // create estimator, anchor tick
+	now := int64(1)
+	allocs := testing.AllocsPerRun(1000, func() {
+		// Stay inside the first interval: bump + single-branch tick return.
+		m.ObserveKind(0, trace.KindPMLLog, now, 0, 0)
+	})
+	if allocs != 0 {
+		t.Errorf("off-tick Observe allocated %.1f/op, want 0", allocs)
+	}
+}

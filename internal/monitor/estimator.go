@@ -1,0 +1,177 @@
+package monitor
+
+import "repro/internal/metrics"
+
+// Rate estimators for dirty-page event streams. Both estimators use pure
+// integer arithmetic (fixed-point per-mille for the EWMA smoothing factor)
+// so their outputs are bit-identical on every platform - the monitor's
+// byte-identity contract under sharded grids depends on it.
+
+// Source identifies which event stream feeds an estimator: one per
+// hardware/kernel dirty-page mechanism, plus one per tracking technique
+// (fed from track_collect page counts, attributed to the technique the
+// VM's last track_init armed).
+type source uint8
+
+const (
+	srcPML       source = iota // hypervisor-level PML log entries (pml_log)
+	srcEPML                    // guest-level PML entries (epml_log)
+	srcSoftDirty               // soft-dirty write-protect faults
+	srcUfd                     // userfaultfd write-notify faults
+	// srcTechBase + costmodel.Technique: pages reported per collection by
+	// the technique armed on the VM.
+	srcTechBase
+)
+
+var srcNames = [...]string{
+	srcPML:       "pml",
+	srcEPML:      "epml",
+	srcSoftDirty: "softdirty",
+	srcUfd:       "ufd",
+}
+
+// estKey identifies one estimator: the VM the events occurred on and the
+// stream they came from.
+type estKey struct {
+	vm  int32
+	src source
+}
+
+// ratePoint is one (virtual time, cumulative count) observation, the raw
+// material of the windowed rate.
+type ratePoint struct {
+	ts    int64
+	count int64
+}
+
+// estimator tracks one event stream's dirty-page rate two ways:
+//
+//   - windowed: events observed over the trailing Window of virtual time,
+//     scaled to pages/second - responsive, exact, noisy at small windows;
+//   - EWMA: an exponentially weighted moving average of the per-tick
+//     instantaneous rate, alpha/1000 per tick - smooth, lagging.
+//
+// Counts accumulate on the event hot path; rates are folded only on the
+// monitor's evaluation tick, so per-event cost is two integer adds.
+type estimator struct {
+	label string // "vm0/pml", "vm0/tech/EPML", ...
+	count int64  // cumulative events (pages) observed
+
+	// Tick-time state.
+	lastTS    int64       // virtual time of the previous fold
+	lastCount int64       // count at the previous fold
+	window    []ratePoint // trailing observations inside the window
+	rate      int64       // latest windowed rate, pages/sec
+	ewma      int64       // latest EWMA rate, pages/sec
+
+	// Sampled series of (tick TS, windowed rate) and (tick TS, ewma),
+	// the monitor-snapshot analogue of metrics sampler series.
+	ratePts []point
+	ewmaPts []point
+
+	// Published gauges (nil when the monitor has no registry attached).
+	rateG *metrics.Gauge
+	ewmaG *metrics.Gauge
+}
+
+// point mirrors metrics.Point without importing it into the wire types.
+type point struct {
+	TS int64
+	V  int64
+}
+
+// bump records n observed dirty pages at virtual time now.
+func (e *estimator) bump(n int64) {
+	e.count += n
+}
+
+// fold advances the estimator to tick time now: computes the windowed and
+// EWMA rates from the counts accumulated since the previous fold and
+// appends one point per series. windowNs and alphaPm come from the
+// monitor's config.
+func (e *estimator) fold(now, windowNs, alphaPm int64) {
+	if now < e.lastTS {
+		// Virtual time moved backwards: the monitor was re-attached to a
+		// fresh machine whose clock restarts at zero (a bench sweep reusing
+		// one registry across scenarios). Re-anchor: the cumulative count
+		// survives, the window history does not.
+		e.window = e.window[:0]
+		e.lastTS = now
+		e.lastCount = e.count
+		return
+	}
+	e.window = append(e.window, ratePoint{ts: now, count: e.count})
+	// Drop observations older than the window, keeping one anchor point at
+	// or before the window edge so the rate covers the full span.
+	edge := now - windowNs
+	cut := 0
+	for cut < len(e.window)-1 && e.window[cut+1].ts <= edge {
+		cut++
+	}
+	e.window = e.window[cut:]
+
+	anchor := e.window[0]
+	if span := now - anchor.ts; span > 0 {
+		e.rate = (e.count - anchor.count) * 1e9 / span
+	} else {
+		e.rate = 0
+	}
+
+	// EWMA over the instantaneous per-tick rate.
+	var inst int64
+	if span := now - e.lastTS; span > 0 {
+		inst = (e.count - e.lastCount) * 1e9 / span
+	}
+	if e.lastTS == 0 && len(e.ratePts) == 0 {
+		e.ewma = inst // first fold seeds the average
+	} else {
+		e.ewma += alphaPm * (inst - e.ewma) / 1000
+	}
+	e.lastTS = now
+	e.lastCount = e.count
+
+	e.ratePts = append(e.ratePts, point{TS: now, V: e.rate})
+	e.ewmaPts = append(e.ewmaPts, point{TS: now, V: e.ewma})
+}
+
+// mergePts merge-sorts two timestamp-ordered point slices (a's point first
+// on ties), then re-thins to at most one point per interval - the same
+// rule metrics sampler merges follow, so a sharded grid's merged estimator
+// series is byte-identical at any worker count.
+func mergePts(a, b []point, interval int64) []point {
+	if len(a) == 0 && len(b) == 0 {
+		return nil
+	}
+	out := make([]point, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i].TS <= b[j].TS {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return thinPts(out, interval)
+}
+
+// thinPts keeps at most one point per interval, anchored at the first
+// point, never emitting catch-up bursts.
+func thinPts(pts []point, interval int64) []point {
+	if len(pts) == 0 || interval <= 0 {
+		return pts
+	}
+	out := pts[:1]
+	next := pts[0].TS + interval
+	for _, p := range pts[1:] {
+		if p.TS < next {
+			continue
+		}
+		out = append(out, p)
+		next = next + ((p.TS-next)/interval+1)*interval
+	}
+	return out
+}

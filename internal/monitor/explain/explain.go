@@ -1,0 +1,158 @@
+// Package explain fuses a run's observation planes - the monitor's alert
+// timeline and predictions, the metrics snapshot, the per-round dirty
+// series, and the profiler's per-round critical paths - into a single
+// artifact that answers the post-mortem questions in one place: why was
+// downtime what it was, why did round N dominate, which rule fired first,
+// and was non-convergence predicted before the SLO guard tripped.
+//
+// The report is deterministic: built from already-deterministic snapshots
+// with no wall-clock or map-order dependence, so the same run always
+// produces byte-identical JSON and markdown.
+package explain
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/metrics"
+	"repro/internal/monitor"
+	"repro/internal/prof"
+)
+
+// Schema identifies the JSON layout of a Report.
+const Schema = "ooh-explain/v1"
+
+// Input is everything a report is built from. Any field may be zero: the
+// report includes the sections it has data for.
+type Input struct {
+	// Title names the run ("oohmigrate micro/small", an experiment id...).
+	Title string
+	// Monitor is the monitor's state dump (alerts, predictions,
+	// estimators, round series).
+	Monitor monitor.Snapshot
+	// Metrics is the run's metrics snapshot.
+	Metrics metrics.Snapshot
+	// CriticalPath is prof.Profiler.CriticalPath() from the same run; its
+	// inclusive totals are copied into the round attribution verbatim
+	// (to the nanosecond).
+	CriticalPath []prof.RoundPath
+}
+
+// Round is one fused row of the round-attribution table: the profiler's
+// timing for a pre-copy round joined with the monitor's dirty-set
+// observation of the same round.
+type Round struct {
+	Sub   string `json:"sub"` // "migration" or "criu"
+	Round int    `json:"round"`
+	// TotalNs is the round span's inclusive virtual time, verbatim from
+	// prof.CriticalPath.
+	TotalNs int64 `json:"total_ns"`
+	// Count is how many completed round spans folded into this row (>1
+	// only in merged grids).
+	Count int64 `json:"count"`
+	// Dominant is the critical path inside the round.
+	Dominant string `json:"dominant,omitempty"`
+	// SharePermille is the dominant direct child's share of the round, in
+	// per-mille of TotalNs.
+	SharePermille int64 `json:"share_permille"`
+	// Dirty is the monitor's dirty-set size for this round; -1 when the
+	// monitor did not observe it (round 0 full copies, merged grids where
+	// the attribution is ambiguous).
+	Dirty int `json:"dirty"`
+}
+
+// Report is the fused artifact.
+type Report struct {
+	Schema string `json:"schema"`
+	Title  string `json:"title,omitempty"`
+
+	Rules       []string                `json:"rules,omitempty"`
+	Alerts      []monitor.Alert         `json:"alerts,omitempty"`
+	Predictions []monitor.Prediction    `json:"predictions,omitempty"`
+	Estimators  []monitor.EstimatorSnap `json:"estimators,omitempty"`
+	Convergence []monitor.RoundSnap     `json:"convergence,omitempty"`
+	Rounds      []Round                 `json:"rounds,omitempty"`
+	Monitor     []metrics.GaugeSnap     `json:"monitor_gauges,omitempty"`
+}
+
+// Build fuses the input into a report.
+func Build(in Input) Report {
+	r := Report{
+		Schema:      Schema,
+		Title:       in.Title,
+		Rules:       in.Monitor.Rules,
+		Alerts:      in.Monitor.Alerts,
+		Predictions: in.Monitor.Predictions,
+		Estimators:  in.Monitor.Estimators,
+		Convergence: in.Monitor.Rounds,
+	}
+
+	// The monitor's dirty series joins a profiler round when the
+	// attribution is unambiguous: exactly one series exists for the
+	// round's subsystem. (A merged multi-cell grid folds many series into
+	// the same profiler round; their dirty sizes cannot be told apart.)
+	bySub := make(map[string][]monitor.RoundSnap)
+	for _, rs := range in.Monitor.Rounds {
+		bySub[rs.Sub] = append(bySub[rs.Sub], rs)
+	}
+	for _, cp := range in.CriticalPath {
+		row := Round{
+			Sub: cp.Sub, Round: cp.Round, TotalNs: cp.Total, Count: cp.Count,
+			Dominant:      cp.Dominant(),
+			SharePermille: sharePermille(cp),
+			Dirty:         -1,
+		}
+		if series := bySub[cp.Sub]; len(series) == 1 && cp.Round >= 1 &&
+			cp.Round <= len(series[0].Dirty) {
+			row.Dirty = series[0].Dirty[cp.Round-1]
+		}
+		r.Rounds = append(r.Rounds, row)
+	}
+
+	// Keep the monitor's own gauges (live estimator/predictor outputs) as
+	// the metrics highlight; the full snapshot has its own exports.
+	for _, g := range in.Metrics.Gauges {
+		if g.Subsystem == metrics.SubMonitor {
+			r.Monitor = append(r.Monitor, g)
+		}
+	}
+	return r
+}
+
+// sharePermille converts prof's dominant-child share to fixed-point
+// per-mille using pure integer arithmetic.
+func sharePermille(cp prof.RoundPath) int64 {
+	if cp.Total == 0 || len(cp.Steps) == 0 {
+		return 0
+	}
+	return cp.Steps[0].Incl * 1000 / cp.Total
+}
+
+// FirstFired returns the first alert on the timeline that entered the
+// firing (or predict) state, or nil.
+func (r Report) FirstFired() *monitor.Alert {
+	for i := range r.Alerts {
+		if r.Alerts[i].State == monitor.StateFiring || r.Alerts[i].State == monitor.StatePredict {
+			return &r.Alerts[i]
+		}
+	}
+	return nil
+}
+
+// DominantRound returns the round with the largest inclusive time, or nil.
+func (r Report) DominantRound() *Round {
+	var best *Round
+	for i := range r.Rounds {
+		if best == nil || r.Rounds[i].TotalNs > best.TotalNs {
+			best = &r.Rounds[i]
+		}
+	}
+	return best
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,133 @@
+package explain
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// WriteMarkdown renders the report as a human-readable markdown document.
+// Sections with no data are omitted; output is deterministic.
+func (r Report) WriteMarkdown(w io.Writer) error {
+	var b strings.Builder
+	title := r.Title
+	if title == "" {
+		title = "run"
+	}
+	fmt.Fprintf(&b, "# Run explain: %s\n\n", title)
+
+	// Summary: the three post-mortem answers up front.
+	b.WriteString("## Summary\n\n")
+	if first := r.FirstFired(); first != nil {
+		fmt.Fprintf(&b, "- first alert: `%s` entered `%s` at %s (value %d, threshold %d)\n",
+			first.Rule, first.State, ns(first.TS), first.Value, first.Threshold)
+	} else {
+		b.WriteString("- first alert: none fired\n")
+	}
+	if dom := r.DominantRound(); dom != nil {
+		fmt.Fprintf(&b, "- dominant round: %s round %d at %s", dom.Sub, dom.Round, ns(dom.TotalNs))
+		if dom.Dominant != "" {
+			fmt.Fprintf(&b, ", %d.%01d%% of it in %s",
+				dom.SharePermille/10, dom.SharePermille%10, dom.Dominant)
+		}
+		b.WriteString("\n")
+	}
+	for _, p := range r.Predictions {
+		fmt.Fprintf(&b, "- predicted non-convergence: %s on vm%d (cell %d) at round %d, ratio %dpm, flagged at %s\n",
+			p.Sub, p.VM, p.Cell, p.Round, p.RatioPermille, ns(p.TS))
+	}
+	if len(r.Predictions) == 0 && len(r.Convergence) > 0 {
+		b.WriteString("- predicted non-convergence: none\n")
+	}
+	b.WriteString("\n")
+
+	if len(r.Rounds) > 0 {
+		b.WriteString("## Round attribution\n\n")
+		b.WriteString("| phase | round | total | dirty pages | dominant path | share |\n")
+		b.WriteString("|---|---:|---:|---:|---|---:|\n")
+		for _, rd := range r.Rounds {
+			dirty := "-"
+			if rd.Dirty >= 0 {
+				dirty = fmt.Sprintf("%d", rd.Dirty)
+			}
+			fmt.Fprintf(&b, "| %s | %d | %s | %s | %s | %d.%01d%% |\n",
+				rd.Sub, rd.Round, ns(rd.TotalNs), dirty, rd.Dominant,
+				rd.SharePermille/10, rd.SharePermille%10)
+		}
+		b.WriteString("\nRound totals are the profiler's inclusive span times, verbatim to the nanosecond.\n\n")
+	}
+
+	if len(r.Convergence) > 0 {
+		b.WriteString("## Convergence\n\n")
+		b.WriteString("| cell | vm | phase | dirty per round | shrink ratio | rounds to converge | flagged |\n")
+		b.WriteString("|---:|---:|---|---|---:|---:|---|\n")
+		for _, c := range r.Convergence {
+			toGo := "never"
+			if c.RoundsToConverge >= 0 {
+				toGo = fmt.Sprintf("%d", c.RoundsToConverge)
+			}
+			flagged := ""
+			if c.Flagged {
+				flagged = "yes"
+			}
+			fmt.Fprintf(&b, "| %d | %d | %s | %s | %dpm | %s | %s |\n",
+				c.Cell, c.VM, c.Sub, intList(c.Dirty), c.RatioPermille, toGo, flagged)
+		}
+		b.WriteString("\n")
+	}
+
+	if len(r.Alerts) > 0 {
+		b.WriteString("## Alert timeline\n\n")
+		b.WriteString("| ts | cell | vm | rule | state | value | threshold | detail |\n")
+		b.WriteString("|---:|---:|---:|---|---|---:|---:|---|\n")
+		for _, a := range r.Alerts {
+			fmt.Fprintf(&b, "| %s | %d | %d | `%s` | %s | %d | %d | %s |\n",
+				ns(a.TS), a.Cell, a.VM, a.Rule, a.State, a.Value, a.Threshold, a.Detail)
+		}
+		b.WriteString("\n")
+	}
+
+	if len(r.Estimators) > 0 {
+		b.WriteString("## Dirty-rate estimators\n\n")
+		b.WriteString("| stream | pages | windowed rate | ewma |\n")
+		b.WriteString("|---|---:|---:|---:|\n")
+		for _, e := range r.Estimators {
+			fmt.Fprintf(&b, "| %s | %d | %s | %s |\n",
+				e.Name, e.Pages, pps(e.RatePPS), pps(e.EWMAPPS))
+		}
+		b.WriteString("\n")
+	}
+
+	if len(r.Rules) > 0 {
+		b.WriteString("## Rules\n\n")
+		for _, rule := range r.Rules {
+			fmt.Fprintf(&b, "- `%s`\n", rule)
+		}
+		b.WriteString("\n")
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// ns renders a virtual-ns quantity as a duration.
+func ns(v int64) string { return time.Duration(v).String() }
+
+// pps renders a pages/second rate.
+func pps(v int64) string { return fmt.Sprintf("%d pages/s", v) }
+
+// intList renders a dirty-series compactly ("640 -> 480 -> 320").
+func intList(xs []int) string {
+	if len(xs) == 0 {
+		return "-"
+	}
+	var b strings.Builder
+	for i, x := range xs {
+		if i > 0 {
+			b.WriteString(" -> ")
+		}
+		fmt.Fprintf(&b, "%d", x)
+	}
+	return b.String()
+}

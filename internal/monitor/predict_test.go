@@ -1,0 +1,179 @@
+package monitor
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// TestShrinkRatio pins the per-mille shrink estimate: last round pair,
+// capped at 1000 so growth extrapolates as "not shrinking".
+func TestShrinkRatio(t *testing.T) {
+	cases := []struct {
+		dirty []int
+		want  int64
+	}{
+		{nil, ratioCap},
+		{[]int{100}, ratioCap},
+		{[]int{100, 50}, 500},
+		{[]int{100, 50, 40}, 800}, // last pair only
+		{[]int{100, 150}, ratioCap},
+		{[]int{0, 10}, ratioCap}, // zero predecessor: no evidence
+		{[]int{1000, 1}, 1},
+	}
+	for _, tc := range cases {
+		if got := shrinkRatioPm(tc.dirty); got != tc.want {
+			t.Errorf("shrinkRatioPm(%v) = %d, want %d", tc.dirty, got, tc.want)
+		}
+	}
+}
+
+// TestExtrapolate pins the geometric walk: rounds until the dirty set fits
+// the target, or NeverConverges within the round budget.
+func TestExtrapolate(t *testing.T) {
+	cases := []struct {
+		dirty, target int
+		ratioPm       int64
+		left          int
+		want          int
+	}{
+		{50, 64, 500, 3, 0},                   // already under target
+		{1000, 100, 500, 5, 4},                // 500, 250, 125, 62
+		{1000, 100, 500, 3, NeverConverges},   // needs 4, only 3 left
+		{1000, 100, 1000, 10, NeverConverges}, // not shrinking
+		{1000, 0, 500, 10, NeverConverges},    // no target to reach
+		{1000, 999, 999, 1, 1},                // barely shrinking, barely enough
+	}
+	for _, tc := range cases {
+		got := extrapolate(tc.dirty, tc.target, tc.ratioPm, tc.left)
+		if got != tc.want {
+			t.Errorf("extrapolate(%d, %d, %d, %d) = %d, want %d",
+				tc.dirty, tc.target, tc.ratioPm, tc.left, got, tc.want)
+		}
+	}
+}
+
+// roundFeed drives Round like a driver: 1-based dirty rounds with fixed
+// target/budget parameters.
+func roundFeed(m *Monitor, sub string, dirty []int, target, maxRounds int, estNs, budgetNs int64) {
+	for i, d := range dirty {
+		now := int64(i+1) * ms(1)
+		m.Round(0, sub, i+1, d, target, maxRounds, estNs, budgetNs, now)
+	}
+}
+
+// TestPredictorFlagsNonConvergence: a non-shrinking series with a target
+// must be flagged exactly once, as soon as a ratio exists (round 2) - which
+// is strictly before any driver's SLO guard can trip (those only fire after
+// the final round).
+func TestPredictorFlagsNonConvergence(t *testing.T) {
+	reg := metrics.NewRegistry()
+	m := New(Config{})
+	m.Attach(nil, reg)
+
+	roundFeed(m, SubMigration, []int{480, 480, 480, 480}, 64, 4, ms(10), ms(1))
+
+	preds := m.Predictions()
+	if len(preds) != 1 {
+		t.Fatalf("predictions = %+v, want exactly one flag", preds)
+	}
+	p := preds[0]
+	if p.Round != 2 {
+		t.Errorf("flagged at round %d, want 2 (first round with a ratio, before MaxRounds=4)", p.Round)
+	}
+	if p.RoundsToConverge != NeverConverges {
+		t.Errorf("RoundsToConverge = %d, want NeverConverges", p.RoundsToConverge)
+	}
+	if p.RatioPermille != ratioCap {
+		t.Errorf("ratio = %d, want capped %d", p.RatioPermille, ratioCap)
+	}
+	// The flag is mirrored onto the alert timeline as a predict entry.
+	alerts := m.Alerts()
+	if len(alerts) != 1 || alerts[0].State != StatePredict || alerts[0].Rule != "convergence" {
+		t.Fatalf("timeline = %+v, want one convergence predict entry", alerts)
+	}
+	if alerts[0].TS != ms(2) {
+		t.Errorf("flag TS = %d, want round-2 time %d", alerts[0].TS, ms(2))
+	}
+	// Gauges reflect the live verdict.
+	if g := reg.LookupGauge(metrics.SubMonitor, "predicted_rounds_to_converge", "vm0/migration"); g.Value() != NeverConverges {
+		t.Errorf("predicted_rounds_to_converge = %d, want %d", g.Value(), NeverConverges)
+	}
+	if g := reg.LookupGauge(metrics.SubMonitor, "downtime_burn_permille", "vm0/migration"); g.Value() != 10000 {
+		t.Errorf("downtime_burn_permille = %d, want 10000 (10ms est over 1ms budget)", g.Value())
+	}
+}
+
+// TestPredictorConvergingSeriesStaysQuiet: a geometrically shrinking series
+// that fits the round budget is never flagged and ends with a finite
+// rounds-to-converge.
+func TestPredictorConvergingSeriesStaysQuiet(t *testing.T) {
+	reg := metrics.NewRegistry()
+	m := New(Config{})
+	m.Attach(nil, reg)
+
+	roundFeed(m, SubMigration, []int{512, 256, 128}, 64, 6, 0, 0)
+
+	if preds := m.Predictions(); len(preds) != 0 {
+		t.Fatalf("predictions = %+v, want none for a converging run", preds)
+	}
+	snap := m.Snapshot()
+	if len(snap.Rounds) != 1 {
+		t.Fatalf("rounds = %+v, want one series", snap.Rounds)
+	}
+	rs := snap.Rounds[0]
+	if rs.Flagged {
+		t.Error("converging series flagged")
+	}
+	// 128 -> 64 at ratio 500pm: one more round.
+	if rs.RoundsToConverge != 1 {
+		t.Errorf("RoundsToConverge = %d, want 1", rs.RoundsToConverge)
+	}
+}
+
+// TestPredictorBudgetOnlyRun: with no page target the flag keys off the
+// burn rate - non-shrinking dirty set whose estimated downtime exceeds the
+// budget.
+func TestPredictorBudgetOnlyRun(t *testing.T) {
+	m := New(Config{})
+	m.Attach(nil, metrics.NewRegistry())
+	roundFeed(m, SubCRIU, []int{100, 100, 100}, 0, 5, ms(4), ms(2))
+	preds := m.Predictions()
+	if len(preds) != 1 {
+		t.Fatalf("predictions = %+v, want one budget-based flag", preds)
+	}
+	if preds[0].Sub != SubCRIU || preds[0].BudgetNs != ms(2) {
+		t.Errorf("prediction = %+v", preds[0])
+	}
+	// No target, but downtime within budget: quiet.
+	m2 := New(Config{})
+	m2.Attach(nil, metrics.NewRegistry())
+	roundFeed(m2, SubCRIU, []int{100, 100, 100}, 0, 5, ms(1), ms(2))
+	if preds := m2.Predictions(); len(preds) != 0 {
+		t.Errorf("within-budget run flagged: %+v", preds)
+	}
+}
+
+// TestRoundSeriesReset: a restarted round numbering (journal resume from
+// round 1, or the next grid repetition) starts a fresh series instead of
+// corrupting the previous one's ratio.
+func TestRoundSeriesReset(t *testing.T) {
+	m := New(Config{})
+	m.Attach(nil, metrics.NewRegistry())
+
+	roundFeed(m, SubMigration, []int{512, 256}, 64, 6, 0, 0)
+	// Driver restarts at round 1: fresh series.
+	m.Round(0, SubMigration, 1, 400, 64, 6, 0, 0, ms(10))
+	snap := m.Snapshot()
+	if len(snap.Rounds) != 1 {
+		t.Fatalf("rounds = %+v", snap.Rounds)
+	}
+	if got := snap.Rounds[0].Dirty; len(got) != 1 || got[0] != 400 {
+		t.Errorf("series after restart = %v, want [400]", got)
+	}
+	// A journal resume continues the numbering: round 2 extends.
+	m.Round(0, SubMigration, 2, 200, 64, 6, 0, 0, ms(11))
+	if got := m.Snapshot().Rounds[0].Dirty; len(got) != 2 || got[1] != 200 {
+		t.Errorf("series after resume = %v, want [400 200]", got)
+	}
+}

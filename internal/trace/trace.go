@@ -92,6 +92,10 @@ const (
 	KindMigAbort  // migration aborted (partial image discarded); Arg = round
 	KindMigResume // migration resumed from a journal; Arg = first live round
 
+	// --- internal/monitor: online monitoring plane ----------------------
+	KindMonAlert   // alert rule transition (firing/resolved); Arg = rule value
+	KindMonPredict // convergence predictor flag; Arg = projected dirty pages
+
 	numKinds // sentinel; keep last
 )
 
@@ -132,6 +136,8 @@ var kindNames = [numKinds]string{
 	KindMigNack:        "mig_nack",
 	KindMigAbort:       "mig_abort",
 	KindMigResume:      "mig_resume",
+	KindMonAlert:       "mon_alert",
+	KindMonPredict:     "mon_predict",
 }
 
 // NumKinds returns how many kinds are defined.
