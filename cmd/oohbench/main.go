@@ -55,6 +55,9 @@ type benchFlags struct {
 	explainTo  string
 	trajectory string
 	commit     string
+	backend    string
+	coldBoot   bool
+	forkBench  bool
 }
 
 func main() {
@@ -84,6 +87,9 @@ func main() {
 	flag.StringVar(&bf.explainTo, "explain", "", "write a run-explain report to this file (.md or .json); implies -mon")
 	flag.StringVar(&bf.trajectory, "trajectory", "", "append one ooh-trajectory/v1 JSONL line per -perf result to this file")
 	flag.StringVar(&bf.commit, "commit", "", "commit id recorded in -trajectory lines")
+	flag.StringVar(&bf.backend, "backend", "", cliflags.BackendUsage())
+	flag.BoolVar(&bf.coldBoot, "coldboot", false, "disable the snapshot-fork fast path and re-run every boot+warm-up prefix (output is byte-identical either way; CI compares the two)")
+	flag.BoolVar(&bf.forkBench, "fork-bench", false, "measure the snapshot-fork fast path against the boot+warm prefix it replaces and exit (combine with -trajectory to record the result)")
 	flag.Parse()
 
 	// main never exits from inside the work: run returns, so every deferred
@@ -100,6 +106,14 @@ func run(bf benchFlags) (err error) {
 	mask, _, err := parseSpecFlags(bf.traceKinds, bf.faultSpec)
 	if err != nil {
 		return err
+	}
+	// Experiment drivers boot machines with the default backend, so the
+	// -backend flag routes through the OOH_BACKEND environment variable
+	// the default resolution consults.
+	if backend, berr := cliflags.ParseBackend(bf.backend); berr != nil {
+		return berr
+	} else if backend != "" {
+		os.Setenv("OOH_BACKEND", backend)
 	}
 	sortBy, ival, exportFmt, err := parseMetricsFlags(bf.metMode, bf.metIval, bf.metExport)
 	if err != nil {
@@ -122,8 +136,12 @@ func run(bf benchFlags) (err error) {
 	if err := cliflags.ParseExplainPath(bf.explainTo); err != nil {
 		return err
 	}
-	if err := parseTrajectoryFlags(bf.trajectory, bf.perf); err != nil {
+	if err := parseTrajectoryFlags(bf.trajectory, bf.perf || bf.forkBench); err != nil {
 		return err
+	}
+
+	if bf.forkBench {
+		return runForkBench(bf)
 	}
 
 	if bf.checkBench != "" {
@@ -150,6 +168,7 @@ func run(bf benchFlags) (err error) {
 	}
 
 	opt := benchOptions(bf.scale, bf.full, bf.workers, bf.seed, bf.faultSpec)
+	opt.ColdBoot = bf.coldBoot
 	var reg *metrics.Registry
 	if sortBy != "" || exportFmt != "" {
 		reg = metrics.NewRegistry()

@@ -32,15 +32,16 @@ import (
 
 // criuFlags carries every parsed CLI flag into run.
 type criuFlags struct {
-	name   string
-	tech   string
-	size   string
-	scale  int
-	rounds int
-	budget time.Duration
-	out    string
-	seed   uint64
-	obs    cliflags.ObsFlags
+	name    string
+	tech    string
+	size    string
+	scale   int
+	rounds  int
+	budget  time.Duration
+	out     string
+	seed    uint64
+	backend string
+	obs     cliflags.ObsFlags
 }
 
 func main() {
@@ -53,6 +54,7 @@ func main() {
 	flag.DurationVar(&cf.budget, "budget", 0, "downtime SLO: abort rather than stop-and-copy beyond this (0 = no budget)")
 	flag.StringVar(&cf.out, "out", "", "write the checkpoint image to this file")
 	flag.Uint64Var(&cf.seed, "seed", 42, "workload data seed")
+	flag.StringVar(&cf.backend, "backend", "", cliflags.BackendUsage())
 	cf.obs.Register()
 	flag.Parse()
 
@@ -73,6 +75,10 @@ func run(cf criuFlags) (err error) {
 	if err != nil {
 		return err
 	}
+	backend, err := cliflags.ParseBackend(cf.backend)
+	if err != nil {
+		return err
+	}
 	// Build (and thereby validate) the observability flags before any
 	// work: a typo exits non-zero even if the flag would go unused.
 	obs, err := cf.obs.Build(cf.seed)
@@ -86,7 +92,7 @@ func run(cf criuFlags) (err error) {
 	}()
 
 	obs.ExplainTitle = fmt.Sprintf("oohcriu %s/%s (%s)", cf.name, sz, kind)
-	m, err := machine.New(machine.Config{Tracer: obs.Tracer, Faults: obs.Faults,
+	m, err := machine.New(machine.Config{Backend: backend, Tracer: obs.Tracer, Faults: obs.Faults,
 		Metrics: obs.Metrics, Profiler: obs.Profiler, Monitor: obs.Monitor})
 	if err != nil {
 		return err

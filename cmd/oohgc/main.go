@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"repro/internal/boehmgc"
+	"repro/internal/cliflags"
 	"repro/internal/costmodel"
 	"repro/internal/machine"
 	"repro/internal/report"
@@ -25,12 +26,13 @@ import (
 
 func main() {
 	var (
-		app    = flag.String("app", "gcbench", "gcbench or a Phoenix app name")
-		tech   = flag.String("tech", "epml", "technique: proc, ufd, spml, epml, none")
-		size   = flag.String("size", "small", "config size: small, medium, large")
-		scale  = flag.Int("scale", 1, "workload scale factor")
-		passes = flag.Int("passes", 4, "workload passes (one forced GC after each)")
-		seed   = flag.Uint64("seed", 42, "workload data seed")
+		app     = flag.String("app", "gcbench", "gcbench or a Phoenix app name")
+		tech    = flag.String("tech", "epml", "technique: proc, ufd, spml, epml, none")
+		size    = flag.String("size", "small", "config size: small, medium, large")
+		scale   = flag.Int("scale", 1, "workload scale factor")
+		passes  = flag.Int("passes", 4, "workload passes (one forced GC after each)")
+		seed    = flag.Uint64("seed", 42, "workload data seed")
+		backend = flag.String("backend", "", cliflags.BackendUsage())
 	)
 	flag.Parse()
 
@@ -38,7 +40,11 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	m, err := machine.New(machine.Config{})
+	be, err := cliflags.ParseBackend(*backend)
+	if err != nil {
+		fail(err)
+	}
+	m, err := machine.New(machine.Config{Backend: be})
 	if err != nil {
 		fail(err)
 	}

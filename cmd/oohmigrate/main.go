@@ -44,6 +44,7 @@ type migrateFlags struct {
 	resumes int
 	spml    bool
 	seed    uint64
+	backend string
 	obs     cliflags.ObsFlags
 }
 
@@ -59,6 +60,7 @@ func main() {
 	flag.IntVar(&mf.resumes, "resumes", 3, "max journal resumes after injected round crashes")
 	flag.BoolVar(&mf.spml, "spml", false, "run a guest SPML session during the migration")
 	flag.Uint64Var(&mf.seed, "seed", 42, "workload data seed")
+	flag.StringVar(&mf.backend, "backend", "", cliflags.BackendUsage())
 	mf.obs.Register()
 	flag.Parse()
 
@@ -75,6 +77,10 @@ func run(mf migrateFlags) (err error) {
 	if err != nil {
 		return err
 	}
+	backend, err := cliflags.ParseBackend(mf.backend)
+	if err != nil {
+		return err
+	}
 	// Build (and thereby validate) the observability flags before any
 	// work: a typo exits non-zero even if the flag would go unused.
 	obs, err := mf.obs.Build(mf.seed)
@@ -88,7 +94,7 @@ func run(mf migrateFlags) (err error) {
 	}()
 
 	obs.ExplainTitle = fmt.Sprintf("oohmigrate %s/%s", mf.name, sz)
-	m, err := machine.New(machine.Config{Tracer: obs.Tracer, Faults: obs.Faults,
+	m, err := machine.New(machine.Config{Backend: backend, Tracer: obs.Tracer, Faults: obs.Faults,
 		Metrics: obs.Metrics, Profiler: obs.Profiler, Monitor: obs.Monitor})
 	if err != nil {
 		return err

@@ -50,6 +50,7 @@ type trackFlags struct {
 	mon        bool
 	rules      string
 	explainTo  string
+	backend    string
 }
 
 func main() {
@@ -73,6 +74,7 @@ func main() {
 	flag.BoolVar(&tf.mon, "mon", false, "enable the online monitor plane (dirty-rate estimators, alert timeline)")
 	flag.StringVar(&tf.rules, "rules", "", "alert rules evaluated online (e.g. \"monitor/dirty_rate_pps{vm0/pml} > 50000 for 2ms\"); implies -mon")
 	flag.StringVar(&tf.explainTo, "explain", "", "write a run-explain report to this file (.md or .json); implies -mon")
+	flag.StringVar(&tf.backend, "backend", "", cliflags.BackendUsage())
 	flag.Parse()
 
 	// main never exits from inside the work: run returns, so every deferred
@@ -166,7 +168,11 @@ func run(tf trackFlags) (err error) {
 		}
 		mon = monitor.New(monitor.Config{Rules: rules})
 	}
-	m, err := machine.New(machine.Config{Tracer: tracer, Faults: inj, Metrics: reg,
+	backend, err := cliflags.ParseBackend(tf.backend)
+	if err != nil {
+		return err
+	}
+	m, err := machine.New(machine.Config{Backend: backend, Tracer: tracer, Faults: inj, Metrics: reg,
 		Profiler: profiler, Monitor: mon})
 	if err != nil {
 		return err

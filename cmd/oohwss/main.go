@@ -13,6 +13,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/cliflags"
 	"repro/internal/machine"
 	"repro/internal/report"
 	"repro/internal/sim"
@@ -27,6 +28,7 @@ func main() {
 		scale     = flag.Int("scale", 1, "workload scale factor")
 		intervals = flag.Int("intervals", 4, "sampling intervals (one workload pass each)")
 		seed      = flag.Uint64("seed", 42, "workload data seed")
+		backend   = flag.String("backend", "", cliflags.BackendUsage())
 	)
 	flag.Parse()
 
@@ -34,7 +36,11 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	m, err := machine.New(machine.Config{})
+	be, err := cliflags.ParseBackend(*backend)
+	if err != nil {
+		fail(err)
+	}
+	m, err := machine.New(machine.Config{Backend: be})
 	if err != nil {
 		fail(err)
 	}

@@ -14,6 +14,7 @@ import (
 	"log"
 
 	"repro/internal/costmodel"
+	"repro/internal/hv"
 	"repro/internal/machine"
 	"repro/internal/mem"
 )
@@ -39,10 +40,13 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Hypervisor-level dirty logging for live migration starts too.
-	g.VM.StartDirtyLogging()
+	// Hypervisor-level dirty logging for live migration starts too. The
+	// dirty log is an hv capability discovered by assertion; the simulator
+	// VM underneath exposes the coordination flags.
+	svm := g.SimVM()
+	g.VM.(hv.DirtyLog).StartDirtyLogging()
 	fmt.Printf("coordination flags: enabled_by_guest=%v enabled_by_hyp=%v\n\n",
-		g.VM.EnabledByGuest(), g.VM.EnabledByHyp())
+		svm.EnabledByGuest(), svm.EnabledByHyp())
 
 	// Simulated pre-copy: three migration rounds while the app dirties
 	// pages and the guest tracker collects independently.
@@ -56,7 +60,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		hypDirty, err := g.VM.CollectDirty()
+		hypDirty, err := g.VM.(hv.DirtyLog).CollectDirty()
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -65,10 +69,10 @@ func main() {
 	}
 
 	// The hypervisor finishes migration; PML must stay on for the guest.
-	g.VM.StopDirtyLogging()
-	fmt.Printf("\nafter hypervisor stops: PML still enabled for guest? %v\n", g.VM.VMCS.PMLEnabled())
+	g.VM.(hv.DirtyLog).StopDirtyLogging()
+	fmt.Printf("\nafter hypervisor stops: PML still enabled for guest? %v\n", svm.VMCS.PMLEnabled())
 	if err := tech.Close(); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("after guest session closes: PML enabled? %v\n", g.VM.VMCS.PMLEnabled())
+	fmt.Printf("after guest session closes: PML enabled? %v\n", svm.VMCS.PMLEnabled())
 }

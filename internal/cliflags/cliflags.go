@@ -15,6 +15,9 @@ import (
 
 	"repro/internal/costmodel"
 	"repro/internal/faults"
+	"repro/internal/hv"
+	_ "repro/internal/hv/hvoracle" // register, so -backend validates against the full set
+	_ "repro/internal/hv/hvsim"
 	"repro/internal/metrics"
 	"repro/internal/prof"
 	"repro/internal/trace"
@@ -36,6 +39,26 @@ func ParseTech(s string) (costmodel.Technique, error) {
 		return costmodel.Oracle, nil
 	}
 	return 0, fmt.Errorf("unknown technique %q", s)
+}
+
+// ParseBackend validates a -backend flag value against the registered hv
+// backends. Empty is allowed and selects hv.DefaultBackend() - the
+// OOH_BACKEND environment variable, or "sim".
+func ParseBackend(s string) (string, error) {
+	if s == "" {
+		return "", nil
+	}
+	for _, name := range hv.Backends() {
+		if s == name {
+			return s, nil
+		}
+	}
+	return "", fmt.Errorf("unknown backend %q (have %s)", s, strings.Join(hv.Backends(), ", "))
+}
+
+// BackendUsage is the shared -backend flag help text.
+func BackendUsage() string {
+	return "hv backend: " + strings.Join(hv.Backends(), ", ") + " (empty = $OOH_BACKEND or sim)"
 }
 
 // ParseSize maps a -size flag value to a workload config size.

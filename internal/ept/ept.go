@@ -69,6 +69,17 @@ type Table struct {
 	// state on it; WalkWrite/WalkRead's own 0->1 flag sets do not bump it,
 	// since they only strengthen what a cache entry recorded.
 	gen uint64
+
+	// WriteObserver, when non-nil, is called with the GPA of every
+	// successful write walk; ReadObserver likewise for read walks. A flag
+	// clear bumps gen, which kills the vCPU's cached translations, so the
+	// first access to any page after a clear is guaranteed to walk - an
+	// observer therefore sees at least one callback per page per logging
+	// interval, which is exactly the "perfect oracle" dirty-bit semantics
+	// the hvoracle backend implements. Observers run on the vCPU's
+	// goroutine and must not mutate the table.
+	WriteObserver func(gpa mem.GPA)
+	ReadObserver  func(gpa mem.GPA)
 }
 
 // Gen returns the mutation generation; see the field comment.
@@ -171,6 +182,9 @@ func (t *Table) WalkWrite(gpa mem.GPA) (hpa mem.HPA, dirtied bool, err error) {
 	if dirtied {
 		t.DirtySet++
 	}
+	if t.WriteObserver != nil {
+		t.WriteObserver(gpa)
+	}
 	return e.HPA() + mem.HPA(gpa.PageOffset()), dirtied, nil
 }
 
@@ -186,6 +200,9 @@ func (t *Table) WalkRead(gpa mem.GPA) (hpa mem.HPA, accessed bool, err error) {
 	}
 	accessed = !e.Accessed()
 	t.entries[page] = e | FlagAccessed
+	if t.ReadObserver != nil {
+		t.ReadObserver(gpa)
+	}
 	return e.HPA() + mem.HPA(gpa.PageOffset()), accessed, nil
 }
 
@@ -230,6 +247,37 @@ func (t *Table) ClearDirtyPage(gpa mem.GPA) {
 
 // Mapped returns the number of mapped guest frames.
 func (t *Table) Mapped() int { return t.mapped }
+
+// Snapshot is a captured EPT image: entries (with their A/D flags) and the
+// statistics counters. Observers are runtime wiring, not state, and are
+// not captured.
+type Snapshot struct {
+	entries    []Entry
+	mapped     int
+	dirtySet   int64
+	violations int64
+}
+
+// Snapshot captures the table's current state.
+func (t *Table) Snapshot() *Snapshot {
+	return &Snapshot{
+		entries:    append([]Entry(nil), t.entries...),
+		mapped:     t.mapped,
+		dirtySet:   t.DirtySet,
+		violations: t.Violations,
+	}
+}
+
+// Restore rewinds the table to a captured state. The generation advances
+// rather than rewinding: every translation the vCPU cached against the
+// pre-restore table must die, and gen going backwards could resurrect one.
+func (t *Table) Restore(s *Snapshot) {
+	t.entries = append(t.entries[:0:0], s.entries...)
+	t.mapped = s.mapped
+	t.DirtySet = s.dirtySet
+	t.Violations = s.violations
+	t.gen++
+}
 
 // Range calls fn for every mapping until fn returns false, in ascending
 // GPA order.

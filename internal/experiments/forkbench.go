@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/workloads"
+)
+
+// ForkBench is the measured host cost of entering a warmed micro machine
+// two ways: re-running the boot+warm-up prefix from scratch versus forking
+// a copy-on-write snapshot of it. The speedup is the forked-sweep fast
+// path's whole value proposition, so it is benched and recorded on the
+// perf trajectory (id "fork-vs-boot") alongside the simcache speedups.
+type ForkBench struct {
+	Pages      int
+	BootWarmNS int64 // best-of-iters cold boot + spawn + map + touch
+	ForkNS     int64 // best-of-iters snapshot fork + workload rebind
+	Speedup    float64
+}
+
+// MeasureForkSpeed measures, best-of-iters, the host wall time of the
+// boot+warm prefix for a pages-sized micro recipe versus forking a
+// captured snapshot of the same prefix. The snapshot is captured once
+// outside both timed loops; each fork is a complete, runnable machine
+// (the fork-determinism suite pins that it behaves identically).
+func MeasureForkSpeed(pages int, seed uint64, iters int) (ForkBench, error) {
+	if iters <= 0 {
+		iters = 5
+	}
+	fb := ForkBench{Pages: pages}
+
+	m, _, w, err := buildMicroWarm(pages, seed)
+	if err != nil {
+		return fb, err
+	}
+	snap, err := m.CaptureSnapshot()
+	if err != nil {
+		return fb, fmt.Errorf("experiments: capturing fork-bench snapshot: %w", err)
+	}
+	region := w.Region()
+
+	best := func(f func() error) (int64, error) {
+		bestNS := int64(math.MaxInt64)
+		for i := 0; i < iters; i++ {
+			t0 := time.Now()
+			if err := f(); err != nil {
+				return 0, err
+			}
+			if d := time.Since(t0).Nanoseconds(); d < bestNS {
+				bestNS = d
+			}
+		}
+		return bestNS, nil
+	}
+
+	fb.BootWarmNS, err = best(func() error {
+		_, _, _, err := buildMicroWarm(pages, seed)
+		return err
+	})
+	if err != nil {
+		return fb, err
+	}
+	fb.ForkNS, err = best(func() error {
+		fm, err := snap.Fork(machine.Config{})
+		if err != nil {
+			return err
+		}
+		proc, ok := fm.Guest(0).Kernel.Process(microPid)
+		if !ok {
+			return fmt.Errorf("experiments: fork lost pid %d", microPid)
+		}
+		fw := workloads.NewArrayParser(pages)
+		fw.Adopt(proc, region)
+		return nil
+	})
+	if err != nil {
+		return fb, err
+	}
+	if fb.ForkNS > 0 {
+		fb.Speedup = math.Round(float64(fb.BootWarmNS)/float64(fb.ForkNS)*100) / 100
+	}
+	return fb, nil
+}
+
+// Perf converts the measurement into the bench-perf/trajectory shape: the
+// fork is the "cached" path, the boot+warm prefix the uncached reference.
+func (fb ForkBench) Perf() BenchPerf {
+	p := BenchPerf{
+		ID:                "fork-vs-boot",
+		WallNS:            fb.ForkNS,
+		UncachedWallNS:    fb.BootWarmNS,
+		PagesTracked:      int64(fb.Pages),
+		SpeedupVsUncached: fb.Speedup,
+	}
+	if fb.ForkNS > 0 {
+		p.PagesPerSec = math.Round(float64(fb.Pages) / (float64(fb.ForkNS) / 1e9))
+	}
+	return p
+}

@@ -1,0 +1,26 @@
+package experiments
+
+import "testing"
+
+// TestForkCheaperThanBoot gates the fast path's economics: forking the
+// pooled snapshot must be at least 10x cheaper in host wall time than
+// re-running the boot+warm prefix at a mid-size recipe (25 MiB working
+// set). The ratio grows with the working set - CoW sharing amortizes the
+// frame copies a cold boot pays for eagerly - so gating a mid-size recipe
+// is the conservative check.
+func TestForkCheaperThanBoot(t *testing.T) {
+	const pages = 25 << 20 >> 12 // 25 MiB of 4 KiB pages
+	fb, err := MeasureForkSpeed(pages, 17, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("boot+warm %dns, fork %dns, %.1fx (%d pages)",
+		fb.BootWarmNS, fb.ForkNS, fb.Speedup, fb.Pages)
+	if fb.Speedup < 10 {
+		t.Errorf("fork is only %.1fx cheaper than boot+warm, want >=10x", fb.Speedup)
+	}
+	p := fb.Perf()
+	if p.ID != "fork-vs-boot" || p.WallNS != fb.ForkNS || p.UncachedWallNS != fb.BootWarmNS {
+		t.Errorf("Perf() mismatch: %+v vs %+v", p, fb)
+	}
+}

@@ -69,6 +69,12 @@ type Options struct {
 	// barrier, so the alert timeline and estimator series are byte-
 	// identical at any Workers value.
 	Monitor *monitor.Monitor
+	// ColdBoot disables the snapshot-fork fast path: every grid cell boots
+	// and warms its own machine from scratch instead of forking a pooled
+	// copy-on-write snapshot of the warm image. Output is byte-identical
+	// either way - the fork-determinism CI leg pins this - so cold boots
+	// are only useful for debugging the fast path itself.
+	ColdBoot bool
 }
 
 // probes bundles the observation-plane attachments (tracer + metrics
@@ -160,26 +166,23 @@ const microPasses = 3
 
 // runMicro executes the Listing-1 scenario under one technique and returns
 // the measured times and raw event counts. p's tracer and metrics registry
-// (either may be nil) observe the monitored run only.
-func runMicro(kind costmodel.Technique, pages int, seed uint64, p probes) (MicroResult, error) {
+// (either may be nil) observe the monitored run only - probes attach after
+// warm-up, so forked and cold-booted cells emit identical streams. cold
+// forces the boot+warm prefix to rerun instead of forking the pooled
+// snapshot (Options.ColdBoot; output is byte-identical either way).
+func runMicro(kind costmodel.Technique, pages int, seed uint64, p probes, cold bool) (MicroResult, error) {
 	res := MicroResult{Technique: kind, Pages: pages}
 
-	// Ideal run: same machine type, no tracking.
-	ideal, err := timeMicroPasses(nil, pages, seed)
+	// Ideal run: same warmed machine, no tracking, no probes.
+	ideal, err := timeMicroPasses(pages, seed, cold)
 	if err != nil {
 		return res, err
 	}
 	res.Ideal = ideal
 
 	// Monitored run.
-	m, err := machine.New(machine.Config{Tracer: p.tr, Metrics: p.reg, Profiler: p.prof, Monitor: p.mon})
+	g, proc, w, err := warmMicro(pages, seed, p, cold)
 	if err != nil {
-		return res, err
-	}
-	g := m.Guest(0)
-	proc := g.Kernel.Spawn("micro")
-	w := workloads.NewArrayParser(pages)
-	if err := w.Setup(workloads.NewRegionAlloc(proc, true), sim.NewRNG(seed)); err != nil {
 		return res, err
 	}
 	tech, err := g.NewTechnique(kind, proc)
@@ -216,16 +219,12 @@ func runMicro(kind costmodel.Technique, pages int, seed uint64, p probes) (Micro
 	return res, nil
 }
 
-// timeMicroPasses measures the unmonitored passes.
-func timeMicroPasses(_ *Options, pages int, seed uint64) (time.Duration, error) {
-	m, err := machine.New(machine.Config{})
+// timeMicroPasses measures the unmonitored passes on a warmed machine
+// (forked from the same pooled snapshot the monitored run uses, unless
+// cold).
+func timeMicroPasses(pages int, seed uint64, cold bool) (time.Duration, error) {
+	g, _, w, err := warmMicro(pages, seed, probes{}, cold)
 	if err != nil {
-		return 0, err
-	}
-	g := m.Guest(0)
-	proc := g.Kernel.Spawn("micro-ideal")
-	w := workloads.NewArrayParser(pages)
-	if err := w.Setup(workloads.NewRegionAlloc(proc, true), sim.NewRNG(seed)); err != nil {
 		return 0, err
 	}
 	start := g.Kernel.Clock.Nanos()

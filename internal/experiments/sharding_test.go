@@ -26,6 +26,15 @@ type observedRun struct {
 // worker count and captures every output byte.
 func runObserved(t *testing.T, id string, workers int, mask uint64) observedRun {
 	t.Helper()
+	return runObservedOpt(t, id, Options{Workers: workers, Seed: 11}, mask)
+}
+
+// runObservedOpt is runObserved with the full Options surface exposed (the
+// fork-determinism tests flip ColdBoot); opt's probe fields are overwritten
+// with the captured probes.
+func runObservedOpt(t *testing.T, id string, opt Options, mask uint64) observedRun {
+	t.Helper()
+	workers := opt.Workers
 	var traceBuf bytes.Buffer
 	tr := trace.New(trace.NewJSONLWriter(&traceBuf), 0)
 	tr.SetMask(mask)
@@ -33,7 +42,7 @@ func runObserved(t *testing.T, id string, workers int, mask uint64) observedRun 
 	reg.NewSampler(250 * time.Microsecond)
 	profiler := prof.New()
 
-	opt := Options{Workers: workers, Seed: 11, Tracer: tr, Metrics: reg, Profiler: profiler}
+	opt.Tracer, opt.Metrics, opt.Profiler = tr, reg, profiler
 	res, err := Run(id, opt)
 	if err != nil {
 		t.Fatalf("%s (workers=%d): %v", id, workers, err)

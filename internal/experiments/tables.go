@@ -47,7 +47,7 @@ func Table1(opt Options) (*Result, error) {
 	ps := opt.newShards(len(grid))
 	err := par.ForEach(len(grid), opt.Workers, func(i int) error {
 		pages := grid[i].mb << 8 // 1 MiB = 256 pages
-		r, err := runMicro(grid[i].kind, pages, opt.Seed, ps.cell(i))
+		r, err := runMicro(grid[i].kind, pages, opt.Seed, ps.cell(i), opt.ColdBoot)
 		grid[i].res = r
 		return err
 	})
@@ -128,7 +128,7 @@ func Table4(opt Options) (*Result, error) {
 		"E(C_tked_tker) meas", "E(C_tked_tker) est", "acc (%)")
 
 	for _, kind := range []costmodel.Technique{costmodel.SPML, costmodel.Proc, costmodel.EPML} {
-		mr, err := runMicroWithCounts(kind, 4096*opt.Scale, opt.Seed)
+		mr, err := runMicroWithCounts(kind, 4096*opt.Scale, opt.Seed, opt.ColdBoot)
 		if err != nil {
 			return nil, err
 		}
@@ -153,8 +153,8 @@ func Table4(opt Options) (*Result, error) {
 // runMicroWithCounts is runMicro with the baby workload's access pattern
 // replaced by the array parser (the counts, not the pattern, feed the
 // formulas; the parser gives deterministic counts).
-func runMicroWithCounts(kind costmodel.Technique, pages int, seed uint64) (MicroResult, error) {
-	return runMicro(kind, pages, seed, probes{})
+func runMicroWithCounts(kind costmodel.Technique, pages int, seed uint64, cold bool) (MicroResult, error) {
+	return runMicro(kind, pages, seed, probes{}, cold)
 }
 
 // Table5 regenerates Table V: the basic costs of metrics M1-M18, constant

@@ -66,6 +66,9 @@ const (
 	DestStall   // destination stalls before acking a page (extra charged virtual time)
 	RoundCrash  // transport session crashes between pre-copy rounds
 
+	// --- internal/hypervisor: dirty-log harvest -------------------------
+	CollectFail // CollectDirty fails transiently before draining the PML buffer
+
 	numPoints // sentinel; keep last
 )
 
@@ -87,6 +90,7 @@ var pointNames = [numPoints]string{
 	WireCorrupt:   "wire-corrupt",
 	DestStall:     "dest-stall",
 	RoundCrash:    "round-crash",
+	CollectFail:   "collect-fail",
 }
 
 // NumPoints returns how many fault points are defined.

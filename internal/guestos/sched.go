@@ -60,12 +60,20 @@ func (s *Scheduler) Notify(pid Pid, n SchedNotifier) {
 	s.notifiers[pid] = append(s.notifiers[pid], n)
 }
 
-// Unnotify removes a previously registered notifier for pid.
+// Unnotify removes a previously registered notifier for pid. Removing the
+// last notifier for a pid deletes its map entry entirely: the snapshot
+// quiescence check counts registered pids, and an empty leftover entry
+// would make a fully torn-down guest look permanently non-quiescent.
 func (s *Scheduler) Unnotify(pid Pid, n SchedNotifier) {
 	ns := s.notifiers[pid]
 	for i, x := range ns {
 		if x == n {
-			s.notifiers[pid] = append(ns[:i], ns[i+1:]...)
+			ns = append(ns[:i], ns[i+1:]...)
+			if len(ns) == 0 {
+				delete(s.notifiers, pid)
+			} else {
+				s.notifiers[pid] = ns
+			}
 			return
 		}
 	}

@@ -1,0 +1,141 @@
+package guestos
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+	"time"
+
+	"repro/internal/mem"
+	"repro/internal/pgtable"
+)
+
+// ErrNotQuiescent is returned when the kernel cannot be captured because
+// live host-side wiring (IRQ handlers, scheduler notifiers, userfaultfd
+// registrations - all closures into tracker or module state) would not
+// survive a replay. Trackers and modules must detach before a capture.
+var ErrNotQuiescent = errors.New("guestos: kernel not quiescent for snapshot")
+
+// Snapshot is the guest kernel's captured state: every process (address
+// space layout, deep-cloned page table with soft-dirty bits, pause state),
+// the guest frame allocator, and the scheduler's accounting. Page
+// *contents* live in physical memory and are captured by the machine-level
+// memory snapshot.
+type Snapshot struct {
+	procs      []procSnapshot // sorted by pid
+	nextPid    Pid
+	nextGPA    mem.GPA
+	freeGPA    []mem.GPA
+	currentPid Pid // 0 = no current process
+	sched      schedSnapshot
+}
+
+type procSnapshot struct {
+	pid     Pid
+	name    string
+	pt      *pgtable.Table // deep clone owned by the snapshot
+	regions []Region
+	nextMap mem.GVA
+	paused  bool
+}
+
+type schedSnapshot struct {
+	slice     time.Duration
+	lastSlice int64
+	switches  int64
+	disabled  bool
+	order     []Pid // run-queue order
+}
+
+// CaptureSnapshot captures the kernel's state. The kernel must be
+// quiescent: no IRQ handlers, scheduler notifiers or userfaultfd
+// registrations - each holds closures a restore could not rebuild.
+func (k *Kernel) CaptureSnapshot() (*Snapshot, error) {
+	if n := len(k.irqHandlers); n != 0 {
+		return nil, fmt.Errorf("%w: %d IRQ handlers registered", ErrNotQuiescent, n)
+	}
+	if n := len(k.Sched.notifiers); n != 0 {
+		return nil, fmt.Errorf("%w: %d scheduler notifiers registered", ErrNotQuiescent, n)
+	}
+	s := &Snapshot{
+		nextPid: k.nextPid,
+		nextGPA: k.nextGPA,
+		freeGPA: append([]mem.GPA(nil), k.freeGPA...),
+	}
+	if k.current != nil {
+		s.currentPid = k.current.Pid
+	}
+	pids := make([]Pid, 0, len(k.procs))
+	for pid := range k.procs {
+		pids = append(pids, pid)
+	}
+	slices.Sort(pids)
+	for _, pid := range pids {
+		p := k.procs[pid]
+		if p.ufd != nil {
+			return nil, fmt.Errorf("%w: pid %d has a userfaultfd registration", ErrNotQuiescent, pid)
+		}
+		s.procs = append(s.procs, procSnapshot{
+			pid:     p.Pid,
+			name:    p.Name,
+			pt:      p.PT.Clone(),
+			regions: append([]Region(nil), p.regions...),
+			nextMap: p.nextMap,
+			paused:  p.paused,
+		})
+	}
+	s.sched = schedSnapshot{
+		slice:     k.Sched.Slice,
+		lastSlice: k.Sched.lastSlice,
+		switches:  k.Sched.switches,
+		disabled:  k.Sched.disabled,
+	}
+	for _, p := range k.Sched.procs {
+		s.sched.order = append(s.sched.order, p.Pid)
+	}
+	return s, nil
+}
+
+// RestoreSnapshot rewinds the kernel to a captured state. Every *Process
+// handle returned before the restore becomes stale - callers re-resolve
+// through Process(pid). The current process's page table is re-installed
+// on the vCPU (a CR3 write), which flushes its software TLB.
+func (k *Kernel) RestoreSnapshot(s *Snapshot) {
+	k.nextPid = s.nextPid
+	k.nextGPA = s.nextGPA
+	k.freeGPA = append([]mem.GPA(nil), s.freeGPA...)
+	k.irqHandlers = make(map[int]func())
+	k.procs = make(map[Pid]*Process, len(s.procs))
+	for i := range s.procs {
+		ps := &s.procs[i]
+		// CowClone, not Clone: the snapshot's table is immutable, so every
+		// restore/fork can share its radix nodes and diverge on write. This
+		// is what keeps Fork O(live frames), not O(pages * forks).
+		k.procs[ps.pid] = &Process{
+			Pid:     ps.pid,
+			Name:    ps.name,
+			k:       k,
+			PT:      ps.pt.CowClone(),
+			regions: append([]Region(nil), ps.regions...),
+			nextMap: ps.nextMap,
+			paused:  ps.paused,
+		}
+	}
+	k.Sched.Slice = s.sched.slice
+	k.Sched.lastSlice = s.sched.lastSlice
+	k.Sched.switches = s.sched.switches
+	k.Sched.disabled = s.sched.disabled
+	k.Sched.notifiers = make(map[Pid][]SchedNotifier)
+	k.Sched.procs = k.Sched.procs[:0]
+	for _, pid := range s.sched.order {
+		k.Sched.procs = append(k.Sched.procs, k.procs[pid])
+	}
+	if s.currentPid != 0 {
+		p := k.procs[s.currentPid]
+		k.current = p
+		k.VCPU.SetAddressSpace(p.PT)
+	} else {
+		k.current = nil
+		k.VCPU.SetAddressSpace(nil)
+	}
+}

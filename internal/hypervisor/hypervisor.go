@@ -10,6 +10,7 @@ package hypervisor
 import (
 	"errors"
 	"fmt"
+	"slices"
 
 	"repro/internal/costmodel"
 	"repro/internal/cpu"
@@ -444,6 +445,17 @@ func (vm *VM) handleHypercall(nr int, args []uint64) (uint64, error) {
 // migration). It coexists with SPML through the coordination flags: each
 // level only consumes the entries it asked for.
 func (vm *VM) StartDirtyLogging() {
+	// A previous Start/Stop cycle must not bleed into this one: entries
+	// drained after the last StopDirtyLogging would otherwise surface in
+	// this session's first CollectDirty. When the guest is not also using
+	// PML the stale hardware-buffer entries are discarded too; with SPML
+	// active they stay for the guest's consumer, and the first drain
+	// over-reports at worst (those pages re-log after ClearDirty anyway).
+	vm.migLog = make(map[mem.GPA]struct{})
+	if !vm.enabledByGuest {
+		// Write cannot fail for a hypervisor-owned field.
+		_ = vm.VMCS.Write(vmcs.FieldPMLIndex, vmcs.PMLResetIndex)
+	}
 	vm.enabledByHyp = true
 	vm.EPT.ClearDirty()
 	vm.VMCS.SetPMLEnabled(true)
@@ -463,12 +475,23 @@ func (vm *VM) StopDirtyLogging() {
 // dirty log, re-arming the EPT dirty flags for the returned pages - one
 // pre-copy round.
 func (vm *VM) CollectDirty() ([]mem.GPA, error) {
+	if vm.VCPU.Inj.Fire(faults.CollectFail) {
+		// Fails before any drain work: the buffer and the log keep their
+		// contents intact for the retry.
+		vm.VCPU.FaultRecord(faults.CollectFail, 0)
+		return nil, fmt.Errorf("hypervisor: collect_dirty: %w", faults.ErrTransient)
+	}
 	if err := vm.drainPMLBuffer(); err != nil {
 		return nil, err
 	}
 	out := make([]mem.GPA, 0, len(vm.migLog))
 	for gpa := range vm.migLog {
 		out = append(out, gpa)
+	}
+	// Sort at the source: neither the returned slice nor the EPT re-arm
+	// order below may depend on Go map iteration order.
+	slices.Sort(out)
+	for _, gpa := range out {
 		vm.EPT.ClearDirtyPage(gpa)
 	}
 	vm.migLog = make(map[mem.GPA]struct{})

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/costmodel"
+	"repro/internal/faults"
 	"repro/internal/mem"
 	"repro/internal/pgtable"
 	"repro/internal/ringbuf"
@@ -222,6 +223,98 @@ func TestMigrationDirtyLog(t *testing.T) {
 	vm.StopDirtyLogging()
 	if vm.VMCS.PMLEnabled() {
 		t.Error("PML still on after StopDirtyLogging with no guest user")
+	}
+}
+
+// TestCollectDirtySorted: the dirty log is a map, but neither the returned
+// slice nor the EPT re-arm order may depend on its iteration order.
+func TestCollectDirtySorted(t *testing.T) {
+	vm := newVM(t)
+	installPT(t, vm, 64)
+	vm.StartDirtyLogging()
+	// Dirty pages in a deliberately scrambled order.
+	for _, i := range []int{33, 7, 60, 0, 41, 12, 55, 3, 28, 19} {
+		if err := vm.VCPU.WriteU64(mem.GVA(0x10000+i*mem.PageSize), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dirty, err := vm.CollectDirty()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirty) != 10 {
+		t.Fatalf("collected %d pages, want 10", len(dirty))
+	}
+	for i := 1; i < len(dirty); i++ {
+		if dirty[i-1] >= dirty[i] {
+			t.Fatalf("CollectDirty not sorted: %v", dirty)
+		}
+	}
+}
+
+// TestStartDirtyLoggingClearsStaleState: a Stop→dirty→Start cycle must not
+// leak the previous session's log entries or buffered PML entries into the
+// new session's first CollectDirty.
+func TestStartDirtyLoggingClearsStaleState(t *testing.T) {
+	vm := newVM(t)
+	installPT(t, vm, 600)
+
+	// Session 1: enough writes to force a PML-full drain into migLog, plus
+	// a tail that stays in the hardware buffer.
+	vm.StartDirtyLogging()
+	for i := 0; i < 600; i++ {
+		if err := vm.VCPU.WriteU64(mem.GVA(0x10000+i*mem.PageSize), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vm.StopDirtyLogging()
+
+	// Session 2 starts clean: nothing has been written since Start.
+	vm.StartDirtyLogging()
+	dirty, err := vm.CollectDirty()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirty) != 0 {
+		t.Fatalf("stale entries bled into new session: %d pages", len(dirty))
+	}
+	// And the new session still tracks fresh writes.
+	if err := vm.VCPU.WriteU64(0x10000, 2); err != nil {
+		t.Fatal(err)
+	}
+	dirty, err = vm.CollectDirty()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirty) != 1 || dirty[0] != 0x10000 {
+		t.Fatalf("fresh write after restart: got %v, want [0x10000]", dirty)
+	}
+}
+
+// TestCollectDirtyFailureKeepsLog: an injected collect failure fires before
+// any drain work, so a retry sees the complete dirty set.
+func TestCollectDirtyFailureKeepsLog(t *testing.T) {
+	vm := newVM(t)
+	installPT(t, vm, 8)
+	vm.StartDirtyLogging()
+	for i := 0; i < 8; i++ {
+		if err := vm.VCPU.WriteU64(mem.GVA(0x10000+i*mem.PageSize), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var spec faults.Spec
+	spec.SetRate(faults.CollectFail, 1)
+	vm.VCPU.Inj = faults.New(spec, 1)
+	if _, err := vm.CollectDirty(); !errors.Is(err, faults.ErrTransient) {
+		t.Fatalf("collect under injected failure: %v", err)
+	}
+	vm.VCPU.Inj = nil
+	dirty, err := vm.CollectDirty()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirty) != 8 {
+		t.Fatalf("retry after failed collect: %d pages, want 8", len(dirty))
 	}
 }
 

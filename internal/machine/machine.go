@@ -1,7 +1,14 @@
-// Package machine assembles the full simulated stack - physical memory,
-// hypervisor, VM, guest kernel, OoH module/lib - and hands out tracking
-// techniques bound to guest processes. It is the composition root used by
-// the experiments, the public facade and the tests.
+// Package machine assembles the full simulated stack - hypervisor backend,
+// VMs, guest kernels, OoH modules/libs - and hands out tracking techniques
+// bound to guest processes. It is the composition root used by the
+// experiments, the public facade and the tests.
+//
+// The hypervisor is reached through the hv interface, selected by
+// Config.Backend (default: hv.DefaultBackend, which honours OOH_BACKEND).
+// The guest kernel and the OoH modules still need the simulator core
+// underneath - they wire vCPU fields and shared rings directly - so every
+// backend machine composes must expose it via a Sim() accessor; both
+// registered backends ("sim", "oracle") do.
 package machine
 
 import (
@@ -11,6 +18,9 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/faults"
 	"repro/internal/guestos"
+	"repro/internal/hv"
+	_ "repro/internal/hv/hvoracle" // register the "oracle" backend
+	_ "repro/internal/hv/hvsim"    // register the "sim" backend
 	"repro/internal/hypervisor"
 	"repro/internal/mem"
 	"repro/internal/metrics"
@@ -22,6 +32,9 @@ import (
 
 // Config parameterizes a machine.
 type Config struct {
+	// Backend names the hv backend to boot on ("" = hv.DefaultBackend(),
+	// i.e. the OOH_BACKEND environment variable or "sim").
+	Backend string
 	// Model is the cost model; nil selects costmodel.Default().
 	Model *costmodel.Model
 	// HostMemBytes bounds simulated DRAM (0 = unlimited).
@@ -71,36 +84,46 @@ type Config struct {
 type Machine struct {
 	Phys   *mem.PhysMem
 	Model  *costmodel.Model
-	Hyp    *hypervisor.Hypervisor
+	Hyp    hv.Hypervisor
 	Guests []*Guest
+}
+
+// SimHyp returns the simulator hypervisor underneath the hv backend.
+func (m *Machine) SimHyp() *hypervisor.Hypervisor {
+	return m.Hyp.(interface{ Sim() *hypervisor.Hypervisor }).Sim()
 }
 
 // Guest bundles one VM with its guest kernel and lazily loaded OoH modules.
 type Guest struct {
-	VM     *hypervisor.VM
+	VM     hv.VirtualMachine
 	Kernel *guestos.Kernel
 
 	spmlLib *core.Lib
 	epmlLib *core.Lib
 }
 
+// SimVM returns the simulator VM underneath the hv wrapper, for the code
+// that genuinely needs simulator-only surface: module loading, shared
+// rings, EPT/VMCS poking in tests.
+func (g *Guest) SimVM() *hypervisor.VM {
+	return g.VM.(interface{ Sim() *hypervisor.VM }).Sim()
+}
+
 // New boots a machine.
 func New(cfg Config) (*Machine, error) {
-	model := cfg.Model
-	if model == nil {
-		model = costmodel.Default()
-	}
 	n := cfg.VMs
 	if n <= 0 {
 		n = 1
 	}
-	m := &Machine{
-		Phys:  mem.NewPhysMem(cfg.HostMemBytes),
-		Model: model,
-		Hyp:   hypervisor.New(mem.NewPhysMem(cfg.HostMemBytes), model),
+	h, err := hv.New(cfg.Backend, hv.Config{HostMemBytes: cfg.HostMemBytes, Model: cfg.Model})
+	if err != nil {
+		return nil, fmt.Errorf("machine: %w", err)
 	}
-	// The hypervisor owns the canonical PhysMem; keep one reference.
-	m.Phys = m.Hyp.Phys
+	m := &Machine{
+		Phys:  h.Phys(),
+		Model: h.Model(),
+		Hyp:   h,
+	}
 	reg := cfg.Metrics
 	if cfg.Monitor != nil {
 		if reg == nil {
@@ -112,30 +135,70 @@ func New(cfg Config) (*Machine, error) {
 		cfg.Monitor.Attach(cfg.Tracer, reg)
 	}
 	for i := 0; i < n; i++ {
-		vm, err := m.Hyp.CreateVM()
+		vm, err := h.CreateVM()
 		if err != nil {
 			return nil, fmt.Errorf("machine: creating VM %d: %w", i, err)
 		}
-		vm.VCPU.Tracer = cfg.Tracer
-		vm.VCPU.Inj = cfg.Faults
-		vm.VCPU.Met = metrics.NewEvents(reg)
-		vm.VCPU.Prof = cfg.Profiler.Tap(vm.VCPU.Clock)
-		if cfg.Monitor != nil {
-			vm.VCPU.Met.SetObserver(int32(i), cfg.Monitor)
-			vm.VCPU.Mon = cfg.Monitor
+		g, err := newGuest(m, vm, cfg, reg, i)
+		if err != nil {
+			return nil, err
 		}
-		if i == 0 {
-			// Only the first guest feeds the sampler's default series;
-			// duplicate registrations from later guests would shadow them.
-			vm.VCPU.Met.WatchDefaults()
-		}
-		k := guestos.NewKernel(vm.VCPU, model)
-		if cfg.DisablePreemption {
-			k.Sched.SetDisabled(true)
-		}
-		m.Guests = append(m.Guests, &Guest{VM: vm, Kernel: k})
+		m.Guests = append(m.Guests, g)
 	}
 	return m, nil
+}
+
+// newGuest wires the observability planes into a created VM's vCPU and
+// boots its guest kernel. Shared between New (cold boot) and Fork.
+func newGuest(m *Machine, vm hv.VirtualMachine, cfg Config, reg *metrics.Registry, i int) (*Guest, error) {
+	sv, ok := vm.(interface{ Sim() *hypervisor.VM })
+	if !ok {
+		return nil, fmt.Errorf("machine: backend VM %T does not expose the simulator core", vm)
+	}
+	svm := sv.Sim()
+	wireGuestProbes(svm, cfg, reg, i)
+	k := guestos.NewKernel(svm.VCPU, m.Model)
+	if cfg.DisablePreemption {
+		k.Sched.SetDisabled(true)
+	}
+	return &Guest{VM: vm, Kernel: k}, nil
+}
+
+// wireGuestProbes points guest i's vCPU at cfg's observability planes.
+func wireGuestProbes(svm *hypervisor.VM, cfg Config, reg *metrics.Registry, i int) {
+	svm.VCPU.Tracer = cfg.Tracer
+	svm.VCPU.Inj = cfg.Faults
+	svm.VCPU.Met = metrics.NewEvents(reg)
+	svm.VCPU.Prof = cfg.Profiler.Tap(svm.VCPU.Clock)
+	if cfg.Monitor != nil {
+		svm.VCPU.Met.SetObserver(int32(i), cfg.Monitor)
+		svm.VCPU.Mon = cfg.Monitor
+	}
+	if i == 0 {
+		// Only the first guest feeds the sampler's default series;
+		// duplicate registrations from later guests would shadow them.
+		svm.VCPU.Met.WatchDefaults()
+	}
+}
+
+// AttachProbes rewires every guest's observability planes to cfg's Tracer,
+// Faults, Metrics, Profiler and Monitor, exactly as New would have. It
+// exists for the forked-sweep contract: an experiment cell warms (or forks)
+// a machine with the planes detached and attaches its per-cell shard
+// afterwards, so cold-booted and forked runs observe identical streams -
+// neither sees the warm-up phase. Only the probe fields change; clocks,
+// kernels and memory are untouched.
+func (m *Machine) AttachProbes(cfg Config) {
+	reg := cfg.Metrics
+	if cfg.Monitor != nil {
+		if reg == nil {
+			reg = metrics.NewRegistry()
+		}
+		cfg.Monitor.Attach(cfg.Tracer, reg)
+	}
+	for i, g := range m.Guests {
+		wireGuestProbes(g.SimVM(), cfg, reg, i)
+	}
 }
 
 // Guest returns the i-th guest (0-based).
@@ -144,7 +207,7 @@ func (m *Machine) Guest(i int) *Guest { return m.Guests[i] }
 // SPML returns the guest's SPML OoH library, loading the module on first use.
 func (g *Guest) SPML() *core.Lib {
 	if g.spmlLib == nil {
-		g.spmlLib = core.NewLib(core.NewModule(g.Kernel, g.VM, core.ModeSPML))
+		g.spmlLib = core.NewLib(core.NewModule(g.Kernel, g.SimVM(), core.ModeSPML))
 	}
 	return g.spmlLib
 }
@@ -152,7 +215,7 @@ func (g *Guest) SPML() *core.Lib {
 // EPML returns the guest's EPML OoH library, loading the module on first use.
 func (g *Guest) EPML() *core.Lib {
 	if g.epmlLib == nil {
-		g.epmlLib = core.NewLib(core.NewModule(g.Kernel, g.VM, core.ModeEPML))
+		g.epmlLib = core.NewLib(core.NewModule(g.Kernel, g.SimVM(), core.ModeEPML))
 	}
 	return g.epmlLib
 }
@@ -183,7 +246,7 @@ func (g *Guest) NewResilient(preferred costmodel.Technique, proc *guestos.Proces
 	factory := func(kind costmodel.Technique) (tracking.Technique, error) {
 		return g.NewTechnique(kind, proc)
 	}
-	return tracking.NewResilient(proc, g.VM.VCPU.Inj, factory, tracking.LadderFrom(preferred)...)
+	return tracking.NewResilient(proc, g.VM.VCPU().Injector(), factory, tracking.LadderFrom(preferred)...)
 }
 
 // AllTechniques lists the four real techniques in the paper's comparison

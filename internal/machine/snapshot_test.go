@@ -1,0 +1,263 @@
+package machine
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/hv"
+	"repro/internal/mem"
+)
+
+// warmBoot boots a machine, spawns one process with `pages` eagerly mapped
+// pages, and writes a deterministic pattern into each.
+func warmBoot(t *testing.T, cfg Config, pages int) (*Machine, *Guest, mem.GVA) {
+	t.Helper()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := m.Guest(0)
+	proc := g.Kernel.Spawn("app")
+	region, err := proc.Mmap(uint64(pages)*mem.PageSize, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < pages; p++ {
+		if err := proc.WriteU64(region.Start.Add(uint64(p)*mem.PageSize), 0xBEEF0000+uint64(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m, g, region.Start
+}
+
+// image reads every mapped guest frame of g through the kernel path,
+// keyed by GPA.
+func image(t *testing.T, g *Guest) map[mem.GPA][]byte {
+	t.Helper()
+	out := make(map[mem.GPA][]byte)
+	for _, gpa := range g.VM.MappedPages() {
+		buf := make([]byte, mem.PageSize)
+		if err := g.VM.VCPU().KernelReadGPA(gpa, buf); err != nil {
+			t.Fatal(err)
+		}
+		out[gpa] = buf
+	}
+	return out
+}
+
+func sameImage(a, b map[mem.GPA][]byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for gpa, pa := range a {
+		if pb, ok := b[gpa]; !ok || !bytes.Equal(pa, pb) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestMachineForkDiverges: a fork replays the captured machine; writes in
+// the fork never reach the parent, writes in the parent never reach the
+// fork, and a second fork from the same snapshot still sees the pristine
+// capture image.
+func TestMachineForkDiverges(t *testing.T) {
+	parent, pg, base := warmBoot(t, Config{}, 32)
+	snap, err := parent.CaptureSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	captured := image(t, pg)
+	capClock := pg.VM.Clock().Nanos()
+
+	fork, err := snap.Fork(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fg := fork.Guest(0)
+	if got := fg.VM.Clock().Nanos(); got != capClock {
+		t.Errorf("fork clock = %d, capture clock = %d", got, capClock)
+	}
+	if !sameImage(image(t, fg), captured) {
+		t.Fatal("fork image differs from capture image")
+	}
+
+	// Diverge both sides: the fork overwrites the first half, the parent
+	// the second half, each with its own values.
+	fproc, ok := fg.Kernel.Process(1)
+	if !ok {
+		t.Fatal("fork lost pid 1")
+	}
+	pproc, _ := pg.Kernel.Process(1)
+	for p := 0; p < 16; p++ {
+		if err := fproc.WriteU64(base.Add(uint64(p)*mem.PageSize), 0xF0F0F0F0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for p := 16; p < 32; p++ {
+		if err := pproc.WriteU64(base.Add(uint64(p)*mem.PageSize), 0xAAAAAAAA); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Each side sees exactly its own divergence.
+	for p := 0; p < 32; p++ {
+		gva := base.Add(uint64(p) * mem.PageSize)
+		fv, err := fproc.ReadU64(gva)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pv, err := pproc.ReadU64(gva)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantF, wantP := 0xBEEF0000+uint64(p), 0xBEEF0000+uint64(p)
+		if p < 16 {
+			wantF = 0xF0F0F0F0
+		} else {
+			wantP = 0xAAAAAAAA
+		}
+		if fv != wantF {
+			t.Fatalf("fork page %d = %#x, want %#x", p, fv, wantF)
+		}
+		if pv != wantP {
+			t.Fatalf("parent page %d = %#x, want %#x", p, pv, wantP)
+		}
+	}
+
+	// A second fork is untouched by either divergence.
+	fork2, err := snap.Fork(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameImage(image(t, fork2.Guest(0)), captured) {
+		t.Error("second fork does not see the pristine capture image")
+	}
+}
+
+// TestMachineRestoreRewinds: an in-place restore rewinds memory, kernel
+// and clock, advances the physical-memory epoch (the TLB/frame-cache
+// invalidation contract), and leaves the guest fully runnable - including
+// a dirty-logging interval that must see exactly the post-restore writes.
+func TestMachineRestoreRewinds(t *testing.T) {
+	m, g, base := warmBoot(t, Config{}, 16)
+	snap, err := m.CaptureSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	captured := image(t, g)
+	capClock := g.VM.Clock().Nanos()
+	epochBefore := m.Phys.Epoch()
+
+	// Diverge: overwrite pages, spawn a second process with its own pages.
+	proc, _ := g.Kernel.Process(1)
+	for p := 0; p < 16; p++ {
+		if err := proc.WriteU64(base.Add(uint64(p)*mem.PageSize), 0xDEAD); err != nil {
+			t.Fatal(err)
+		}
+	}
+	extra := g.Kernel.Spawn("extra")
+	if _, err := extra.Mmap(4*mem.PageSize, true); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := m.RestoreSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	if m.Phys.Epoch() <= epochBefore {
+		t.Error("restore did not advance the physical-memory epoch")
+	}
+	if got := g.VM.Clock().Nanos(); got != capClock {
+		t.Errorf("restored clock = %d, capture clock = %d", got, capClock)
+	}
+	if !sameImage(image(t, g), captured) {
+		t.Fatal("restored image differs from capture image")
+	}
+	if _, ok := g.Kernel.Process(2); ok {
+		t.Error("post-capture process survived the restore")
+	}
+
+	// The guest must be fully runnable post-restore, and hypervisor dirty
+	// logging must see exactly the pages written after the restore.
+	proc, ok := g.Kernel.Process(1)
+	if !ok {
+		t.Fatal("pid 1 lost across restore")
+	}
+	dl := g.VM.(hv.DirtyLog)
+	dl.StartDirtyLogging()
+	for p := 0; p < 3; p++ {
+		if err := proc.WriteU64(base.Add(uint64(p)*mem.PageSize), 7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dirty, err := dl.CollectDirty()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dl.StopDirtyLogging()
+	if len(dirty) != 3 {
+		t.Fatalf("post-restore dirty log has %d pages, want 3", len(dirty))
+	}
+}
+
+// TestMachineForkOracleBackend: forking works identically under the
+// oracle backend, and the forked oracle VM's dirty log is exact.
+func TestMachineForkOracleBackend(t *testing.T) {
+	m, _, base := warmBoot(t, Config{Backend: "oracle"}, 8)
+	snap, err := m.CaptureSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fork, err := snap.Fork(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name := fork.Hyp.Name(); name != "oracle" {
+		t.Fatalf("fork booted backend %q, want oracle", name)
+	}
+	fg := fork.Guest(0)
+	proc, _ := fg.Kernel.Process(1)
+	dl := fg.VM.(hv.DirtyLog)
+	dl.StartDirtyLogging()
+	want := []int{1, 4, 6}
+	for _, p := range want {
+		if err := proc.WriteU64(base.Add(uint64(p)*mem.PageSize), 9); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dirty, err := dl.CollectDirty()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirty) != len(want) {
+		t.Fatalf("oracle fork dirty log has %d pages, want %d", len(dirty), len(want))
+	}
+	for i := 1; i < len(dirty); i++ {
+		if dirty[i] <= dirty[i-1] {
+			t.Fatal("oracle dirty log not strictly ascending")
+		}
+	}
+}
+
+// TestCaptureRefusesLiveTracking: a guest with a live SPML session (rings
+// registered, hooks armed) is not quiescent and must not capture.
+func TestCaptureRefusesLiveTracking(t *testing.T) {
+	m, g, _ := warmBoot(t, Config{}, 8)
+	proc, _ := g.Kernel.Process(1)
+	tech, err := g.NewTechnique(costmodel.SPML, proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tech.Init(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.CaptureSnapshot(); err == nil {
+		t.Fatal("capture succeeded with a live SPML session")
+	}
+	if err := tech.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.CaptureSnapshot(); err != nil {
+		t.Fatalf("capture after session close: %v", err)
+	}
+}

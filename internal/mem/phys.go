@@ -51,21 +51,38 @@ type sparseWrite struct {
 // mutated by the goroutine driving the VM it is mapped into (materialization
 // itself locks PhysMem for the slab). The vCPU software TLB caches *Frame
 // pointers under the Epoch contract.
+//
+// A frame whose backing is shared with a Snapshot carries the ro flag:
+// every in-place mutation path is closed (Data returns nil, Put refuses),
+// so the first write after a capture/restore copies the page - classic
+// copy-on-write, reusing the same materialization funnel the sparse buffer
+// already forces all writers through.
 type Frame struct {
 	data *[PageSize]byte
 	sw   []sparseWrite
+	// ro marks the backing (data or sw) as shared with a Snapshot. Set
+	// under PhysMem.mu with all VM goroutines quiescent (the snapshot
+	// contract); cleared by materialization, which replaces the backing.
+	ro bool
 }
 
-// Data returns the materialized backing array, or nil while the frame is
-// still sparse.
-func (f *Frame) Data() *[PageSize]byte { return f.data }
+// Data returns the materialized backing array for in-place mutation, or
+// nil while the frame is sparse or its backing is snapshot-shared (the
+// caller must go through Materialize, which copies).
+func (f *Frame) Data() *[PageSize]byte {
+	if f.ro {
+		return nil
+	}
+	return f.data
+}
 
 // Put tries to apply a write as a buffered sparse write, reporting whether
 // it succeeded. It fails - and the caller must materialize - when the frame
-// is already materialized, the write is large, it overlaps a buffered
-// write without matching it exactly, or the buffer is full.
+// is already materialized or snapshot-shared, the write is large, it
+// overlaps a buffered write without matching it exactly, or the buffer is
+// full.
 func (f *Frame) Put(off uint64, b []byte) bool {
-	if f.data != nil || len(b) > sparseWriteBytes {
+	if f.ro || f.data != nil || len(b) > sparseWriteBytes {
 		return false
 	}
 	end := off + uint64(len(b))
@@ -137,8 +154,15 @@ func (f *Frame) U64At(off uint64) uint64 {
 // frames live in a slice indexed by host frame number rather than a map:
 // frame resolution is on the per-memory-op hot path.
 type PhysMem struct {
-	mu       sync.Mutex
-	frames   []*Frame // host frame number -> frame (nil = unallocated)
+	mu     sync.Mutex
+	frames []*Frame // host frame number -> frame (nil = unallocated or lazy)
+	// base is the immutable snapshot image this PhysMem was forked or
+	// restored from. Frame structs materialize out of it lazily: a nil
+	// frames[i] with base[i].used means "not touched since the fork" and
+	// resolves on first access. This keeps fork O(1) in frame-struct work
+	// instead of O(live frames). Freed lazy slots are tombstoned (see
+	// freedTomb) so they do not resurrect from base.
+	base     []snapFrame
 	live     int
 	next     HPA
 	free     []HPA
@@ -196,16 +220,24 @@ func (p *PhysMem) AllocFrame() (HPA, error) {
 	return hpa, nil
 }
 
+// freedTomb marks a frame slot freed after a fork/restore: distinguishable
+// from nil, which would lazily resurrect the frame from the base image.
+var freedTomb = &Frame{}
+
 // FreeFrame releases the frame at hpa. Freeing an unallocated frame is an
 // error: it indicates a bookkeeping bug in a caller.
 func (p *PhysMem) FreeFrame(hpa HPA) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	idx := int(hpa.Page())
-	if idx >= len(p.frames) || p.frames[idx] == nil {
+	if p.frameLocked(idx) == nil {
 		return fmt.Errorf("%w: free of %v", ErrUnmappedHPA, hpa)
 	}
-	p.frames[idx] = nil
+	if p.base != nil {
+		p.frames[idx] = freedTomb
+	} else {
+		p.frames[idx] = nil
+	}
 	p.live--
 	p.free = append(p.free, hpa)
 	p.epoch.Add(1)
@@ -229,10 +261,12 @@ func (p *PhysMem) FrameRef(hpa HPA) (*Frame, error) {
 	return p.frame(hpa)
 }
 
-// Materialize builds (if needed) and returns the frame's backing array,
-// replaying any buffered sparse writes into the pre-zeroed array.
+// Materialize builds (if needed) and returns the frame's private backing
+// array, replaying any buffered sparse writes into the pre-zeroed array. A
+// snapshot-shared frame gets a fresh copy of its shared page here - the
+// copy-on-write divergence point.
 func (p *PhysMem) Materialize(f *Frame) *[PageSize]byte {
-	if f.data != nil {
+	if f.data != nil && !f.ro {
 		return f.data
 	}
 	p.mu.Lock()
@@ -241,18 +275,25 @@ func (p *PhysMem) Materialize(f *Frame) *[PageSize]byte {
 }
 
 func (p *PhysMem) materializeLocked(f *Frame) *[PageSize]byte {
-	if f.data == nil {
+	if f.data == nil || f.ro {
 		if len(p.slab) == 0 {
 			p.slab = make([][PageSize]byte, slabFrames)
 		}
 		d := &p.slab[0]
 		p.slab = p.slab[1:]
-		for i := range f.sw {
-			w := &f.sw[i]
-			copy(d[w.off:], w.val[:w.n])
+		if f.data != nil {
+			// Shared materialized page: diverge onto a private copy.
+			*d = *f.data
+		} else {
+			// Sparse buffer (shared or private): replaying only reads it.
+			for i := range f.sw {
+				w := &f.sw[i]
+				copy(d[w.off:], w.val[:w.n])
+			}
 		}
 		f.sw = nil
 		f.data = d
+		f.ro = false
 	}
 	return f.data
 }
@@ -261,15 +302,39 @@ func (p *PhysMem) materializeLocked(f *Frame) *[PageSize]byte {
 func (p *PhysMem) frame(hpa HPA) (*Frame, error) {
 	idx := int(hpa.Page())
 	p.mu.Lock()
-	var f *Frame
-	if idx < len(p.frames) {
-		f = p.frames[idx]
-	}
+	f := p.frameLocked(idx)
 	p.mu.Unlock()
 	if f == nil {
 		return nil, fmt.Errorf("%w: %v", ErrUnmappedHPA, hpa)
 	}
 	return f, nil
+}
+
+// frameLocked resolves the frame at host frame number idx, materializing
+// the Frame struct lazily from the fork/restore base image on first touch.
+// Returns nil for unallocated (or freed) slots. Caller holds p.mu.
+func (p *PhysMem) frameLocked(idx int) *Frame {
+	if idx < 0 || idx >= len(p.frames) {
+		return nil
+	}
+	f := p.frames[idx]
+	if f == freedTomb {
+		return nil
+	}
+	if f == nil {
+		if p.base == nil || idx >= len(p.base) || !p.base[idx].used {
+			return nil
+		}
+		if len(p.fslab) == 0 {
+			p.fslab = make([]Frame, slabFrames)
+		}
+		f = &p.fslab[0]
+		p.fslab = p.fslab[1:]
+		sf := &p.base[idx]
+		*f = Frame{data: sf.data, sw: sf.sw, ro: true}
+		p.frames[idx] = f
+	}
+	return f
 }
 
 // Write copies b into physical memory at hpa. The access must not cross a
@@ -283,7 +348,7 @@ func (p *PhysMem) Write(hpa HPA, b []byte) error {
 	if err != nil {
 		return err
 	}
-	if d := f.data; d != nil {
+	if d := f.Data(); d != nil {
 		copy(d[off:], b)
 	} else if !f.Put(off, b) {
 		copy(p.Materialize(f)[off:], b)
@@ -338,6 +403,7 @@ func (p *PhysMem) Reset() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.frames = nil
+	p.base = nil
 	p.fslab = nil
 	p.slab = nil
 	p.live = 0

@@ -1,0 +1,103 @@
+package mem
+
+// Snapshot is an immutable copy-on-write capture of a PhysMem: every live
+// frame's backing (materialized page or sparse-write buffer) is shared,
+// not copied, and the source's frames are flipped read-only so the first
+// post-capture write to any page diverges onto a private copy. Capturing N
+// gigabytes therefore costs O(live frames) pointer copies, which is what
+// makes forking a warmed-up VM into scenario variants cheap.
+//
+// Contract:
+//   - Capture and restore require all goroutines touching the PhysMem (or
+//     frames cached from it) to be quiescent; in the simulator that means
+//     no VM is mid-instruction, which machine-level snapshotting enforces.
+//   - A Snapshot is immutable once captured and may back any number of
+//     restores and forks concurrently, including after the source PhysMem
+//     has diverged or been reset.
+//   - RestoreSnapshot bumps the frame-invalidation epoch, so frame
+//     pointers cached under the Epoch contract (the vCPU software TLB) die
+//     with the restore; it never rewinds the epoch.
+type Snapshot struct {
+	frames   []snapFrame
+	live     int
+	next     HPA
+	free     []HPA
+	maxBytes uint64
+}
+
+// snapFrame is one captured frame. Exactly one of data/sw is meaningful
+// (both nil for a never-written frame); used distinguishes an allocated
+// all-zero frame from an unallocated slot.
+type snapFrame struct {
+	data *[PageSize]byte
+	sw   []sparseWrite
+	used bool
+}
+
+// CaptureSnapshot captures the current memory image copy-on-write. The
+// source keeps running afterwards: its frames are marked read-only and
+// diverge onto private copies as they are written.
+func (p *PhysMem) CaptureSnapshot() *Snapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := &Snapshot{
+		frames:   make([]snapFrame, len(p.frames)),
+		live:     p.live,
+		next:     p.next,
+		free:     append([]HPA(nil), p.free...),
+		maxBytes: p.maxBytes,
+	}
+	for i, f := range p.frames {
+		switch f {
+		case freedTomb:
+		case nil:
+			// Lazy slot: the frame was never touched since this PhysMem was
+			// itself forked, so its backing still lives in the base image -
+			// share it onward without materializing a Frame struct.
+			if p.base != nil && i < len(p.base) && p.base[i].used {
+				s.frames[i] = snapFrame{data: p.base[i].data, sw: p.base[i].sw, used: true}
+			}
+		default:
+			f.ro = true
+			s.frames[i] = snapFrame{data: f.data, sw: f.sw, used: true}
+		}
+	}
+	return s
+}
+
+// RestoreSnapshot rewinds the memory image to the captured state. All
+// frame structs are replaced (sharing the snapshot's backing read-only),
+// so divergence since the capture is discarded without being undone
+// byte-by-byte, and the epoch bump invalidates every cached frame pointer.
+func (p *PhysMem) RestoreSnapshot(s *Snapshot) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.applyLocked(s)
+}
+
+// NewPhysMem forks the snapshot into a brand-new PhysMem sharing the
+// captured backing copy-on-write. Any number of forks may coexist; each
+// diverges privately.
+func (s *Snapshot) NewPhysMem() *PhysMem {
+	p := &PhysMem{next: PageSize, maxBytes: s.maxBytes}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.applyLocked(s)
+	return p
+}
+
+// FrameCount reports the number of live frames in the captured image.
+func (s *Snapshot) FrameCount() int { return s.live }
+
+func (p *PhysMem) applyLocked(s *Snapshot) {
+	// Frame structs materialize lazily out of the base image on first
+	// touch (frameLocked), so applying a snapshot is O(1) in frame-struct
+	// work - the cost that would otherwise dominate forking a warm image.
+	p.frames = make([]*Frame, len(s.frames))
+	p.base = s.frames
+	p.live = s.live
+	p.next = s.next
+	p.free = append([]HPA(nil), s.free...)
+	p.maxBytes = s.maxBytes
+	p.epoch.Add(1)
+}

@@ -1,0 +1,211 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+)
+
+// image reads back every allocated frame of p as a map keyed by HPA.
+func image(t *testing.T, p *PhysMem, hpas []HPA) map[HPA][]byte {
+	t.Helper()
+	out := make(map[HPA][]byte, len(hpas))
+	for _, hpa := range hpas {
+		b, err := p.FrameBytes(hpa)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[hpa] = b
+	}
+	return out
+}
+
+// seed builds a PhysMem mixing sparse and materialized frames.
+func seedMem(t *testing.T) (*PhysMem, []HPA) {
+	t.Helper()
+	p := NewPhysMem(0)
+	var hpas []HPA
+	for i := 0; i < 16; i++ {
+		hpa, err := p.AllocFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		hpas = append(hpas, hpa)
+		switch i % 3 {
+		case 0: // sparse: a couple of small writes
+			if err := p.WriteU64(hpa+8, uint64(i)*0x1111); err != nil {
+				t.Fatal(err)
+			}
+			if err := p.WriteU64(hpa+256, uint64(i)); err != nil {
+				t.Fatal(err)
+			}
+		case 1: // materialized: one large write
+			big := make([]byte, 512)
+			for j := range big {
+				big[j] = byte(i + j)
+			}
+			if err := p.Write(hpa+1024, big); err != nil {
+				t.Fatal(err)
+			}
+		// case 2: never written - implicit zeros
+		default:
+		}
+	}
+	return p, hpas
+}
+
+// TestSnapshotForkDivergence: writes in a fork never show through to the
+// parent or the snapshot, and vice versa.
+func TestSnapshotForkDivergence(t *testing.T) {
+	p, hpas := seedMem(t)
+	before := image(t, p, hpas)
+	snap := p.CaptureSnapshot()
+
+	fork := snap.NewPhysMem()
+	if fork.FrameCount() != p.FrameCount() {
+		t.Fatalf("fork frames = %d, want %d", fork.FrameCount(), p.FrameCount())
+	}
+	// Fork starts byte-identical.
+	for hpa, want := range before {
+		got, err := fork.FrameBytes(hpa)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("fork frame %v differs before divergence", hpa)
+		}
+	}
+	// Diverge the fork on every frame: small write (sparse path) and a
+	// large write (materialize path).
+	for i, hpa := range hpas {
+		if err := fork.WriteU64(hpa+16, 0xDEAD+uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if i%2 == 0 {
+			big := bytes.Repeat([]byte{0xAB}, 600)
+			if err := fork.Write(hpa+2048, big); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Diverge the parent differently.
+	for _, hpa := range hpas {
+		if err := p.WriteU64(hpa+32, 0xBEEF); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The fork sees its own writes, not the parent's; the parent sees its
+	// own, not the fork's.
+	for i, hpa := range hpas {
+		fv, err := fork.ReadU64(hpa + 16)
+		if err != nil || fv != 0xDEAD+uint64(i) {
+			t.Fatalf("fork lost its write: %#x, %v", fv, err)
+		}
+		if v, _ := fork.ReadU64(hpa + 32); v == 0xBEEF {
+			t.Fatal("parent write leaked into fork")
+		}
+		if v, _ := p.ReadU64(hpa + 16); v == 0xDEAD+uint64(i) {
+			t.Fatal("fork write leaked into parent")
+		}
+	}
+	// A second fork from the same snapshot still sees the capture image.
+	fork2 := snap.NewPhysMem()
+	for hpa, want := range before {
+		got, err := fork2.FrameBytes(hpa)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("second fork sees divergence at %v", hpa)
+		}
+	}
+}
+
+// TestSnapshotRestoreRewinds: in-place restore discards divergence and
+// bumps the invalidation epoch (never rewinding it).
+func TestSnapshotRestoreRewinds(t *testing.T) {
+	p, hpas := seedMem(t)
+	before := image(t, p, hpas)
+	snap := p.CaptureSnapshot()
+
+	epoch0 := p.Epoch()
+	// Diverge: writes, a free, and fresh allocations.
+	if err := p.WriteU64(hpas[0]+64, 0xFEED); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.FreeFrame(hpas[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.AllocFrame(); err != nil {
+		t.Fatal(err)
+	}
+
+	p.RestoreSnapshot(snap)
+	if e := p.Epoch(); e <= epoch0 {
+		t.Fatalf("restore must advance the epoch: %d -> %d", epoch0, e)
+	}
+	for hpa, want := range before {
+		got, err := p.FrameBytes(hpa)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("restore did not rewind frame %v", hpa)
+		}
+	}
+	if p.FrameCount() != len(hpas) {
+		t.Fatalf("restore frame count = %d, want %d", p.FrameCount(), len(hpas))
+	}
+	// Allocation state rewound too: the next two allocs must reproduce
+	// what the capture-time allocator would have handed out.
+	a1, err := p.AllocFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(a1.Page()) != len(hpas)+1 {
+		t.Fatalf("post-restore alloc at %v, want dense continuation", a1)
+	}
+	// And the restored memory is writable (copy-on-write diverges again).
+	if err := p.WriteU64(hpas[2]+8, 0xACE); err != nil {
+		t.Fatal(err)
+	}
+	v, err := p.ReadU64(hpas[2] + 8)
+	if err != nil || v != 0xACE {
+		t.Fatalf("post-restore write: %#x, %v", v, err)
+	}
+}
+
+// TestSnapshotSparseSharingSafety: the pathological sharing cases - exact
+// sparse-rewrite and sparse-append after capture - must not mutate the
+// shared buffer.
+func TestSnapshotSparseSharingSafety(t *testing.T) {
+	p := NewPhysMem(0)
+	hpa, err := p.AllocFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WriteU64(hpa+8, 1); err != nil { // sparse write
+		t.Fatal(err)
+	}
+	snap := p.CaptureSnapshot()
+
+	// Exact rewrite of the buffered slot: before the ro flag this updated
+	// the shared sparseWrite value in place.
+	if err := p.WriteU64(hpa+8, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Append-style sparse write to another offset.
+	if err := p.WriteU64(hpa+128, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	fork := snap.NewPhysMem()
+	if v, _ := fork.ReadU64(hpa + 8); v != 1 {
+		t.Fatalf("shared sparse buffer mutated: slot = %d, want 1", v)
+	}
+	if v, _ := fork.ReadU64(hpa + 128); v != 0 {
+		t.Fatalf("sparse append leaked into snapshot: %d", v)
+	}
+	if v, _ := p.ReadU64(hpa + 8); v != 2 {
+		t.Fatalf("parent lost its rewrite: %d", v)
+	}
+}

@@ -1,5 +1,5 @@
 // Package migration implements pre-copy live migration of a whole VM,
-// driven by the hypervisor-level PML dirty log - the feature's original
+// driven by the hypervisor-level dirty log - the feature's original
 // purpose (§II-B: "the content of the larger buffer is used to know which
 // pages should be resent during the VM live migration pre-copy phase").
 //
@@ -16,17 +16,20 @@
 // hypervisor's own use of PML end to end, and it demonstrates (with tests)
 // that a guest's SPML session keeps working while its VM is being
 // live-migrated - the coordination §IV-C was designed for.
+//
+// The migration drives any hv backend: it programs against
+// hv.VirtualMachine and harvests through the hv.DirtyLog capability
+// (discovered by type assertion, like a KVM_CAP probe). The conformance
+// suite runs it under every registered backend.
 package migration
 
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"time"
 
-	"repro/internal/ept"
 	"repro/internal/faults"
-	"repro/internal/hypervisor"
+	"repro/internal/hv"
 	"repro/internal/mem"
 	"repro/internal/metrics"
 	"repro/internal/monitor"
@@ -105,6 +108,9 @@ type Stats struct {
 var (
 	// ErrNoMemory reports a migration attempt on a VM with no mapped memory.
 	ErrNoMemory = errors.New("migration: VM has no mapped guest memory")
+	// ErrNoDirtyLog reports a VM whose backend does not expose the
+	// hv.DirtyLog capability pre-copy depends on.
+	ErrNoDirtyLog = errors.New("migration: backend VM exposes no dirty log")
 	// ErrSLOAbort reports a migration that could not reach a pending set
 	// transferable within Options.DowntimeBudget: rather than violate the
 	// SLO, the migration aborted and the source keeps running.
@@ -121,19 +127,24 @@ var (
 // machine. Use New+Run (or the Migrate convenience wrapper); after a
 // round crash, Resume continues from the journal.
 type Migration struct {
-	vm      *hypervisor.VM
+	vm      hv.VirtualMachine
+	log     hv.DirtyLog // nil when the backend lacks the capability
+	cpu     hv.VirtualCPU
 	j       *Journal
 	perPage time.Duration
 }
 
 // New prepares a migration of vm (nothing is armed until Run).
-func New(vm *hypervisor.VM, opts Options) *Migration {
+func New(vm hv.VirtualMachine, opts Options) *Migration {
 	opts = opts.withDefaults()
-	return &Migration{
+	m := &Migration{
 		vm:      vm,
+		cpu:     vm.VCPU(),
 		j:       &Journal{Phase: PhaseInit, NextRound: 1, Opts: opts, dest: newDest()},
 		perPage: time.Millisecond / time.Duration(opts.BandwidthPagesPerMS),
 	}
+	m.log, _ = vm.(hv.DirtyLog)
+	return m
 }
 
 // Journal returns the migration's transaction log. After a round crash it
@@ -147,7 +158,7 @@ func (m *Migration) Journal() *Journal { return m.j }
 // returned image maps GPA page bases to page contents at the moment of
 // completion. On a transport round-crash the error wraps ErrRoundCrash and
 // a CrashError carrying the journal for Resume.
-func Migrate(vm *hypervisor.VM, opts Options, runBetween func(round int) error) (map[mem.GPA][]byte, Stats, error) {
+func Migrate(vm hv.VirtualMachine, opts Options, runBetween func(round int) error) (map[mem.GPA][]byte, Stats, error) {
 	return New(vm, opts).Run(runBetween)
 }
 
@@ -155,8 +166,11 @@ func Migrate(vm *hypervisor.VM, opts Options, runBetween func(round int) error) 
 // rounds, stop-and-copy.
 func (m *Migration) Run(runBetween func(round int) error) (map[mem.GPA][]byte, Stats, error) {
 	vm, j := m.vm, m.j
-	total := sim.StartWatch(vm.Clock)
-	tap := vm.VCPU.Prof
+	if m.log == nil {
+		return nil, j.Stats, ErrNoDirtyLog
+	}
+	total := sim.StartWatch(vm.Clock())
+	tap := m.cpu.Profiler()
 	migSp := tap.Begin(prof.SubMigration, "migrate")
 	defer migSp.End()
 
@@ -164,10 +178,10 @@ func (m *Migration) Run(runBetween func(round int) error) (map[mem.GPA][]byte, S
 	// writes racing the copy are caught by the next round. It stays armed
 	// across a round crash (the outage's writes are the resume delta) and
 	// is disarmed only on completion or abort.
-	vm.StartDirtyLogging()
+	m.log.StartDirtyLogging()
 
-	// Round 0: full copy of every mapped guest frame.
-	all := mappedGPAs(vm)
+	// Round 0: full copy of every mapped guest frame (sorted by contract).
+	all := vm.MappedPages()
 	if len(all) == 0 {
 		m.abort(0)
 		j.Stats.TotalTime += total.Elapsed()
@@ -190,47 +204,54 @@ func (m *Migration) Run(runBetween func(round int) error) (map[mem.GPA][]byte, S
 // pre-copy rounds. Dirty logging stayed armed across the outage, so only
 // the journaled pending work plus the pages dirtied since the crash are
 // sent - not the full memory again.
-func Resume(vm *hypervisor.VM, j *Journal, runBetween func(round int) error) (map[mem.GPA][]byte, Stats, error) {
+func Resume(vm hv.VirtualMachine, j *Journal, runBetween func(round int) error) (map[mem.GPA][]byte, Stats, error) {
 	if j == nil {
 		return nil, Stats{}, errors.New("migration: nil journal")
 	}
 	if j.dest == nil || j.Phase != PhasePreCopy {
 		return nil, j.Stats, fmt.Errorf("migration: journal not resumable (phase %v)", j.Phase)
 	}
-	m := &Migration{vm: vm, j: j, perPage: time.Millisecond / time.Duration(j.Opts.BandwidthPagesPerMS)}
-	total := sim.StartWatch(vm.Clock)
-	tap := vm.VCPU.Prof
+	m := &Migration{vm: vm, cpu: vm.VCPU(), j: j,
+		perPage: time.Millisecond / time.Duration(j.Opts.BandwidthPagesPerMS)}
+	m.log, _ = vm.(hv.DirtyLog)
+	if m.log == nil {
+		return nil, j.Stats, ErrNoDirtyLog
+	}
+	total := sim.StartWatch(vm.Clock())
+	tap := m.cpu.Profiler()
 	migSp := tap.Begin(prof.SubMigration, "migrate")
 	defer migSp.End()
 
 	j.Stats.Resumes++
-	v := vm.VCPU
-	now := vm.Clock.Nanos()
-	if tr := v.Tracer; tr.Enabled(trace.KindMigResume) {
-		tr.Emit(trace.Record{Kind: trace.KindMigResume, VM: int32(v.ID), TS: now,
+	v := m.cpu
+	now := vm.Clock().Nanos()
+	if tr := v.Tracer(); tr.Enabled(trace.KindMigResume) {
+		tr.Emit(trace.Record{Kind: trace.KindMigResume, VM: int32(v.ID()), TS: now,
 			Arg: int64(j.NextRound)})
 	}
-	v.Met.Observe(trace.KindMigResume, now, 0, int64(j.NextRound))
-	v.Met.Count(metrics.SubMigration, "resumes_total", "", 1)
+	v.Metrics().Observe(trace.KindMigResume, now, 0, int64(j.NextRound))
+	v.Metrics().Count(metrics.SubMigration, "resumes_total", "", 1)
 	return m.converge(total, runBetween)
 }
 
 // Abort abandons a crashed (or still-journaled) migration instead of
 // resuming it: dirty logging is stopped, the partial destination image is
 // discarded, and the source guest - never paused - remains authoritative.
-func Abort(vm *hypervisor.VM, j *Journal) {
+func Abort(vm hv.VirtualMachine, j *Journal) {
 	if j == nil || j.Phase == PhaseAborted || j.Phase == PhaseCompleted {
 		return
 	}
-	(&Migration{vm: vm, j: j}).abort(j.NextRound)
+	m := &Migration{vm: vm, cpu: vm.VCPU(), j: j}
+	m.log, _ = vm.(hv.DirtyLog)
+	m.abort(j.NextRound)
 }
 
 // converge is the shared tail of Run and Resume: pre-copy rounds under the
 // SLO guard, then stop-and-copy.
 func (m *Migration) converge(total sim.Stopwatch, runBetween func(round int) error) (map[mem.GPA][]byte, Stats, error) {
-	vm, j := m.vm, m.j
+	vm, j, v := m.vm, m.j, m.cpu
 	opts := j.Opts
-	tap := vm.VCPU.Prof
+	tap := v.Profiler()
 	j.Phase = PhasePreCopy
 
 	fail := func(round int, err error) (map[mem.GPA][]byte, Stats, error) {
@@ -262,14 +283,14 @@ func (m *Migration) converge(total sim.Stopwatch, runBetween func(round int) err
 		// The transport session can die between rounds. The journal stays
 		// valid, dirty logging stays armed, and the caller decides between
 		// Resume (send the delta) and Abort.
-		if vm.VCPU.Inj.Fire(faults.RoundCrash) {
-			vm.VCPU.FaultRecord(faults.RoundCrash, 0)
+		if v.Injector().Fire(faults.RoundCrash) {
+			v.FaultRecord(faults.RoundCrash, 0)
 			j.NextRound = round
 			j.Stats.TotalTime += total.Elapsed()
 			return nil, j.Stats, &CrashError{Journal: j, Round: round}
 		}
 		rSp := tap.Begin(prof.SubMigration, prof.RoundOp(round))
-		dirty, err := collectDirty(vm)
+		dirty, err := m.collectDirty()
 		if err != nil {
 			rSp.End()
 			return fail(round, err)
@@ -278,10 +299,10 @@ func (m *Migration) converge(total sim.Stopwatch, runBetween func(round int) err
 		// convergence target and SLO terms. Its predictor extrapolates the
 		// series and can flag non-convergence rounds before the guard above
 		// would trip ErrSLOAbort.
-		vm.VCPU.Mon.Round(int32(vm.VCPU.ID), monitor.SubMigration, round,
+		v.Monitor().Round(int32(v.ID()), monitor.SubMigration, round,
 			len(dirty), opts.DowntimeTargetPages, opts.MaxRounds,
 			int64(m.estimatedDowntime(len(dirty))), int64(opts.DowntimeBudget),
-			vm.Clock.Nanos())
+			vm.Clock().Nanos())
 		if len(dirty) <= opts.DowntimeTargetPages &&
 			(opts.DowntimeBudget <= 0 || m.estimatedDowntime(len(dirty)) <= opts.DowntimeBudget) {
 			j.Stats.Converged = true
@@ -304,9 +325,9 @@ func (m *Migration) converge(total sim.Stopwatch, runBetween func(round int) err
 	// so a page in both sets is shipped (and charged) once. The transfer
 	// time is the migration downtime.
 	j.Phase = PhaseStopAndCopy
-	down := sim.StartWatch(vm.Clock)
+	down := sim.StartWatch(vm.Clock())
 	sacSp := tap.Begin(prof.SubMigration, "stop_and_copy")
-	last, err := collectDirty(vm)
+	last, err := m.collectDirty()
 	if err != nil {
 		sacSp.End()
 		return fail(j.NextRound, err)
@@ -321,7 +342,7 @@ func (m *Migration) converge(total sim.Stopwatch, runBetween func(round int) err
 	j.Stats.UniquePages = len(j.dest.image)
 	j.Phase = PhaseCompleted
 	j.pending = nil
-	vm.StopDirtyLogging()
+	m.log.StopDirtyLogging()
 	return j.dest.image, j.Stats, nil
 }
 
@@ -334,15 +355,17 @@ func (m *Migration) abort(round int) {
 	j.Stats.Aborted = true
 	j.dest = nil
 	j.pending = nil
-	m.vm.StopDirtyLogging()
-	v := m.vm.VCPU
-	now := m.vm.Clock.Nanos()
-	if tr := v.Tracer; tr.Enabled(trace.KindMigAbort) {
-		tr.Emit(trace.Record{Kind: trace.KindMigAbort, VM: int32(v.ID), TS: now,
+	if m.log != nil {
+		m.log.StopDirtyLogging()
+	}
+	v := m.cpu
+	now := m.vm.Clock().Nanos()
+	if tr := v.Tracer(); tr.Enabled(trace.KindMigAbort) {
+		tr.Emit(trace.Record{Kind: trace.KindMigAbort, VM: int32(v.ID()), TS: now,
 			Arg: int64(round)})
 	}
-	v.Met.Observe(trace.KindMigAbort, now, 0, int64(round))
-	v.Met.Count(metrics.SubMigration, "aborts_total", "", 1)
+	v.Metrics().Observe(trace.KindMigAbort, now, 0, int64(round))
+	v.Metrics().Count(metrics.SubMigration, "aborts_total", "", 1)
 }
 
 // estimatedDowntime is the stop-and-copy estimate for n pending pages.
@@ -351,30 +374,13 @@ func (m *Migration) estimatedDowntime(n int) time.Duration {
 }
 
 // collectDirty drains one pre-copy round's dirty log under a span. The
-// result is sorted: the hypervisor log is an unordered set, and the send
-// order decides which page each per-point fault draw lands on, so sorting
-// is what keeps faulted runs (and their traces) deterministic.
-func collectDirty(vm *hypervisor.VM) ([]mem.GPA, error) {
-	sp := vm.VCPU.Prof.Begin(prof.SubMigration, "collect")
+// result arrives sorted from CollectDirty (the send order decides which
+// page each per-point fault draw lands on, so ordering is what keeps
+// faulted runs and their traces deterministic).
+func (m *Migration) collectDirty() ([]mem.GPA, error) {
+	sp := m.cpu.Profiler().Begin(prof.SubMigration, "collect")
 	defer sp.End()
-	dirty, err := vm.CollectDirty()
-	if err != nil {
-		return nil, err
-	}
-	sort.Slice(dirty, func(i, j int) bool { return dirty[i] < dirty[j] })
-	return dirty, nil
-}
-
-// mappedGPAs enumerates the VM's mapped guest frames, sorted (EPT.Range
-// iterates a map).
-func mappedGPAs(vm *hypervisor.VM) []mem.GPA {
-	out := make([]mem.GPA, 0, vm.EPT.Mapped())
-	vm.EPT.Range(func(gpa mem.GPA, e ept.Entry) bool {
-		out = append(out, gpa)
-		return true
-	})
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return m.log.CollectDirty()
 }
 
 // dedup unions two page sets in first-seen order, page-floored: the
@@ -398,7 +404,7 @@ func dedup(a, b []mem.GPA) []mem.GPA {
 // sendRound transfers one round's frames into the destination image,
 // charging transfer time per attempt.
 func (m *Migration) sendRound(pages []mem.GPA) error {
-	sp := m.vm.VCPU.Prof.Begin(prof.SubMigration, "send")
+	sp := m.cpu.Profiler().Begin(prof.SubMigration, "send")
 	defer sp.End()
 	for _, gpa := range pages {
 		if err := m.sendPage(gpa.PageFloor()); err != nil {
@@ -415,7 +421,7 @@ func (m *Migration) sendRound(pages []mem.GPA) error {
 // send failures, checksum verification at the destination with NACK and
 // resend on wire corruption, and extra charged time on destination stalls.
 func (m *Migration) sendPage(gpa mem.GPA) error {
-	vm, v := m.vm, m.vm.VCPU
+	vm, v := m.vm, m.cpu
 	opts := m.j.Opts
 	buf := make([]byte, mem.PageSize)
 	if err := v.KernelReadGPA(gpa, buf); err != nil {
@@ -425,31 +431,31 @@ func (m *Migration) sendPage(gpa mem.GPA) error {
 	for attempt := 1; ; attempt++ {
 		// The send can fail before the page reaches the wire (transient
 		// transport failure): retry after a charged backoff.
-		if v.Inj.Fire(faults.SendFail) {
+		if v.Injector().Fire(faults.SendFail) {
 			v.FaultRecord(faults.SendFail, uint64(gpa))
 			if attempt > opts.MaxSendRetries {
 				return fmt.Errorf("migration: sending %v after %d attempts: %w",
 					gpa, attempt, ErrSendFailed)
 			}
 			m.j.Stats.Retries++
-			now := vm.Clock.Nanos()
-			if tr := v.Tracer; tr.Enabled(trace.KindMigRetry) {
-				tr.Emit(trace.Record{Kind: trace.KindMigRetry, VM: int32(v.ID), TS: now,
+			now := vm.Clock().Nanos()
+			if tr := v.Tracer(); tr.Enabled(trace.KindMigRetry) {
+				tr.Emit(trace.Record{Kind: trace.KindMigRetry, VM: int32(v.ID()), TS: now,
 					Cost: int64(backoff), Addr: uint64(gpa), Arg: int64(attempt)})
 			}
-			v.Met.Observe(trace.KindMigRetry, now, int64(backoff), int64(attempt))
-			v.Met.Count(metrics.SubMigration, "retries_total", "", 1)
-			vm.Clock.Advance(backoff)
+			v.Metrics().Observe(trace.KindMigRetry, now, int64(backoff), int64(attempt))
+			v.Metrics().Count(metrics.SubMigration, "retries_total", "", 1)
+			vm.Clock().Advance(backoff)
 			backoff *= 2
 			continue
 		}
 		// The page is on the wire: charge the transfer.
-		vm.Clock.Advance(m.perPage)
+		vm.Clock().Advance(m.perPage)
 		payload, sum := m.transmit(gpa, buf)
-		if v.Inj.Fire(faults.DestStall) {
+		if v.Injector().Fire(faults.DestStall) {
 			v.FaultRecord(faults.DestStall, uint64(gpa))
 			m.j.Stats.Stalls++
-			vm.Clock.Advance(opts.DestStallTime)
+			vm.Clock().Advance(opts.DestStallTime)
 		}
 		if !m.j.dest.receive(gpa, payload, sum) {
 			// Checksum mismatch at the destination: NACK, resend. Each
@@ -460,13 +466,13 @@ func (m *Migration) sendPage(gpa mem.GPA) error {
 					gpa, attempt, ErrSendFailed)
 			}
 			m.j.Stats.Resends++
-			now := vm.Clock.Nanos()
-			if tr := v.Tracer; tr.Enabled(trace.KindMigNack) {
-				tr.Emit(trace.Record{Kind: trace.KindMigNack, VM: int32(v.ID), TS: now,
+			now := vm.Clock().Nanos()
+			if tr := v.Tracer(); tr.Enabled(trace.KindMigNack) {
+				tr.Emit(trace.Record{Kind: trace.KindMigNack, VM: int32(v.ID()), TS: now,
 					Addr: uint64(gpa), Arg: int64(attempt)})
 			}
-			v.Met.Observe(trace.KindMigNack, now, 0, int64(attempt))
-			v.Met.Count(metrics.SubMigration, "resends_total", "", 1)
+			v.Metrics().Observe(trace.KindMigNack, now, 0, int64(attempt))
+			v.Metrics().Count(metrics.SubMigration, "resends_total", "", 1)
 			continue
 		}
 		m.j.Stats.PagesSent++
@@ -482,7 +488,7 @@ func (m *Migration) transmit(gpa mem.GPA, buf []byte) (payload []byte, sum uint6
 	payload = make([]byte, len(buf))
 	copy(payload, buf)
 	sum = checksum(payload)
-	if v := m.vm.VCPU; v.Inj.Fire(faults.WireCorrupt) {
+	if v := m.cpu; v.Injector().Fire(faults.WireCorrupt) {
 		v.FaultRecord(faults.WireCorrupt, uint64(gpa))
 		payload[sum%uint64(len(payload))] ^= 0xFF
 	}

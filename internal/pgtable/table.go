@@ -24,12 +24,19 @@ const (
 	indexMask = fanout - 1
 )
 
+// tableTag identifies which Table owns a node. Nodes reachable from a
+// CowClone'd table carry the source's tag; a writing walk copies any node
+// whose tag differs from the walker's before touching it (path copying),
+// so clones diverge node-by-node while sharing the untouched interior.
+type tableTag struct{ _ byte }
+
 // node is one 512-entry page table page. Leaf nodes hold PTEs in entries;
 // interior nodes hold child pointers.
 type node struct {
 	entries  [fanout]PTE
 	children [fanout]*node
-	live     int // number of present entries/children, for pruning
+	live     int       // number of present entries/children, for pruning
+	owner    *tableTag // table allowed to mutate this node in place
 }
 
 // Table is a 4-level guest page table. The zero value is not usable; create
@@ -51,10 +58,18 @@ type Table struct {
 	// source of truth for lookup order.
 	rev        map[uint64]mem.GVA
 	revAliased map[uint64]struct{}
+	// revShared marks rev/revAliased as borrowed from a CowClone source;
+	// the first mapping change materializes private copies.
+	revShared bool
+
+	tag *tableTag
 }
 
 // New returns an empty page table.
-func New() *Table { return &Table{root: &node{}, nodes: 1} }
+func New() *Table {
+	tg := &tableTag{}
+	return &Table{root: &node{owner: tg}, nodes: 1, tag: tg}
+}
 
 // Slot is a direct handle on one leaf PTE slot, used by the vCPU's software
 // TLB to re-read a cached translation's flags without repeating the radix
@@ -86,10 +101,23 @@ func indexAt(gva mem.GVA, level int) int {
 	return int(uint64(gva)>>shift) & indexMask
 }
 
+// copyFor returns a private copy of n owned by tg. Children pointers are
+// shared: each child is copied in turn only when a write descends into it.
+func (n *node) copyFor(tg *tableTag) *node {
+	c := &node{entries: n.entries, children: n.children, live: n.live, owner: tg}
+	return c
+}
+
 // walk descends to the leaf node for gva. When alloc is true, missing
-// interior nodes are created. Returns the leaf node and the final index,
-// or nil when the path does not exist.
-func (t *Table) walk(gva mem.GVA, alloc bool) (*node, int) {
+// interior nodes are created. When write is true, every node on the path
+// that is shared with a CowClone source is replaced by a private copy
+// before being returned or descended through - callers that will mutate
+// the leaf (or hand out a writable Slot on it) must set it. Returns the
+// leaf node and the final index, or nil when the path does not exist.
+func (t *Table) walk(gva mem.GVA, alloc, write bool) (*node, int) {
+	if write && t.root.owner != t.tag {
+		t.root = t.root.copyFor(t.tag)
+	}
 	n := t.root
 	t.Walks++
 	for level := 0; level < Levels-1; level++ {
@@ -100,10 +128,13 @@ func (t *Table) walk(gva mem.GVA, alloc bool) (*node, int) {
 			if !alloc {
 				return nil, 0
 			}
-			child = &node{}
+			child = &node{owner: t.tag}
 			n.children[idx] = child
 			n.live++
 			t.nodes++
+		} else if write && child.owner != t.tag {
+			child = child.copyFor(t.tag)
+			n.children[idx] = child
 		}
 		n = child
 	}
@@ -125,7 +156,7 @@ func (t *Table) Map(gva mem.GVA, gpa mem.GPA, flags PTE) error {
 	if gva.PageOffset() != 0 || gpa.PageOffset() != 0 {
 		return fmt.Errorf("%w: map %v -> %v", ErrMisaligned, gva, gpa)
 	}
-	leaf, idx := t.walk(gva, true)
+	leaf, idx := t.walk(gva, true, true)
 	if leaf.entries[idx].Present() {
 		return fmt.Errorf("%w: %v", ErrAlreadyMapped, gva)
 	}
@@ -142,15 +173,24 @@ func (t *Table) Map(gva mem.GVA, gpa mem.GPA, flags PTE) error {
 func (t *Table) Unmap(gva mem.GVA) (PTE, error) {
 	gva = gva.PageFloor()
 	var path [Levels - 1]*node
+	if t.root.owner != t.tag {
+		t.root = t.root.copyFor(t.tag)
+	}
 	n := t.root
 	t.Walks++
 	for level := 0; level < Levels-1; level++ {
 		t.walkOps++
 		path[level] = n
-		n = n.children[indexAt(gva, level)]
-		if n == nil {
+		idx := indexAt(gva, level)
+		child := n.children[idx]
+		if child == nil {
 			return 0, fmt.Errorf("%w: %v", ErrNotMapped, gva)
 		}
+		if child.owner != t.tag {
+			child = child.copyFor(t.tag)
+			n.children[idx] = child
+		}
+		n = child
 	}
 	t.walkOps++
 	idx := indexAt(gva, Levels-1)
@@ -174,7 +214,7 @@ func (t *Table) Unmap(gva mem.GVA) (PTE, error) {
 
 // Lookup returns the PTE covering gva, without modifying flags.
 func (t *Table) Lookup(gva mem.GVA) (PTE, bool) {
-	leaf, idx := t.walk(gva.PageFloor(), false)
+	leaf, idx := t.walk(gva.PageFloor(), false, false)
 	if leaf == nil {
 		return 0, false
 	}
@@ -183,9 +223,11 @@ func (t *Table) Lookup(gva mem.GVA) (PTE, bool) {
 }
 
 // LookupSlot is Lookup returning, additionally, a Slot handle on the leaf
-// entry so the caller can re-read the PTE later without another walk.
+// entry so the caller can re-read the PTE later without another walk. The
+// walk is a writing one: the returned Slot may commit A/D flags through
+// OrFlags, so the leaf must be private to this table, not CoW-shared.
 func (t *Table) LookupSlot(gva mem.GVA) (Slot, PTE, bool) {
-	leaf, idx := t.walk(gva.PageFloor(), false)
+	leaf, idx := t.walk(gva.PageFloor(), false, true)
 	if leaf == nil {
 		return Slot{}, 0, false
 	}
@@ -196,7 +238,7 @@ func (t *Table) LookupSlot(gva mem.GVA) (Slot, PTE, bool) {
 // Update applies fn to the PTE covering gva and stores the result. It
 // returns ErrNotMapped when the page is absent.
 func (t *Table) Update(gva mem.GVA, fn func(PTE) PTE) error {
-	leaf, idx := t.walk(gva.PageFloor(), false)
+	leaf, idx := t.walk(gva.PageFloor(), false, true)
 	if leaf == nil || !leaf.entries[idx].Present() {
 		return fmt.Errorf("%w: %v", ErrNotMapped, gva)
 	}
@@ -240,10 +282,36 @@ func (t *Table) Present() int { return t.present }
 // tests use it to assert that Unmap prunes the interior back down.
 func (t *Table) Nodes() int { return t.nodes }
 
+// revMaterialize turns rev maps borrowed from a CowClone source into
+// private copies, paid once by the first mapping change after the clone.
+// Flag-only updates (A/D commits, soft-dirty clears) never get here, so a
+// fork that only runs the measured phase shares the maps for its lifetime.
+func (t *Table) revMaterialize() {
+	if !t.revShared {
+		return
+	}
+	t.revShared = false
+	if t.rev != nil {
+		m := make(map[uint64]mem.GVA, len(t.rev))
+		for k, v := range t.rev {
+			m[k] = v
+		}
+		t.rev = m
+	}
+	if t.revAliased != nil {
+		m := make(map[uint64]struct{}, len(t.revAliased))
+		for k := range t.revAliased {
+			m[k] = struct{}{}
+		}
+		t.revAliased = m
+	}
+}
+
 // revAdd records gva as the (sole) mapper of gpa's frame. A second mapper
 // moves the frame to revAliased: the index can no longer answer which GVA
 // the scan would find first, so ReverseLookup falls back to the scan for it.
 func (t *Table) revAdd(gva mem.GVA, gpa mem.GPA) {
+	t.revMaterialize()
 	key := uint64(gpa.PageFloor())
 	if _, aliased := t.revAliased[key]; aliased {
 		return
@@ -269,8 +337,71 @@ func (t *Table) revAdd(gva mem.GVA, gpa mem.GPA) {
 // path: the index has lost track of the surviving mappers, and falling back
 // is always correct.
 func (t *Table) revDel(gva mem.GVA, gpa mem.GPA) {
+	t.revMaterialize()
 	if cur, ok := t.rev[uint64(gpa.PageFloor())]; ok && cur == gva {
 		delete(t.rev, uint64(gpa.PageFloor()))
+	}
+}
+
+// Clone returns a deep copy of the table: radix nodes, PTEs (with their
+// A/D flags), statistics and the reverse index. Snapshot capture uses it:
+// the source keeps running (its vCPU holds writable Slots into its leaves),
+// so the capture must not share a single node with it. For fanning a
+// captured, immutable table out into forks, use CowClone instead.
+func (t *Table) Clone() *Table {
+	tg := &tableTag{}
+	nt := &Table{
+		root:    cloneNode(t.root, tg),
+		present: t.present,
+		nodes:   t.nodes,
+		walkOps: t.walkOps,
+		Walks:   t.Walks,
+		tag:     tg,
+	}
+	if t.rev != nil {
+		nt.rev = make(map[uint64]mem.GVA, len(t.rev))
+		for k, v := range t.rev {
+			nt.rev[k] = v
+		}
+	}
+	if t.revAliased != nil {
+		nt.revAliased = make(map[uint64]struct{}, len(t.revAliased))
+		for k := range t.revAliased {
+			nt.revAliased[k] = struct{}{}
+		}
+	}
+	return nt
+}
+
+func cloneNode(n *node, tg *tableTag) *node {
+	c := &node{entries: n.entries, live: n.live, owner: tg}
+	for i, ch := range n.children {
+		if ch != nil {
+			c.children[i] = cloneNode(ch, tg)
+		}
+	}
+	return c
+}
+
+// CowClone returns a copy-on-write clone: O(1) instead of O(pages). The
+// clone shares the source's radix nodes and reverse index and diverges
+// node-by-node as it is written (writing walks path-copy shared nodes;
+// the first mapping change copies the reverse index). The source MUST be
+// immutable for the clone's lifetime - guestos snapshots qualify: they own
+// a private deep Clone that nothing writes - which is what makes forking
+// a captured machine per grid cell cheap. Any number of clones may share
+// one source; each diverges privately.
+func (t *Table) CowClone() *Table {
+	return &Table{
+		root:       t.root,
+		present:    t.present,
+		nodes:      t.nodes,
+		walkOps:    t.walkOps,
+		Walks:      t.Walks,
+		rev:        t.rev,
+		revAliased: t.revAliased,
+		revShared:  true,
+		tag:        &tableTag{},
 	}
 }
 

@@ -47,6 +47,12 @@ func (c *Clock) AdvanceNanos(n int64) {
 // between experiment runs.
 func (c *Clock) Reset() { c.now = 0 }
 
+// SetNanos forces the clock to an absolute virtual time. Snapshot restore
+// is the only legitimate caller: rewinding to a capture point is exactly
+// what restoring a VM image means, while everything else must go through
+// Advance's monotonicity check.
+func (c *Clock) SetNanos(n int64) { c.now = n }
+
 // Stopwatch measures a span of virtual time on a Clock.
 type Stopwatch struct {
 	c     *Clock

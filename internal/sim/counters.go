@@ -50,6 +50,18 @@ func (c *Counters) Get(name string) int64 {
 // Reset clears all counters.
 func (c *Counters) Reset() { c.m = nil }
 
+// Restore replaces the counter set with the given values (typically a
+// Snapshot result). Like Reset it detaches previously returned Refs;
+// callers caching refs must re-resolve.
+func (c *Counters) Restore(vals map[string]int64) {
+	c.m = make(map[string]*int64, len(vals))
+	for k, v := range vals {
+		p := new(int64)
+		*p = v
+		c.m[k] = p
+	}
+}
+
 // Names returns the sorted list of counter names that have been touched.
 func (c *Counters) Names() []string {
 	names := make([]string, 0, len(c.m))

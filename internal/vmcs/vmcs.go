@@ -238,6 +238,45 @@ func (v *VMCS) SetPMLEnabled(on bool) {
 	v.gen++
 }
 
+// Snapshot is a captured VMCS image: all fields, the shadow link (deeply
+// captured) and the access bitmaps.
+type Snapshot struct {
+	fields      [numFields]uint64
+	shadow      *Snapshot
+	readBitmap  [numFields]bool
+	writeBitmap [numFields]bool
+}
+
+// Snapshot captures the VMCS and, recursively, its linked shadow.
+func (v *VMCS) Snapshot() *Snapshot {
+	s := &Snapshot{
+		fields:      v.fields,
+		readBitmap:  v.readBitmap,
+		writeBitmap: v.writeBitmap,
+	}
+	if v.shadow != nil {
+		s.shadow = v.shadow.Snapshot()
+	}
+	return s
+}
+
+// Restore rewinds the VMCS to a captured state, rebuilding the shadow
+// chain. The generation advances rather than rewinding so cached arming
+// state (the vCPU's armCache) is re-derived, never resurrected.
+func (v *VMCS) Restore(s *Snapshot) {
+	v.fields = s.fields
+	v.readBitmap = s.readBitmap
+	v.writeBitmap = s.writeBitmap
+	if s.shadow != nil {
+		shadow := New()
+		shadow.Restore(s.shadow)
+		v.shadow = shadow
+	} else {
+		v.shadow = nil
+	}
+	v.gen++
+}
+
 // EPMLEnabled reports whether the EPML hardware extension is armed.
 func (v *VMCS) EPMLEnabled() bool {
 	return v.fields[idxExecControls]&CtrlEnableEPML != 0

@@ -49,6 +49,18 @@ func (w *ArrayParser) Setup(alloc Allocator, rng *sim.RNG) error {
 	return nil
 }
 
+// Adopt binds w to a process whose memory already holds the image a
+// previous Setup produced - the snapshot-fork fast path: the forked guest
+// replays the warmed array, so only the host-side binding (process handle,
+// region, rewound pass counter) needs rebuilding. region must be the
+// Region() of the workload that warmed the capture source.
+func (w *ArrayParser) Adopt(proc *guestos.Process, region guestos.Region) {
+	w.proc = proc
+	w.region = region
+	w.pass = 0
+	w.ready = true
+}
+
 // Run implements Workload: one pass writing one word into every page.
 func (w *ArrayParser) Run() error {
 	if err := checkSetup(w.Name(), w.ready); err != nil {

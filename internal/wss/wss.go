@@ -6,13 +6,16 @@
 //
 // The estimator samples in intervals: arm logging with cleared A/D flags,
 // let the guest run, drain the log; the number of distinct logged frames
-// is the interval's working set.
+// is the interval's working set. Arming goes through the hv.AccessLog
+// capability, so the estimator runs on any backend that reports one (the
+// "sim" backend arms real PML-R; the "oracle" backend observes EPT walks
+// for free and bounds PML-R's cost from below).
 package wss
 
 import (
 	"errors"
 
-	"repro/internal/hypervisor"
+	"repro/internal/hv"
 	"repro/internal/mem"
 )
 
@@ -27,38 +30,64 @@ type Sample struct {
 
 // Estimator samples a VM's working set size.
 type Estimator struct {
-	VM      *hypervisor.VM
+	VM      hv.VirtualMachine
+	log     hv.AccessLog // nil when the backend lacks the capability
 	samples []Sample
 	armed   bool
 }
 
-// ErrNotArmed reports EndInterval without a matching BeginInterval.
-var ErrNotArmed = errors.New("wss: interval not armed")
+// Errors reported by the estimator.
+var (
+	// ErrNotArmed reports EndInterval without a matching BeginInterval.
+	ErrNotArmed = errors.New("wss: interval not armed")
+	// ErrNoAccessLog reports a VM whose backend does not expose the
+	// hv.AccessLog capability PML-R estimation depends on.
+	ErrNoAccessLog = errors.New("wss: backend VM exposes no access log")
+)
 
-// New returns an estimator for vm.
-func New(vm *hypervisor.VM) *Estimator { return &Estimator{VM: vm} }
+// New returns an estimator for vm. The hv.AccessLog capability is probed
+// here; on a backend without one, BeginInterval is a no-op and
+// EndInterval reports ErrNoAccessLog.
+func New(vm hv.VirtualMachine) *Estimator {
+	e := &Estimator{VM: vm}
+	e.log, _ = vm.(hv.AccessLog)
+	return e
+}
 
 // BeginInterval arms PML-R logging with a clean slate: dirty and accessed
 // flags cleared so the first touch of every page this interval is logged.
 func (e *Estimator) BeginInterval() {
-	e.VM.StartDirtyLogging()
-	e.VM.EPT.ClearAccessed()
-	e.VM.VCPU.PMLLogReads = true
+	if e.log == nil {
+		return
+	}
+	e.log.StartAccessLogging()
 	e.armed = true
 }
 
-// EndInterval drains the log and records the interval's estimate.
+// disarm tears down the interval's arming unconditionally: read logging
+// off, hypervisor dirty logging off, estimator disarmed. Centralized so
+// every EndInterval path - success or error - leaves the VM clean, the way
+// criu's abort() does for checkpoint sessions.
+func (e *Estimator) disarm() {
+	e.log.StopAccessLogging()
+	e.armed = false
+}
+
+// EndInterval drains the log and records the interval's estimate. The
+// interval is disarmed on every path: a failed collect must not leak
+// PML-R arming or hypervisor dirty logging into the caller's next steps.
 func (e *Estimator) EndInterval() (Sample, error) {
+	if e.log == nil {
+		return Sample{}, ErrNoAccessLog
+	}
 	if !e.armed {
 		return Sample{}, ErrNotArmed
 	}
-	touched, err := e.VM.CollectDirty()
+	touched, err := e.log.CollectAccessed()
+	e.disarm()
 	if err != nil {
 		return Sample{}, err
 	}
-	e.VM.VCPU.PMLLogReads = false
-	e.VM.StopDirtyLogging()
-	e.armed = false
 	s := Sample{
 		Interval: len(e.samples) + 1,
 		Pages:    len(touched),

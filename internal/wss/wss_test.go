@@ -2,6 +2,7 @@ package wss
 
 import (
 	"errors"
+	"repro/internal/faults"
 	"testing"
 
 	"repro/internal/machine"
@@ -152,5 +153,52 @@ func TestWSSDoesNotDisturbEPML(t *testing.T) {
 	}
 	if len(dirty) != 16 {
 		t.Errorf("EPML saw %d dirty pages during WSS sampling, want 16", len(dirty))
+	}
+}
+
+// TestWSSEndIntervalErrorDisarms: a failed collect must not leak PML-R
+// arming, hypervisor dirty logging, or the estimator's armed flag.
+func TestWSSEndIntervalErrorDisarms(t *testing.T) {
+	g, base := boot(t, 16)
+	proc, _ := g.Kernel.Process(1)
+	est := New(g.VM)
+
+	est.BeginInterval()
+	for p := 0; p < 8; p++ {
+		if _, err := proc.ReadU64(base.Add(uint64(p) * mem.PageSize)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var spec faults.Spec
+	spec.SetRate(faults.CollectFail, 1)
+	g.SimVM().VCPU.Inj = faults.New(spec, 1)
+	if _, err := est.EndInterval(); !errors.Is(err, faults.ErrTransient) {
+		t.Fatalf("EndInterval under injected collect failure: %v", err)
+	}
+	g.SimVM().VCPU.Inj = nil
+
+	if g.SimVM().VCPU.PMLLogReads {
+		t.Error("PMLLogReads still armed after failed EndInterval")
+	}
+	if g.SimVM().EnabledByHyp() {
+		t.Error("hypervisor dirty logging still enabled after failed EndInterval")
+	}
+	if _, err := est.EndInterval(); !errors.Is(err, ErrNotArmed) {
+		t.Errorf("estimator still armed after failed EndInterval: %v", err)
+	}
+	// A fresh interval still works and sees only its own touches.
+	est.BeginInterval()
+	if _, err := proc.ReadU64(base); err != nil {
+		t.Fatal(err)
+	}
+	s, err := est.EndInterval()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Pages != 1 {
+		t.Errorf("post-recovery interval WSS = %d, want 1", s.Pages)
+	}
+	if len(est.Samples()) != 1 {
+		t.Errorf("failed interval recorded a sample: %d", len(est.Samples()))
 	}
 }
