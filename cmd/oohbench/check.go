@@ -2,11 +2,13 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/obsdiff"
 )
 
 // parseBenchTolerance validates the -bench-tolerance knob: a fraction in
@@ -94,5 +96,50 @@ func checkBenchOne(path string, tol float64, workers int) error {
 		return fmt.Errorf("writing candidate %s: %w", candPath, werr)
 	}
 
-	return experiments.CompareBenchReports(&base, cand, tol)
+	cmpErr := experiments.CompareBenchReports(&base, cand, tol)
+	if cmpErr == nil {
+		return nil
+	}
+	// The gate failed: turn the bare tolerance error into an attribution
+	// report. Both sides become in-memory captures (bench plane only - the
+	// committed baselines carry tables, metrics and perf) and the diff
+	// engine names every diverging cell and metric. CI uploads these next
+	// to the candidate so the failure explains itself.
+	artifacts, aerr := writeDiffArtifacts(path, candPath, &base, cand)
+	if aerr != nil {
+		return errors.Join(cmpErr, aerr)
+	}
+	return fmt.Errorf("%w\nattribution: %s", cmpErr, strings.Join(artifacts, ", "))
+}
+
+// writeDiffArtifacts writes <base>.diff.md and <base>.diff.json next to
+// the baseline and returns the paths written.
+func writeDiffArtifacts(basePath, candPath string, base, cand *experiments.BenchReport) ([]string, error) {
+	rep := obsdiff.Diff(
+		&obsdiff.Capture{Path: basePath, Bench: base},
+		&obsdiff.Capture{Path: candPath, Bench: cand},
+	)
+	stem := strings.TrimSuffix(basePath, ".json")
+	var written []string
+	for _, out := range []struct {
+		path  string
+		write func(*os.File) error
+	}{
+		{stem + ".diff.md", func(f *os.File) error { return rep.WriteMarkdown(f) }},
+		{stem + ".diff.json", func(f *os.File) error { return rep.WriteJSON(f) }},
+	} {
+		f, err := os.Create(out.path)
+		if err != nil {
+			return written, err
+		}
+		werr := out.write(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return written, fmt.Errorf("writing diff artifact %s: %w", out.path, werr)
+		}
+		written = append(written, out.path)
+	}
+	return written, nil
 }

@@ -1,14 +1,17 @@
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
+	"repro/internal/cliflags"
 	"repro/internal/experiments"
 	"repro/internal/faults"
 	"repro/internal/metrics"
+	"repro/internal/monitor"
 	"repro/internal/prof"
 	"repro/internal/trace"
 )
@@ -135,15 +138,46 @@ func parseTrajectoryFlags(path string, perf bool) error {
 	return nil
 }
 
+// parseTrajectoryTolerance validates the -trajectory-tolerance knob: -1
+// disables the gate, anything else must be a fraction in [0, 1) and only
+// makes sense together with -trajectory (the gate compares against that
+// file's committed history).
+func parseTrajectoryTolerance(tol float64, trajectory string) error {
+	if tol == -1 {
+		return nil
+	}
+	if tol < 0 || tol >= 1 {
+		return fmt.Errorf("trajectory tolerance %v must be in [0, 1) or -1 to disable", tol)
+	}
+	if strings.TrimSpace(trajectory) == "" {
+		return fmt.Errorf("-trajectory-tolerance requires -trajectory (it gates against that file's history)")
+	}
+	return nil
+}
+
 // appendTrajectory validates the existing trajectory file (a corrupt file
 // is an error, not something to extend) and appends one line per perf
-// result.
-func appendTrajectory(path, commit string, perf []experiments.BenchPerf) error {
+// result. With tol >= 0 the existing file is also a regression gate:
+// every fresh result is compared against the file's last line with the
+// same experiment id, and a pages/sec drop past the tolerance fails the
+// run before anything is appended.
+func appendTrajectory(path, commit string, perf []experiments.BenchPerf, tol float64) error {
 	if prev, err := os.Open(path); err == nil {
 		verr := experiments.ValidateTrajectory(prev)
 		prev.Close()
 		if verr != nil {
 			return fmt.Errorf("%s: %w", path, verr)
+		}
+		if tol >= 0 {
+			hist, herr := os.Open(path)
+			if herr != nil {
+				return herr
+			}
+			gerr := experiments.CheckTrajectory(hist, perf, tol)
+			hist.Close()
+			if gerr != nil {
+				return fmt.Errorf("%s: %w", path, gerr)
+			}
 		}
 	} else if !os.IsNotExist(err) {
 		return err
@@ -175,10 +209,45 @@ func runForkBench(bf benchFlags) error {
 		time.Duration(fb.ForkNS).Round(time.Microsecond),
 		fb.Speedup, fb.Pages)
 	if bf.trajectory != "" {
-		if err := appendTrajectory(bf.trajectory, bf.commit, []experiments.BenchPerf{fb.Perf()}); err != nil {
+		if err := appendTrajectory(bf.trajectory, bf.commit, []experiments.BenchPerf{fb.Perf()}, bf.trajTol); err != nil {
 			return err
 		}
 		fmt.Printf("trajectory: 1 line appended to %s\n", bf.trajectory)
+	}
+	return nil
+}
+
+// writeCapture bundles the run's observability planes into the -capture
+// directory: the ooh-bench/v1 report (with perf), the folded call-path
+// profile, an ooh-explain/v1 report built from whatever planes the run
+// had, and this run's ooh-trajectory/v1 lines. The bundle is exactly what
+// obsdiff.LoadCapture reads, so two bundles diff without any glue.
+func writeCapture(bf benchFlags, opt experiments.Options, results []*experiments.Result,
+	perf []experiments.BenchPerf, reg *metrics.Registry, mon *monitor.Monitor, profiler *prof.Profiler) error {
+	rep := experiments.NewBenchReport(opt, results, reg)
+	rep.Perf = perf
+	title := "oohbench"
+	if bf.exp != "" {
+		title = "oohbench " + bf.exp
+	}
+	explainJSON, err := cliflags.ExplainJSON(title, mon, reg, profiler)
+	if err != nil {
+		return fmt.Errorf("capture: building explain report: %w", err)
+	}
+	var traj bytes.Buffer
+	if len(perf) > 0 {
+		if err := experiments.AppendTrajectory(&traj, bf.commit, perf); err != nil {
+			return fmt.Errorf("capture: %w", err)
+		}
+	}
+	cap := experiments.Capture{
+		Report:     rep,
+		Profile:    profiler,
+		Explain:    explainJSON,
+		Trajectory: traj.Bytes(),
+	}
+	if err := cap.WriteDir(bf.captureDir); err != nil {
+		return err
 	}
 	return nil
 }

@@ -54,10 +54,12 @@ type benchFlags struct {
 	rules      string
 	explainTo  string
 	trajectory string
+	trajTol    float64
 	commit     string
 	backend    string
 	coldBoot   bool
 	forkBench  bool
+	captureDir string
 }
 
 func main() {
@@ -86,10 +88,12 @@ func main() {
 	flag.StringVar(&bf.rules, "rules", "", "alert rules evaluated online (e.g. \"monitor/dirty_rate_pps{vm0/pml} > 50000 for 2ms\"); implies -mon")
 	flag.StringVar(&bf.explainTo, "explain", "", "write a run-explain report to this file (.md or .json); implies -mon")
 	flag.StringVar(&bf.trajectory, "trajectory", "", "append one ooh-trajectory/v1 JSONL line per -perf result to this file")
+	flag.Float64Var(&bf.trajTol, "trajectory-tolerance", -1, "fail (before appending) if a -perf result's pages/sec drops more than this fraction below the file's last line for the same experiment; -1 disables the gate")
 	flag.StringVar(&bf.commit, "commit", "", "commit id recorded in -trajectory lines")
 	flag.StringVar(&bf.backend, "backend", "", cliflags.BackendUsage())
 	flag.BoolVar(&bf.coldBoot, "coldboot", false, "disable the snapshot-fork fast path and re-run every boot+warm-up prefix (output is byte-identical either way; CI compares the two)")
 	flag.BoolVar(&bf.forkBench, "fork-bench", false, "measure the snapshot-fork fast path against the boot+warm prefix it replaces and exit (combine with -trajectory to record the result)")
+	flag.StringVar(&bf.captureDir, "capture", "", "write the run's full observability bundle (bench.json, profile.folded, explain.json, trajectory.jsonl) into this directory for oohdiff")
 	flag.Parse()
 
 	// main never exits from inside the work: run returns, so every deferred
@@ -139,6 +143,9 @@ func run(bf benchFlags) (err error) {
 	if err := parseTrajectoryFlags(bf.trajectory, bf.perf || bf.forkBench); err != nil {
 		return err
 	}
+	if err := parseTrajectoryTolerance(bf.trajTol, bf.trajectory); err != nil {
+		return err
+	}
 
 	if bf.forkBench {
 		return runForkBench(bf)
@@ -169,14 +176,16 @@ func run(bf benchFlags) (err error) {
 
 	opt := benchOptions(bf.scale, bf.full, bf.workers, bf.seed, bf.faultSpec)
 	opt.ColdBoot = bf.coldBoot
+	// -capture bundles every observability plane, so it implies the
+	// metrics registry and the profiler even when no other flag asked.
 	var reg *metrics.Registry
-	if sortBy != "" || exportFmt != "" {
+	if sortBy != "" || exportFmt != "" || bf.captureDir != "" {
 		reg = metrics.NewRegistry()
 		reg.NewSampler(ival)
 		opt.Metrics = reg
 	}
 	var profiler *prof.Profiler
-	if bf.profTop || bf.flamePath != "" || bf.pprofPath != "" || bf.explainTo != "" {
+	if bf.profTop || bf.flamePath != "" || bf.pprofPath != "" || bf.explainTo != "" || bf.captureDir != "" {
 		profiler = prof.New()
 		opt.Profiler = profiler
 	}
@@ -311,11 +320,19 @@ func run(bf benchFlags) (err error) {
 		}
 	}
 	if bf.trajectory != "" {
-		if err := appendTrajectory(bf.trajectory, bf.commit, perf); err != nil {
+		if err := appendTrajectory(bf.trajectory, bf.commit, perf, bf.trajTol); err != nil {
 			return err
 		}
 		if !quiet {
 			fmt.Printf("\ntrajectory: %d line(s) appended to %s\n", len(perf), bf.trajectory)
+		}
+	}
+	if bf.captureDir != "" {
+		if err := writeCapture(bf, opt, results, perf, reg, mon, profiler); err != nil {
+			return err
+		}
+		if !quiet {
+			fmt.Printf("\ncapture: bundle written to %s\n", bf.captureDir)
 		}
 	}
 	if bf.jsonPath != "" {

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obsdiff"
+)
+
+// writeCapture drops a single-file folded-profile capture into dir.
+func writeCapture(t *testing.T, dir, name, folded string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(folded), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunRejectsBadInputs pins the CLI contract: bad flags, wrong argument
+// counts, missing paths and schema-unknown files all error (so main exits
+// non-zero) before any output is produced.
+func TestRunRejectsBadInputs(t *testing.T) {
+	dir := t.TempDir()
+	good := writeCapture(t, dir, "good.folded", "migration/round0 40\n")
+	badSchema := writeCapture(t, dir, "bad.json", `{"schema":"ooh-mystery/v9"}`)
+	noSchema := writeCapture(t, dir, "tagless.json", `{"hello":"world"}`)
+
+	cases := []struct {
+		name string
+		df   diffFlags
+		args []string
+	}{
+		{name: "no args", df: diffFlags{format: "md"}, args: nil},
+		{name: "one arg", df: diffFlags{format: "md"}, args: []string{good}},
+		{name: "three args", df: diffFlags{format: "md"}, args: []string{good, good, good}},
+		{name: "bad format", df: diffFlags{format: "yaml"}, args: []string{good, good}},
+		{name: "bad profile suffix", df: diffFlags{format: "md", pprofTo: "d.pprof"}, args: []string{good, good}},
+		{name: "missing capture", df: diffFlags{format: "md"}, args: []string{filepath.Join(dir, "nope"), good}},
+		{name: "unknown schema", df: diffFlags{format: "md"}, args: []string{badSchema, good}},
+		{name: "no schema field", df: diffFlags{format: "md"}, args: []string{good, noSchema}},
+		{name: "empty dir", df: diffFlags{format: "md"}, args: []string{t.TempDir(), good}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := run(c.df, c.args); err == nil {
+				t.Fatalf("run(%+v, %v) succeeded, want error", c.df, c.args)
+			}
+		})
+	}
+	// Bad flags must be rejected even when the positional args are already
+	// wrong - validation happens before anything else.
+	if err := run(diffFlags{format: "yaml"}, nil); err == nil ||
+		!strings.Contains(err.Error(), "yaml") {
+		t.Errorf("bad -format with no args: err = %v, want format error", err)
+	}
+}
+
+// TestRunFormats exercises the three output formats end to end over a
+// regressing pair of folded profiles, plus the pprof diff export.
+func TestRunFormats(t *testing.T) {
+	dir := t.TempDir()
+	oldCap := writeCapture(t, dir, "old.folded",
+		"migration/round0 40\nmigration/round0;hypervisor/pml_drain 100\n")
+	newCap := writeCapture(t, dir, "new.folded",
+		"migration/round0 40\nmigration/round0;hypervisor/pml_drain 300\n")
+
+	outOf := func(format string) string {
+		t.Helper()
+		out := filepath.Join(dir, format+".out")
+		if err := run(diffFlags{format: format, outPath: out}, []string{oldCap, newCap}); err != nil {
+			t.Fatalf("run(format=%s) = %v", format, err)
+		}
+		data, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+
+	md := outOf("md")
+	if !strings.Contains(md, "# Run diff:") || !strings.Contains(md, "hypervisor/pml_drain") {
+		t.Errorf("markdown output missing verdict or culprit path:\n%s", md)
+	}
+	jsonOut := outOf("json")
+	if err := obsdiff.ValidateReport([]byte(jsonOut)); err != nil {
+		t.Errorf("json output does not validate: %v", err)
+	}
+	folded := outOf("folded")
+	if !strings.Contains(folded, "migration/round0;hypervisor/pml_drain 100 300 200") {
+		t.Errorf("folded diff missing the excl delta line:\n%s", folded)
+	}
+
+	// The pprof diff export lands alongside whatever format was asked for.
+	pb := filepath.Join(dir, "diff.pb.gz")
+	if err := run(diffFlags{format: "md", outPath: filepath.Join(dir, "x.md"), pprofTo: pb},
+		[]string{oldCap, newCap}); err != nil {
+		t.Fatalf("run with -profile: %v", err)
+	}
+	if fi, err := os.Stat(pb); err != nil || fi.Size() == 0 {
+		t.Errorf("pprof diff profile not written: %v", err)
+	}
+}
+
+// TestRunSelfDiffIsEmpty pins the identity property through the CLI: a
+// capture diffed against itself yields the canonical empty verdict.
+func TestRunSelfDiffIsEmpty(t *testing.T) {
+	dir := t.TempDir()
+	cap := writeCapture(t, dir, "run.folded",
+		"migration/round0 40\nmigration/round0;hypervisor/pml_drain 100\n")
+	out := filepath.Join(dir, "self.md")
+	if err := run(diffFlags{format: "md", outPath: out}, []string{cap, cap}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "no differences") {
+		t.Errorf("self diff not empty:\n%s", data)
+	}
+}

@@ -1,0 +1,27 @@
+package cliflags
+
+import "fmt"
+
+// The oohdiff output formats.
+const (
+	// DiffFormatMarkdown renders the delta report as a human-readable
+	// markdown document (the default).
+	DiffFormatMarkdown = "md"
+	// DiffFormatJSON emits the validated ooh-diff/v1 JSON report.
+	DiffFormatJSON = "json"
+	// DiffFormatFolded emits diff-flamegraph lines ("path old new delta"
+	// exclusive-ns, difffolded.pl style).
+	DiffFormatFolded = "folded"
+)
+
+// ParseDiffFormat validates a -format flag value; empty selects markdown.
+func ParseDiffFormat(s string) (string, error) {
+	switch s {
+	case "", DiffFormatMarkdown:
+		return DiffFormatMarkdown, nil
+	case DiffFormatJSON, DiffFormatFolded:
+		return s, nil
+	}
+	return "", fmt.Errorf("unknown diff format %q (want %s, %s or %s)",
+		s, DiffFormatMarkdown, DiffFormatJSON, DiffFormatFolded)
+}

@@ -1,6 +1,7 @@
 package cliflags
 
 import (
+	"bytes"
 	"fmt"
 	"os"
 	"strings"
@@ -21,17 +22,34 @@ func ParseExplainPath(p string) error {
 	return fmt.Errorf("explain report path %q must end in .md or .json", p)
 }
 
-// WriteExplain builds the run-explain report from the run's observation
-// planes (any may be nil) and writes it to path in the format the
-// extension selects. The same planes always produce byte-identical
-// reports.
-func WriteExplain(path, title string, mon *monitor.Monitor, reg *metrics.Registry, p *prof.Profiler) error {
-	rep := explain.Build(explain.Input{
+// BuildExplain builds the run-explain report from the run's observation
+// planes (any may be nil). The same planes always produce the same
+// report.
+func BuildExplain(title string, mon *monitor.Monitor, reg *metrics.Registry, p *prof.Profiler) explain.Report {
+	return explain.Build(explain.Input{
 		Title:        title,
 		Monitor:      mon.Snapshot(),
 		Metrics:      reg.Snapshot(),
 		CriticalPath: p.CriticalPath(),
 	})
+}
+
+// ExplainJSON builds the run-explain report and returns it serialized as
+// ooh-explain/v1 JSON - the form the capture bundle stores.
+func ExplainJSON(title string, mon *monitor.Monitor, reg *metrics.Registry, p *prof.Profiler) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := BuildExplain(title, mon, reg, p).WriteJSON(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// WriteExplain builds the run-explain report from the run's observation
+// planes (any may be nil) and writes it to path in the format the
+// extension selects. The same planes always produce byte-identical
+// reports.
+func WriteExplain(path, title string, mon *monitor.Monitor, reg *metrics.Registry, p *prof.Profiler) error {
+	rep := BuildExplain(title, mon, reg, p)
 	f, err := os.Create(path)
 	if err != nil {
 		return err

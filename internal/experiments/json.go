@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -152,24 +153,32 @@ func MeasurePerf(id string, opt Options) (*Result, BenchPerf, error) {
 // the cached-vs-uncached speedup ratio, which must not regress below
 // baseline*(1-tol); absolute wall-clock numbers are recorded for the
 // trajectory but never compared across machines.
+//
+// All mismatches are accumulated (errors.Join), not just the first, so
+// one CI run shows the full regression surface.
 func CompareBenchReports(baseline, candidate *BenchReport, tol float64) error {
+	var errs []error
 	if baseline.Schema != candidate.Schema {
-		return fmt.Errorf("schema %q vs %q", candidate.Schema, baseline.Schema)
+		errs = append(errs, fmt.Errorf("schema %q vs %q", candidate.Schema, baseline.Schema))
 	}
 	if baseline.Seed != candidate.Seed || baseline.Scale != candidate.Scale || baseline.Full != candidate.Full {
-		return fmt.Errorf("options differ: baseline seed=%d scale=%d full=%v, candidate seed=%d scale=%d full=%v",
-			baseline.Seed, baseline.Scale, baseline.Full, candidate.Seed, candidate.Scale, candidate.Full)
+		errs = append(errs, fmt.Errorf("options differ: baseline seed=%d scale=%d full=%v, candidate seed=%d scale=%d full=%v",
+			baseline.Seed, baseline.Scale, baseline.Full, candidate.Seed, candidate.Scale, candidate.Full))
 	}
 	if len(baseline.Experiments) != len(candidate.Experiments) {
-		return fmt.Errorf("%d experiments, baseline has %d", len(candidate.Experiments), len(baseline.Experiments))
+		errs = append(errs, fmt.Errorf("%d experiments, baseline has %d", len(candidate.Experiments), len(baseline.Experiments)))
 	}
 	for i, be := range baseline.Experiments {
+		if i >= len(candidate.Experiments) {
+			break
+		}
 		ce := candidate.Experiments[i]
 		if be.ID != ce.ID {
-			return fmt.Errorf("experiment %d is %q, baseline has %q", i, ce.ID, be.ID)
+			errs = append(errs, fmt.Errorf("experiment %d is %q, baseline has %q", i, ce.ID, be.ID))
+			continue
 		}
 		if !reflect.DeepEqual(be.Tables, ce.Tables) {
-			return fmt.Errorf("%s: result tables diverge from the committed baseline - the simulation output changed", be.ID)
+			errs = append(errs, fmt.Errorf("%s: result tables diverge from the committed baseline - the simulation output changed", be.ID))
 		}
 	}
 	for _, bp := range baseline.Perf {
@@ -181,18 +190,19 @@ func CompareBenchReports(baseline, candidate *BenchReport, tol float64) error {
 			}
 		}
 		if cp == nil {
-			return fmt.Errorf("%s: baseline has a perf entry, candidate does not", bp.ID)
+			errs = append(errs, fmt.Errorf("%s: baseline has a perf entry, candidate does not", bp.ID))
+			continue
 		}
 		if cp.PagesTracked != bp.PagesTracked {
-			return fmt.Errorf("%s: pages_tracked %d, baseline %d - the simulated workload changed",
-				bp.ID, cp.PagesTracked, bp.PagesTracked)
+			errs = append(errs, fmt.Errorf("%s: pages_tracked %d, baseline %d - the simulated workload changed",
+				bp.ID, cp.PagesTracked, bp.PagesTracked))
 		}
 		if floor := bp.SpeedupVsUncached * (1 - tol); cp.SpeedupVsUncached < floor {
-			return fmt.Errorf("%s: speedup_vs_uncached %.2f regressed below %.2f (baseline %.2f, tolerance %.0f%%)",
-				bp.ID, cp.SpeedupVsUncached, floor, bp.SpeedupVsUncached, tol*100)
+			errs = append(errs, fmt.Errorf("%s: speedup_vs_uncached %.2f regressed below %.2f (baseline %.2f, tolerance %.0f%%)",
+				bp.ID, cp.SpeedupVsUncached, floor, bp.SpeedupVsUncached, tol*100))
 		}
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // ValidateBenchReport checks a serialized report against the ooh-bench/v1

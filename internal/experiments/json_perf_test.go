@@ -105,6 +105,52 @@ func TestCompareBenchReports(t *testing.T) {
 	}
 }
 
+// TestCompareBenchReportsAccumulates: the gate must report EVERY
+// mismatch in one pass (errors.Join), so a single CI failure shows the
+// full regression surface instead of one symptom per run.
+func TestCompareBenchReportsAccumulates(t *testing.T) {
+	base := perfReport()
+	base.Experiments = append(base.Experiments, BenchExperiment{
+		ID: "fig5", Title: "t5",
+		Tables: []BenchTable{{Caption: "c5", Headers: []string{"a"}, Rows: [][]string{{"5"}}}},
+	})
+	base.Perf = append(base.Perf, BenchPerf{
+		ID: "fig5", WallNS: 100, UncachedWallNS: 1000,
+		PagesTracked: 99, PagesPerSec: 990, SpeedupVsUncached: 10,
+	})
+
+	cand := perfReport()
+	cand.Experiments = append(cand.Experiments, base.Experiments[1])
+	cand.Experiments[1].Tables = []BenchTable{{Caption: "c5", Headers: []string{"a"}, Rows: [][]string{{"6"}}}}
+	cand.Experiments[0].Tables[0].Rows[0][0] = "2" // table divergence #1
+	cand.Perf = append(cand.Perf, base.Perf[1])
+	cand.Perf[0].PagesTracked = 41       // workload drift
+	cand.Perf[1].SpeedupVsUncached = 1.0 // speedup regression
+
+	err := CompareBenchReports(base, cand, 0.5)
+	if err == nil {
+		t.Fatal("four simultaneous mismatches accepted")
+	}
+	for _, want := range []string{
+		"fig3: result tables diverge",
+		"fig5: result tables diverge",
+		"pages_tracked 41",
+		"speedup_vs_uncached 1.00",
+	} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("accumulated error missing %q:\n%v", want, err)
+		}
+	}
+
+	// A candidate missing experiments must not panic on the shorter list
+	// and must still surface the length mismatch.
+	short := perfReport()
+	if err := CompareBenchReports(base, short, 0.5); err == nil ||
+		!strings.Contains(err.Error(), "1 experiments, baseline has 2") {
+		t.Errorf("length mismatch not reported: %v", err)
+	}
+}
+
 // TestMeasurePerf smokes the cached/uncached measurement on a cheap
 // experiment and checks the derived fields are consistent.
 func TestMeasurePerf(t *testing.T) {

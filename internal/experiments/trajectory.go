@@ -3,6 +3,7 @@ package experiments
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 )
@@ -49,6 +50,14 @@ func AppendTrajectory(w io.Writer, commit string, perf []BenchPerf) error {
 // trajectory schema. Used by tests and by CI before appending, so a
 // corrupt file is caught rather than extended.
 func ValidateTrajectory(r io.Reader) error {
+	_, err := ReadTrajectory(r)
+	return err
+}
+
+// ReadTrajectory parses and validates every non-blank line of a
+// trajectory file, preserving file (append) order.
+func ReadTrajectory(r io.Reader) ([]TrajectoryPoint, error) {
+	var pts []TrajectoryPoint
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	line := 0
@@ -59,14 +68,56 @@ func ValidateTrajectory(r io.Reader) error {
 		}
 		var pt TrajectoryPoint
 		if err := json.Unmarshal(sc.Bytes(), &pt); err != nil {
-			return fmt.Errorf("trajectory line %d: %w", line, err)
+			return nil, fmt.Errorf("trajectory line %d: %w", line, err)
 		}
 		if pt.Schema != TrajectorySchema {
-			return fmt.Errorf("trajectory line %d: schema %q, want %q", line, pt.Schema, TrajectorySchema)
+			return nil, fmt.Errorf("trajectory line %d: schema %q, want %q", line, pt.Schema, TrajectorySchema)
 		}
 		if pt.ID == "" {
-			return fmt.Errorf("trajectory line %d: missing experiment id", line)
+			return nil, fmt.Errorf("trajectory line %d: missing experiment id", line)
+		}
+		pts = append(pts, pt)
+	}
+	return pts, sc.Err()
+}
+
+// CheckTrajectory is the longitudinal throughput gate: each fresh perf
+// measurement is compared against the LAST committed trajectory line with
+// the same experiment id, and the check fails when pages_per_sec drops
+// below committed*(1-tol). Experiments with no committed line (a new
+// benchmark's first line, or an id the history has never seen) pass - the
+// gate only ever compares like against like. All regressions are
+// accumulated (errors.Join). A corrupt history is itself an error.
+func CheckTrajectory(history io.Reader, fresh []BenchPerf, tol float64) error {
+	if tol < 0 || tol >= 1 {
+		return fmt.Errorf("trajectory tolerance %v outside [0, 1)", tol)
+	}
+	pts, err := ReadTrajectory(history)
+	if err != nil {
+		return err
+	}
+	last := make(map[string]TrajectoryPoint, len(pts))
+	for _, pt := range pts {
+		last[pt.ID] = pt // later lines win: the newest committed point
+	}
+	var errs []error
+	for _, p := range fresh {
+		committed, ok := last[p.ID]
+		if !ok {
+			continue // first line for this experiment
+		}
+		if floor := committed.PagesPerSec * (1 - tol); p.PagesPerSec < floor {
+			errs = append(errs, fmt.Errorf(
+				"%s: pages_per_sec %.0f regressed below %.0f (last committed %.0f at %s, tolerance %.0f%%)",
+				p.ID, p.PagesPerSec, floor, committed.PagesPerSec, commitLabel(committed.Commit), tol*100))
 		}
 	}
-	return sc.Err()
+	return errors.Join(errs...)
+}
+
+func commitLabel(commit string) string {
+	if commit == "" {
+		return "unknown commit"
+	}
+	return commit
 }

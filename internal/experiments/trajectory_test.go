@@ -58,3 +58,65 @@ func TestValidateTrajectoryRejectsCorruption(t *testing.T) {
 		}
 	}
 }
+
+// TestCheckTrajectory pins the longitudinal gate: fresh pages_per_sec is
+// compared against the LAST committed line with the same id; first lines
+// and unknown ids pass; drops beyond tolerance fail.
+func TestCheckTrajectory(t *testing.T) {
+	history := func(perf ...BenchPerf) string {
+		var buf bytes.Buffer
+		for i, p := range perf {
+			if err := AppendTrajectory(&buf, "commit"+string(rune('a'+i)), []BenchPerf{p}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return buf.String()
+	}
+	base := BenchPerf{ID: "fig3", PagesTracked: 1024, PagesPerSec: 1000, SpeedupVsUncached: 2}
+
+	// First line ever: empty history passes.
+	if err := CheckTrajectory(strings.NewReader(""), []BenchPerf{base}, 0.1); err != nil {
+		t.Errorf("first line rejected: %v", err)
+	}
+	// Unknown id: history exists but never measured this experiment.
+	other := base
+	other.ID = "table1"
+	if err := CheckTrajectory(strings.NewReader(history(other)), []BenchPerf{base}, 0.1); err != nil {
+		t.Errorf("unknown id rejected: %v", err)
+	}
+	// Within tolerance passes; the LAST line is the reference (the file
+	// has an older, faster line that must not be used).
+	older := base
+	older.PagesPerSec = 5000
+	h := history(older, base)
+	within := base
+	within.PagesPerSec = 901 // floor is 1000*(1-0.1) = 900
+	if err := CheckTrajectory(strings.NewReader(h), []BenchPerf{within}, 0.1); err != nil {
+		t.Errorf("within-tolerance drop rejected: %v", err)
+	}
+	// Beyond tolerance fails, naming the regressed experiment and commit.
+	regressed := base
+	regressed.PagesPerSec = 899
+	err := CheckTrajectory(strings.NewReader(h), []BenchPerf{regressed}, 0.1)
+	if err == nil {
+		t.Fatal("regression accepted")
+	}
+	if !strings.Contains(err.Error(), "fig3") || !strings.Contains(err.Error(), "commitb") {
+		t.Errorf("regression error lacks id/commit: %v", err)
+	}
+	// Multiple regressions accumulate.
+	h2 := history(base, other)
+	r2 := other
+	r2.PagesPerSec = 1
+	err = CheckTrajectory(strings.NewReader(h2), []BenchPerf{regressed, r2}, 0.1)
+	if err == nil || !strings.Contains(err.Error(), "fig3") || !strings.Contains(err.Error(), "table1") {
+		t.Errorf("accumulated regressions missing: %v", err)
+	}
+	// Corrupt history and bad tolerance are themselves errors.
+	if err := CheckTrajectory(strings.NewReader("not json\n"), []BenchPerf{base}, 0.1); err == nil {
+		t.Error("corrupt history accepted")
+	}
+	if err := CheckTrajectory(strings.NewReader(""), nil, 1.0); err == nil {
+		t.Error("tolerance 1.0 accepted")
+	}
+}

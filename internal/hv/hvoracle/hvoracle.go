@@ -29,6 +29,7 @@ import (
 	"repro/internal/hv/hvsim"
 	"repro/internal/hypervisor"
 	"repro/internal/mem"
+	"repro/internal/trace"
 )
 
 func init() {
@@ -87,7 +88,10 @@ func (h *Hyp) wrap(inner *hvsim.VM) *VM {
 	svm := vm.Sim()
 	svm.EPT.WriteObserver = func(gpa mem.GPA) {
 		if vm.dirtyOn {
-			vm.dirty[gpa] = struct{}{}
+			if _, seen := vm.dirty[gpa]; !seen {
+				vm.dirty[gpa] = struct{}{}
+				vm.observeLog(gpa)
+			}
 		}
 		if vm.accessOn {
 			vm.accessed[gpa] = struct{}{}
@@ -146,7 +150,48 @@ func (vm *VM) CollectDirty() ([]mem.GPA, error) {
 		ept.ClearDirtyPage(gpa)
 	}
 	vm.dirty = make(map[mem.GPA]struct{})
+	vm.observeDrain()
 	return out, nil
+}
+
+// observeLog mirrors the simulator's per-entry PML append on the
+// observability planes: the same trace kind (pml_log), the same metrics
+// bridge observation (which is how the monitor's dirty-rate estimators
+// see oracle runs), at zero cost - the oracle charges no virtual time, so
+// the record's cost is 0 and no clock advances. Without this an oracle
+// run is observationally blind: cross-backend diffs would attribute the
+// entire dirty-tracking plane to "sim only".
+func (vm *VM) observeLog(gpa mem.GPA) {
+	v := vm.Sim().VCPU
+	tr, ev := v.Tracer, v.Met
+	if tr == nil && ev == nil {
+		return
+	}
+	now := vm.Sim().Clock.Nanos()
+	if tr.Enabled(trace.KindPMLLog) {
+		tr.Emit(trace.Record{Kind: trace.KindPMLLog, VM: int32(v.ID),
+			TS: now, Addr: uint64(gpa)})
+	}
+	ev.Observe(trace.KindPMLLog, now, 0, 0)
+}
+
+// observeDrain mirrors the simulator's PML-buffer drain on the
+// observability planes: same trace kind (pml_drain), zero cost, and - like
+// a sim drain that routes to the migration log rather than a guest ring -
+// an Arg of zero ring copies. The oracle has no buffer, so kinds tied to
+// buffer mechanics (pml_full, epml_full_irq, the occupancy gauge) stay
+// absent by design; the cross-backend parity test carries that allowlist.
+func (vm *VM) observeDrain() {
+	v := vm.Sim().VCPU
+	tr, ev := v.Tracer, v.Met
+	if tr == nil && ev == nil {
+		return
+	}
+	now := vm.Sim().Clock.Nanos()
+	if tr.Enabled(trace.KindPMLDrain) {
+		tr.Emit(trace.Record{Kind: trace.KindPMLDrain, VM: int32(v.ID), TS: now})
+	}
+	ev.Observe(trace.KindPMLDrain, now, 0, 0)
 }
 
 // StartAccessLogging arms read+write observation with cleared A/D flags.

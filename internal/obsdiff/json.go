@@ -1,0 +1,69 @@
+package obsdiff
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSON writes the report as indented ooh-diff/v1 JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ValidateReport checks a serialized report against the ooh-diff/v1
+// schema: correct schema tag, named captures, a verdict, internally
+// consistent deltas (every delta field must equal new minus old), and a
+// coherent empty flag. CI validates every uploaded diff artifact with
+// this before trusting it.
+func ValidateReport(data []byte) error {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return fmt.Errorf("diff report: not valid JSON: %w", err)
+	}
+	if r.Schema != Schema {
+		return fmt.Errorf("diff report: schema %q, want %q", r.Schema, Schema)
+	}
+	if r.Old == "" || r.New == "" {
+		return fmt.Errorf("diff report: missing capture names (old=%q new=%q)", r.Old, r.New)
+	}
+	if r.Verdict == "" {
+		return fmt.Errorf("diff report: empty verdict")
+	}
+	if r.AttributedPermille < 0 || r.AttributedPermille > 1000 {
+		return fmt.Errorf("diff report: attributed_permille %d outside [0, 1000]", r.AttributedPermille)
+	}
+	if len(r.TopPaths) > len(r.CallPaths) {
+		return fmt.Errorf("diff report: %d top paths but only %d call paths",
+			len(r.TopPaths), len(r.CallPaths))
+	}
+	var exclSum int64
+	for i, p := range r.CallPaths {
+		if p.Path == "" {
+			return fmt.Errorf("diff report: call path %d has empty path", i)
+		}
+		if p.InclDeltaNs != p.NewInclNs-p.OldInclNs || p.ExclDeltaNs != p.NewExclNs-p.OldExclNs {
+			return fmt.Errorf("diff report: %s: delta fields inconsistent with old/new", p.Path)
+		}
+		exclSum += p.ExclDeltaNs
+	}
+	// The partition identity is a schema invariant, not a convention.
+	if len(r.CallPaths) > 0 && exclSum != r.TotalInclDeltaNs {
+		return fmt.Errorf("diff report: exclusive deltas sum to %d, total_incl_delta_ns is %d",
+			exclSum, r.TotalInclDeltaNs)
+	}
+	for _, rd := range r.Rounds {
+		if rd.DeltaNs != rd.NewTotalNs-rd.OldTotalNs {
+			return fmt.Errorf("diff report: round %s/%d delta inconsistent", rd.Sub, rd.Round)
+		}
+	}
+	if r.Empty {
+		if r.TotalInclDeltaNs != 0 || len(r.Counters) > 0 || len(r.Gauges) > 0 ||
+			len(r.Histograms) > 0 || len(r.Tables) > 0 || len(r.TopPaths) > 0 {
+			return fmt.Errorf("diff report: flagged empty but carries deltas")
+		}
+	}
+	return nil
+}

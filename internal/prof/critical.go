@@ -2,7 +2,6 @@ package prof
 
 import (
 	"fmt"
-	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -100,57 +99,14 @@ func (r RoundPath) Share() float64 {
 // CriticalPath scans the call-path tree for round spans (ops shaped like
 // RoundOp) and, for each, descends the maximum-inclusive-time child
 // chain. Results are sorted by (subsystem, round). Deterministic: ties
-// break toward the lexicographically smaller frame.
+// break toward the lexicographically smaller frame. The walk runs on the
+// exported Tree so profiles reloaded from a capture (prof.ParseFolded)
+// produce the identical attribution.
 func (p *Profiler) CriticalPath() []RoundPath {
 	if p == nil {
 		return nil
 	}
-	var out []RoundPath
-	var walk func(n *node)
-	walk = func(n *node) {
-		for _, c := range sortedChildren(n) {
-			if round, ok := RoundNumber(c.frame.Op); ok && c.count > 0 {
-				out = append(out, RoundPath{
-					Sub:   c.frame.Sub,
-					Round: round,
-					Total: c.incl,
-					Count: c.count,
-					Steps: descend(c),
-				})
-				continue // rounds do not nest
-			}
-			walk(c)
-		}
-	}
-	walk(&p.root)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Sub != out[j].Sub {
-			return out[i].Sub < out[j].Sub
-		}
-		return out[i].Round < out[j].Round
-	})
-	return out
-}
-
-// descend follows the max-inclusive child chain below n.
-func descend(n *node) []PathStep {
-	var steps []PathStep
-	for {
-		var best *node
-		for _, c := range sortedChildren(n) {
-			if c.count == 0 {
-				continue
-			}
-			if best == nil || c.incl > best.incl {
-				best = c
-			}
-		}
-		if best == nil {
-			return steps
-		}
-		steps = append(steps, PathStep{Frame: best.frame, Incl: best.incl})
-		n = best
-	}
+	return p.Tree().CriticalPath()
 }
 
 // CriticalPathTable renders the per-round critical paths; nil when the

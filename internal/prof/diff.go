@@ -1,0 +1,182 @@
+package prof
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Cross-run call-path diffing. Two Trees - typically one parsed from a
+// committed capture's folded export and one from a fresh run - are walked
+// in lockstep over the union of their sorted children, producing one
+// PathDelta per path that exists in either. Because exclusive times
+// partition inclusive time (incl = excl + sum(child incl)), the sum of
+// all exclusive deltas equals the total inclusive delta exactly; ranking
+// paths by |exclusive delta| therefore attributes the whole regression
+// with no double counting. That identity is what the obsdiff engine's
+// ">=90% attributed" verdicts rest on.
+
+// PathDelta is the old-vs-new comparison of one call path.
+type PathDelta struct {
+	Path []Frame
+	// Old* are zero when the path only exists in the new run, and vice
+	// versa - an appeared/vanished path is just a delta from zero.
+	OldIncl, NewIncl   int64
+	OldExcl, NewExcl   int64
+	OldCount, NewCount int64
+}
+
+// InclDelta is new minus old inclusive ns.
+func (d PathDelta) InclDelta() int64 { return d.NewIncl - d.OldIncl }
+
+// ExclDelta is new minus old exclusive ns.
+func (d PathDelta) ExclDelta() int64 { return d.NewExcl - d.OldExcl }
+
+// CountDelta is new minus old span count.
+func (d PathDelta) CountDelta() int64 { return d.NewCount - d.OldCount }
+
+// Zero reports whether nothing changed on this path.
+func (d PathDelta) Zero() bool {
+	return d.InclDelta() == 0 && d.ExclDelta() == 0 && d.CountDelta() == 0
+}
+
+// String renders the path like PathStat does ("sub/op;sub/op").
+func (d PathDelta) String() string { return joinPath(d.Path) }
+
+// DiffTrees walks the union of two trees in sorted frame order and
+// returns every path present in either, pre-order, with both sides'
+// stats. Paths whose delta is zero on every axis are included only when
+// they carry data (so diffing a run against itself still lists its live
+// paths with zero deltas; fully dead interior prefixes are skipped the
+// same way Paths skips them). Either tree may be nil.
+func DiffTrees(old, new *Tree) []PathDelta {
+	var out []PathDelta
+	var stack []Frame
+	var walk func(o, n []*TreeNode)
+	walk = func(o, n []*TreeNode) {
+		i, j := 0, 0
+		for i < len(o) || j < len(n) {
+			var on, nn *TreeNode
+			switch {
+			case j >= len(n) || (i < len(o) && o[i].Frame.less(n[j].Frame)):
+				on, i = o[i], i+1
+			case i >= len(o) || (j < len(n) && n[j].Frame.less(o[i].Frame)):
+				nn, j = n[j], j+1
+			default: // same frame on both sides
+				on, nn = o[i], n[j]
+				i, j = i+1, j+1
+			}
+			d := PathDelta{}
+			var f Frame
+			if on != nil {
+				f = on.Frame
+				d.OldIncl, d.OldExcl, d.OldCount = on.Incl, on.Excl, on.Count
+			}
+			if nn != nil {
+				f = nn.Frame
+				d.NewIncl, d.NewExcl, d.NewCount = nn.Incl, nn.Excl, nn.Count
+			}
+			stack = append(stack, f)
+			if !d.Zero() || (on != nil && nodeHasData(on)) || (nn != nil && nodeHasData(nn)) {
+				d.Path = append([]Frame(nil), stack...)
+				out = append(out, d)
+			}
+			var oc, nc []*TreeNode
+			if on != nil {
+				oc = on.Children
+			}
+			if nn != nil {
+				nc = nn.Children
+			}
+			walk(oc, nc)
+			stack = stack[:len(stack)-1]
+		}
+	}
+	var or, nr []*TreeNode
+	if old != nil {
+		or = old.Roots
+	}
+	if new != nil {
+		nr = new.Roots
+	}
+	walk(or, nr)
+	return out
+}
+
+// TotalInclDelta sums the root-level inclusive deltas - the total
+// virtual-ns change between the runs. Equal to the sum of every delta's
+// ExclDelta (the partition identity).
+func TotalInclDelta(deltas []PathDelta) int64 {
+	var total int64
+	for _, d := range deltas {
+		if len(d.Path) == 1 {
+			total += d.InclDelta()
+		}
+	}
+	return total
+}
+
+// RankByExclDelta returns the deltas reordered by descending |exclusive
+// delta|, ties broken by path order, zero-delta rows dropped. This is
+// the attribution ranking: the prefix that covers a target share of
+// |TotalInclDelta| names the regression.
+func RankByExclDelta(deltas []PathDelta) []PathDelta {
+	ranked := make([]PathDelta, 0, len(deltas))
+	for _, d := range deltas {
+		if d.ExclDelta() != 0 {
+			ranked = append(ranked, d)
+		}
+	}
+	sort.SliceStable(ranked, func(i, j int) bool {
+		return abs64(ranked[i].ExclDelta()) > abs64(ranked[j].ExclDelta())
+	})
+	return ranked
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// WriteFoldedDiff writes the diff-flamegraph export: one line per path,
+// "sub/op;sub/op old new delta" (exclusive ns), in pre-order. Rows where
+// both sides' exclusive time is zero are skipped, mirroring WriteFolded's
+// treatment of interior prefixes. flamegraph.pl --negate and differential
+// flamegraph tooling consume the two-column variant; the explicit delta
+// column keeps the file greppable on its own.
+func WriteFoldedDiff(w io.Writer, deltas []PathDelta) error {
+	bw := bufio.NewWriter(w)
+	for _, d := range deltas {
+		if d.OldExcl == 0 && d.NewExcl == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(bw, "%s %d %d %d\n",
+			joinPath(d.Path), d.OldExcl, d.NewExcl, d.ExclDelta()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WritePprofDiff writes a gzipped pprof profile whose sample values are
+// the deltas [count new-old, exclusive ns new-old]. Negative values are
+// legal in profile.proto (pprof's own -diff_base renders them), so the
+// output opens directly in `go tool pprof` and shows regressions as
+// positive and improvements as negative time. Zero-delta rows are
+// skipped. duration_nanos carries the total inclusive delta's magnitude.
+func WritePprofDiff(w io.Writer, deltas []PathDelta) error {
+	samples := make([]pprofSample, 0, len(deltas))
+	for _, d := range deltas {
+		if d.CountDelta() == 0 && d.ExclDelta() == 0 {
+			continue
+		}
+		samples = append(samples, pprofSample{
+			path:   d.Path,
+			values: [2]int64{d.CountDelta(), d.ExclDelta()},
+		})
+	}
+	return writePprofGz(w, samples, abs64(TotalInclDelta(deltas)))
+}

@@ -17,9 +17,26 @@ import (
 // emitted in sorted tree order, and the gzip header carries no
 // timestamp.
 func (p *Profiler) WritePprof(w io.Writer) error {
+	samples := make([]pprofSample, 0)
+	for _, ps := range p.Paths() {
+		samples = append(samples, pprofSample{path: ps.Path, values: [2]int64{ps.Count, ps.Excl}})
+	}
+	return writePprofGz(w, samples, p.TotalNanos())
+}
+
+// pprofSample is one sample row of a pprof export: a call path plus the
+// [count, ns] value pair (deltas allowed - pprof handles negative values,
+// that is how its -diff_base mode works).
+type pprofSample struct {
+	path   []Frame
+	values [2]int64
+}
+
+// writePprofGz gzips the marshaled Profile message deterministically.
+func writePprofGz(w io.Writer, samples []pprofSample, durationNanos int64) error {
 	gz := gzip.NewWriter(w) // zero ModTime => deterministic header
 	gz.OS = 255             // "unknown", OS-independent output
-	if _, err := gz.Write(p.marshalPprof()); err != nil {
+	if _, err := gz.Write(marshalPprof(samples, durationNanos)); err != nil {
 		gz.Close()
 		return err
 	}
@@ -56,7 +73,7 @@ const (
 )
 
 // marshalPprof builds the uncompressed Profile message.
-func (p *Profiler) marshalPprof() []byte {
+func marshalPprof(samples []pprofSample, durationNanos int64) []byte {
 	var strs stringTable
 	strs.index("") // index 0 must be ""
 
@@ -64,9 +81,8 @@ func (p *Profiler) marshalPprof() []byte {
 	// frame order for determinism.
 	frames := make(map[Frame]uint64)
 	var order []Frame
-	paths := p.Paths()
-	for _, ps := range paths {
-		for _, f := range ps.Path {
+	for _, ps := range samples {
+		for _, f := range ps.path {
 			if _, ok := frames[f]; !ok {
 				frames[f] = 0
 				order = append(order, f)
@@ -84,15 +100,15 @@ func (p *Profiler) marshalPprof() []byte {
 	prof.message(fSampleType, valueType(&strs, "samples", "count"))
 	prof.message(fSampleType, valueType(&strs, "time", "nanoseconds"))
 
-	// samples: one per completed path, location ids leaf-first.
-	for _, ps := range paths {
+	// samples: one per path, location ids leaf-first.
+	for _, ps := range samples {
 		var s msg
-		locs := make([]uint64, len(ps.Path))
-		for i, f := range ps.Path {
-			locs[len(ps.Path)-1-i] = frames[f] // leaf first
+		locs := make([]uint64, len(ps.path))
+		for i, f := range ps.path {
+			locs[len(ps.path)-1-i] = frames[f] // leaf first
 		}
 		s.packedUvarints(fSampleLocationID, locs)
-		s.packedVarints(fSampleValue, []int64{ps.Count, ps.Excl})
+		s.packedVarints(fSampleValue, ps.values[:])
 		prof.message(fSample, s)
 	}
 
@@ -116,7 +132,7 @@ func (p *Profiler) marshalPprof() []byte {
 		prof.message(fFunction, fn)
 	}
 
-	prof.varint(fDurationNanos, p.TotalNanos())
+	prof.varint(fDurationNanos, durationNanos)
 	prof.message(fPeriodType, valueType(&strs, "time", "nanoseconds"))
 	prof.varint(fPeriod, 1)
 	prof.varint(fDefaultSampleType, int64(strs.index("time")))
